@@ -1,0 +1,120 @@
+//! Criterion benches mirroring the paper's end-to-end figures with reduced
+//! token counts, so `cargo bench` exercises every experiment path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hermes_core::{try_run_system, SystemConfig, SystemKind, Workload};
+use hermes_model::ModelId;
+
+fn short_workload(model: ModelId, batch: usize) -> Workload {
+    let mut w = Workload::paper_default(model).with_batch(batch);
+    w.gen_len = 16;
+    w.prompt_len = 32;
+    w
+}
+
+/// Fig. 9 / Fig. 10: one bench per (system, model) cell at batch 1.
+fn bench_system_comparison(c: &mut Criterion) {
+    let config = SystemConfig::paper_default();
+    let mut group = c.benchmark_group("fig09_fig10_system_comparison");
+    group.sample_size(10);
+    for model in [ModelId::Opt13B, ModelId::Llama2_13B] {
+        for kind in SystemKind::figure9_lineup() {
+            let workload = short_workload(model, 1);
+            if try_run_system(kind, &workload, &config).is_err() {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), model.name()),
+                &workload,
+                |b, w| b.iter(|| try_run_system(kind, w, &config).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Fig. 11: batch scaling of the full Hermes system.
+fn bench_batch_scaling(c: &mut Criterion) {
+    let config = SystemConfig::paper_default();
+    let mut group = c.benchmark_group("fig11_batch_scaling");
+    group.sample_size(10);
+    for batch in [1usize, 4, 16] {
+        let workload = short_workload(ModelId::Opt13B, batch);
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &workload, |b, w| {
+            b.iter(|| try_run_system(SystemKind::hermes(), w, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 13: the scheduling ablation variants.
+fn bench_ablation(c: &mut Criterion) {
+    use hermes_core::HermesOptions;
+    let config = SystemConfig::paper_default();
+    let mut group = c.benchmark_group("fig13_ablation");
+    group.sample_size(10);
+    let variants: [(&str, HermesOptions); 4] = [
+        ("random", HermesOptions::random_mapping()),
+        ("partition", HermesOptions::partition_only()),
+        ("adjustment", HermesOptions::adjustment_only()),
+        ("full", HermesOptions::full()),
+    ];
+    for (name, options) in variants {
+        let workload = short_workload(ModelId::Opt13B, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &workload, |b, w| {
+            b.iter(|| try_run_system(SystemKind::Hermes(options), w, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 14 / Fig. 16: hardware scaling knobs (DIMM count, GEMV width).
+fn bench_hardware_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_fig16_hardware_scaling");
+    group.sample_size(10);
+    for dimms in [2usize, 8] {
+        let config = SystemConfig::paper_default().with_num_dimms(dimms);
+        let workload = short_workload(ModelId::Opt13B, 1);
+        group.bench_with_input(BenchmarkId::new("dimms", dimms), &workload, |b, w| {
+            b.iter(|| try_run_system(SystemKind::hermes(), w, &config).unwrap())
+        });
+    }
+    for mults in [64u32, 256] {
+        let config = SystemConfig::paper_default().with_gemv_multipliers(mults);
+        let workload = short_workload(ModelId::Opt13B, 16);
+        group.bench_with_input(BenchmarkId::new("gemv_multipliers", mults), &workload, |b, w| {
+            b.iter(|| try_run_system(SystemKind::hermes(), w, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 15 / Fig. 17: GPU sensitivity and the TensorRT-LLM reference.
+fn bench_gpu_and_reference(c: &mut Criterion) {
+    use hermes_gpu::GpuDevice;
+    let mut group = c.benchmark_group("fig15_fig17_gpu_and_reference");
+    group.sample_size(10);
+    for gpu in GpuDevice::consumer_lineup() {
+        let config = SystemConfig::paper_default().with_gpu(gpu.clone());
+        let workload = short_workload(ModelId::Opt13B, 1);
+        group.bench_with_input(BenchmarkId::new("hermes", gpu.name.clone()), &workload, |b, w| {
+            b.iter(|| try_run_system(SystemKind::hermes(), w, &config).unwrap())
+        });
+    }
+    let config = SystemConfig::paper_default();
+    let workload = short_workload(ModelId::Llama2_13B, 1);
+    group.bench_function("tensorrt_llm_5xA100", |b| {
+        b.iter(|| try_run_system(SystemKind::TensorRtLlm { num_gpus: 5 }, &workload, &config).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_system_comparison,
+    bench_batch_scaling,
+    bench_ablation,
+    bench_hardware_scaling,
+    bench_gpu_and_reference
+);
+criterion_main!(benches);

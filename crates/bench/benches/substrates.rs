@@ -1,0 +1,109 @@
+//! Criterion microbenches of the substrate crates: trace generation,
+//! prediction, offline partitioning and the window remapper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hermes_model::{Block, ModelConfig, ModelId};
+use hermes_predictor::{HermesPredictor, PredictorConfig};
+use hermes_scheduler::{OfflinePartitioner, PartitionGoal, PartitionInput, WindowRemapper};
+use hermes_sparsity::{NeuronFrequencies, SparsityProfile, StatisticalActivityModel, TraceGenerator};
+
+fn small_model() -> ModelConfig {
+    let mut cfg = ModelConfig::from_id(ModelId::Opt13B);
+    cfg.num_layers = 4;
+    cfg.hidden_size = 256;
+    cfg.ffn_hidden = 1024;
+    cfg.num_heads = 8;
+    cfg.num_kv_heads = 8;
+    cfg
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let cfg = small_model();
+    let profile = SparsityProfile::for_model(&cfg);
+    let mut group = c.benchmark_group("sparsity_trace");
+    group.sample_size(20);
+    group.bench_function("full_bitset_token", |b| {
+        let mut gen = TraceGenerator::new(&cfg, &profile, 1);
+        b.iter(|| gen.next_token())
+    });
+    group.bench_function("statistical_token", |b| {
+        let mut model = StatisticalActivityModel::new(&cfg, &profile, 1);
+        b.iter(|| model.next_token())
+    });
+    group.finish();
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let cfg = small_model();
+    let profile = SparsityProfile::for_model(&cfg);
+    let mut gen = TraceGenerator::new(&cfg, &profile, 2);
+    let prefill = gen.generate(32);
+    let mut predictor = HermesPredictor::new(&cfg, PredictorConfig::default());
+    predictor.initialize_from_prefill(&prefill);
+    predictor.correlation_mut().sample_from_trace(&prefill, 8);
+    let token = gen.next_token();
+    let mut group = c.benchmark_group("predictor");
+    group.bench_function("predict_block", |b| {
+        b.iter(|| predictor.predict_block(2, Block::Mlp, Some(token.block(1, Block::Mlp))))
+    });
+    group.bench_function("observe_token", |b| b.iter(|| predictor.clone().observe(&token)));
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let cfg = small_model();
+    let profile = SparsityProfile::for_model(&cfg);
+    let mut gen = TraceGenerator::new(&cfg, &profile, 3);
+    let trace = gen.generate(32);
+    let freqs = NeuronFrequencies::measure(&trace);
+    let input = PartitionInput {
+        gpu_budget_bytes: cfg.memory_footprint().sparse_bytes() / 5,
+        num_dimms: 8,
+        dimm_capacity_bytes: u64::MAX / 8,
+        gpu_time_per_neuron: 1e-8,
+        dimm_time_per_neuron: 4e-7,
+        sync_time: 1e-6,
+    };
+    let partitioner = OfflinePartitioner::new(input);
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(20);
+    group.bench_function("offline_partition", |b| {
+        b.iter(|| partitioner.partition(&cfg, &freqs, PartitionGoal::FrequencyOptimal))
+    });
+    let assignment = partitioner.partition(&cfg, &freqs, PartitionGoal::FrequencyOptimal);
+    group.bench_function("window_remap", |b| {
+        b.iter(|| {
+            let mut remapper = WindowRemapper::new(&cfg, 5);
+            for tok in trace.iter().take(5) {
+                remapper.record_token(tok);
+            }
+            let mut a = assignment.clone();
+            remapper.rebalance(&cfg, &mut a)
+        })
+    });
+    group.finish();
+}
+
+fn bench_hardware_models(c: &mut Criterion) {
+    use hermes_gpu::{GpuDevice, KernelCostModel};
+    use hermes_ndp::{DimmConfig, NdpDimm};
+    let mut group = c.benchmark_group("hardware_models");
+    let dimm = NdpDimm::new(DimmConfig::ddr4_3200());
+    let kernel = KernelCostModel::new(GpuDevice::rtx_4090());
+    group.bench_function("ndp_gemv_time", |b| {
+        b.iter(|| dimm.gemv_time(criterion::black_box(1 << 22), 1 << 22, 4))
+    });
+    group.bench_function("gpu_kernel_time", |b| {
+        b.iter(|| kernel.kernel_time(criterion::black_box(1 << 26), 1 << 27))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trace_generation,
+    bench_predictor,
+    bench_scheduler,
+    bench_hardware_models
+);
+criterion_main!(benches);

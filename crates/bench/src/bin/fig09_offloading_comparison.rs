@@ -1,0 +1,39 @@
+//! Fig. 9: end-to-end tokens/s of Hermes vs existing offloading-based
+//! systems on the OPT family at batch size 1.
+
+use hermes_bench::{geomean_speedup, run_lineup};
+use hermes_core::{SystemConfig, SystemKind, Workload};
+use hermes_model::ModelId;
+
+fn main() {
+    let config = SystemConfig::paper_default();
+    let systems = [
+        SystemKind::Accelerate,
+        SystemKind::FlexGen,
+        SystemKind::DejaVu,
+        SystemKind::hermes_host(),
+        SystemKind::hermes(),
+    ];
+    let models = [ModelId::Opt13B, ModelId::Opt30B, ModelId::Opt66B];
+    println!("# Fig. 9 — offloading-based systems, batch 1 (tokens/s)");
+    println!("| system | {} |", models.map(|m| m.to_string()).join(" | "));
+    println!("|---|---|---|---|");
+    let mut per_system: Vec<Vec<hermes_bench::Cell>> = vec![Vec::new(); systems.len()];
+    for model in models {
+        let workload = Workload::paper_default(model);
+        let cells = run_lineup(&systems, &workload, &config);
+        for (i, c) in cells.into_iter().enumerate() {
+            per_system[i].push(c);
+        }
+    }
+    for (i, kind) in systems.iter().enumerate() {
+        let row: Vec<String> = per_system[i].iter().map(|c| c.formatted()).collect();
+        println!("| {} | {} |", kind.name(), row.join(" | "));
+    }
+    let hermes_idx = systems.len() - 1;
+    for (i, kind) in systems.iter().enumerate().take(hermes_idx) {
+        if let Some(s) = geomean_speedup(&per_system[hermes_idx], &per_system[i]) {
+            println!("Hermes speedup over {}: {:.2}x (geomean)", kind.name(), s);
+        }
+    }
+}

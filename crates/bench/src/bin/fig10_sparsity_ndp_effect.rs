@@ -1,0 +1,40 @@
+//! Fig. 10: the effect of activation sparsity and of the NDP design —
+//! Accelerate vs Hermes-host vs Hermes-base vs Hermes on LLaMA2/Falcon.
+
+use hermes_bench::{geomean_speedup, run_lineup};
+use hermes_core::{SystemConfig, SystemKind, Workload};
+use hermes_model::ModelId;
+
+fn main() {
+    let config = SystemConfig::paper_default();
+    let systems = [
+        SystemKind::Accelerate,
+        SystemKind::hermes_host(),
+        SystemKind::hermes_base(),
+        SystemKind::hermes(),
+    ];
+    let models = [ModelId::Llama2_13B, ModelId::Llama2_70B, ModelId::Falcon40B];
+    println!("# Fig. 10 — activation sparsity & NDP design, batch 1 (tokens/s)");
+    println!("| system | {} |", models.map(|m| m.to_string()).join(" | "));
+    println!("|---|---|---|---|");
+    let mut per_system: Vec<Vec<hermes_bench::Cell>> = vec![Vec::new(); systems.len()];
+    for model in models {
+        let workload = Workload::paper_default(model);
+        for (i, c) in run_lineup(&systems, &workload, &config).into_iter().enumerate() {
+            per_system[i].push(c);
+        }
+    }
+    for (i, kind) in systems.iter().enumerate() {
+        let row: Vec<String> = per_system[i].iter().map(|c| c.formatted()).collect();
+        println!("| {} | {} |", kind.name(), row.join(" | "));
+    }
+    if let Some(s) = geomean_speedup(&per_system[3], &per_system[2]) {
+        println!("Hermes speedup over Hermes-base (value of sparsity): {s:.2}x");
+    }
+    if let Some(s) = geomean_speedup(&per_system[3], &per_system[1]) {
+        println!("Hermes speedup over Hermes-host (value of NDP-DIMMs): {s:.2}x");
+    }
+    if let Some(s) = geomean_speedup(&per_system[2], &per_system[0]) {
+        println!("Hermes-base speedup over Accelerate: {s:.2}x");
+    }
+}

@@ -1,0 +1,28 @@
+//! Fig. 11: end-to-end performance across batch sizes 1–16 for Falcon-40B,
+//! OPT-66B and LLaMA2-70B on all six systems.
+
+use hermes_bench::run_lineup;
+use hermes_core::{SystemConfig, SystemKind, Workload};
+use hermes_model::ModelId;
+
+fn main() {
+    let config = SystemConfig::paper_default();
+    let systems = SystemKind::figure9_lineup();
+    let batches = [1usize, 2, 4, 8, 16];
+    for model in [ModelId::Falcon40B, ModelId::Opt66B, ModelId::Llama2_70B] {
+        println!("\n# Fig. 11 — {model} (tokens/s)");
+        println!("| system | {} |", batches.map(|b| format!("b{b}")).join(" | "));
+        println!("|---|---|---|---|---|---|");
+        let mut rows: Vec<(String, Vec<String>)> =
+            systems.iter().map(|k| (k.name(), Vec::new())).collect();
+        for &batch in &batches {
+            let workload = Workload::paper_default(model).with_batch(batch);
+            for (i, cell) in run_lineup(&systems, &workload, &config).into_iter().enumerate() {
+                rows[i].1.push(cell.formatted());
+            }
+        }
+        for (name, cells) in rows {
+            println!("| {name} | {} |", cells.join(" | "));
+        }
+    }
+}

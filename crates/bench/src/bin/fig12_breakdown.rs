@@ -1,0 +1,50 @@
+//! Fig. 12: per-token latency breakdown — Deja Vu vs Hermes (OPT models) and
+//! Hermes-base vs Hermes (Falcon-40B, LLaMA2-70B) across batch sizes.
+
+use hermes_core::{try_run_system, SystemConfig, SystemKind, Workload};
+use hermes_model::ModelId;
+
+fn print_breakdown(label: &str, workload: &Workload, kind: SystemKind, config: &SystemConfig) {
+    match try_run_system(kind, workload, config) {
+        Ok(report) => {
+            let per_token = 1e3 / workload.gen_len as f64;
+            let b = &report.breakdown;
+            println!(
+                "| {label} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} |",
+                b.fc * per_token,
+                b.attention * per_token,
+                b.predictor * per_token,
+                b.prefill * per_token,
+                b.communication * per_token,
+                b.migration * per_token,
+                b.others * per_token,
+            );
+        }
+        Err(_) => println!("| {label} | N.P. | | | | | | |"),
+    }
+}
+
+fn main() {
+    let config = SystemConfig::paper_default();
+    let batches = [1usize, 4, 16];
+    println!("# Fig. 12a — Deja Vu vs Hermes breakdown (ms, amortised per generated token)");
+    println!("| config | FC | Attention | Predictor | Prefill | Communication | Migration | Others |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for model in [ModelId::Opt13B, ModelId::Opt66B] {
+        for &batch in &batches {
+            let w = Workload::paper_default(model).with_batch(batch);
+            print_breakdown(&format!("Deja Vu {model} b{batch}"), &w, SystemKind::DejaVu, &config);
+            print_breakdown(&format!("Hermes {model} b{batch}"), &w, SystemKind::hermes(), &config);
+        }
+    }
+    println!("\n# Fig. 12b — Hermes-base vs Hermes breakdown (ms, amortised per generated token)");
+    println!("| config | FC | Attention | Predictor | Prefill | Communication | Migration | Others |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for model in [ModelId::Falcon40B, ModelId::Llama2_70B] {
+        for &batch in &batches {
+            let w = Workload::paper_default(model).with_batch(batch);
+            print_breakdown(&format!("H-base {model} b{batch}"), &w, SystemKind::hermes_base(), &config);
+            print_breakdown(&format!("Hermes {model} b{batch}"), &w, SystemKind::hermes(), &config);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Fig. 13: ablation of the offline/online scheduling strategies, measured
+//! as normalized speedup of the sparse-FC (MLP-block) latency over the
+//! Hermes-random baseline.
+
+use hermes_core::{HermesOptions, HermesSystem, SystemConfig, Workload};
+use hermes_model::ModelId;
+
+fn fc_latency(model: ModelId, batch: usize, options: HermesOptions, config: &SystemConfig) -> f64 {
+    let workload = Workload::paper_default(model).with_batch(batch);
+    HermesSystem::new(workload, config.clone(), options)
+        .run()
+        .map(|r| r.breakdown.fc)
+        .unwrap_or(f64::NAN)
+}
+
+fn main() {
+    let config = SystemConfig::paper_default();
+    let variants: [(&str, fn() -> HermesOptions); 6] = [
+        ("Hermes-random", HermesOptions::random_mapping),
+        ("Hermes-partition", HermesOptions::partition_only),
+        ("Hermes-token-adjustment", HermesOptions::token_adjustment),
+        ("Hermes-layer-adjustment", HermesOptions::layer_adjustment),
+        ("Hermes-adjustment", HermesOptions::adjustment_only),
+        ("Hermes", HermesOptions::full),
+    ];
+    println!("# Fig. 13 — scheduling ablation (speedup over Hermes-random, FC latency)");
+    let batches = [1usize, 4, 16];
+    for model in [ModelId::Llama2_13B, ModelId::Llama2_70B] {
+        println!("\n## {model}");
+        println!("| variant | {} |", batches.map(|b| format!("b{b}")).join(" | "));
+        println!("|---|---|---|---|");
+        let mut baseline = vec![0.0f64; batches.len()];
+        for (row, (name, make)) in variants.iter().enumerate() {
+            let mut cells = Vec::new();
+            for (bi, &batch) in batches.iter().enumerate() {
+                let fc = fc_latency(model, batch, make(), &config);
+                if row == 0 {
+                    baseline[bi] = fc;
+                }
+                cells.push(format!("{:.2}x", baseline[bi] / fc));
+            }
+            println!("| {name} | {} |", cells.join(" | "));
+        }
+    }
+}

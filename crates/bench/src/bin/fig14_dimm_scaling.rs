@@ -1,0 +1,24 @@
+//! Fig. 14: throughput of four LLMs as the number of NDP-DIMMs grows
+//! (1–16); models that do not fit print "N.P.".
+
+use hermes_bench::run_cell;
+use hermes_core::{SystemConfig, SystemKind, Workload};
+use hermes_model::ModelId;
+
+fn main() {
+    let dimm_counts = [1usize, 2, 4, 8, 16];
+    println!("# Fig. 14 — throughput vs number of NDP-DIMMs (tokens/s, batch 1)");
+    println!("| model | {} |", dimm_counts.map(|d| format!("{d} DIMMs")).join(" | "));
+    println!("|---|---|---|---|---|---|");
+    for model in [ModelId::Opt13B, ModelId::Opt30B, ModelId::Falcon40B, ModelId::Llama2_70B] {
+        let workload = Workload::paper_default(model);
+        let cells: Vec<String> = dimm_counts
+            .iter()
+            .map(|&d| {
+                let config = SystemConfig::paper_default().with_num_dimms(d);
+                run_cell(SystemKind::hermes(), &workload, &config).formatted()
+            })
+            .collect();
+        println!("| {model} | {} |", cells.join(" | "));
+    }
+}

@@ -1,0 +1,43 @@
+//! The Hermes inference system and the baseline offloading systems it is
+//! evaluated against.
+//!
+//! This crate ties every substrate together into end-to-end inference
+//! engines that reproduce the paper's evaluation:
+//!
+//! * [`HermesSystem`] — the full NDP-DIMM augmented GPU system of the paper
+//!   (Fig. 5/6): hot neurons on the GPU, cold neurons computed in place on
+//!   the DIMMs, attention on the DIMMs, projection on the GPU with hot/cold
+//!   adjustment and window-based remapping hidden underneath it.
+//! * Baselines — HuggingFace Accelerate, FlexGen, Deja Vu, Hermes-host
+//!   (cold neurons on the host CPU), Hermes-base (NDP-DIMMs without
+//!   activation sparsity) and the TensorRT-LLM 5×A100 reference.
+//!
+//! Every engine produces an [`InferenceReport`] with the latency breakdown
+//! the paper plots in Fig. 12 and the tokens/s metric used everywhere else.
+//!
+//! # Example
+//!
+//! ```
+//! use hermes_core::{SystemKind, SystemConfig, Workload, run_system};
+//! use hermes_model::ModelId;
+//!
+//! let workload = Workload::paper_default(ModelId::Opt13B);
+//! let config = SystemConfig::paper_default();
+//! let report = run_system(SystemKind::hermes(), &workload, &config);
+//! assert!(report.tokens_per_second() > 1.0);
+//! ```
+
+pub mod baselines;
+pub mod config;
+pub mod hermes;
+pub mod planner;
+pub mod report;
+pub mod systems;
+pub mod workload;
+
+pub use config::SystemConfig;
+pub use hermes::{HermesOptions, HermesSystem, MappingPolicy, OnlineAdjustment, Unsupported};
+pub use planner::NeuronPlan;
+pub use report::{InferenceReport, LatencyBreakdown};
+pub use systems::{run_system, try_run_system, SystemKind};
+pub use workload::Workload;

@@ -1,0 +1,149 @@
+//! Inference reports: the latency breakdown and throughput metrics the
+//! paper's figures are built from.
+
+use serde::{Deserialize, Serialize};
+
+use crate::workload::Workload;
+
+/// Where the end-to-end time of a run goes, in seconds.
+///
+/// The categories follow the breakdown of Fig. 12: FC operators (QKV + MLP),
+/// the attention operator, the activation predictor, the prefill/prompting
+/// phase, weight communication (PCIe), neuron migration (PCIe promotions and
+/// DIMM-link remapping that could not be hidden), and everything else
+/// (projection, merges, synchronisation).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Sparse FC operators (QKV generation + MLP), GPU and NDP combined.
+    pub fc: f64,
+    /// Attention operator.
+    pub attention: f64,
+    /// Activation predictor overhead.
+    pub predictor: f64,
+    /// Prompting (prefill) phase.
+    pub prefill: f64,
+    /// Weight traffic over PCIe (loading cold/streamed weights).
+    pub communication: f64,
+    /// Neuron migration cost that could not be hidden under projection.
+    pub migration: f64,
+    /// Everything else: dense projection, merge kernels, synchronisation.
+    pub others: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total time of the run in seconds.
+    pub fn total(&self) -> f64 {
+        self.fc
+            + self.attention
+            + self.predictor
+            + self.prefill
+            + self.communication
+            + self.migration
+            + self.others
+    }
+
+    /// Time spent in the token-generation (decode) phase.
+    pub fn decode_total(&self) -> f64 {
+        self.total() - self.prefill
+    }
+
+    /// Element-wise sum of two breakdowns.
+    pub fn merged(&self, other: &LatencyBreakdown) -> LatencyBreakdown {
+        LatencyBreakdown {
+            fc: self.fc + other.fc,
+            attention: self.attention + other.attention,
+            predictor: self.predictor + other.predictor,
+            prefill: self.prefill + other.prefill,
+            communication: self.communication + other.communication,
+            migration: self.migration + other.migration,
+            others: self.others + other.others,
+        }
+    }
+}
+
+/// The result of simulating one system on one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceReport {
+    /// Name of the simulated system (as used in the paper's figures).
+    pub system: String,
+    /// The workload that was run.
+    pub workload: Workload,
+    /// Latency breakdown over the whole run.
+    pub breakdown: LatencyBreakdown,
+    /// Peak bytes of GPU memory used for weights.
+    pub gpu_weight_bytes: u64,
+    /// Bytes of hot-neuron weights resident on the GPU (0 for systems that
+    /// do not partition).
+    pub hot_neuron_bytes: u64,
+    /// Average DIMM load imbalance during decode (1.0 = balanced; only
+    /// meaningful for NDP-based systems).
+    pub dimm_imbalance: f64,
+}
+
+impl InferenceReport {
+    /// End-to-end generation throughput in tokens per second: generated
+    /// tokens (including every sequence of the batch) divided by the total
+    /// runtime including the prompting phase. This is the metric reported in
+    /// Figs. 9–11 and 14–17.
+    pub fn tokens_per_second(&self) -> f64 {
+        self.workload.total_generated_tokens() as f64 / self.breakdown.total()
+    }
+
+    /// Decode-only throughput (excluding the prompting phase).
+    pub fn decode_tokens_per_second(&self) -> f64 {
+        self.workload.total_generated_tokens() as f64 / self.breakdown.decode_total()
+    }
+
+    /// Average per-token decode latency in milliseconds (the unit of
+    /// Fig. 12).
+    pub fn decode_latency_ms_per_token(&self) -> f64 {
+        self.breakdown.decode_total() * 1e3 / self.workload.gen_len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_model::ModelId;
+
+    fn breakdown() -> LatencyBreakdown {
+        LatencyBreakdown {
+            fc: 1.0,
+            attention: 0.5,
+            predictor: 0.1,
+            prefill: 2.0,
+            communication: 0.3,
+            migration: 0.05,
+            others: 0.05,
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let b = breakdown();
+        assert!((b.total() - 4.0).abs() < 1e-12);
+        assert!((b.decode_total() - 2.0).abs() < 1e-12);
+        let merged = b.merged(&b);
+        assert!((merged.total() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_metrics() {
+        let report = InferenceReport {
+            system: "Hermes".to_string(),
+            workload: Workload::paper_default(ModelId::Opt13B),
+            breakdown: breakdown(),
+            gpu_weight_bytes: 0,
+            hot_neuron_bytes: 0,
+            dimm_imbalance: 1.0,
+        };
+        assert!((report.tokens_per_second() - 128.0 / 4.0).abs() < 1e-9);
+        assert!((report.decode_tokens_per_second() - 128.0 / 2.0).abs() < 1e-9);
+        assert!((report.decode_latency_ms_per_token() - 2000.0 / 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_breakdown_is_zero() {
+        assert_eq!(LatencyBreakdown::default().total(), 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Dispatch over every inference system evaluated in the paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::baselines::{run_accelerate, run_dejavu, run_flexgen, run_tensorrt_llm};
+use crate::hermes::{HermesOptions, HermesSystem, Unsupported};
+use crate::report::InferenceReport;
+use crate::{SystemConfig, Workload};
+
+/// Every inference system that appears in the evaluation figures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// HuggingFace Accelerate offloading.
+    Accelerate,
+    /// FlexGen zig-zag offloading.
+    FlexGen,
+    /// Deja Vu sparsity-aware offloading (OPT models only).
+    DejaVu,
+    /// A Hermes-family system (full Hermes, Hermes-host, Hermes-base or one
+    /// of the scheduling ablations, selected by the options).
+    Hermes(HermesOptions),
+    /// TensorRT-LLM running on `num_gpus` A100-40GB GPUs.
+    TensorRtLlm {
+        /// Number of A100 GPUs.
+        num_gpus: usize,
+    },
+}
+
+impl SystemKind {
+    /// The full Hermes system.
+    pub fn hermes() -> Self {
+        SystemKind::Hermes(HermesOptions::full())
+    }
+
+    /// Hermes-host (cold neurons on the host CPU).
+    pub fn hermes_host() -> Self {
+        SystemKind::Hermes(HermesOptions::host())
+    }
+
+    /// Hermes-base (no activation sparsity).
+    pub fn hermes_base() -> Self {
+        SystemKind::Hermes(HermesOptions::base())
+    }
+
+    /// The five systems compared in Fig. 9 and Fig. 11, in plot order.
+    pub fn figure9_lineup() -> Vec<SystemKind> {
+        vec![
+            SystemKind::Accelerate,
+            SystemKind::FlexGen,
+            SystemKind::DejaVu,
+            SystemKind::hermes_host(),
+            SystemKind::hermes_base(),
+            SystemKind::hermes(),
+        ]
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            SystemKind::Accelerate => "Huggingface Accelerate".to_string(),
+            SystemKind::FlexGen => "FlexGen".to_string(),
+            SystemKind::DejaVu => "Deja Vu".to_string(),
+            SystemKind::Hermes(options) => options.name().to_string(),
+            SystemKind::TensorRtLlm { num_gpus } => format!("TensorRT-LLM ({num_gpus}x A100)"),
+        }
+    }
+}
+
+/// Simulate a system on a workload, reporting why it cannot run when the
+/// combination is unsupported (the "N.P." entries of Figs. 11 and 14).
+///
+/// # Errors
+///
+/// Returns [`Unsupported::ModelNotSupported`] for FlexGen/Deja Vu on
+/// non-OPT models and [`Unsupported::InsufficientMemory`] when the model
+/// does not fit in the configuration's memory.
+pub fn try_run_system(
+    kind: SystemKind,
+    workload: &Workload,
+    config: &SystemConfig,
+) -> Result<InferenceReport, Unsupported> {
+    workload.validate().expect("workload must be valid");
+    config.validate().expect("system config must be valid");
+    match kind {
+        SystemKind::Accelerate => Ok(run_accelerate(workload, config)),
+        SystemKind::FlexGen => {
+            if workload.model.is_opt_family() {
+                Ok(run_flexgen(workload, config))
+            } else {
+                Err(Unsupported::ModelNotSupported)
+            }
+        }
+        SystemKind::DejaVu => {
+            if workload.model.is_opt_family() {
+                Ok(run_dejavu(workload, config))
+            } else {
+                Err(Unsupported::ModelNotSupported)
+            }
+        }
+        SystemKind::Hermes(options) => {
+            HermesSystem::new(workload.clone(), config.clone(), options).run()
+        }
+        SystemKind::TensorRtLlm { num_gpus } => {
+            Ok(run_tensorrt_llm(workload, num_gpus, 300.0e9))
+        }
+    }
+}
+
+/// Simulate a system on a workload.
+///
+/// # Panics
+///
+/// Panics if the combination is unsupported; use [`try_run_system`] when
+/// "not supported" is an expected outcome.
+pub fn run_system(kind: SystemKind, workload: &Workload, config: &SystemConfig) -> InferenceReport {
+    try_run_system(kind, workload, config)
+        .unwrap_or_else(|e| panic!("{} cannot run {}: {:?}", kind.name(), workload.model, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_model::ModelId;
+
+    fn quick(model: ModelId) -> Workload {
+        let mut w = Workload::paper_default(model);
+        w.gen_len = 8;
+        w.prompt_len = 32;
+        w
+    }
+
+    #[test]
+    fn figure9_ordering_holds_for_opt_models() {
+        // The paper's headline ordering: Hermes > Hermes-host > Deja Vu >
+        // FlexGen > Accelerate.
+        let config = SystemConfig::paper_default();
+        let w = quick(ModelId::Opt30B);
+        let tps: Vec<f64> = [
+            SystemKind::Accelerate,
+            SystemKind::FlexGen,
+            SystemKind::DejaVu,
+            SystemKind::hermes_host(),
+            SystemKind::hermes(),
+        ]
+        .into_iter()
+        .map(|k| run_system(k, &w, &config).tokens_per_second())
+        .collect();
+        for pair in tps.windows(2) {
+            assert!(
+                pair[1] > pair[0],
+                "expected increasing throughput, got {tps:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flexgen_and_dejavu_reject_llama() {
+        let config = SystemConfig::paper_default();
+        let w = quick(ModelId::Llama2_13B);
+        assert!(matches!(
+            try_run_system(SystemKind::FlexGen, &w, &config),
+            Err(Unsupported::ModelNotSupported)
+        ));
+        assert!(matches!(
+            try_run_system(SystemKind::DejaVu, &w, &config),
+            Err(Unsupported::ModelNotSupported)
+        ));
+        // Accelerate and Hermes support every model.
+        assert!(try_run_system(SystemKind::Accelerate, &w, &config).is_ok());
+        assert!(try_run_system(SystemKind::hermes(), &w, &config).is_ok());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SystemKind::hermes().name(), "Hermes");
+        assert_eq!(SystemKind::FlexGen.name(), "FlexGen");
+        assert_eq!(
+            SystemKind::TensorRtLlm { num_gpus: 5 }.name(),
+            "TensorRT-LLM (5x A100)"
+        );
+        assert_eq!(SystemKind::figure9_lineup().len(), 6);
+    }
+
+    #[test]
+    fn hermes_speedup_over_offloading_is_large() {
+        // Fig. 9: Hermes achieves orders-of-magnitude speedups over
+        // Accelerate and large speedups over Deja Vu on OPT models.
+        let config = SystemConfig::paper_default();
+        let w = quick(ModelId::Opt30B);
+        let hermes = run_system(SystemKind::hermes(), &w, &config).tokens_per_second();
+        let accelerate = run_system(SystemKind::Accelerate, &w, &config).tokens_per_second();
+        let dejavu = run_system(SystemKind::DejaVu, &w, &config).tokens_per_second();
+        assert!(hermes / accelerate > 20.0, "vs accelerate {:.1}", hermes / accelerate);
+        assert!(hermes / dejavu > 5.0, "vs dejavu {:.1}", hermes / dejavu);
+    }
+}

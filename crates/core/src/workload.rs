@@ -1,0 +1,114 @@
+//! Inference workload description.
+
+use serde::{Deserialize, Serialize};
+
+use hermes_model::{ModelConfig, ModelId};
+use hermes_sparsity::Dataset;
+
+/// One end-to-end inference workload (Section V-A3/A4: sequence lengths
+/// fixed at 128/128, batch sizes 1–16, ChatGPT-prompts / Alpaca datasets).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// The model to run.
+    pub model: ModelId,
+    /// Batch size (1–16 in the paper).
+    pub batch: usize,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Number of generated tokens.
+    pub gen_len: usize,
+    /// Dataset whose sparsity calibration to use.
+    pub dataset: Dataset,
+    /// Seed for the synthetic activation traces.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// The paper's default workload: batch 1, 128-token prompt, 128 generated
+    /// tokens, ChatGPT-prompts dataset.
+    pub fn paper_default(model: ModelId) -> Self {
+        Workload {
+            model,
+            batch: 1,
+            prompt_len: 128,
+            gen_len: 128,
+            dataset: Dataset::ChatGptPrompts,
+            seed: 0x4e44_5044,
+        }
+    }
+
+    /// Same workload with a different batch size.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Same workload with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The model configuration.
+    pub fn model_config(&self) -> ModelConfig {
+        ModelConfig::from_id(self.model)
+    }
+
+    /// Total tokens generated across the batch.
+    pub fn total_generated_tokens(&self) -> usize {
+        self.batch * self.gen_len
+    }
+
+    /// Validate the workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.batch == 0 {
+            return Err("batch must be at least 1".into());
+        }
+        if self.gen_len == 0 {
+            return Err("gen_len must be at least 1".into());
+        }
+        if self.prompt_len == 0 {
+            return Err("prompt_len must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_evaluation_setup() {
+        let w = Workload::paper_default(ModelId::Llama2_70B);
+        assert_eq!(w.batch, 1);
+        assert_eq!(w.prompt_len, 128);
+        assert_eq!(w.gen_len, 128);
+        w.validate().unwrap();
+        assert_eq!(w.total_generated_tokens(), 128);
+    }
+
+    #[test]
+    fn with_batch_scales_token_count() {
+        let w = Workload::paper_default(ModelId::Opt13B).with_batch(16);
+        assert_eq!(w.total_generated_tokens(), 16 * 128);
+        assert_eq!(w.with_seed(9).seed, 9);
+    }
+
+    #[test]
+    fn invalid_workloads_rejected() {
+        let mut w = Workload::paper_default(ModelId::Opt13B);
+        w.batch = 0;
+        assert!(w.validate().is_err());
+        let mut w = Workload::paper_default(ModelId::Opt13B);
+        w.gen_len = 0;
+        assert!(w.validate().is_err());
+        let mut w = Workload::paper_default(ModelId::Opt13B);
+        w.prompt_len = 0;
+        assert!(w.validate().is_err());
+    }
+}

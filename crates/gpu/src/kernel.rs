@@ -1,0 +1,142 @@
+//! Roofline kernel cost model for GPU execution.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::GpuDevice;
+
+/// Roofline cost model: a kernel's runtime is the maximum of its
+/// compute-bound and memory-bound times, plus a fixed launch overhead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelCostModel {
+    device: GpuDevice,
+    /// Fraction of peak tensor throughput achievable by real kernels.
+    compute_efficiency: f64,
+    /// Fraction of peak memory bandwidth achievable by real kernels.
+    bandwidth_efficiency: f64,
+    /// Kernel launch + driver overhead per kernel invocation (seconds).
+    launch_overhead: f64,
+}
+
+impl KernelCostModel {
+    /// Build the model for a device with typical efficiencies (70% of peak
+    /// compute, 80% of peak bandwidth, 5 µs launch overhead).
+    pub fn new(device: GpuDevice) -> Self {
+        KernelCostModel {
+            device,
+            compute_efficiency: 0.70,
+            bandwidth_efficiency: 0.80,
+            launch_overhead: 5e-6,
+        }
+    }
+
+    /// The modelled device.
+    pub fn device(&self) -> &GpuDevice {
+        &self.device
+    }
+
+    /// Kernel launch overhead in seconds.
+    pub fn launch_overhead(&self) -> f64 {
+        self.launch_overhead
+    }
+
+    /// Generic roofline time for a kernel touching `bytes` of memory and
+    /// performing `flops` of FP16 work.
+    pub fn kernel_time(&self, bytes: u64, flops: u64) -> f64 {
+        let mem = bytes as f64 / (self.device.memory_bandwidth * self.bandwidth_efficiency);
+        let compute = flops as f64 / (self.device.tensor_flops * self.compute_efficiency);
+        self.launch_overhead + mem.max(compute)
+    }
+
+    /// Time of a GEMV/skinny-GEMM over `weight_bytes` of resident weights
+    /// performing `flops` of work per sequence for a batch of `batch`
+    /// sequences. Weights are read once and reused across the batch.
+    pub fn gemv_time(&self, weight_bytes: u64, flops: u64, batch: usize) -> f64 {
+        self.kernel_time(weight_bytes, flops * batch as u64)
+    }
+
+    /// Time of the attention operator for one layer: the KV cache of every
+    /// sequence is streamed once, and the score/value FLOPs scale with batch.
+    pub fn attention_time(&self, kv_bytes: u64, flops: u64, batch: usize) -> f64 {
+        self.kernel_time(kv_bytes * batch as u64, flops * batch as u64)
+    }
+
+    /// Time of the dense prefill GEMM over `weight_bytes` of weights with
+    /// `flops` total work (already including the prompt length and batch).
+    /// Prefill is compute-bound, so the same roofline applies.
+    pub fn gemm_time(&self, weight_bytes: u64, flops: u64) -> f64 {
+        self.kernel_time(weight_bytes, flops)
+    }
+
+    /// Arithmetic intensity (FLOP/byte) above which kernels on this device
+    /// become compute-bound.
+    pub fn ridge_point(&self) -> f64 {
+        (self.device.tensor_flops * self.compute_efficiency)
+            / (self.device.memory_bandwidth * self.bandwidth_efficiency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> KernelCostModel {
+        KernelCostModel::new(GpuDevice::rtx_4090())
+    }
+
+    #[test]
+    fn gemv_at_batch_1_is_bandwidth_bound() {
+        let m = model();
+        // 100 MB of weights, 100 MFLOPs: intensity 1 FLOP/byte << ridge.
+        let t = m.gemv_time(100_000_000, 100_000_000, 1);
+        let mem_only = 100_000_000.0 / (936.0e9 * 0.8) + m.launch_overhead();
+        assert!((t - mem_only).abs() / mem_only < 1e-9);
+    }
+
+    #[test]
+    fn large_batch_becomes_compute_bound() {
+        let m = model();
+        let weight_bytes = 100_000_000u64;
+        let flops = 2 * weight_bytes; // 2 FLOPs per FP16 element read
+        // Ridge point of the 4090 is ~300 FLOP/byte; batch 512 crosses it.
+        let t_small = m.gemv_time(weight_bytes, flops, 1);
+        let t_large = m.gemv_time(weight_bytes, flops, 512);
+        assert!(t_large > t_small);
+        assert!(m.ridge_point() > 100.0 && m.ridge_point() < 1000.0);
+    }
+
+    #[test]
+    fn batch_reuses_weights() {
+        // Batch 4 must cost far less than 4× batch 1 while bandwidth-bound.
+        let m = model();
+        let t1 = m.gemv_time(500_000_000, 1_000_000_000, 1);
+        let t4 = m.gemv_time(500_000_000, 1_000_000_000, 4);
+        assert!(t4 < 1.5 * t1);
+    }
+
+    #[test]
+    fn attention_scales_with_batch() {
+        let m = model();
+        let t1 = m.attention_time(10_000_000, 20_000_000, 1);
+        let t8 = m.attention_time(10_000_000, 20_000_000, 8);
+        assert!(t8 > 6.0 * t1);
+    }
+
+    #[test]
+    fn slower_gpus_take_longer() {
+        let fast = KernelCostModel::new(GpuDevice::rtx_4090());
+        let slow = KernelCostModel::new(GpuDevice::tesla_t4());
+        assert!(slow.gemv_time(1 << 30, 1 << 31, 1) > fast.gemv_time(1 << 30, 1 << 31, 1));
+        // Compute-heavy prefill is also slower on the 3090 than the 4090
+        // despite equal memory bandwidth.
+        let mid = KernelCostModel::new(GpuDevice::rtx_3090());
+        let flops = 50_000_000_000_000u64;
+        assert!(mid.gemm_time(1 << 30, flops) > fast.gemm_time(1 << 30, flops));
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_kernels() {
+        let m = model();
+        let t = m.kernel_time(64, 64);
+        assert!((t - m.launch_overhead()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,38 @@
+//! GPU, PCIe and host-CPU cost models for the Hermes simulator.
+//!
+//! The paper measures GPU kernels on real hardware with Nsight Compute; this
+//! crate replaces those measurements with a roofline cost model (compute vs
+//! memory-bandwidth bound) for each device the evaluation uses:
+//!
+//! * consumer GPUs: RTX 4090, RTX 3090, Tesla T4 (Fig. 15),
+//! * the server-grade A100-40GB used by the TensorRT-LLM reference (Fig. 17),
+//! * the PCIe 4.0 ×16 host↔GPU link that bottlenecks every offloading
+//!   baseline,
+//! * the host CPU (i9-13900K, 89.6 GB/s DRAM bandwidth) used by the
+//!   Hermes-host ablation and PowerInfer-style baselines.
+//!
+//! Token generation is memory-bandwidth bound on all of these devices, so a
+//! roofline model reproduces the relative behaviour that drives the paper's
+//! results.
+//!
+//! # Example
+//!
+//! ```
+//! use hermes_gpu::{GpuDevice, KernelCostModel};
+//!
+//! let gpu = GpuDevice::rtx_4090();
+//! let model = KernelCostModel::new(gpu);
+//! // A dense GEMV over 100 MB of weights is bandwidth-bound:
+//! let t = model.gemv_time(100_000_000, 100_000_000, 1);
+//! assert!(t > 50e-6 && t < 500e-6);
+//! ```
+
+pub mod device;
+pub mod host;
+pub mod kernel;
+pub mod pcie;
+
+pub use device::GpuDevice;
+pub use host::HostCpu;
+pub use kernel::KernelCostModel;
+pub use pcie::PcieLink;

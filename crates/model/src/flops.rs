@@ -1,0 +1,100 @@
+//! Per-layer and per-model FLOP accounting for dense execution.
+//!
+//! These numbers describe *dense* (no activation sparsity) token-generation
+//! work; the sparsity-aware engines scale the sparse portions by the number
+//! of activated neurons.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ModelConfig;
+use crate::layer::Block;
+
+/// FLOPs of one transformer layer for a single token, split by operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerFlops {
+    /// QKV generation (sparsity-eligible).
+    pub qkv: u64,
+    /// Attention score + value computation over the KV cache.
+    pub attention: u64,
+    /// Output projection (dense, GPU-only).
+    pub projection: u64,
+    /// MLP block (sparsity-eligible).
+    pub mlp: u64,
+}
+
+impl LayerFlops {
+    /// Dense per-token FLOPs of one layer at the given KV-cache length.
+    pub fn dense(cfg: &ModelConfig, kv_len: usize) -> Self {
+        let shape = cfg.layer_shape();
+        let qkv = cfg.neurons_per_layer(Block::Attention) as u64
+            * cfg.neuron_flops(Block::Attention);
+        let mlp = cfg.neurons_per_layer(Block::Mlp) as u64 * cfg.neuron_flops(Block::Mlp);
+        LayerFlops {
+            qkv,
+            attention: shape.attention_flops(kv_len),
+            projection: shape.projection_flops(),
+            mlp,
+        }
+    }
+
+    /// Total FLOPs of the layer.
+    pub fn total(&self) -> u64 {
+        self.qkv + self.attention + self.projection + self.mlp
+    }
+
+    /// FLOPs of the sparsity-eligible portion (QKV + MLP).
+    pub fn sparse_portion(&self) -> u64 {
+        self.qkv + self.mlp
+    }
+}
+
+/// Dense per-token FLOPs of the whole model at the given KV-cache length.
+pub fn model_flops_per_token(cfg: &ModelConfig, kv_len: usize) -> u64 {
+    let per_layer = LayerFlops::dense(cfg, kv_len).total();
+    let lm_head = 2 * (cfg.vocab_size as u64) * (cfg.hidden_size as u64);
+    cfg.num_layers as u64 * per_layer + lm_head
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, ModelId};
+
+    #[test]
+    fn totals_are_sums() {
+        let cfg = ModelConfig::from_id(ModelId::Opt13B);
+        let f = LayerFlops::dense(&cfg, 128);
+        assert_eq!(f.total(), f.qkv + f.attention + f.projection + f.mlp);
+        assert_eq!(f.sparse_portion(), f.qkv + f.mlp);
+    }
+
+    #[test]
+    fn sparse_portion_dominates_at_short_context() {
+        // At 128-token context the FC layers dominate, which is why the
+        // hot/cold split of QKV+MLP neurons matters so much in the paper.
+        for id in ModelId::ALL {
+            let cfg = ModelConfig::from_id(id);
+            let f = LayerFlops::dense(&cfg, 128);
+            assert!(
+                f.sparse_portion() as f64 / f.total() as f64 > 0.6,
+                "{id}"
+            );
+        }
+    }
+
+    #[test]
+    fn model_flops_roughly_two_per_parameter() {
+        // Dense decoding performs ~2 FLOPs per weight parameter.
+        let cfg = ModelConfig::from_id(ModelId::Llama2_13B);
+        let flops = model_flops_per_token(&cfg, 128) as f64;
+        let params = (cfg.total_param_bytes() / cfg.dtype_bytes) as f64;
+        let ratio = flops / (2.0 * params);
+        assert!((0.8..1.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn longer_context_costs_more() {
+        let cfg = ModelConfig::from_id(ModelId::Falcon40B);
+        assert!(model_flops_per_token(&cfg, 1024) > model_flops_per_token(&cfg, 128));
+    }
+}

@@ -1,0 +1,206 @@
+//! Per-layer weight shapes and the neuron abstraction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::config::ModelConfig;
+
+/// The two sparsity-eligible blocks of a transformer layer.
+///
+/// Following the paper (Figure 3), a *neuron* is a row/column of a weight
+/// matrix: in the MLP block one intermediate FFN unit (a row of FC1/up and a
+/// column of FC2/down), in the self-attention block one output channel of the
+/// QKV generation (made sparse by the ReLU inserted before QKV generation).
+/// The projection layer cannot use activation sparsity and is always computed
+/// densely on the GPU (Section IV-A2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Block {
+    /// Self-attention block (QKV generation + attention + projection).
+    Attention,
+    /// MLP / feed-forward block.
+    Mlp,
+}
+
+impl Block {
+    /// Both blocks, attention first, matching the layer execution order.
+    pub const ALL: [Block; 2] = [Block::Attention, Block::Mlp];
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Block::Attention => f.write_str("attention"),
+            Block::Mlp => f.write_str("mlp"),
+        }
+    }
+}
+
+/// Weight shapes of one transformer layer derived from a [`ModelConfig`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerShape {
+    /// Hidden (embedding) dimension.
+    pub hidden: usize,
+    /// Key/value hidden dimension (== hidden unless grouped-query attention).
+    pub kv_hidden: usize,
+    /// MLP intermediate dimension.
+    pub ffn_hidden: usize,
+    /// Whether the MLP has a gate matrix (SwiGLU-style, LLaMA family).
+    pub gated_mlp: bool,
+    /// Bytes per weight element.
+    pub dtype_bytes: u64,
+}
+
+impl LayerShape {
+    /// Derive the layer shape from a model configuration.
+    pub fn from_config(cfg: &ModelConfig) -> Self {
+        LayerShape {
+            hidden: cfg.hidden_size,
+            kv_hidden: cfg.kv_hidden(),
+            ffn_hidden: cfg.ffn_hidden,
+            gated_mlp: cfg.gated_mlp,
+            dtype_bytes: cfg.dtype_bytes,
+        }
+    }
+
+    /// Number of sparsity-eligible neurons in the given block.
+    pub fn neurons(&self, block: Block) -> usize {
+        match block {
+            // One neuron per QKV output channel: Q has `hidden` channels and
+            // K/V share them under GQA; the paper counts `hidden` neurons for
+            // the self-attention block (4K for LLaMA-7B).
+            Block::Attention => self.hidden,
+            // One neuron per FFN intermediate unit (10.5K for LLaMA-7B).
+            Block::Mlp => self.ffn_hidden,
+        }
+    }
+
+    /// Number of FP16 weight elements attributed to one neuron of the block.
+    pub fn neuron_weight_elements(&self, block: Block) -> u64 {
+        match block {
+            // A Q output channel owns one column of W_Q (hidden elements);
+            // the matching K/V channels are shared across the GQA group, so
+            // we charge them proportionally.
+            Block::Attention => {
+                let q = self.hidden as u64;
+                let kv_share = 2 * self.kv_hidden as u64 * self.hidden as u64
+                    / self.hidden.max(1) as u64;
+                q + kv_share
+            }
+            // An MLP neuron owns a row of FC1/up (+ gate when present) and a
+            // column of FC2/down.
+            Block::Mlp => {
+                let per_matrix = self.hidden as u64;
+                let matrices = if self.gated_mlp { 3 } else { 2 };
+                matrices * per_matrix
+            }
+        }
+    }
+
+    /// Bytes of weights attributed to one neuron of the block.
+    pub fn neuron_weight_bytes(&self, block: Block) -> u64 {
+        self.neuron_weight_elements(block) * self.dtype_bytes
+    }
+
+    /// Total bytes of sparsity-eligible weights in the given block.
+    pub fn sparse_block_bytes(&self, block: Block) -> u64 {
+        self.neurons(block) as u64 * self.neuron_weight_bytes(block)
+    }
+
+    /// Bytes of the dense output projection of the attention block
+    /// (not sparsity-eligible, always computed on the GPU).
+    pub fn projection_bytes(&self) -> u64 {
+        (self.hidden as u64) * (self.hidden as u64) * self.dtype_bytes
+    }
+
+    /// Total weight bytes of one layer (sparse blocks + dense projection).
+    pub fn total_bytes(&self) -> u64 {
+        self.sparse_block_bytes(Block::Attention)
+            + self.sparse_block_bytes(Block::Mlp)
+            + self.projection_bytes()
+    }
+
+    /// FLOPs of the dense output projection for a single token.
+    pub fn projection_flops(&self) -> u64 {
+        2 * (self.hidden as u64) * (self.hidden as u64)
+    }
+
+    /// FLOPs of the attention score/value computation for a single token with
+    /// the given KV-cache length (two GEMVs over the cached sequence).
+    pub fn attention_flops(&self, kv_len: usize) -> u64 {
+        // QK^T and PV, each 2 * hidden * kv_len FLOPs for one query token.
+        4 * (self.hidden as u64) * (kv_len as u64)
+    }
+
+    /// Bytes of KV cache read for a single token at the given cache length.
+    pub fn attention_kv_bytes(&self, kv_len: usize) -> u64 {
+        2 * (self.kv_hidden as u64) * (kv_len as u64) * self.dtype_bytes
+    }
+
+    /// Bytes appended to the KV cache for one new token.
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        2 * (self.kv_hidden as u64) * self.dtype_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, ModelId};
+
+    fn shape(id: ModelId) -> LayerShape {
+        ModelConfig::from_id(id).layer_shape()
+    }
+
+    #[test]
+    fn mlp_neuron_bytes_opt_vs_llama() {
+        // OPT (no gate): 2 * hidden elements; LLaMA (gated): 3 * hidden.
+        let opt = shape(ModelId::Opt13B);
+        assert_eq!(
+            opt.neuron_weight_elements(Block::Mlp),
+            2 * opt.hidden as u64
+        );
+        let llama = shape(ModelId::Llama2_13B);
+        assert_eq!(
+            llama.neuron_weight_elements(Block::Mlp),
+            3 * llama.hidden as u64
+        );
+    }
+
+    #[test]
+    fn sparse_block_bytes_match_matrix_sizes() {
+        // For OPT the MLP block is exactly FC1 + FC2: 2 * hidden * ffn elems.
+        let s = shape(ModelId::Opt30B);
+        let expect = 2 * (s.hidden as u64) * (s.ffn_hidden as u64) * s.dtype_bytes;
+        assert_eq!(s.sparse_block_bytes(Block::Mlp), expect);
+    }
+
+    #[test]
+    fn projection_is_square() {
+        let s = shape(ModelId::Opt13B);
+        assert_eq!(
+            s.projection_bytes(),
+            (s.hidden * s.hidden) as u64 * s.dtype_bytes
+        );
+    }
+
+    #[test]
+    fn attention_flops_scale_with_kv_len() {
+        let s = shape(ModelId::Llama2_13B);
+        assert_eq!(s.attention_flops(256), 2 * s.attention_flops(128));
+        assert_eq!(s.attention_kv_bytes(256), 2 * s.attention_kv_bytes(128));
+    }
+
+    #[test]
+    fn layer_bytes_are_positive_and_ordered() {
+        let small = shape(ModelId::Opt13B).total_bytes();
+        let large = shape(ModelId::Opt66B).total_bytes();
+        assert!(small > 0);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn block_display() {
+        assert_eq!(Block::Attention.to_string(), "attention");
+        assert_eq!(Block::Mlp.to_string(), "mlp");
+    }
+}

@@ -1,0 +1,37 @@
+//! LLM architecture descriptions for the Hermes NDP-DIMM inference simulator.
+//!
+//! This crate contains pure data: the transformer architectures evaluated by
+//! the Hermes paper (OPT-13B/30B/66B, LLaMA2-7B/13B/70B, Falcon-40B), their
+//! per-layer weight shapes, the *neuron* abstraction (a row/column of a
+//! weight matrix, following the paper's definition), and byte / FLOP
+//! accounting used by every substrate cost model.
+//!
+//! # Example
+//!
+//! ```
+//! use hermes_model::{ModelConfig, ModelId, Block};
+//!
+//! let cfg = ModelConfig::from_id(ModelId::Llama2_7B);
+//! assert_eq!(cfg.num_layers, 32);
+//! // The paper: "LLaMA-7B occupies 32 layers, with each one having 4K
+//! // neurons for the self-attention block and 10.5K for the MLP block".
+//! assert_eq!(cfg.neurons_per_layer(Block::Attention), 4096);
+//! assert_eq!(cfg.neurons_per_layer(Block::Mlp), 11008);
+//! ```
+
+pub mod config;
+pub mod flops;
+pub mod layer;
+pub mod memory;
+pub mod neuron;
+
+pub use config::{ActivationKind, ModelConfig, ModelId};
+pub use layer::{Block, LayerShape};
+pub use memory::{MemoryFootprint, KV_BYTES_PER_ELEMENT};
+pub use neuron::{NeuronId, NeuronRef};
+
+/// Bytes per FP16 weight element used throughout the simulator.
+pub const FP16_BYTES: u64 = 2;
+
+/// One GiB in bytes, used for capacity arithmetic in substrate crates.
+pub const GIB: u64 = 1024 * 1024 * 1024;

@@ -1,0 +1,92 @@
+//! Identifiers for neurons (rows/columns of weight matrices).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::layer::Block;
+
+/// Index of a neuron within a single (layer, block) weight matrix.
+///
+/// The index is local to its block: MLP neuron 0 and attention neuron 0 of
+/// the same layer are different neurons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NeuronId(pub u32);
+
+impl NeuronId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NeuronId {
+    fn from(v: u32) -> Self {
+        NeuronId(v)
+    }
+}
+
+impl From<usize> for NeuronId {
+    fn from(v: usize) -> Self {
+        NeuronId(v as u32)
+    }
+}
+
+impl fmt::Display for NeuronId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Fully-qualified reference to a neuron: layer, block, and local index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NeuronRef {
+    /// Transformer layer index.
+    pub layer: u32,
+    /// Which block of the layer the neuron belongs to.
+    pub block: Block,
+    /// Local neuron index within the block.
+    pub neuron: NeuronId,
+}
+
+impl NeuronRef {
+    /// Construct a reference from raw parts.
+    pub fn new(layer: usize, block: Block, neuron: usize) -> Self {
+        NeuronRef {
+            layer: layer as u32,
+            block,
+            neuron: NeuronId(neuron as u32),
+        }
+    }
+}
+
+impl fmt::Display for NeuronRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}/{}/{}", self.layer, self.block, self.neuron)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neuron_id_conversions() {
+        let a: NeuronId = 7u32.into();
+        let b: NeuronId = 7usize.into();
+        assert_eq!(a, b);
+        assert_eq!(a.index(), 7);
+    }
+
+    #[test]
+    fn neuron_ref_display() {
+        let r = NeuronRef::new(3, Block::Mlp, 42);
+        assert_eq!(r.to_string(), "L3/mlp/n42");
+    }
+
+    #[test]
+    fn neuron_refs_order_by_layer_then_block() {
+        let a = NeuronRef::new(0, Block::Mlp, 100);
+        let b = NeuronRef::new(1, Block::Attention, 0);
+        assert!(a < b);
+    }
+}

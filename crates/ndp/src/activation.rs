@@ -1,0 +1,94 @@
+//! The activation unit of an NDP-DIMM (softmax, ReLU and other non-linear
+//! functions; Figure 5b).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::DimmConfig;
+
+/// Cost model of the activation unit: 256 FP16 exponentiation, addition and
+/// multiplication lanes, plus a comparator tree, adder tree and divider,
+/// running at the NDP clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivationUnit {
+    lanes: u32,
+    clock_hz: f64,
+}
+
+impl ActivationUnit {
+    /// Number of cycles a softmax spends per element beyond the exponent
+    /// itself (max-subtraction, sum reduction share, division).
+    const SOFTMAX_EXTRA_CYCLES_PER_ELEMENT: f64 = 3.0;
+
+    /// Build the activation unit from a DIMM configuration (the lane count
+    /// follows the GEMV-unit width).
+    pub fn new(config: &DimmConfig) -> Self {
+        ActivationUnit {
+            lanes: config.gemv_multipliers,
+            clock_hz: config.ndp_clock_hz,
+        }
+    }
+
+    /// Number of parallel FP16 lanes.
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// Time (seconds) to apply ReLU to a vector of `elements` values
+    /// (one comparison per element).
+    pub fn relu_time(&self, elements: u64) -> f64 {
+        let cycles = (elements as f64 / self.lanes as f64).ceil();
+        cycles / self.clock_hz
+    }
+
+    /// Time (seconds) to compute a softmax over `elements` values: exponent,
+    /// max/sum reductions and the final division.
+    pub fn softmax_time(&self, elements: u64) -> f64 {
+        if elements == 0 {
+            return 0.0;
+        }
+        let per_lane = (elements as f64 / self.lanes as f64).ceil();
+        let reduction = (elements as f64).log2().ceil().max(1.0);
+        let cycles =
+            per_lane * (1.0 + Self::SOFTMAX_EXTRA_CYCLES_PER_ELEMENT) + reduction;
+        cycles / self.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> ActivationUnit {
+        ActivationUnit::new(&DimmConfig::ddr4_3200())
+    }
+
+    #[test]
+    fn relu_is_cheap() {
+        // ReLU over a 32K-wide FFN activation vector should take ~128 cycles.
+        let t = unit().relu_time(32 * 1024);
+        assert!(t < 1e-6, "relu time {t:.2e}");
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn softmax_costs_more_than_relu() {
+        let u = unit();
+        assert!(u.softmax_time(4096) > u.relu_time(4096));
+        assert_eq!(u.softmax_time(0), 0.0);
+    }
+
+    #[test]
+    fn times_scale_with_elements() {
+        let u = unit();
+        assert!(u.softmax_time(8192) > u.softmax_time(1024));
+        assert!(u.relu_time(8192) > u.relu_time(1024));
+    }
+
+    #[test]
+    fn lane_count_follows_config() {
+        let u = ActivationUnit::new(&DimmConfig::ddr4_3200().with_multipliers(64));
+        assert_eq!(u.lanes(), 64);
+        // Fewer lanes → slower softmax.
+        assert!(u.softmax_time(4096) > unit().softmax_time(4096));
+    }
+}

@@ -1,0 +1,154 @@
+//! Internal DRAM bandwidth model for a center-buffer NDP core.
+//!
+//! In a center-buffer NDP design (TensorDIMM/RecNMP-style, which the paper
+//! adopts) the NDP core sits in the buffer chip and reads weights through
+//! the DIMM's internal data path. Its sustained bandwidth is the channel
+//! bandwidth de-rated by the row-buffer efficiency implied by the DDR4
+//! timing parameters and boosted by the modest access parallelism the buffer
+//! chip can extract by overlapping rank switches (`ndp_access_parallelism`).
+//! With the Table II configuration this yields ≈25–30 GB/s per DIMM
+//! (≈0.2 TB/s for the 8-DIMM pool) — well above PCIe, well below the GPU's
+//! GDDR6, which is exactly why the paper calls the NDP-DIMMs the
+//! "computation-limited" but "storage-ample" side of the system. (The
+//! ~1.6 TB/s figure in the paper's Fig. 1 is the raw all-bank aggregate;
+//! the end-to-end results of Section V imply the sustained per-DIMM figure
+//! modelled here.)
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::DimmConfig;
+
+/// Analytic DRAM bandwidth/latency model derived from a [`DimmConfig`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramBandwidthModel {
+    config: DimmConfig,
+}
+
+impl DramBandwidthModel {
+    /// Build the model for a DIMM configuration.
+    pub fn new(config: DimmConfig) -> Self {
+        DramBandwidthModel { config }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &DimmConfig {
+        &self.config
+    }
+
+    /// Row-buffer efficiency of streaming reads: the fraction of time the
+    /// data bus is busy when rows are read end-to-end (activate + precharge
+    /// overhead amortised over one full row).
+    pub fn streaming_efficiency(&self) -> f64 {
+        let t = &self.config.timing;
+        // Cycles of data transfer per row: row_bytes / (bus width * 2 per cycle).
+        let transfer_cycles =
+            self.config.row_bytes as f64 / (2.0 * self.config.bus_width_bytes as f64);
+        // With enough banks, activation of the next row overlaps the current
+        // row's transfer; the residual overhead is the non-overlappable part
+        // of tRCD + tRP beyond what tFAW/bank-level parallelism hides.
+        let overhead = (t.t_rcd + t.t_rp) as f64 / self.config.banks_per_group.max(1) as f64;
+        transfer_cycles / (transfer_cycles + overhead)
+    }
+
+    /// Efficiency of scattered (per-neuron granularity) reads, where each
+    /// access streams one neuron row of `access_bytes` before switching rows.
+    pub fn scattered_efficiency(&self, access_bytes: u64) -> f64 {
+        let t = &self.config.timing;
+        let transfer_cycles = access_bytes as f64 / (2.0 * self.config.bus_width_bytes as f64);
+        let overhead = (t.t_rcd + t.t_rp) as f64;
+        (transfer_cycles / (transfer_cycles + overhead)).min(self.streaming_efficiency())
+    }
+
+    /// Internal bandwidth (bytes/s) available to the NDP core through the
+    /// center buffer.
+    pub fn internal_bandwidth(&self) -> f64 {
+        self.config.channel_bandwidth()
+            * self.config.ndp_access_parallelism
+            * self.streaming_efficiency()
+    }
+
+    /// External bandwidth (bytes/s) visible to the host memory controller
+    /// (one channel, standard DDR4 access).
+    pub fn external_bandwidth(&self) -> f64 {
+        self.config.channel_bandwidth() * self.streaming_efficiency()
+    }
+
+    /// Time (seconds) for the NDP core to read `bytes` of weights laid out as
+    /// neuron rows of `row_granularity` bytes each.
+    pub fn read_time(&self, bytes: u64, row_granularity: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let eff = self.scattered_efficiency(row_granularity.max(1));
+        let bw = self.config.channel_bandwidth() * self.config.ndp_access_parallelism * eff;
+        bytes as f64 / bw
+    }
+
+    /// Latency (seconds) of a single row activation + column read, used for
+    /// small control-metadata accesses.
+    pub fn access_latency(&self) -> f64 {
+        let t = &self.config.timing;
+        (t.t_rcd + t.t_cl + t.t_bl) as f64 / self.config.memory_clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DramBandwidthModel {
+        DramBandwidthModel::new(DimmConfig::ddr4_3200())
+    }
+
+    #[test]
+    fn internal_bandwidth_matches_paper_scale() {
+        // Per DIMM the NDP core sustains a bit more than the 25.6 GB/s
+        // channel rate; the 8-DIMM pool lands around 0.2 TB/s, which is what
+        // the paper's end-to-end Hermes-base numbers imply.
+        let per_dimm = model().internal_bandwidth();
+        assert!(
+            (24.0e9..36.0e9).contains(&per_dimm),
+            "per-DIMM internal bandwidth {per_dimm:.3e}"
+        );
+        let pool = 8.0 * per_dimm;
+        assert!(
+            (0.15e12..0.30e12).contains(&pool),
+            "8-DIMM internal bandwidth {pool:.3e}"
+        );
+    }
+
+    #[test]
+    fn external_bandwidth_is_less_than_internal() {
+        let m = model();
+        assert!(m.external_bandwidth() < m.internal_bandwidth());
+        // And close to (but below) the 25.6 GB/s channel peak.
+        assert!(m.external_bandwidth() > 20.0e9);
+        assert!(m.external_bandwidth() < 25.6e9);
+    }
+
+    #[test]
+    fn efficiencies_are_fractions() {
+        let m = model();
+        let s = m.streaming_efficiency();
+        assert!((0.5..1.0).contains(&s), "streaming efficiency {s}");
+        let small = m.scattered_efficiency(64);
+        let big = m.scattered_efficiency(16 * 1024);
+        assert!(small < big, "smaller accesses must be less efficient");
+        assert!(big <= s + 1e-12);
+    }
+
+    #[test]
+    fn read_time_scales_linearly_with_bytes() {
+        let m = model();
+        let t1 = m.read_time(1 << 20, 16 * 1024);
+        let t2 = m.read_time(2 << 20, 16 * 1024);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+        assert_eq!(m.read_time(0, 1024), 0.0);
+    }
+
+    #[test]
+    fn access_latency_is_tens_of_nanoseconds() {
+        let lat = model().access_latency();
+        assert!((20e-9..80e-9).contains(&lat), "latency {lat:.2e}");
+    }
+}

@@ -1,0 +1,90 @@
+//! The GEMV unit of an NDP-DIMM (Figure 5b).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::DimmConfig;
+
+/// Cost model of the GEMV unit: `gemv_multipliers` FP16 multipliers running
+/// at the NDP clock, each performing one multiply-accumulate per cycle, fed
+/// from the center buffer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GemvUnit {
+    multipliers: u32,
+    clock_hz: f64,
+    buffer_bytes: u64,
+}
+
+impl GemvUnit {
+    /// Build the GEMV unit from a DIMM configuration.
+    pub fn new(config: &DimmConfig) -> Self {
+        GemvUnit {
+            multipliers: config.gemv_multipliers,
+            clock_hz: config.ndp_clock_hz,
+            buffer_bytes: config.buffer_bytes,
+        }
+    }
+
+    /// Number of multipliers.
+    pub fn multipliers(&self) -> u32 {
+        self.multipliers
+    }
+
+    /// Peak throughput in FLOP/s (2 FLOPs per multiplier per cycle: one
+    /// multiply and one accumulate).
+    pub fn peak_flops(&self) -> f64 {
+        2.0 * self.multipliers as f64 * self.clock_hz
+    }
+
+    /// Time (seconds) to execute `flops` of GEMV work, compute-bound.
+    pub fn compute_time(&self, flops: u64) -> f64 {
+        flops as f64 / self.peak_flops()
+    }
+
+    /// Center-buffer capacity in bytes (stores intermediate results).
+    pub fn buffer_bytes(&self) -> u64 {
+        self.buffer_bytes
+    }
+
+    /// Whether an intermediate result of `bytes` fits in the center buffer
+    /// without spilling to DRAM.
+    pub fn fits_in_buffer(&self, bytes: u64) -> bool {
+        bytes <= self.buffer_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_flops_is_hundreds_of_gflops() {
+        // Paper: NDP-DIMMs provide "hundreds of GFLOPS".
+        let unit = GemvUnit::new(&DimmConfig::ddr4_3200());
+        let gflops = unit.peak_flops() / 1e9;
+        assert!((100.0..=1000.0).contains(&gflops), "{gflops} GFLOPS");
+        assert_eq!(unit.multipliers(), 256);
+    }
+
+    #[test]
+    fn compute_time_scales_with_flops() {
+        let unit = GemvUnit::new(&DimmConfig::ddr4_3200());
+        assert!((unit.compute_time(2_000_000) / unit.compute_time(1_000_000) - 2.0).abs() < 1e-12);
+        assert_eq!(unit.compute_time(0), 0.0);
+    }
+
+    #[test]
+    fn more_multipliers_mean_faster_compute() {
+        let small = GemvUnit::new(&DimmConfig::ddr4_3200().with_multipliers(32));
+        let large = GemvUnit::new(&DimmConfig::ddr4_3200().with_multipliers(512));
+        assert!(large.compute_time(1 << 30) < small.compute_time(1 << 30));
+        assert!((large.peak_flops() / small.peak_flops() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buffer_capacity_check() {
+        let unit = GemvUnit::new(&DimmConfig::ddr4_3200());
+        assert!(unit.fits_in_buffer(128 * 1024));
+        assert!(!unit.fits_in_buffer(512 * 1024));
+        assert_eq!(unit.buffer_bytes(), 256 * 1024);
+    }
+}

@@ -1,0 +1,155 @@
+//! A pool of NDP-DIMMs acting as the GPU's augmented memory.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::DimmConfig;
+use crate::dimm::NdpDimm;
+use crate::link::DimmLink;
+
+/// The collection of NDP-DIMMs attached to the host (8 × 32 GB in the
+/// paper's evaluation configuration).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DimmPool {
+    dimms: Vec<NdpDimm>,
+}
+
+impl DimmPool {
+    /// Build a pool of `count` identical DIMMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero: Hermes always needs at least one DIMM.
+    pub fn homogeneous(count: usize, config: DimmConfig) -> Self {
+        assert!(count > 0, "a DIMM pool needs at least one DIMM");
+        DimmPool {
+            dimms: (0..count).map(|_| NdpDimm::new(config.clone())).collect(),
+        }
+    }
+
+    /// The paper's evaluation pool: 8 DIMMs of the Table II configuration.
+    pub fn paper_default() -> Self {
+        Self::homogeneous(8, DimmConfig::ddr4_3200())
+    }
+
+    /// Number of DIMMs.
+    pub fn len(&self) -> usize {
+        self.dimms.len()
+    }
+
+    /// True when the pool has no DIMMs (never the case for a valid pool).
+    pub fn is_empty(&self) -> bool {
+        self.dimms.is_empty()
+    }
+
+    /// Access one DIMM.
+    pub fn dimm(&self, idx: usize) -> &NdpDimm {
+        &self.dimms[idx]
+    }
+
+    /// Iterate over the DIMMs.
+    pub fn iter(&self) -> impl Iterator<Item = &NdpDimm> {
+        self.dimms.iter()
+    }
+
+    /// Total DRAM capacity in bytes.
+    pub fn total_capacity(&self) -> u64 {
+        self.dimms.iter().map(NdpDimm::capacity_bytes).sum()
+    }
+
+    /// Aggregate internal bandwidth of the pool (bytes/s).
+    pub fn aggregate_internal_bandwidth(&self) -> f64 {
+        self.dimms.iter().map(|d| d.dram().internal_bandwidth()).sum()
+    }
+
+    /// Aggregate GEMV throughput (FLOP/s).
+    pub fn aggregate_peak_flops(&self) -> f64 {
+        self.dimms.iter().map(|d| d.gemv().peak_flops()).sum()
+    }
+
+    /// The DIMM-link of the pool (all links are identical).
+    pub fn link(&self) -> &DimmLink {
+        self.dimms[0].link()
+    }
+
+    /// Per-layer NDP latency (Eq. 2): the slowest DIMM bounds the layer, so
+    /// this is the maximum of the per-DIMM times.
+    pub fn layer_time(per_dimm_times: &[f64]) -> f64 {
+        per_dimm_times.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Load-imbalance factor of a set of per-DIMM times: max / mean
+    /// (1.0 = perfectly balanced).
+    pub fn imbalance(per_dimm_times: &[f64]) -> f64 {
+        if per_dimm_times.is_empty() {
+            return 1.0;
+        }
+        let max = Self::layer_time(per_dimm_times);
+        let mean = per_dimm_times.iter().sum::<f64>() / per_dimm_times.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_model::GIB;
+
+    #[test]
+    fn paper_pool_has_256_gb() {
+        let pool = DimmPool::paper_default();
+        assert_eq!(pool.len(), 8);
+        assert_eq!(pool.total_capacity(), 256 * GIB);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn aggregate_bandwidth_sits_between_pcie_and_gpu_memory() {
+        // The pool's sustained internal bandwidth is several times the PCIe
+        // 4.0 link (so computing cold neurons in place beats shipping them)
+        // but well below the RTX 4090's 936 GB/s (so the DIMMs remain the
+        // computation-limited side the hot/cold partition must respect).
+        let pool = DimmPool::paper_default();
+        let agg = pool.aggregate_internal_bandwidth();
+        assert!(agg > 2.0 * 64.0e9, "aggregate {agg:.3e}");
+        assert!(agg < 0.936e12, "aggregate {agg:.3e}");
+    }
+
+    #[test]
+    fn aggregate_flops_scale_with_dimm_count() {
+        let p4 = DimmPool::homogeneous(4, DimmConfig::ddr4_3200());
+        let p8 = DimmPool::homogeneous(8, DimmConfig::ddr4_3200());
+        assert!((p8.aggregate_peak_flops() / p4.aggregate_peak_flops() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layer_time_is_max_over_dimms() {
+        assert_eq!(DimmPool::layer_time(&[1.0, 3.0, 2.0]), 3.0);
+        assert_eq!(DimmPool::layer_time(&[]), 0.0);
+    }
+
+    #[test]
+    fn imbalance_factor() {
+        assert!((DimmPool::imbalance(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((DimmPool::imbalance(&[2.0, 1.0, 0.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(DimmPool::imbalance(&[]), 1.0);
+        assert_eq!(DimmPool::imbalance(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one DIMM")]
+    fn empty_pool_panics() {
+        let _ = DimmPool::homogeneous(0, DimmConfig::ddr4_3200());
+    }
+
+    #[test]
+    fn dimm_accessors() {
+        let pool = DimmPool::homogeneous(2, DimmConfig::ddr4_3200());
+        assert_eq!(pool.dimm(0).capacity_bytes(), pool.dimm(1).capacity_bytes());
+        assert_eq!(pool.iter().count(), 2);
+        assert!((pool.link().bandwidth() - 25.0e9).abs() < 1.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! The neuron correlation table: top-2 correlated predecessors per neuron
+//! (Figure 7b), sampled offline from a profiling trace.
+
+use serde::{Deserialize, Serialize};
+
+use hermes_model::{Block, ModelConfig};
+use hermes_sparsity::{NeuronFrequencies, TokenActivations};
+
+/// For every neuron, the two neurons of the previous layer whose activation
+/// best predicts it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorrelationTable {
+    layers: Vec<[Vec<[u32; 2]>; 2]>,
+}
+
+impl CorrelationTable {
+    /// Create a table with trivial self-correlations (neuron `i` correlated
+    /// with neuron `i` of the previous layer), to be refined by
+    /// [`CorrelationTable::sample_from_trace`].
+    pub fn new(cfg: &ModelConfig) -> Self {
+        let attn = cfg.neurons_per_layer(Block::Attention);
+        let mlp = cfg.neurons_per_layer(Block::Mlp);
+        CorrelationTable {
+            layers: (0..cfg.num_layers)
+                .map(|_| {
+                    [
+                        (0..attn as u32).map(|i| [i, i]).collect(),
+                        (0..mlp as u32).map(|i| [i, i]).collect(),
+                    ]
+                })
+                .collect(),
+        }
+    }
+
+    /// The correlated predecessors of one neuron.
+    pub fn parents(&self, layer: usize, block: Block, neuron: usize) -> [u32; 2] {
+        match block {
+            Block::Attention => self.layers[layer][0][neuron],
+            Block::Mlp => self.layers[layer][1][neuron],
+        }
+    }
+
+    /// Number of layers covered.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Offline sampling of the correlation table from a profiling trace.
+    ///
+    /// For each neuron the search considers a candidate window of
+    /// `candidate_window` previous-layer neurons around the same activation-
+    /// frequency rank (an exhaustive N×N co-activation count would be
+    /// prohibitive, and highly-correlated neurons have similar frequency),
+    /// then keeps the two candidates with the highest co-activation count.
+    pub fn sample_from_trace(&mut self, trace: &[TokenActivations], candidate_window: usize) {
+        if trace.is_empty() {
+            return;
+        }
+        let freqs = NeuronFrequencies::measure(trace);
+        for layer in 1..self.layers.len() {
+            for (bi, block) in Block::ALL.into_iter().enumerate() {
+                let cur_ranked = freqs.ranked(layer, block);
+                let prev_ranked = freqs.ranked(layer - 1, block);
+                // rank position of each current-layer neuron
+                let mut rank_of = vec![0usize; cur_ranked.len()];
+                for (r, &idx) in cur_ranked.iter().enumerate() {
+                    rank_of[idx as usize] = r;
+                }
+                let table = &mut self.layers[layer][bi];
+                for (neuron, slot) in table.iter_mut().enumerate() {
+                    let rank = rank_of[neuron];
+                    let lo = rank.saturating_sub(candidate_window / 2);
+                    let hi = (lo + candidate_window).min(prev_ranked.len());
+                    let lo = hi.saturating_sub(candidate_window);
+                    let mut best: [(u32, u32); 2] = [(0, 0), (0, 0)]; // (count, idx)
+                    for &cand in &prev_ranked[lo..hi] {
+                        let mut count = 0u32;
+                        for tok in trace {
+                            if tok.block(layer, block).get(neuron)
+                                && tok.block(layer - 1, block).get(cand as usize)
+                            {
+                                count += 1;
+                            }
+                        }
+                        if count > best[0].0 {
+                            best[1] = best[0];
+                            best[0] = (count, cand);
+                        } else if count > best[1].0 {
+                            best[1] = (count, cand);
+                        }
+                    }
+                    if best[0].0 > 0 {
+                        *slot = [best[0].1, if best[1].0 > 0 { best[1].1 } else { best[0].1 }];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Storage cost in bytes (two 16-bit indices per neuron, as a compact
+    /// hardware table would store them).
+    pub fn storage_bytes(&self) -> u64 {
+        let neurons: usize = self
+            .layers
+            .iter()
+            .map(|l| l[0].len() + l[1].len())
+            .sum();
+        (neurons * 2 * 2) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_model::ModelId;
+    use hermes_sparsity::{SparsityProfile, TraceGenerator};
+
+    fn tiny_model() -> ModelConfig {
+        let mut cfg = ModelConfig::from_id(ModelId::Opt13B);
+        cfg.num_layers = 3;
+        cfg.hidden_size = 32;
+        cfg.ffn_hidden = 96;
+        cfg.num_heads = 4;
+        cfg.num_kv_heads = 4;
+        cfg
+    }
+
+    #[test]
+    fn default_table_is_identity() {
+        let cfg = tiny_model();
+        let table = CorrelationTable::new(&cfg);
+        assert_eq!(table.parents(1, Block::Mlp, 7), [7, 7]);
+        assert_eq!(table.num_layers(), 3);
+    }
+
+    #[test]
+    fn sampling_improves_over_identity() {
+        let cfg = tiny_model();
+        let profile = SparsityProfile::for_model(&cfg);
+        let mut gen = TraceGenerator::new(&cfg, &profile, 5);
+        let trace = gen.generate(48);
+        let mut table = CorrelationTable::new(&cfg);
+        table.sample_from_trace(&trace, 8);
+        // Measure how often a neuron's sampled parents are active when the
+        // neuron is active, vs the identity baseline.
+        let mut id_table = CorrelationTable::new(&cfg);
+        id_table.sample_from_trace(&[], 8); // no-op
+        let hit_rate = |t: &CorrelationTable| {
+            let mut hits = 0u32;
+            let mut total = 0u32;
+            for tok in &trace {
+                for n in 0..cfg.neurons_per_layer(Block::Mlp) {
+                    if tok.block(2, Block::Mlp).get(n) {
+                        total += 1;
+                        let [a, b] = t.parents(2, Block::Mlp, n);
+                        if tok.block(1, Block::Mlp).get(a as usize)
+                            || tok.block(1, Block::Mlp).get(b as usize)
+                        {
+                            hits += 1;
+                        }
+                    }
+                }
+            }
+            hits as f64 / total.max(1) as f64
+        };
+        assert!(hit_rate(&table) >= hit_rate(&id_table));
+        assert!(hit_rate(&table) > 0.5, "sampled parent hit rate too low");
+    }
+
+    #[test]
+    fn empty_trace_is_a_noop() {
+        let cfg = tiny_model();
+        let mut table = CorrelationTable::new(&cfg);
+        table.sample_from_trace(&[], 4);
+        assert_eq!(table.parents(2, Block::Attention, 3), [3, 3]);
+    }
+
+    #[test]
+    fn storage_is_small() {
+        // Correlation table for LLaMA2-7B should be a few MB at most.
+        let cfg = ModelConfig::from_id(ModelId::Llama2_7B);
+        let table = CorrelationTable::new(&cfg);
+        let mb = table.storage_bytes() as f64 / (1024.0 * 1024.0);
+        assert!(mb < 4.0, "correlation table {mb:.1} MB");
+    }
+}

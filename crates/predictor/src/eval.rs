@@ -1,0 +1,142 @@
+//! Accuracy evaluation of the Hermes predictor against a reference trace.
+
+use serde::{Deserialize, Serialize};
+
+use hermes_model::Block;
+use hermes_sparsity::TokenActivations;
+
+use crate::predictor::HermesPredictor;
+
+/// Accuracy/recall/precision of a predictor over an evaluation trace, plus
+/// its storage footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictorEval {
+    /// Fraction of neuron activation states predicted correctly.
+    pub accuracy: f64,
+    /// Fraction of actually-activated neurons that were predicted active
+    /// (misses force a fallback load, so recall matters most).
+    pub recall: f64,
+    /// Fraction of predicted-active neurons that were actually active.
+    pub precision: f64,
+    /// Number of tokens evaluated.
+    pub tokens: usize,
+    /// Predictor table storage in bytes.
+    pub storage_bytes: u64,
+}
+
+impl PredictorEval {
+    /// Run the predictor over the trace, updating it after every token
+    /// exactly as the online system would, and measure its quality.
+    pub fn evaluate(predictor: &mut HermesPredictor, trace: &[TokenActivations]) -> Self {
+        let mut correct = 0u64;
+        let mut total = 0u64;
+        let mut true_pos = 0u64;
+        let mut actual_pos = 0u64;
+        let mut predicted_pos = 0u64;
+        for tok in trace {
+            for layer in 0..tok.num_layers() {
+                for block in Block::ALL {
+                    let actual = tok.block(layer, block);
+                    // Layers execute in order, so the actual activations of
+                    // the preceding layer are available at prediction time.
+                    let prev = if layer > 0 {
+                        Some(tok.block(layer - 1, block))
+                    } else {
+                        None
+                    };
+                    let pred = &predictor.predict_block(layer, block, prev);
+                    for i in 0..actual.len() {
+                        let a = actual.get(i);
+                        let p = pred.get(i);
+                        total += 1;
+                        correct += (a == p) as u64;
+                        actual_pos += a as u64;
+                        predicted_pos += p as u64;
+                        true_pos += (a && p) as u64;
+                    }
+                }
+            }
+            predictor.observe(tok);
+        }
+        PredictorEval {
+            accuracy: ratio(correct, total),
+            recall: ratio(true_pos, actual_pos),
+            precision: ratio(true_pos, predicted_pos),
+            tokens: trace.len(),
+            storage_bytes: predictor.storage_bytes(),
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::{HermesPredictor, PredictorConfig};
+    use hermes_model::{ModelConfig, ModelId};
+    use hermes_sparsity::{SparsityProfile, TraceGenerator};
+
+    fn tiny_model() -> ModelConfig {
+        let mut cfg = ModelConfig::from_id(ModelId::Opt13B);
+        cfg.num_layers = 3;
+        cfg.hidden_size = 32;
+        cfg.ffn_hidden = 96;
+        cfg.num_heads = 4;
+        cfg.num_kv_heads = 4;
+        cfg
+    }
+
+    fn evaluate_with(config: PredictorConfig, seed: u64, tokens: usize) -> PredictorEval {
+        let cfg = tiny_model();
+        let profile = SparsityProfile::for_model(&cfg);
+        let mut gen = TraceGenerator::new(&cfg, &profile, seed);
+        let prefill = gen.generate(32);
+        let mut p = HermesPredictor::new(&cfg, config);
+        p.initialize_from_prefill(&prefill);
+        p.correlation_mut().sample_from_trace(&prefill, 8);
+        let eval_trace = gen.generate(tokens);
+        PredictorEval::evaluate(&mut p, &eval_trace)
+    }
+
+    #[test]
+    fn combined_predictor_is_accurate() {
+        let eval = evaluate_with(PredictorConfig::default(), 31, 24);
+        assert!(eval.accuracy > 0.85, "accuracy {:.3}", eval.accuracy);
+        assert!(eval.recall > 0.6, "recall {:.3}", eval.recall);
+        assert!(eval.precision > 0.5, "precision {:.3}", eval.precision);
+        assert_eq!(eval.tokens, 24);
+        assert!(eval.storage_bytes > 0);
+    }
+
+    #[test]
+    fn combined_beats_or_matches_single_component() {
+        let combined = evaluate_with(PredictorConfig::default(), 33, 24);
+        let token_only = evaluate_with(PredictorConfig::token_only(), 33, 24);
+        // The combined predictor should not be worse than token-wise alone.
+        assert!(combined.accuracy + 1e-9 >= token_only.accuracy - 0.02);
+    }
+
+    #[test]
+    fn metrics_are_probabilities() {
+        let eval = evaluate_with(PredictorConfig::layer_only(), 35, 12);
+        for v in [eval.accuracy, eval.recall, eval.precision] {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn empty_trace_gives_perfect_scores() {
+        let cfg = tiny_model();
+        let mut p = HermesPredictor::new(&cfg, PredictorConfig::default());
+        let eval = PredictorEval::evaluate(&mut p, &[]);
+        assert_eq!(eval.accuracy, 1.0);
+        assert_eq!(eval.tokens, 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! The lightweight neuron-activity predictor of Hermes (Section IV-C).
+//!
+//! Instead of the MLP-based predictors used by Deja Vu / PowerInfer (which
+//! cost gigabytes of storage and 10–25% of runtime), Hermes predicts which
+//! neurons the next token will activate with two tiny tables:
+//!
+//! * a **neuron state table** — a 4-bit saturating counter per neuron,
+//!   incremented by 4 when the neuron is activated and decremented by 1 when
+//!   it is not (a branch-predictor-style exploitation of token-wise
+//!   similarity),
+//! * a **neuron correlation table** — the top-2 correlated neurons of the
+//!   previous layer, sampled offline (layer-wise correlation).
+//!
+//! A neuron is predicted active when `s1 + λ·s2 > T` with `λ = 6`, `T = 15`,
+//! and considered *hot* (GPU-resident) when its state exceeds `Th = 10`.
+//!
+//! # Example
+//!
+//! ```
+//! use hermes_model::{ModelConfig, ModelId};
+//! use hermes_sparsity::{SparsityProfile, TraceGenerator};
+//! use hermes_predictor::{HermesPredictor, PredictorConfig};
+//!
+//! let mut cfg = ModelConfig::from_id(ModelId::Opt13B);
+//! cfg.num_layers = 2;
+//! cfg.hidden_size = 64;
+//! cfg.ffn_hidden = 128;
+//! cfg.num_heads = 8;
+//! cfg.num_kv_heads = 8;
+//! let profile = SparsityProfile::for_model(&cfg);
+//! let mut gen = TraceGenerator::new(&cfg, &profile, 1);
+//! let prefill = gen.generate(16);
+//! let mut predictor = HermesPredictor::new(&cfg, PredictorConfig::default());
+//! predictor.initialize_from_prefill(&prefill);
+//! predictor.correlation_mut().sample_from_trace(&prefill, 8);
+//! let tok = gen.next_token();
+//! let eval = hermes_predictor::PredictorEval::evaluate(&mut predictor, &[tok]);
+//! assert!(eval.accuracy > 0.5);
+//! ```
+
+pub mod correlation;
+pub mod eval;
+pub mod mlp_baseline;
+pub mod predictor;
+pub mod state_table;
+
+pub use correlation::CorrelationTable;
+pub use eval::PredictorEval;
+pub use mlp_baseline::MlpPredictorModel;
+pub use predictor::{HermesPredictor, PredictorConfig};
+pub use state_table::NeuronStateTable;

@@ -1,0 +1,104 @@
+//! Cost model of the MLP-based predictors used by Deja Vu / PowerInfer,
+//! kept as the baseline the lightweight Hermes predictor is compared against.
+
+use serde::{Deserialize, Serialize};
+
+use hermes_model::{Block, ModelConfig};
+
+/// Analytical cost model of a per-layer MLP predictor (Deja Vu style):
+/// each transformer layer carries a two-layer MLP that maps the hidden state
+/// to per-neuron activation logits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MlpPredictorModel {
+    /// Hidden (bottleneck) dimension of the predictor MLP.
+    pub predictor_rank: usize,
+    /// Bytes per weight element.
+    pub dtype_bytes: u64,
+    /// Classification accuracy of the MLP predictor (high, but paid for with
+    /// storage and compute).
+    pub accuracy: f64,
+}
+
+impl Default for MlpPredictorModel {
+    fn default() -> Self {
+        MlpPredictorModel {
+            predictor_rank: 1024,
+            dtype_bytes: 2,
+            accuracy: 0.99,
+        }
+    }
+}
+
+impl MlpPredictorModel {
+    /// Storage of the predictors for all layers of a model, in bytes.
+    ///
+    /// Per layer there is one predictor for the attention block
+    /// (hidden → rank → attention neurons) and one for the MLP block
+    /// (hidden → rank → MLP neurons).
+    pub fn storage_bytes(&self, cfg: &ModelConfig) -> u64 {
+        let h = cfg.hidden_size as u64;
+        let r = self.predictor_rank as u64;
+        let attn = cfg.neurons_per_layer(Block::Attention) as u64;
+        let mlp = cfg.neurons_per_layer(Block::Mlp) as u64;
+        let per_layer = h * r + r * attn + h * r + r * mlp;
+        per_layer * cfg.num_layers as u64 * self.dtype_bytes
+    }
+
+    /// FLOPs the predictor adds per generated token.
+    pub fn flops_per_token(&self, cfg: &ModelConfig) -> u64 {
+        // 2 FLOPs per weight element, weights touched once per token.
+        2 * self.storage_bytes(cfg) / self.dtype_bytes
+    }
+
+    /// Fraction of a dense token-generation pass the predictor adds, assuming
+    /// both are bandwidth-bound (bytes touched / model bytes). The paper
+    /// reports 10–25% runtime overhead.
+    pub fn runtime_overhead_fraction(&self, cfg: &ModelConfig) -> f64 {
+        self.storage_bytes(cfg) as f64 / cfg.total_param_bytes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_model::ModelId;
+
+    #[test]
+    fn llama7b_predictor_costs_gigabytes() {
+        // Paper: MLP predictors for LLaMA-7B require an extra ~2 GB.
+        let cfg = ModelConfig::from_id(ModelId::Llama2_7B);
+        let gb = MlpPredictorModel::default().storage_bytes(&cfg) as f64 / 1e9;
+        assert!((1.0..4.0).contains(&gb), "MLP predictor storage {gb:.2} GB");
+    }
+
+    #[test]
+    fn runtime_overhead_matches_paper_range() {
+        // Paper: 10–25% inference runtime overhead.
+        for id in [ModelId::Llama2_7B, ModelId::Llama2_13B, ModelId::Opt13B] {
+            let cfg = ModelConfig::from_id(id);
+            let frac = MlpPredictorModel::default().runtime_overhead_fraction(&cfg);
+            assert!((0.05..0.3).contains(&frac), "{id}: overhead {frac:.3}");
+        }
+    }
+
+    #[test]
+    fn flops_track_storage() {
+        let cfg = ModelConfig::from_id(ModelId::Opt13B);
+        let m = MlpPredictorModel::default();
+        assert_eq!(m.flops_per_token(&cfg), m.storage_bytes(&cfg));
+    }
+
+    #[test]
+    fn larger_rank_costs_more() {
+        let cfg = ModelConfig::from_id(ModelId::Opt13B);
+        let small = MlpPredictorModel {
+            predictor_rank: 512,
+            ..Default::default()
+        };
+        let large = MlpPredictorModel {
+            predictor_rank: 2048,
+            ..Default::default()
+        };
+        assert!(large.storage_bytes(&cfg) > small.storage_bytes(&cfg));
+    }
+}

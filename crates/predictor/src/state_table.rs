@@ -1,0 +1,214 @@
+//! The neuron state table: 4-bit saturating counters exploiting token-wise
+//! similarity (Figure 7a).
+
+use serde::{Deserialize, Serialize};
+
+use hermes_model::{Block, ModelConfig};
+use hermes_sparsity::{NeuronFrequencies, TokenActivations};
+
+/// Maximum state value (4-bit counter).
+pub const MAX_STATE: u8 = 15;
+
+/// A table of 4-bit states, one per neuron, for every (layer, block).
+///
+/// States start from the prefill-stage activation frequency (quantised into
+/// 16 stages) and are updated after every generated token: `+s` when the
+/// neuron was activated (the paper uses `s = 4`), `−1` when it was not,
+/// saturating at `[0, 15]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeuronStateTable {
+    increment: u8,
+    layers: Vec<[Vec<u8>; 2]>,
+}
+
+impl NeuronStateTable {
+    /// Create a table for the given model with every state at zero.
+    pub fn new(cfg: &ModelConfig, increment: u8) -> Self {
+        let attn = cfg.neurons_per_layer(Block::Attention);
+        let mlp = cfg.neurons_per_layer(Block::Mlp);
+        NeuronStateTable {
+            increment,
+            layers: (0..cfg.num_layers)
+                .map(|_| [vec![0u8; attn], vec![0u8; mlp]])
+                .collect(),
+        }
+    }
+
+    /// Initialise states from prefill-stage activation frequencies: the
+    /// frequency range [0, 1] is divided into 16 stages (a neuron active in
+    /// more than 90% of prefill tokens starts at 15, below 2% at 0).
+    pub fn initialize_from_frequencies(&mut self, freqs: &NeuronFrequencies) {
+        for (layer, blocks) in self.layers.iter_mut().enumerate() {
+            for (bi, block) in Block::ALL.into_iter().enumerate() {
+                let f = freqs.block(layer, block);
+                for (i, state) in blocks[bi].iter_mut().enumerate() {
+                    *state = Self::quantize_frequency(f[i]);
+                }
+            }
+        }
+    }
+
+    /// Map an activation frequency to its initial 4-bit stage.
+    pub fn quantize_frequency(freq: f64) -> u8 {
+        if freq >= 0.9 {
+            MAX_STATE
+        } else if freq < 0.02 {
+            0
+        } else {
+            // Linear staging between the two extremes.
+            (1.0 + (freq - 0.02) / (0.9 - 0.02) * 14.0).floor() as u8
+        }
+    }
+
+    /// State of one neuron.
+    pub fn state(&self, layer: usize, block: Block, neuron: usize) -> u8 {
+        self.block(layer, block)[neuron]
+    }
+
+    /// All states of one (layer, block).
+    pub fn block(&self, layer: usize, block: Block) -> &[u8] {
+        match block {
+            Block::Attention => &self.layers[layer][0],
+            Block::Mlp => &self.layers[layer][1],
+        }
+    }
+
+    fn block_mut(&mut self, layer: usize, block: Block) -> &mut [u8] {
+        match block {
+            Block::Attention => &mut self.layers[layer][0],
+            Block::Mlp => &mut self.layers[layer][1],
+        }
+    }
+
+    /// Number of layers covered.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Update every state from the actually-activated neurons of one token.
+    pub fn update(&mut self, token: &TokenActivations) {
+        let inc = self.increment;
+        for layer in 0..self.layers.len() {
+            for block in Block::ALL {
+                let bits = token.block(layer, block);
+                let states = self.block_mut(layer, block);
+                for (i, s) in states.iter_mut().enumerate() {
+                    if bits.get(i) {
+                        *s = (*s).saturating_add(inc).min(MAX_STATE);
+                    } else {
+                        *s = s.saturating_sub(1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Storage cost of the table in bytes: 4 bits per neuron (the paper
+    /// reports 232 KB for LLaMA-7B).
+    pub fn storage_bytes(&self) -> u64 {
+        let neurons: usize = self
+            .layers
+            .iter()
+            .map(|l| l[0].len() + l[1].len())
+            .sum();
+        neurons.div_ceil(2) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_model::ModelId;
+    use hermes_sparsity::{SparsityProfile, TraceGenerator};
+
+    fn tiny_model() -> ModelConfig {
+        let mut cfg = ModelConfig::from_id(ModelId::Opt13B);
+        cfg.num_layers = 3;
+        cfg.hidden_size = 32;
+        cfg.ffn_hidden = 96;
+        cfg.num_heads = 4;
+        cfg.num_kv_heads = 4;
+        cfg
+    }
+
+    #[test]
+    fn quantization_boundaries_match_paper() {
+        assert_eq!(NeuronStateTable::quantize_frequency(0.95), 15);
+        assert_eq!(NeuronStateTable::quantize_frequency(0.9), 15);
+        assert_eq!(NeuronStateTable::quantize_frequency(0.01), 0);
+        let mid = NeuronStateTable::quantize_frequency(0.5);
+        assert!((1..15).contains(&mid));
+        // Monotone in frequency.
+        assert!(NeuronStateTable::quantize_frequency(0.7) >= NeuronStateTable::quantize_frequency(0.3));
+    }
+
+    #[test]
+    fn update_follows_fsm_rules() {
+        // Paper example (Fig. 7a): an activated neuron goes 7 → 11, an
+        // inactive one goes 10 → 9.
+        let cfg = tiny_model();
+        let mut table = NeuronStateTable::new(&cfg, 4);
+        table.block_mut(0, Block::Mlp)[6] = 7;
+        table.block_mut(0, Block::Mlp)[5] = 10;
+        // Build a token where MLP neuron 6 of layer 0 is active, neuron 5 not.
+        let profile = SparsityProfile::for_model(&cfg);
+        let mut gen = TraceGenerator::new(&cfg, &profile, 1);
+        let mut tok = gen.next_token();
+        // Force the bits we care about via a fresh bitset copy.
+        // (TokenActivations is immutable; emulate by updating from a token
+        //  whose bit 6 we know: easier to manipulate states directly.)
+        let was6 = tok.block(0, Block::Mlp).get(6);
+        let was5 = tok.block(0, Block::Mlp).get(5);
+        table.update(&tok);
+        let s6 = table.state(0, Block::Mlp, 6);
+        let s5 = table.state(0, Block::Mlp, 5);
+        assert_eq!(s6, if was6 { 11 } else { 6 });
+        assert_eq!(s5, if was5 { 14 } else { 9 });
+        let _ = &mut tok;
+    }
+
+    #[test]
+    fn states_saturate() {
+        let cfg = tiny_model();
+        let mut table = NeuronStateTable::new(&cfg, 4);
+        let profile = SparsityProfile::for_model(&cfg);
+        let mut gen = TraceGenerator::new(&cfg, &profile, 2);
+        for _ in 0..40 {
+            table.update(&gen.next_token());
+        }
+        for layer in 0..cfg.num_layers {
+            for block in Block::ALL {
+                for &s in table.block(layer, block) {
+                    assert!(s <= MAX_STATE);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn initialization_reflects_frequencies() {
+        let cfg = tiny_model();
+        let profile = SparsityProfile::for_model(&cfg);
+        let mut gen = TraceGenerator::new(&cfg, &profile, 3);
+        let trace = gen.generate(32);
+        let freqs = hermes_sparsity::NeuronFrequencies::measure(&trace);
+        let mut table = NeuronStateTable::new(&cfg, 4);
+        table.initialize_from_frequencies(&freqs);
+        // The most frequent neuron should start with a higher state than the
+        // least frequent one.
+        let ranked = freqs.ranked(0, Block::Mlp);
+        let hot = *ranked.first().unwrap() as usize;
+        let cold = *ranked.last().unwrap() as usize;
+        assert!(table.state(0, Block::Mlp, hot) >= table.state(0, Block::Mlp, cold));
+    }
+
+    #[test]
+    fn storage_matches_paper_for_llama7b() {
+        // Paper: the state table of LLaMA-7B costs 232 KB (4 bits per neuron,
+        // 32 layers × (4K attention + 10.5K MLP) neurons).
+        let cfg = ModelConfig::from_id(ModelId::Llama2_7B);
+        let table = NeuronStateTable::new(&cfg, 4);
+        let kb = table.storage_bytes() as f64 / 1024.0;
+        assert!((220.0..=245.0).contains(&kb), "state table {kb:.0} KB");
+    }
+}

@@ -1,0 +1,250 @@
+//! Online hot/cold partition adjustment guided by the predictor
+//! (Section IV-C2).
+
+use serde::{Deserialize, Serialize};
+
+use hermes_model::{Block, ModelConfig, NeuronRef};
+use hermes_predictor::HermesPredictor;
+
+use crate::assignment::{NeuronAssignment, Placement};
+
+/// The swaps decided for one adjustment round.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdjustmentPlan {
+    /// Neurons promoted to GPU memory (copied over PCIe during the
+    /// projection computation).
+    pub promoted: Vec<NeuronRef>,
+    /// Neurons evicted from GPU memory (no data movement: their DIMM copy is
+    /// authoritative, the GPU slot is simply overwritten).
+    pub demoted: Vec<NeuronRef>,
+    /// Bytes copied from DIMMs to GPU memory for the promotions.
+    pub bytes_to_gpu: u64,
+}
+
+impl AdjustmentPlan {
+    /// Whether the plan performs any change.
+    pub fn is_empty(&self) -> bool {
+        self.promoted.is_empty() && self.demoted.is_empty()
+    }
+}
+
+/// The online adjuster: promotes neurons whose predictor state crossed the
+/// hotness threshold and evicts the coldest GPU residents to make room.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnlineAdjuster {
+    /// Maximum bytes that may be promoted per adjustment round (the copies
+    /// must hide under the projection computation).
+    pub max_bytes_per_round: u64,
+}
+
+impl OnlineAdjuster {
+    /// Create an adjuster with a per-round promotion budget.
+    pub fn new(max_bytes_per_round: u64) -> Self {
+        OnlineAdjuster {
+            max_bytes_per_round,
+        }
+    }
+
+    /// Decide and apply one adjustment round for one layer.
+    ///
+    /// Neurons of the layer whose state exceeds `Th` but live on a DIMM are
+    /// promoted (most-active first) while GPU residents with the lowest
+    /// state are demoted to keep the GPU byte budget unchanged.
+    pub fn adjust_layer(
+        &self,
+        cfg: &ModelConfig,
+        predictor: &HermesPredictor,
+        assignment: &mut NeuronAssignment,
+        layer: usize,
+    ) -> AdjustmentPlan {
+        let mut promoted = Vec::new();
+        let mut demoted = Vec::new();
+        let mut bytes_to_gpu = 0u64;
+
+        for block in Block::ALL {
+            let states = predictor.states().block(layer, block);
+            let neuron_bytes = cfg.neuron_weight_bytes(block);
+            // Candidates to promote: hot by state but currently on a DIMM.
+            let mut to_promote: Vec<(usize, u8)> = states
+                .iter()
+                .enumerate()
+                .filter(|(i, &s)| {
+                    s > predictor.config().hot_threshold
+                        && assignment.placement(layer, block, *i) != Placement::Gpu
+                })
+                .map(|(i, &s)| (i, s))
+                .collect();
+            to_promote.sort_by(|a, b| b.1.cmp(&a.1));
+            // Candidates to demote: GPU residents, coldest first.
+            let mut to_demote: Vec<(usize, u8)> = states
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| assignment.placement(layer, block, *i) == Placement::Gpu)
+                .map(|(i, &s)| (i, s))
+                .collect();
+            to_demote.sort_by(|a, b| a.1.cmp(&b.1));
+
+            let mut demote_iter = to_demote.into_iter();
+            for (neuron, state) in to_promote {
+                if bytes_to_gpu + neuron_bytes > self.max_bytes_per_round {
+                    break;
+                }
+                // Find a victim that is colder than the candidate.
+                let victim = loop {
+                    match demote_iter.next() {
+                        Some((v, vs)) if vs < state => break Some(v),
+                        Some(_) => break None,
+                        None => break None,
+                    }
+                };
+                let Some(victim) = victim else { break };
+                // The victim's home DIMM takes back its computation; neurons
+                // are always stored on the DIMMs, so demotion is free. The
+                // promoted neuron keeps being stored on its DIMM but is now
+                // computed on the GPU.
+                let victim_home = Placement::Dimm(Self::home_dimm(assignment, layer, block, victim));
+                assignment.set_placement(layer, block, victim, victim_home);
+                assignment.set_placement(layer, block, neuron, Placement::Gpu);
+                bytes_to_gpu += neuron_bytes;
+                promoted.push(NeuronRef::new(layer, block, neuron));
+                demoted.push(NeuronRef::new(layer, block, victim));
+            }
+        }
+
+        AdjustmentPlan {
+            promoted,
+            demoted,
+            bytes_to_gpu,
+        }
+    }
+
+    /// The DIMM a demoted neuron returns to: the least-loaded-by-count DIMM,
+    /// a cheap stand-in for "its storage home" (all neurons are stored on
+    /// every DIMM's share determined by the offline mapper).
+    fn home_dimm(
+        assignment: &NeuronAssignment,
+        layer: usize,
+        block: Block,
+        _neuron: usize,
+    ) -> u16 {
+        let mut counts = vec![0usize; assignment.num_dimms()];
+        for p in assignment.block(layer, block) {
+            if let Placement::Dimm(d) = p {
+                counts[*d as usize] += 1;
+            }
+        }
+        counts
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &c)| c)
+            .map(|(d, _)| d as u16)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_model::ModelId;
+    use hermes_predictor::PredictorConfig;
+    use hermes_sparsity::{SparsityProfile, TraceGenerator};
+
+    fn tiny_model() -> ModelConfig {
+        let mut cfg = ModelConfig::from_id(ModelId::Opt13B);
+        cfg.num_layers = 2;
+        cfg.hidden_size = 32;
+        cfg.ffn_hidden = 96;
+        cfg.num_heads = 4;
+        cfg.num_kv_heads = 4;
+        cfg
+    }
+
+    fn setup() -> (ModelConfig, HermesPredictor, NeuronAssignment, TraceGenerator) {
+        let cfg = tiny_model();
+        let profile = SparsityProfile::for_model(&cfg);
+        let mut gen = TraceGenerator::new(&cfg, &profile, 11);
+        let prefill = gen.generate(24);
+        let mut predictor = HermesPredictor::new(&cfg, PredictorConfig::default());
+        predictor.initialize_from_prefill(&prefill);
+        // Start from an assignment with a few arbitrary hot neurons so there
+        // is something to swap.
+        let mut assignment = NeuronAssignment::all_on_dimm_zero(&cfg, 2);
+        for i in 0..8 {
+            assignment.set_placement(0, Block::Mlp, i, Placement::Gpu);
+            assignment.set_placement(1, Block::Mlp, i, Placement::Gpu);
+        }
+        (cfg, predictor, assignment, gen)
+    }
+
+    #[test]
+    fn adjustment_swaps_preserve_gpu_byte_budget() {
+        let (cfg, predictor, mut assignment, _) = setup();
+        let before = assignment.gpu_bytes(&cfg);
+        let adjuster = OnlineAdjuster::new(u64::MAX);
+        let plan = adjuster.adjust_layer(&cfg, &predictor, &mut assignment, 0);
+        let after = assignment.gpu_bytes(&cfg);
+        assert_eq!(before, after, "swaps must be one-for-one per block");
+        assert_eq!(plan.promoted.len(), plan.demoted.len());
+    }
+
+    #[test]
+    fn promoted_neurons_are_hotter_than_demoted() {
+        let (cfg, predictor, mut assignment, _) = setup();
+        let adjuster = OnlineAdjuster::new(u64::MAX);
+        let plan = adjuster.adjust_layer(&cfg, &predictor, &mut assignment, 1);
+        for (p, d) in plan.promoted.iter().zip(&plan.demoted) {
+            let sp = predictor
+                .states()
+                .state(p.layer as usize, p.block, p.neuron.index());
+            let sd = predictor
+                .states()
+                .state(d.layer as usize, d.block, d.neuron.index());
+            assert!(sp > sd, "promoted state {sp} should exceed demoted {sd}");
+        }
+    }
+
+    #[test]
+    fn byte_budget_limits_promotions() {
+        let (cfg, predictor, mut assignment, _) = setup();
+        let one_neuron = cfg.neuron_weight_bytes(Block::Attention).min(cfg.neuron_weight_bytes(Block::Mlp));
+        let adjuster = OnlineAdjuster::new(one_neuron);
+        let plan = adjuster.adjust_layer(&cfg, &predictor, &mut assignment, 0);
+        assert!(plan.bytes_to_gpu <= one_neuron);
+        assert!(plan.promoted.len() <= 1);
+    }
+
+    #[test]
+    fn plan_reports_transferred_bytes() {
+        let (cfg, predictor, mut assignment, _) = setup();
+        let adjuster = OnlineAdjuster::new(u64::MAX);
+        let plan = adjuster.adjust_layer(&cfg, &predictor, &mut assignment, 0);
+        let expected: u64 = plan
+            .promoted
+            .iter()
+            .map(|r| cfg.neuron_weight_bytes(r.block))
+            .sum();
+        assert_eq!(plan.bytes_to_gpu, expected);
+        if plan.promoted.is_empty() {
+            assert!(plan.is_empty() || !plan.demoted.is_empty());
+        }
+    }
+
+    #[test]
+    fn promoted_neurons_end_up_on_gpu() {
+        let (cfg, predictor, mut assignment, _) = setup();
+        let adjuster = OnlineAdjuster::new(u64::MAX);
+        let plan = adjuster.adjust_layer(&cfg, &predictor, &mut assignment, 0);
+        for p in &plan.promoted {
+            assert_eq!(
+                assignment.placement(p.layer as usize, p.block, p.neuron.index()),
+                Placement::Gpu
+            );
+        }
+        for d in &plan.demoted {
+            assert_ne!(
+                assignment.placement(d.layer as usize, d.block, d.neuron.index()),
+                Placement::Gpu
+            );
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Per-neuron placement of every (layer, block) onto the GPU or a DIMM.
+
+use serde::{Deserialize, Serialize};
+
+use hermes_model::{Block, ModelConfig};
+use hermes_sparsity::Bitset;
+
+/// Where a neuron's computation is performed.
+///
+/// All neurons are *stored* on the DIMMs regardless (Section IV-C2); a
+/// `Gpu` placement means a copy of the weights also resides in GPU memory
+/// and the GPU performs the computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Placement {
+    /// Computed on the GPU (hot neuron).
+    Gpu,
+    /// Computed by the NDP core of the given DIMM (cold neuron).
+    Dimm(u16),
+}
+
+/// Placement of every neuron of a model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeuronAssignment {
+    num_dimms: usize,
+    layers: Vec<[Vec<Placement>; 2]>,
+}
+
+impl NeuronAssignment {
+    /// Create an assignment with every neuron on DIMM 0.
+    pub fn all_on_dimm_zero(cfg: &ModelConfig, num_dimms: usize) -> Self {
+        assert!(num_dimms > 0, "need at least one DIMM");
+        let attn = cfg.neurons_per_layer(Block::Attention);
+        let mlp = cfg.neurons_per_layer(Block::Mlp);
+        NeuronAssignment {
+            num_dimms,
+            layers: (0..cfg.num_layers)
+                .map(|_| {
+                    [
+                        vec![Placement::Dimm(0); attn],
+                        vec![Placement::Dimm(0); mlp],
+                    ]
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of DIMMs this assignment targets.
+    pub fn num_dimms(&self) -> usize {
+        self.num_dimms
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Placement of one neuron.
+    pub fn placement(&self, layer: usize, block: Block, neuron: usize) -> Placement {
+        self.block(layer, block)[neuron]
+    }
+
+    /// Placements of one (layer, block).
+    pub fn block(&self, layer: usize, block: Block) -> &[Placement] {
+        match block {
+            Block::Attention => &self.layers[layer][0],
+            Block::Mlp => &self.layers[layer][1],
+        }
+    }
+
+    /// Mutable placements of one (layer, block).
+    pub fn block_mut(&mut self, layer: usize, block: Block) -> &mut [Placement] {
+        match block {
+            Block::Attention => &mut self.layers[layer][0],
+            Block::Mlp => &mut self.layers[layer][1],
+        }
+    }
+
+    /// Set the placement of one neuron.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Dimm` index is out of range.
+    pub fn set_placement(&mut self, layer: usize, block: Block, neuron: usize, p: Placement) {
+        if let Placement::Dimm(d) = p {
+            assert!((d as usize) < self.num_dimms, "DIMM index {d} out of range");
+        }
+        self.block_mut(layer, block)[neuron] = p;
+    }
+
+    /// Bitset of GPU-resident (hot) neurons of one (layer, block).
+    pub fn gpu_set(&self, layer: usize, block: Block) -> Bitset {
+        let placements = self.block(layer, block);
+        let mut bits = Bitset::new(placements.len());
+        for (i, p) in placements.iter().enumerate() {
+            if *p == Placement::Gpu {
+                bits.set(i, true);
+            }
+        }
+        bits
+    }
+
+    /// Bitset of neurons of one (layer, block) placed on a given DIMM.
+    pub fn dimm_set(&self, layer: usize, block: Block, dimm: usize) -> Bitset {
+        let placements = self.block(layer, block);
+        let mut bits = Bitset::new(placements.len());
+        for (i, p) in placements.iter().enumerate() {
+            if *p == Placement::Dimm(dimm as u16) {
+                bits.set(i, true);
+            }
+        }
+        bits
+    }
+
+    /// Number of GPU-resident neurons of one (layer, block).
+    pub fn gpu_count(&self, layer: usize, block: Block) -> usize {
+        self.block(layer, block)
+            .iter()
+            .filter(|p| **p == Placement::Gpu)
+            .count()
+    }
+
+    /// Total bytes of hot-neuron weights copied into GPU memory.
+    pub fn gpu_bytes(&self, cfg: &ModelConfig) -> u64 {
+        let mut bytes = 0u64;
+        for layer in 0..self.num_layers() {
+            for block in Block::ALL {
+                bytes += self.gpu_count(layer, block) as u64 * cfg.neuron_weight_bytes(block);
+            }
+        }
+        bytes
+    }
+
+    /// Per-DIMM bytes of cold-neuron weights (every neuron is stored on its
+    /// DIMM; GPU-resident neurons are charged to the DIMM that backs them,
+    /// which for this accounting is DIMM 0 by convention of the mapper).
+    pub fn dimm_cold_bytes(&self, cfg: &ModelConfig) -> Vec<u64> {
+        let mut bytes = vec![0u64; self.num_dimms];
+        for layer in 0..self.num_layers() {
+            for block in Block::ALL {
+                let per = cfg.neuron_weight_bytes(block);
+                for p in self.block(layer, block) {
+                    if let Placement::Dimm(d) = p {
+                        bytes[*d as usize] += per;
+                    }
+                }
+            }
+        }
+        bytes
+    }
+
+    /// Check the assignment against capacity limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violated budget.
+    pub fn validate(
+        &self,
+        cfg: &ModelConfig,
+        gpu_budget_bytes: u64,
+        dimm_capacity_bytes: u64,
+    ) -> Result<(), String> {
+        let gpu = self.gpu_bytes(cfg);
+        if gpu > gpu_budget_bytes {
+            return Err(format!(
+                "hot neurons need {gpu} bytes but the GPU budget is {gpu_budget_bytes}"
+            ));
+        }
+        for (d, bytes) in self.dimm_cold_bytes(cfg).iter().enumerate() {
+            if *bytes > dimm_capacity_bytes {
+                return Err(format!(
+                    "DIMM {d} holds {bytes} bytes, exceeding its capacity {dimm_capacity_bytes}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_model::ModelId;
+
+    fn tiny_model() -> ModelConfig {
+        let mut cfg = ModelConfig::from_id(ModelId::Opt13B);
+        cfg.num_layers = 2;
+        cfg.hidden_size = 32;
+        cfg.ffn_hidden = 64;
+        cfg.num_heads = 4;
+        cfg.num_kv_heads = 4;
+        cfg
+    }
+
+    #[test]
+    fn default_assignment_is_all_cold() {
+        let cfg = tiny_model();
+        let a = NeuronAssignment::all_on_dimm_zero(&cfg, 4);
+        assert_eq!(a.num_dimms(), 4);
+        assert_eq!(a.num_layers(), 2);
+        assert_eq!(a.gpu_count(0, Block::Mlp), 0);
+        assert_eq!(a.gpu_bytes(&cfg), 0);
+        let cold = a.dimm_cold_bytes(&cfg);
+        assert!(cold[0] > 0);
+        assert_eq!(cold[1], 0);
+    }
+
+    #[test]
+    fn set_and_query_placement() {
+        let cfg = tiny_model();
+        let mut a = NeuronAssignment::all_on_dimm_zero(&cfg, 2);
+        a.set_placement(1, Block::Mlp, 5, Placement::Gpu);
+        a.set_placement(1, Block::Mlp, 6, Placement::Dimm(1));
+        assert_eq!(a.placement(1, Block::Mlp, 5), Placement::Gpu);
+        assert_eq!(a.placement(1, Block::Mlp, 6), Placement::Dimm(1));
+        assert!(a.gpu_set(1, Block::Mlp).get(5));
+        assert!(a.dimm_set(1, Block::Mlp, 1).get(6));
+        assert_eq!(a.gpu_count(1, Block::Mlp), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_dimm_panics() {
+        let cfg = tiny_model();
+        let mut a = NeuronAssignment::all_on_dimm_zero(&cfg, 2);
+        a.set_placement(0, Block::Mlp, 0, Placement::Dimm(5));
+    }
+
+    #[test]
+    fn validation_enforces_budgets() {
+        let cfg = tiny_model();
+        let mut a = NeuronAssignment::all_on_dimm_zero(&cfg, 2);
+        for i in 0..10 {
+            a.set_placement(0, Block::Mlp, i, Placement::Gpu);
+        }
+        let hot_bytes = a.gpu_bytes(&cfg);
+        assert!(a.validate(&cfg, hot_bytes, u64::MAX).is_ok());
+        assert!(a.validate(&cfg, hot_bytes - 1, u64::MAX).is_err());
+        assert!(a.validate(&cfg, hot_bytes, 1).is_err());
+    }
+
+    #[test]
+    fn gpu_and_dimm_sets_partition_neurons() {
+        let cfg = tiny_model();
+        let mut a = NeuronAssignment::all_on_dimm_zero(&cfg, 3);
+        a.set_placement(0, Block::Attention, 1, Placement::Gpu);
+        a.set_placement(0, Block::Attention, 2, Placement::Dimm(2));
+        let n = cfg.neurons_per_layer(Block::Attention);
+        let total: usize = (0..3)
+            .map(|d| a.dimm_set(0, Block::Attention, d).count_ones())
+            .sum::<usize>()
+            + a.gpu_set(0, Block::Attention).count_ones();
+        assert_eq!(total, n);
+    }
+}

@@ -1,0 +1,419 @@
+//! Offline neuron partition: the greedy equivalent of the paper's ILP
+//! (Eq. 1–7), plus an exact solver for small instances used to validate it.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use hermes_model::{Block, ModelConfig};
+use hermes_sparsity::NeuronFrequencies;
+
+use crate::assignment::{NeuronAssignment, Placement};
+
+/// How the offline mapper chooses hot neurons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionGoal {
+    /// Place the most frequently activated neurons on the GPU
+    /// (the paper's optimal offline mapping).
+    FrequencyOptimal,
+    /// Place a random subset on the GPU (the Hermes-random ablation).
+    Random {
+        /// RNG seed for the random placement.
+        seed: u64,
+    },
+}
+
+/// Inputs of the offline partitioning problem (Table I).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionInput {
+    /// Bytes of GPU memory available for hot-neuron weights (S_GPU after
+    /// subtracting dense weights, activations and KV-cache reservations).
+    pub gpu_budget_bytes: u64,
+    /// Number of NDP-DIMMs.
+    pub num_dimms: usize,
+    /// Capacity of each DIMM in bytes (S_dimm).
+    pub dimm_capacity_bytes: u64,
+    /// Seconds to compute one activated neuron on the GPU (T^GPU_l, assumed
+    /// layer-independent here).
+    pub gpu_time_per_neuron: f64,
+    /// Seconds to compute one activated neuron on an NDP-DIMM (T^DIMM_l).
+    pub dimm_time_per_neuron: f64,
+    /// Per-layer GPU synchronisation overhead (T_sync), seconds.
+    pub sync_time: f64,
+}
+
+/// The offline neuron mapper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OfflinePartitioner {
+    input: PartitionInput,
+}
+
+impl OfflinePartitioner {
+    /// Create a partitioner for the given problem input.
+    pub fn new(input: PartitionInput) -> Self {
+        assert!(input.num_dimms > 0, "need at least one DIMM");
+        OfflinePartitioner { input }
+    }
+
+    /// The problem input.
+    pub fn input(&self) -> &PartitionInput {
+        &self.input
+    }
+
+    /// Produce the offline assignment with the greedy heuristic:
+    ///
+    /// 1. rank all neurons globally by expected compute mass
+    ///    (frequency × FLOPs per activation) per byte of GPU memory,
+    /// 2. mark the top of that ranking as hot until the GPU budget is full,
+    /// 3. distribute the cold neurons of each (layer, block) across DIMMs by
+    ///    longest-processing-time-first (LPT) on expected load, respecting
+    ///    DIMM capacities.
+    pub fn partition(
+        &self,
+        cfg: &ModelConfig,
+        freqs: &NeuronFrequencies,
+        goal: PartitionGoal,
+    ) -> NeuronAssignment {
+        let mut assignment = NeuronAssignment::all_on_dimm_zero(cfg, self.input.num_dimms);
+
+        // --- Step 1 & 2: choose the hot set. ---
+        struct Candidate {
+            layer: usize,
+            block: Block,
+            neuron: usize,
+            score: f64,
+            bytes: u64,
+        }
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for layer in 0..cfg.num_layers {
+            for block in Block::ALL {
+                let bytes = cfg.neuron_weight_bytes(block);
+                let flops = cfg.neuron_flops(block) as f64;
+                for (neuron, &f) in freqs.block(layer, block).iter().enumerate() {
+                    candidates.push(Candidate {
+                        layer,
+                        block,
+                        neuron,
+                        score: f * flops / bytes as f64,
+                        bytes,
+                    });
+                }
+            }
+        }
+        match goal {
+            PartitionGoal::FrequencyOptimal => {
+                candidates.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+            }
+            PartitionGoal::Random { seed } => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                candidates.shuffle(&mut rng);
+            }
+        }
+        let mut used = 0u64;
+        for c in &candidates {
+            if used + c.bytes > self.input.gpu_budget_bytes {
+                continue;
+            }
+            used += c.bytes;
+            assignment.set_placement(c.layer, c.block, c.neuron, Placement::Gpu);
+        }
+
+        // --- Step 3: LPT distribution of cold neurons across DIMMs. ---
+        let per_dimm_capacity = self.input.dimm_capacity_bytes;
+        let mut dimm_bytes = vec![0u64; self.input.num_dimms];
+        let mut dimm_load = vec![0f64; self.input.num_dimms];
+        for layer in 0..cfg.num_layers {
+            for block in Block::ALL {
+                let bytes = cfg.neuron_weight_bytes(block);
+                // Sort cold neurons of this block by frequency, heaviest first.
+                let mut cold: Vec<(usize, f64)> = freqs
+                    .block(layer, block)
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| {
+                        assignment.placement(layer, block, *i) != Placement::Gpu
+                    })
+                    .map(|(i, &f)| (i, f))
+                    .collect();
+                cold.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+                for (neuron, f) in cold {
+                    // Least-loaded DIMM with remaining capacity; ties (many
+                    // cold neurons have near-zero frequency) are broken by
+                    // stored bytes so storage stays balanced as well.
+                    let key = |d: usize| (dimm_load[d], dimm_bytes[d]);
+                    let target = (0..self.input.num_dimms)
+                        .filter(|&d| dimm_bytes[d] + bytes <= per_dimm_capacity)
+                        .min_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap())
+                        .unwrap_or_else(|| {
+                            // Out of capacity everywhere: fall back to the
+                            // least-loaded DIMM (validation will flag it).
+                            (0..self.input.num_dimms)
+                                .min_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap())
+                                .expect("at least one DIMM")
+                        });
+                    dimm_bytes[target] += bytes;
+                    dimm_load[target] += f;
+                    assignment.set_placement(layer, block, neuron, Placement::Dimm(target as u16));
+                }
+            }
+        }
+        assignment
+    }
+
+    /// Objective value of an assignment (Eq. 1–3): the sum over layers of
+    /// the max of the GPU time (plus 2× sync) and the slowest DIMM time,
+    /// evaluated with the given per-neuron frequencies.
+    pub fn objective(
+        &self,
+        cfg: &ModelConfig,
+        freqs: &NeuronFrequencies,
+        assignment: &NeuronAssignment,
+    ) -> f64 {
+        let mut total = 0.0;
+        for layer in 0..cfg.num_layers {
+            let mut gpu = 0.0;
+            let mut dimm = vec![0.0f64; self.input.num_dimms];
+            for block in Block::ALL {
+                for (i, &f) in freqs.block(layer, block).iter().enumerate() {
+                    match assignment.placement(layer, block, i) {
+                        Placement::Gpu => gpu += f * self.input.gpu_time_per_neuron,
+                        Placement::Dimm(d) => {
+                            dimm[d as usize] += f * self.input.dimm_time_per_neuron
+                        }
+                    }
+                }
+            }
+            let t_gpu = gpu + 2.0 * self.input.sync_time;
+            let t_dimm = dimm.iter().copied().fold(0.0, f64::max);
+            total += t_gpu.max(t_dimm);
+        }
+        total
+    }
+
+    /// Exact brute-force solver for tiny instances (≤ ~16 neurons total),
+    /// used to validate the greedy heuristic in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has more than 20 neurons in total, where the
+    /// exhaustive search would be intractable.
+    pub fn exact_small(
+        &self,
+        cfg: &ModelConfig,
+        freqs: &NeuronFrequencies,
+    ) -> NeuronAssignment {
+        let total_neurons: usize = (0..cfg.num_layers)
+            .map(|l| {
+                Block::ALL
+                    .iter()
+                    .map(|&b| freqs.block(l, b).len())
+                    .sum::<usize>()
+            })
+            .sum();
+        assert!(
+            total_neurons <= 20,
+            "exact solver limited to 20 neurons, got {total_neurons}"
+        );
+        let options = 1 + self.input.num_dimms; // GPU or one of the DIMMs
+        let mut best: Option<(f64, NeuronAssignment)> = None;
+        let mut counter = vec![0usize; total_neurons];
+        loop {
+            // Materialise this placement vector.
+            let mut assignment = NeuronAssignment::all_on_dimm_zero(cfg, self.input.num_dimms);
+            let mut idx = 0usize;
+            for layer in 0..cfg.num_layers {
+                for block in Block::ALL {
+                    for neuron in 0..freqs.block(layer, block).len() {
+                        let choice = counter[idx];
+                        let placement = if choice == 0 {
+                            Placement::Gpu
+                        } else {
+                            Placement::Dimm((choice - 1) as u16)
+                        };
+                        assignment.set_placement(layer, block, neuron, placement);
+                        idx += 1;
+                    }
+                }
+            }
+            if assignment
+                .validate(cfg, self.input.gpu_budget_bytes, self.input.dimm_capacity_bytes)
+                .is_ok()
+            {
+                let obj = self.objective(cfg, freqs, &assignment);
+                if best.as_ref().is_none_or(|(b, _)| obj < *b) {
+                    best = Some((obj, assignment));
+                }
+            }
+            // Increment the mixed-radix counter.
+            let mut pos = 0usize;
+            loop {
+                if pos == total_neurons {
+                    return best.expect("at least one feasible assignment").1;
+                }
+                counter[pos] += 1;
+                if counter[pos] < options {
+                    break;
+                }
+                counter[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_model::ModelId;
+    use hermes_sparsity::{SparsityProfile, TraceGenerator};
+
+    fn tiny_model() -> ModelConfig {
+        let mut cfg = ModelConfig::from_id(ModelId::Opt13B);
+        cfg.num_layers = 2;
+        cfg.hidden_size = 32;
+        cfg.ffn_hidden = 96;
+        cfg.num_heads = 4;
+        cfg.num_kv_heads = 4;
+        cfg
+    }
+
+    fn micro_model() -> ModelConfig {
+        // 2 layers × (2 attention + 3 MLP) = 10 neurons, small enough for the
+        // exact solver.
+        let mut cfg = ModelConfig::from_id(ModelId::Opt13B);
+        cfg.num_layers = 2;
+        cfg.hidden_size = 2;
+        cfg.ffn_hidden = 3;
+        cfg.num_heads = 1;
+        cfg.num_kv_heads = 1;
+        cfg
+    }
+
+    fn freqs_for(cfg: &ModelConfig, seed: u64, tokens: usize) -> NeuronFrequencies {
+        let profile = SparsityProfile::for_model(cfg);
+        let mut gen = TraceGenerator::new(cfg, &profile, seed);
+        NeuronFrequencies::measure(&gen.generate(tokens))
+    }
+
+    fn input(cfg: &ModelConfig, gpu_fraction: f64, dimms: usize) -> PartitionInput {
+        let sparse = cfg.memory_footprint().sparse_bytes();
+        PartitionInput {
+            gpu_budget_bytes: (sparse as f64 * gpu_fraction) as u64,
+            num_dimms: dimms,
+            dimm_capacity_bytes: sparse,
+            gpu_time_per_neuron: 1e-8,
+            dimm_time_per_neuron: 4e-7,
+            sync_time: 1e-7,
+        }
+    }
+
+    #[test]
+    fn greedy_respects_gpu_budget() {
+        let cfg = tiny_model();
+        let freqs = freqs_for(&cfg, 1, 32);
+        let inp = input(&cfg, 0.2, 4);
+        let budget = inp.gpu_budget_bytes;
+        let partitioner = OfflinePartitioner::new(inp);
+        let a = partitioner.partition(&cfg, &freqs, PartitionGoal::FrequencyOptimal);
+        assert!(a.gpu_bytes(&cfg) <= budget);
+        assert!(a.validate(&cfg, budget, u64::MAX).is_ok());
+    }
+
+    #[test]
+    fn frequency_optimal_puts_hot_neurons_on_gpu() {
+        let cfg = tiny_model();
+        let freqs = freqs_for(&cfg, 2, 32);
+        let partitioner = OfflinePartitioner::new(input(&cfg, 0.2, 4));
+        let a = partitioner.partition(&cfg, &freqs, PartitionGoal::FrequencyOptimal);
+        // Mean frequency of GPU-resident MLP neurons should exceed that of
+        // cold ones.
+        let f = freqs.block(1, Block::Mlp);
+        let (mut hot_sum, mut hot_n, mut cold_sum, mut cold_n) = (0.0, 0, 0.0, 0);
+        for (i, &freq) in f.iter().enumerate() {
+            if a.placement(1, Block::Mlp, i) == Placement::Gpu {
+                hot_sum += freq;
+                hot_n += 1;
+            } else {
+                cold_sum += freq;
+                cold_n += 1;
+            }
+        }
+        if hot_n > 0 && cold_n > 0 {
+            assert!(hot_sum / hot_n as f64 > cold_sum / cold_n as f64);
+        }
+    }
+
+    #[test]
+    fn frequency_optimal_beats_random() {
+        let cfg = tiny_model();
+        let freqs = freqs_for(&cfg, 3, 32);
+        let partitioner = OfflinePartitioner::new(input(&cfg, 0.2, 4));
+        let opt = partitioner.partition(&cfg, &freqs, PartitionGoal::FrequencyOptimal);
+        let rnd = partitioner.partition(&cfg, &freqs, PartitionGoal::Random { seed: 7 });
+        let obj_opt = partitioner.objective(&cfg, &freqs, &opt);
+        let obj_rnd = partitioner.objective(&cfg, &freqs, &rnd);
+        assert!(
+            obj_opt <= obj_rnd,
+            "optimal {obj_opt:.2e} should not exceed random {obj_rnd:.2e}"
+        );
+    }
+
+    #[test]
+    fn cold_neurons_are_spread_across_dimms() {
+        let cfg = tiny_model();
+        let freqs = freqs_for(&cfg, 4, 32);
+        let partitioner = OfflinePartitioner::new(input(&cfg, 0.1, 4));
+        let a = partitioner.partition(&cfg, &freqs, PartitionGoal::FrequencyOptimal);
+        // The LPT step balances *expected load* (activation frequency mass),
+        // which is the quantity Eq. 2 cares about.
+        let mut loads = vec![0.0f64; 4];
+        for layer in 0..cfg.num_layers {
+            for block in Block::ALL {
+                for (i, &f) in freqs.block(layer, block).iter().enumerate() {
+                    if let Placement::Dimm(d) = a.placement(layer, block, i) {
+                        loads[d as usize] += f;
+                    }
+                }
+            }
+        }
+        let max = loads.iter().copied().fold(0.0, f64::max);
+        let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+        assert!(max / mean < 1.25, "cold load imbalanced: {loads:?}");
+        // Every DIMM holds some cold weights.
+        assert!(a.dimm_cold_bytes(&cfg).iter().all(|&b| b > 0));
+    }
+
+    #[test]
+    fn greedy_is_close_to_exact_on_micro_instance() {
+        let cfg = micro_model();
+        let freqs = freqs_for(&cfg, 5, 48);
+        let inp = PartitionInput {
+            gpu_budget_bytes: 3 * cfg.neuron_weight_bytes(Block::Mlp),
+            num_dimms: 2,
+            dimm_capacity_bytes: u64::MAX / 4,
+            gpu_time_per_neuron: 1e-8,
+            dimm_time_per_neuron: 4e-7,
+            sync_time: 1e-6,
+        };
+        let partitioner = OfflinePartitioner::new(inp);
+        let greedy = partitioner.partition(&cfg, &freqs, PartitionGoal::FrequencyOptimal);
+        let exact = partitioner.exact_small(&cfg, &freqs);
+        let obj_greedy = partitioner.objective(&cfg, &freqs, &greedy);
+        let obj_exact = partitioner.objective(&cfg, &freqs, &exact);
+        assert!(obj_exact <= obj_greedy + 1e-12);
+        assert!(
+            obj_greedy <= 1.5 * obj_exact,
+            "greedy {obj_greedy:.3e} vs exact {obj_exact:.3e}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exact solver limited")]
+    fn exact_solver_rejects_large_models() {
+        let cfg = tiny_model();
+        let freqs = freqs_for(&cfg, 6, 8);
+        let partitioner = OfflinePartitioner::new(input(&cfg, 0.2, 2));
+        let _ = partitioner.exact_small(&cfg, &freqs);
+    }
+}

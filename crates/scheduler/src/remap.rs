@@ -1,0 +1,329 @@
+//! Window-based online remapping of cold neurons across NDP-DIMMs
+//! (Algorithm 1, Section IV-D).
+
+use serde::{Deserialize, Serialize};
+
+use hermes_model::{Block, ModelConfig, NeuronRef};
+use hermes_sparsity::TokenActivations;
+
+use crate::assignment::{NeuronAssignment, Placement};
+
+/// Cold-neuron migrations decided at the end of one window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemapPlan {
+    /// `(neuron, source DIMM, destination DIMM)` migrations.
+    pub moves: Vec<(NeuronRef, u16, u16)>,
+    /// Total bytes moved over DIMM-links.
+    pub bytes_moved: u64,
+}
+
+impl RemapPlan {
+    /// Whether the plan moves anything.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+}
+
+/// The window-based scheduler: accumulates neuron activity over a window of
+/// consecutive tokens (5 in the paper), then pairs the most- and
+/// least-loaded DIMMs and migrates the hottest cold neurons between them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowRemapper {
+    window_size: usize,
+    tokens_in_window: usize,
+    /// Per (layer, block): activation counts within the current window.
+    activity: Vec<[Vec<u32>; 2]>,
+}
+
+impl WindowRemapper {
+    /// Create a remapper with the given window size (the paper uses 5).
+    pub fn new(cfg: &ModelConfig, window_size: usize) -> Self {
+        assert!(window_size > 0, "window size must be positive");
+        let attn = cfg.neurons_per_layer(Block::Attention);
+        let mlp = cfg.neurons_per_layer(Block::Mlp);
+        WindowRemapper {
+            window_size,
+            tokens_in_window: 0,
+            activity: (0..cfg.num_layers)
+                .map(|_| [vec![0u32; attn], vec![0u32; mlp]])
+                .collect(),
+        }
+    }
+
+    /// Window length in tokens.
+    pub fn window_size(&self) -> usize {
+        self.window_size
+    }
+
+    /// Number of tokens recorded in the current window.
+    pub fn tokens_in_window(&self) -> usize {
+        self.tokens_in_window
+    }
+
+    /// Record the activations of one generated token. Returns `true` when
+    /// the window is now full and [`WindowRemapper::rebalance`] should run.
+    pub fn record_token(&mut self, token: &TokenActivations) -> bool {
+        for (layer, blocks) in self.activity.iter_mut().enumerate() {
+            for (bi, block) in Block::ALL.into_iter().enumerate() {
+                let bits = token.block(layer, block);
+                for idx in bits.iter_ones() {
+                    blocks[bi][idx] += 1;
+                }
+            }
+        }
+        self.tokens_in_window += 1;
+        self.tokens_in_window >= self.window_size
+    }
+
+    /// Run Algorithm 1 over every (layer, block), migrating the most
+    /// activated cold neurons from overloaded to underloaded DIMMs, then
+    /// reset the window.
+    pub fn rebalance(
+        &mut self,
+        cfg: &ModelConfig,
+        assignment: &mut NeuronAssignment,
+    ) -> RemapPlan {
+        let mut moves = Vec::new();
+        let mut bytes_moved = 0u64;
+        let num_dimms = assignment.num_dimms();
+        for layer in 0..assignment.num_layers() {
+            for (bi, block) in Block::ALL.into_iter().enumerate() {
+                let activity = &self.activity[layer][bi];
+                let neuron_bytes = cfg.neuron_weight_bytes(block);
+                // Z_j: activated-neuron count per DIMM under the current map.
+                let mut loads = vec![0u64; num_dimms];
+                for (i, p) in assignment.block(layer, block).iter().enumerate() {
+                    if let Placement::Dimm(d) = p {
+                        loads[*d as usize] += activity[i] as u64;
+                    }
+                }
+                // Sort DIMM ids by descending load (Algorithm 1, line 2).
+                let mut order: Vec<usize> = (0..num_dimms).collect();
+                order.sort_by(|&a, &b| loads[b].cmp(&loads[a]));
+                // Pair the most loaded with the least loaded (lines 3–6).
+                for pair in 0..num_dimms / 2 {
+                    let heavy = order[pair];
+                    let light = order[num_dimms - 1 - pair];
+                    if heavy == light {
+                        continue;
+                    }
+                    // Most activated neurons currently on the heavy DIMM.
+                    let mut candidates: Vec<(usize, u32)> = assignment
+                        .block(layer, block)
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| **p == Placement::Dimm(heavy as u16))
+                        .map(|(i, _)| (i, activity[i]))
+                        .collect();
+                    candidates.sort_by(|a, b| b.1.cmp(&a.1));
+                    for (neuron, act) in candidates {
+                        if loads[heavy] <= loads[light] || act == 0 {
+                            break;
+                        }
+                        // Moving a neuron with `act` activations shrinks the
+                        // gap by 2·act; stop when it would overshoot.
+                        if loads[heavy] - loads[light] < 2 * act as u64 {
+                            break;
+                        }
+                        assignment.set_placement(
+                            layer,
+                            block,
+                            neuron,
+                            Placement::Dimm(light as u16),
+                        );
+                        loads[heavy] -= act as u64;
+                        loads[light] += act as u64;
+                        bytes_moved += neuron_bytes;
+                        moves.push((
+                            NeuronRef::new(layer, block, neuron),
+                            heavy as u16,
+                            light as u16,
+                        ));
+                    }
+                }
+            }
+        }
+        self.reset_window();
+        RemapPlan { moves, bytes_moved }
+    }
+
+    /// Per-DIMM activated-neuron counts of one (layer, block) for the
+    /// current window and assignment (the quantity Algorithm 1 balances).
+    pub fn dimm_loads(
+        &self,
+        assignment: &NeuronAssignment,
+        layer: usize,
+        block: Block,
+    ) -> Vec<u64> {
+        let bi = match block {
+            Block::Attention => 0,
+            Block::Mlp => 1,
+        };
+        let activity = &self.activity[layer][bi];
+        let mut loads = vec![0u64; assignment.num_dimms()];
+        for (i, p) in assignment.block(layer, block).iter().enumerate() {
+            if let Placement::Dimm(d) = p {
+                loads[*d as usize] += activity[i] as u64;
+            }
+        }
+        loads
+    }
+
+    /// Clear the window counters.
+    pub fn reset_window(&mut self) {
+        self.tokens_in_window = 0;
+        for blocks in &mut self.activity {
+            for b in blocks.iter_mut() {
+                b.iter_mut().for_each(|v| *v = 0);
+            }
+        }
+    }
+}
+
+/// Max/mean imbalance of a load vector (1.0 = perfectly balanced).
+pub fn imbalance(loads: &[u64]) -> f64 {
+    if loads.is_empty() {
+        return 1.0;
+    }
+    let max = *loads.iter().max().unwrap() as f64;
+    let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    if mean == 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_model::ModelId;
+    use hermes_sparsity::{SparsityProfile, TraceGenerator};
+
+    fn tiny_model() -> ModelConfig {
+        let mut cfg = ModelConfig::from_id(ModelId::Opt13B);
+        cfg.num_layers = 2;
+        cfg.hidden_size = 32;
+        cfg.ffn_hidden = 128;
+        cfg.num_heads = 4;
+        cfg.num_kv_heads = 4;
+        cfg
+    }
+
+    /// Assignment that places cold neurons in contiguous chunks, the layout
+    /// that suffers from cluster-aligned load imbalance.
+    fn contiguous_assignment(cfg: &ModelConfig, dimms: usize) -> NeuronAssignment {
+        let mut a = NeuronAssignment::all_on_dimm_zero(cfg, dimms);
+        for layer in 0..cfg.num_layers {
+            for block in Block::ALL {
+                let n = cfg.neurons_per_layer(block);
+                for i in 0..n {
+                    let d = (i * dimms / n).min(dimms - 1);
+                    a.set_placement(layer, block, i, Placement::Dimm(d as u16));
+                }
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn window_fills_after_window_size_tokens() {
+        let cfg = tiny_model();
+        let profile = SparsityProfile::for_model(&cfg);
+        let mut gen = TraceGenerator::new(&cfg, &profile, 3);
+        let mut remapper = WindowRemapper::new(&cfg, 5);
+        for i in 1..=5 {
+            let full = remapper.record_token(&gen.next_token());
+            assert_eq!(full, i == 5);
+        }
+        assert_eq!(remapper.tokens_in_window(), 5);
+        remapper.reset_window();
+        assert_eq!(remapper.tokens_in_window(), 0);
+    }
+
+    #[test]
+    fn rebalance_reduces_imbalance() {
+        let cfg = tiny_model();
+        let profile = SparsityProfile::for_model(&cfg);
+        let mut gen = TraceGenerator::new(&cfg, &profile, 7);
+        let mut assignment = contiguous_assignment(&cfg, 4);
+        let mut remapper = WindowRemapper::new(&cfg, 5);
+        for _ in 0..5 {
+            remapper.record_token(&gen.next_token());
+        }
+        let before = imbalance(&remapper.dimm_loads(&assignment, 1, Block::Mlp));
+        // Rebalance resets the window, so capture loads via a fresh window
+        // recorded after the remap with similar (adjacent-token) activity.
+        let plan = {
+            // Keep a copy of the activity by re-recording the same tokens
+            // after rebalancing is not possible (generator moved on), so we
+            // check the monotonic property on the recorded window itself:
+            // recompute loads with the *new* assignment produced from it.
+            let mut probe = remapper.clone();
+            let plan = remapper.rebalance(&cfg, &mut assignment);
+            let after = imbalance(&probe.dimm_loads(&assignment, 1, Block::Mlp));
+            assert!(
+                after <= before + 1e-9,
+                "imbalance should not increase: {before:.3} -> {after:.3}"
+            );
+            probe.reset_window();
+            plan
+        };
+        // Moves must come with matching byte accounting.
+        let expected: u64 = plan
+            .moves
+            .iter()
+            .map(|(r, _, _)| cfg.neuron_weight_bytes(r.block))
+            .sum();
+        assert_eq!(plan.bytes_moved, expected);
+    }
+
+    #[test]
+    fn balanced_load_produces_no_moves() {
+        let cfg = tiny_model();
+        let mut assignment = contiguous_assignment(&cfg, 2);
+        let mut remapper = WindowRemapper::new(&cfg, 5);
+        // No tokens recorded → zero activity everywhere → nothing to move.
+        let plan = remapper.rebalance(&cfg, &mut assignment);
+        assert!(plan.is_empty());
+        assert_eq!(plan.bytes_moved, 0);
+    }
+
+    #[test]
+    fn moves_only_touch_cold_neurons() {
+        let cfg = tiny_model();
+        let profile = SparsityProfile::for_model(&cfg);
+        let mut gen = TraceGenerator::new(&cfg, &profile, 9);
+        let mut assignment = contiguous_assignment(&cfg, 4);
+        // Pin a few neurons to the GPU; they must never be migrated.
+        for i in 0..4 {
+            assignment.set_placement(0, Block::Mlp, i, Placement::Gpu);
+        }
+        let mut remapper = WindowRemapper::new(&cfg, 3);
+        for _ in 0..3 {
+            remapper.record_token(&gen.next_token());
+        }
+        let plan = remapper.rebalance(&cfg, &mut assignment);
+        for (r, _, _) in &plan.moves {
+            assert!(!(r.layer == 0 && r.block == Block::Mlp && r.neuron.index() < 4));
+        }
+        // GPU neurons still on GPU.
+        for i in 0..4 {
+            assert_eq!(assignment.placement(0, Block::Mlp, i), Placement::Gpu);
+        }
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        assert!((imbalance(&[4, 4, 4, 4]) - 1.0).abs() < 1e-12);
+        assert!((imbalance(&[8, 0]) - 2.0).abs() < 1e-12);
+        assert_eq!(imbalance(&[]), 1.0);
+        assert_eq!(imbalance(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be positive")]
+    fn zero_window_panics() {
+        let _ = WindowRemapper::new(&tiny_model(), 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! A compact fixed-size bitset used to store activated-neuron sets.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-length bitset backed by `u64` words.
+///
+/// Used to represent the set of activated neurons of one (layer, block) for
+/// one token. The length is fixed at construction; out-of-range accesses
+/// panic, which keeps trace-generation bugs loud.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitset {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl Bitset {
+    /// Create an empty bitset able to hold `len` bits.
+    pub fn new(len: usize) -> Self {
+        Bitset {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Number of bits the set can hold.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitset holds zero bits of capacity.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `idx` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    pub fn set(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let (w, b) = (idx / 64, idx % 64);
+        if value {
+            self.words[w] |= 1 << b;
+        } else {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Get bit `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of bits set in both `self` and `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two bitsets have different lengths.
+    pub fn intersection_count(&self, other: &Bitset) -> usize {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of bits set in `self` or `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two bitsets have different lengths.
+    pub fn union_count(&self, other: &Bitset) -> usize {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two bitsets have different lengths.
+    pub fn union_with(&mut self, other: &Bitset) {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Clear all bits.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Iterate over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Jaccard similarity |A∩B| / |A∪B| with `other` (1.0 when both empty).
+    pub fn jaccard(&self, other: &Bitset) -> f64 {
+        let union = self.union_count(other);
+        if union == 0 {
+            1.0
+        } else {
+            self.intersection_count(other) as f64 / union as f64
+        }
+    }
+}
+
+impl FromIterator<usize> for Bitset {
+    /// Build a bitset sized to the maximum index + 1 from set-bit indices.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let indices: Vec<usize> = iter.into_iter().collect();
+        let len = indices.iter().max().map_or(0, |m| m + 1);
+        let mut bs = Bitset::new(len);
+        for i in indices {
+            bs.set(i, true);
+        }
+        bs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut bs = Bitset::new(130);
+        bs.set(0, true);
+        bs.set(64, true);
+        bs.set(129, true);
+        assert!(bs.get(0) && bs.get(64) && bs.get(129));
+        assert!(!bs.get(1) && !bs.get(128));
+        assert_eq!(bs.count_ones(), 3);
+        bs.set(64, false);
+        assert_eq!(bs.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut bs = Bitset::new(10);
+        bs.set(10, true);
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let bs: Bitset = [3usize, 70, 5, 127].into_iter().collect();
+        let ones: Vec<usize> = bs.iter_ones().collect();
+        assert_eq!(ones, vec![3, 5, 70, 127]);
+    }
+
+    #[test]
+    fn jaccard_of_identical_sets_is_one() {
+        let bs: Bitset = [1usize, 2, 3].into_iter().collect();
+        assert_eq!(bs.jaccard(&bs.clone()), 1.0);
+    }
+
+    #[test]
+    fn jaccard_of_empty_sets_is_one() {
+        let a = Bitset::new(16);
+        let b = Bitset::new(16);
+        assert_eq!(a.jaccard(&b), 1.0);
+    }
+
+    #[test]
+    fn union_with_accumulates() {
+        let mut a = Bitset::new(8);
+        a.set(1, true);
+        let mut b = Bitset::new(8);
+        b.set(6, true);
+        a.union_with(&b);
+        assert_eq!(a.count_ones(), 2);
+        assert!(a.get(1) && a.get(6));
+    }
+
+    proptest! {
+        #[test]
+        fn counts_are_consistent(indices in proptest::collection::vec(0usize..512, 0..128)) {
+            let mut a = Bitset::new(512);
+            let mut b = Bitset::new(512);
+            for (i, idx) in indices.iter().enumerate() {
+                if i % 2 == 0 { a.set(*idx, true); } else { b.set(*idx, true); }
+            }
+            let inter = a.intersection_count(&b);
+            let union = a.union_count(&b);
+            prop_assert_eq!(union + inter, a.count_ones() + b.count_ones());
+            prop_assert!(a.jaccard(&b) >= 0.0 && a.jaccard(&b) <= 1.0);
+        }
+
+        #[test]
+        fn iter_ones_matches_count(indices in proptest::collection::vec(0usize..300, 0..64)) {
+            let bs: Bitset = indices.clone().into_iter().collect();
+            prop_assert_eq!(bs.iter_ones().count(), bs.count_ones());
+        }
+    }
+}

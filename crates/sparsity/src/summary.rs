@@ -1,0 +1,301 @@
+//! Fast statistical activity model for large-model end-to-end sweeps.
+//!
+//! Generating a full per-neuron bitset trace for LLaMA2-70B at batch 16 is
+//! needlessly expensive when the inference cost models only consume
+//! *activated-neuron counts* per (layer, block) split across devices. This
+//! module provides a cluster-granularity model that produces exactly those
+//! counts, using the same popularity and cluster-multiplier processes as the
+//! full [`crate::TraceGenerator`]; a unit test checks the two paths agree on
+//! small models.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use hermes_model::{Block, ModelConfig};
+
+use crate::clusters::{ClusterProcess, ModelClusterProcess};
+use crate::popularity::BlockPopularity;
+use crate::profile::SparsityProfile;
+
+/// Per-cluster popularity aggregates of a subset of neurons in one
+/// (layer, block): the probability mass and the neuron count per cluster.
+///
+/// Built once per neuron-to-device assignment, then reused for every token.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterPopSums {
+    /// Sum of activation probabilities of subset neurons, per cluster.
+    pub popsum: Vec<f64>,
+    /// Number of subset neurons per cluster.
+    pub count: Vec<f64>,
+}
+
+impl ClusterPopSums {
+    /// Aggregate a subset of neurons (given by index) at cluster granularity.
+    pub fn from_subset<I>(pop: &BlockPopularity, clusters: &ClusterProcess, subset: I) -> Self
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        let mut popsum = vec![0.0; clusters.num_clusters()];
+        let mut count = vec![0.0; clusters.num_clusters()];
+        for idx in subset {
+            let c = clusters.cluster_of(idx as usize);
+            popsum[c] += pop.prob(idx as usize);
+            count[c] += 1.0;
+        }
+        ClusterPopSums { popsum, count }
+    }
+
+    /// Aggregate every neuron of the block.
+    pub fn full(pop: &BlockPopularity, clusters: &ClusterProcess) -> Self {
+        Self::from_subset(pop, clusters, 0..pop.len() as u32)
+    }
+
+    /// Total probability mass of the subset.
+    pub fn total_popsum(&self) -> f64 {
+        self.popsum.iter().sum()
+    }
+
+    /// Total neuron count of the subset.
+    pub fn total_count(&self) -> f64 {
+        self.count.iter().sum()
+    }
+}
+
+/// Activity multipliers of one (layer, block) for the current token.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockActivity {
+    multipliers: Vec<f64>,
+}
+
+impl BlockActivity {
+    /// Expected number of activated subset neurons for a single sequence.
+    pub fn expected_active(&self, sums: &ClusterPopSums) -> f64 {
+        self.multipliers
+            .iter()
+            .zip(&sums.popsum)
+            .zip(&sums.count)
+            .map(|((&m, &p), &n)| (p * m).min(n))
+            .sum()
+    }
+
+    /// Expected number of subset neurons activated by *any* of `batch`
+    /// independent sequences (the union that determines weight-loading and
+    /// DRAM-read volume for batched inference).
+    pub fn expected_union(&self, sums: &ClusterPopSums, batch: usize) -> f64 {
+        assert!(batch >= 1, "batch must be at least 1");
+        self.multipliers
+            .iter()
+            .zip(&sums.popsum)
+            .zip(&sums.count)
+            .map(|((&m, &p), &n)| {
+                if n == 0.0 {
+                    0.0
+                } else {
+                    let avg_p = (p * m / n).min(1.0);
+                    n * (1.0 - (1.0 - avg_p).powi(batch as i32))
+                }
+            })
+            .sum()
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.multipliers.len()
+    }
+
+    /// Activity multiplier of one cluster.
+    pub fn multiplier(&self, cluster: usize) -> f64 {
+        self.multipliers[cluster]
+    }
+}
+
+/// Cluster activity of every (layer, block) for one generated token.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenActivity {
+    layers: Vec<[BlockActivity; 2]>,
+}
+
+impl TokenActivity {
+    /// Activity of one (layer, block).
+    pub fn block(&self, layer: usize, block: Block) -> &BlockActivity {
+        match block {
+            Block::Attention => &self.layers[layer][0],
+            Block::Mlp => &self.layers[layer][1],
+        }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+/// Cluster-granularity activity generator: the fast path used by the
+/// end-to-end engines for billion-parameter models.
+#[derive(Debug, Clone)]
+pub struct StatisticalActivityModel {
+    clusters: ModelClusterProcess,
+    rng: SmallRng,
+    tokens_generated: usize,
+}
+
+impl StatisticalActivityModel {
+    /// Build the model for a configuration and profile.
+    pub fn new(cfg: &ModelConfig, profile: &SparsityProfile, seed: u64) -> Self {
+        StatisticalActivityModel {
+            clusters: ModelClusterProcess::new(
+                cfg.num_layers,
+                cfg.neurons_per_layer(Block::Attention),
+                cfg.neurons_per_layer(Block::Mlp),
+                profile,
+            ),
+            rng: SmallRng::seed_from_u64(seed ^ 0xac71_71fb_0001),
+            tokens_generated: 0,
+        }
+    }
+
+    /// The underlying cluster processes (for computing [`ClusterPopSums`]).
+    pub fn clusters(&self) -> &ModelClusterProcess {
+        &self.clusters
+    }
+
+    /// Number of tokens generated so far.
+    pub fn tokens_generated(&self) -> usize {
+        self.tokens_generated
+    }
+
+    /// Advance by one token and return the per-block activity multipliers.
+    pub fn next_token(&mut self) -> TokenActivity {
+        self.clusters.step(&mut self.rng);
+        self.tokens_generated += 1;
+        let layers = (0..self.clusters.num_layers())
+            .map(|l| {
+                [
+                    BlockActivity {
+                        multipliers: (0..self.clusters.block(l, Block::Attention).num_clusters())
+                            .map(|c| self.clusters.block(l, Block::Attention).multiplier(c))
+                            .collect(),
+                    },
+                    BlockActivity {
+                        multipliers: (0..self.clusters.block(l, Block::Mlp).num_clusters())
+                            .map(|c| self.clusters.block(l, Block::Mlp).multiplier(c))
+                            .collect(),
+                    },
+                ]
+            })
+            .collect();
+        TokenActivity { layers }
+    }
+
+    /// Reset the cluster state (context switch).
+    pub fn reset_context(&mut self) {
+        self.clusters.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::popularity::NeuronPopularity;
+    use crate::stats::NeuronFrequencies;
+    use crate::trace::TraceGenerator;
+    use hermes_model::{ModelConfig, ModelId};
+
+    fn tiny_model() -> ModelConfig {
+        let mut cfg = ModelConfig::from_id(ModelId::Opt13B);
+        cfg.num_layers = 4;
+        cfg.hidden_size = 64;
+        cfg.ffn_hidden = 256;
+        cfg.num_heads = 8;
+        cfg.num_kv_heads = 8;
+        cfg
+    }
+
+    #[test]
+    fn popsums_cover_all_neurons() {
+        let cfg = tiny_model();
+        let profile = SparsityProfile::for_model(&cfg);
+        let pop = NeuronPopularity::generate(&cfg, &profile, 5);
+        let model = StatisticalActivityModel::new(&cfg, &profile, 5);
+        let bp = pop.block(0, Block::Mlp);
+        let cp = model.clusters().block(0, Block::Mlp);
+        let sums = ClusterPopSums::full(bp, cp);
+        assert!((sums.total_count() - bp.len() as f64).abs() < 1e-9);
+        assert!((sums.total_popsum() - bp.expected_active()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn subset_popsums_partition() {
+        let cfg = tiny_model();
+        let profile = SparsityProfile::for_model(&cfg);
+        let pop = NeuronPopularity::generate(&cfg, &profile, 6);
+        let model = StatisticalActivityModel::new(&cfg, &profile, 6);
+        let bp = pop.block(1, Block::Mlp);
+        let cp = model.clusters().block(1, Block::Mlp);
+        let n = bp.len() as u32;
+        let a = ClusterPopSums::from_subset(bp, cp, 0..n / 2);
+        let b = ClusterPopSums::from_subset(bp, cp, n / 2..n);
+        let full = ClusterPopSums::full(bp, cp);
+        assert!((a.total_popsum() + b.total_popsum() - full.total_popsum()).abs() < 1e-9);
+        assert!((a.total_count() + b.total_count() - full.total_count()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_active_matches_full_trace() {
+        // The statistical path and the full bitset trace must agree on the
+        // mean number of activated neurons per token.
+        let cfg = tiny_model();
+        let profile = SparsityProfile::for_model(&cfg);
+        let mut gen = TraceGenerator::new(&cfg, &profile, 7);
+        let trace = gen.generate(200);
+        let freqs = NeuronFrequencies::measure(&trace);
+        let measured: f64 = freqs.block(2, Block::Mlp).iter().sum();
+
+        let pop = NeuronPopularity::generate(&cfg, &profile, 7);
+        let mut model = StatisticalActivityModel::new(&cfg, &profile, 7);
+        let bp = pop.block(2, Block::Mlp);
+        let cp = model.clusters().block(2, Block::Mlp);
+        let sums = ClusterPopSums::full(bp, cp);
+        let mut expected = 0.0;
+        let steps = 200;
+        for _ in 0..steps {
+            let act = model.next_token();
+            expected += act.block(2, Block::Mlp).expected_active(&sums);
+        }
+        expected /= steps as f64;
+        let rel = (expected - measured).abs() / measured.max(1.0);
+        assert!(rel < 0.25, "statistical {expected:.1} vs trace {measured:.1}");
+    }
+
+    #[test]
+    fn union_grows_with_batch_but_sublinearly() {
+        let cfg = tiny_model();
+        let profile = SparsityProfile::for_model(&cfg);
+        let pop = NeuronPopularity::generate(&cfg, &profile, 9);
+        let mut model = StatisticalActivityModel::new(&cfg, &profile, 9);
+        let bp = pop.block(0, Block::Mlp);
+        let cp = model.clusters().block(0, Block::Mlp);
+        let sums = ClusterPopSums::full(bp, cp);
+        let act = model.next_token();
+        let b1 = act.block(0, Block::Mlp).expected_union(&sums, 1);
+        let b4 = act.block(0, Block::Mlp).expected_union(&sums, 4);
+        let b16 = act.block(0, Block::Mlp).expected_union(&sums, 16);
+        assert!(b4 > b1 && b16 > b4);
+        assert!(b4 < 4.0 * b1, "union should be sublinear in batch");
+        assert!(b16 <= sums.total_count() + 1e-9);
+        let single = act.block(0, Block::Mlp).expected_active(&sums);
+        assert!((single - b1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn statistical_model_is_deterministic() {
+        let cfg = tiny_model();
+        let profile = SparsityProfile::for_model(&cfg);
+        let mut a = StatisticalActivityModel::new(&cfg, &profile, 11);
+        let mut b = StatisticalActivityModel::new(&cfg, &profile, 11);
+        assert_eq!(a.next_token(), b.next_token());
+        assert_eq!(a.tokens_generated(), 1);
+        a.reset_context();
+    }
+}

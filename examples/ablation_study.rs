@@ -1,0 +1,31 @@
+//! Scheduling ablation (the experiment behind Fig. 13): how much of Hermes'
+//! performance comes from the offline partition, the online hot/cold
+//! adjustment and the window-based DIMM load balancing.
+//!
+//! Run with: `cargo run --release --example ablation_study`
+
+use hermes_core::{HermesOptions, HermesSystem, SystemConfig, Workload};
+use hermes_model::ModelId;
+
+fn main() {
+    let config = SystemConfig::paper_default();
+    let workload = Workload::paper_default(ModelId::Llama2_70B);
+    let variants: [(&str, HermesOptions); 6] = [
+        ("Hermes-random", HermesOptions::random_mapping()),
+        ("Hermes-partition", HermesOptions::partition_only()),
+        ("Hermes-token-adjustment", HermesOptions::token_adjustment()),
+        ("Hermes-layer-adjustment", HermesOptions::layer_adjustment()),
+        ("Hermes-adjustment", HermesOptions::adjustment_only()),
+        ("Hermes (full)", HermesOptions::full()),
+    ];
+    println!("LLaMA2-70B, batch 1 — sparse-FC latency per token and speedup over Hermes-random\n");
+    let mut baseline = None;
+    for (name, options) in variants {
+        let report = HermesSystem::new(workload.clone(), config.clone(), options)
+            .run()
+            .expect("supported");
+        let fc_ms = report.breakdown.fc * 1e3 / workload.gen_len as f64;
+        let base = *baseline.get_or_insert(fc_ms);
+        println!("{:<26} {:>8.2} ms/token   {:>5.2}x", name, fc_ms, base / fc_ms);
+    }
+}

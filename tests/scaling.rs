@@ -1,0 +1,121 @@
+//! Integration tests of the scaling behaviours behind Figs. 11, 14, 15, 16.
+
+use hermes_core::{try_run_system, SystemConfig, SystemKind, Workload};
+use hermes_gpu::GpuDevice;
+use hermes_model::ModelId;
+use proptest::prelude::*;
+
+fn quick(model: ModelId, batch: usize) -> Workload {
+    let mut w = Workload::paper_default(model).with_batch(batch);
+    w.gen_len = 10;
+    w.prompt_len = 32;
+    w
+}
+
+fn hermes_tps(w: &Workload, config: &SystemConfig) -> f64 {
+    try_run_system(SystemKind::hermes(), w, config)
+        .unwrap()
+        .tokens_per_second()
+}
+
+#[test]
+fn batch_scaling_is_monotone_for_hermes() {
+    // Fig. 11: Hermes keeps improving from batch 1 to 16.
+    let config = SystemConfig::paper_default();
+    let mut last = 0.0;
+    for batch in [1usize, 2, 4, 8, 16] {
+        let tps = hermes_tps(&quick(ModelId::Opt66B, batch), &config);
+        assert!(tps > last, "batch {batch}: {tps:.2} <= {last:.2}");
+        last = tps;
+    }
+}
+
+#[test]
+fn dimm_scaling_saturates() {
+    // Fig. 14: more DIMMs help until the GPU becomes the bottleneck, after
+    // which the gains flatten out.
+    let w = quick(ModelId::Opt30B, 1);
+    let tps: Vec<f64> = [2usize, 4, 8, 16]
+        .iter()
+        .map(|&d| hermes_tps(&w, &SystemConfig::paper_default().with_num_dimms(d)))
+        .collect();
+    assert!(tps[1] > tps[0]);
+    assert!(tps[2] >= tps[1] * 0.99);
+    let early_gain = tps[1] / tps[0];
+    let late_gain = tps[3] / tps[2];
+    assert!(
+        late_gain < early_gain,
+        "scaling should flatten: early {early_gain:.2} late {late_gain:.2}"
+    );
+}
+
+#[test]
+fn small_models_need_fewer_dimms_than_large_ones() {
+    // Fig. 14's "N.P." entries: Falcon-40B needs at least 4 DIMMs.
+    let config = SystemConfig::paper_default().with_num_dimms(2);
+    assert!(try_run_system(SystemKind::hermes(), &quick(ModelId::Opt13B, 1), &config).is_ok());
+    assert!(try_run_system(SystemKind::hermes(), &quick(ModelId::Falcon40B, 1), &config).is_err());
+}
+
+#[test]
+fn gpu_sensitivity_ordering() {
+    // Fig. 15: RTX 4090 >= RTX 3090 >= Tesla T4.
+    let w = quick(ModelId::Opt30B, 4);
+    let tps: Vec<f64> = GpuDevice::consumer_lineup()
+        .into_iter()
+        .map(|gpu| hermes_tps(&w, &SystemConfig::paper_default().with_gpu(gpu)))
+        .collect();
+    assert!(tps[2] >= tps[1], "4090 {:.2} vs 3090 {:.2}", tps[2], tps[1]);
+    assert!(tps[1] >= tps[0], "3090 {:.2} vs T4 {:.2}", tps[1], tps[0]);
+}
+
+#[test]
+fn gemv_multipliers_matter_more_at_large_batch() {
+    // Fig. 16: extra multipliers barely help at batch 1 but keep helping at
+    // batch 16 (where the GEMV units are compute-bound).
+    let gain = |batch: usize| {
+        let w = quick(ModelId::Opt13B, batch);
+        let small = hermes_tps(&w, &SystemConfig::paper_default().with_gemv_multipliers(32));
+        let large = hermes_tps(&w, &SystemConfig::paper_default().with_gemv_multipliers(512));
+        large / small
+    };
+    let gain_b1 = gain(1);
+    let gain_b16 = gain(16);
+    assert!(gain_b16 >= gain_b1, "b16 gain {gain_b16:.2} vs b1 gain {gain_b1:.2}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Throughput is always positive and finite for supported combinations,
+    /// and the latency breakdown components are non-negative.
+    #[test]
+    fn reports_are_well_formed(batch in 1usize..8, gen_len in 2usize..12) {
+        let mut w = Workload::paper_default(ModelId::Opt13B).with_batch(batch);
+        w.gen_len = gen_len;
+        w.prompt_len = 16;
+        let config = SystemConfig::paper_default();
+        let report = try_run_system(SystemKind::hermes(), &w, &config).unwrap();
+        prop_assert!(report.tokens_per_second().is_finite());
+        prop_assert!(report.tokens_per_second() > 0.0);
+        let b = report.breakdown;
+        for part in [b.fc, b.attention, b.predictor, b.prefill, b.communication, b.migration, b.others] {
+            prop_assert!(part >= 0.0);
+        }
+        prop_assert!(b.decode_total() > 0.0);
+    }
+
+    /// More generated tokens can only increase the total runtime.
+    #[test]
+    fn runtime_monotone_in_generation_length(extra in 1usize..8) {
+        let config = SystemConfig::paper_default();
+        let mut short = Workload::paper_default(ModelId::Opt13B);
+        short.gen_len = 4;
+        short.prompt_len = 16;
+        let mut long = short.clone();
+        long.gen_len = 4 + extra;
+        let t_short = try_run_system(SystemKind::hermes(), &short, &config).unwrap().breakdown.total();
+        let t_long = try_run_system(SystemKind::hermes(), &long, &config).unwrap().breakdown.total();
+        prop_assert!(t_long > t_short);
+    }
+}
