@@ -82,9 +82,11 @@ fn bench_hardware_scaling(c: &mut Criterion) {
     for mults in [64u32, 256] {
         let config = SystemConfig::paper_default().with_gemv_multipliers(mults);
         let workload = short_workload(ModelId::Opt13B, 16);
-        group.bench_with_input(BenchmarkId::new("gemv_multipliers", mults), &workload, |b, w| {
-            b.iter(|| try_run_system(SystemKind::hermes(), w, &config).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("gemv_multipliers", mults),
+            &workload,
+            |b, w| b.iter(|| try_run_system(SystemKind::hermes(), w, &config).unwrap()),
+        );
     }
     group.finish();
 }
@@ -97,14 +99,18 @@ fn bench_gpu_and_reference(c: &mut Criterion) {
     for gpu in GpuDevice::consumer_lineup() {
         let config = SystemConfig::paper_default().with_gpu(gpu.clone());
         let workload = short_workload(ModelId::Opt13B, 1);
-        group.bench_with_input(BenchmarkId::new("hermes", gpu.name.clone()), &workload, |b, w| {
-            b.iter(|| try_run_system(SystemKind::hermes(), w, &config).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hermes", gpu.name.clone()),
+            &workload,
+            |b, w| b.iter(|| try_run_system(SystemKind::hermes(), w, &config).unwrap()),
+        );
     }
     let config = SystemConfig::paper_default();
     let workload = short_workload(ModelId::Llama2_13B, 1);
     group.bench_function("tensorrt_llm_5xA100", |b| {
-        b.iter(|| try_run_system(SystemKind::TensorRtLlm { num_gpus: 5 }, &workload, &config).unwrap())
+        b.iter(|| {
+            try_run_system(SystemKind::TensorRtLlm { num_gpus: 5 }, &workload, &config).unwrap()
+        })
     });
     group.finish();
 }

@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use hermes_model::{Block, ModelConfig, ModelId};
 use hermes_predictor::{HermesPredictor, PredictorConfig};
 use hermes_scheduler::{OfflinePartitioner, PartitionGoal, PartitionInput, WindowRemapper};
-use hermes_sparsity::{NeuronFrequencies, SparsityProfile, StatisticalActivityModel, TraceGenerator};
+use hermes_sparsity::{
+    NeuronFrequencies, SparsityProfile, StatisticalActivityModel, TraceGenerator,
+};
 
 fn small_model() -> ModelConfig {
     let mut cfg = ModelConfig::from_id(ModelId::Opt13B);
@@ -46,7 +48,9 @@ fn bench_predictor(c: &mut Criterion) {
     group.bench_function("predict_block", |b| {
         b.iter(|| predictor.predict_block(2, Block::Mlp, Some(token.block(1, Block::Mlp))))
     });
-    group.bench_function("observe_token", |b| b.iter(|| predictor.clone().observe(&token)));
+    group.bench_function("observe_token", |b| {
+        b.iter(|| predictor.clone().observe(&token))
+    });
     group.finish();
 }
 

@@ -24,9 +24,20 @@ fn main() {
     let via_host = host.transfer_time(migrated_bytes_total);
     println!("# DIMM-link vs host-mediated migration (OPT-66B, batch 1)");
     println!("decode time: {:.2} s", decode);
-    println!("migration via DIMM-link: {:.4} s ({:.2}% of decode)", via_link, 100.0 * via_link / decode);
-    println!("migration via host:      {:.4} s ({:.2}% of decode)", via_host, 100.0 * via_host / decode);
+    println!(
+        "migration via DIMM-link: {:.4} s ({:.2}% of decode)",
+        via_link,
+        100.0 * via_link / decode
+    );
+    println!(
+        "migration via host:      {:.4} s ({:.2}% of decode)",
+        via_host,
+        100.0 * via_host / decode
+    );
     println!("DIMM-link speedup: {:.1}x", via_host / via_link);
-    println!("exposed migration time in the Hermes run: {:.4} s ({:.2}% of decode)",
-        report.breakdown.migration, 100.0 * report.breakdown.migration / decode);
+    println!(
+        "exposed migration time in the Hermes run: {:.4} s ({:.2}% of decode)",
+        report.breakdown.migration,
+        100.0 * report.breakdown.migration / decode
+    );
 }

@@ -2,14 +2,19 @@
 //! similarity vs token distance (4a) and layer-wise correlation (4b).
 
 use hermes_model::{Block, ModelConfig, ModelId};
-use hermes_sparsity::{Dataset, LayerCorrelationStats, SparsityProfile, TokenSimilarityCurve, TraceGenerator};
+use hermes_sparsity::{
+    Dataset, LayerCorrelationStats, SparsityProfile, TokenSimilarityCurve, TraceGenerator,
+};
 
 fn main() {
     println!("# Fig. 4a — token-wise similarity vs token distance");
     let models = [ModelId::Llama2_13B, ModelId::Falcon40B];
     let datasets = [Dataset::Copa, Dataset::WikiText2, Dataset::Piqa];
     let distances = [1usize, 2, 5, 10, 25, 50, 100];
-    println!("| model-dataset | {} |", distances.map(|d| d.to_string()).join(" | "));
+    println!(
+        "| model-dataset | {} |",
+        distances.map(|d| d.to_string()).join(" | ")
+    );
     println!("|---|{}|", distances.map(|_| "---".to_string()).join("|"));
     for model in models {
         // Down-scale the layer count so the trace generation stays fast; the
@@ -21,7 +26,10 @@ fn main() {
             let mut gen = TraceGenerator::new(&cfg, &profile, 42);
             let trace = gen.generate(128);
             let curve = TokenSimilarityCurve::measure(&trace, 100);
-            let cells: Vec<String> = distances.iter().map(|&d| format!("{:.3}", curve.at(d))).collect();
+            let cells: Vec<String> = distances
+                .iter()
+                .map(|&d| format!("{:.3}", curve.at(d)))
+                .collect();
             println!("| {}-{} | {} |", model, dataset, cells.join(" | "));
         }
     }

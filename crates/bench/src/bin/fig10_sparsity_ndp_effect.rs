@@ -20,7 +20,10 @@ fn main() {
     let mut per_system: Vec<Vec<hermes_bench::Cell>> = vec![Vec::new(); systems.len()];
     for model in models {
         let workload = Workload::paper_default(model);
-        for (i, c) in run_lineup(&systems, &workload, &config).into_iter().enumerate() {
+        for (i, c) in run_lineup(&systems, &workload, &config)
+            .into_iter()
+            .enumerate()
+        {
             per_system[i].push(c);
         }
     }

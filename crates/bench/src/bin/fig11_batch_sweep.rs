@@ -11,13 +11,19 @@ fn main() {
     let batches = [1usize, 2, 4, 8, 16];
     for model in [ModelId::Falcon40B, ModelId::Opt66B, ModelId::Llama2_70B] {
         println!("\n# Fig. 11 — {model} (tokens/s)");
-        println!("| system | {} |", batches.map(|b| format!("b{b}")).join(" | "));
+        println!(
+            "| system | {} |",
+            batches.map(|b| format!("b{b}")).join(" | ")
+        );
         println!("|---|---|---|---|---|---|");
         let mut rows: Vec<(String, Vec<String>)> =
             systems.iter().map(|k| (k.name(), Vec::new())).collect();
         for &batch in &batches {
             let workload = Workload::paper_default(model).with_batch(batch);
-            for (i, cell) in run_lineup(&systems, &workload, &config).into_iter().enumerate() {
+            for (i, cell) in run_lineup(&systems, &workload, &config)
+                .into_iter()
+                .enumerate()
+            {
                 rows[i].1.push(cell.formatted());
             }
         }

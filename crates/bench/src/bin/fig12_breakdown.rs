@@ -28,23 +28,47 @@ fn main() {
     let config = SystemConfig::paper_default();
     let batches = [1usize, 4, 16];
     println!("# Fig. 12a — Deja Vu vs Hermes breakdown (ms, amortised per generated token)");
-    println!("| config | FC | Attention | Predictor | Prefill | Communication | Migration | Others |");
+    println!(
+        "| config | FC | Attention | Predictor | Prefill | Communication | Migration | Others |"
+    );
     println!("|---|---|---|---|---|---|---|---|");
     for model in [ModelId::Opt13B, ModelId::Opt66B] {
         for &batch in &batches {
             let w = Workload::paper_default(model).with_batch(batch);
-            print_breakdown(&format!("Deja Vu {model} b{batch}"), &w, SystemKind::DejaVu, &config);
-            print_breakdown(&format!("Hermes {model} b{batch}"), &w, SystemKind::hermes(), &config);
+            print_breakdown(
+                &format!("Deja Vu {model} b{batch}"),
+                &w,
+                SystemKind::DejaVu,
+                &config,
+            );
+            print_breakdown(
+                &format!("Hermes {model} b{batch}"),
+                &w,
+                SystemKind::hermes(),
+                &config,
+            );
         }
     }
     println!("\n# Fig. 12b — Hermes-base vs Hermes breakdown (ms, amortised per generated token)");
-    println!("| config | FC | Attention | Predictor | Prefill | Communication | Migration | Others |");
+    println!(
+        "| config | FC | Attention | Predictor | Prefill | Communication | Migration | Others |"
+    );
     println!("|---|---|---|---|---|---|---|---|");
     for model in [ModelId::Falcon40B, ModelId::Llama2_70B] {
         for &batch in &batches {
             let w = Workload::paper_default(model).with_batch(batch);
-            print_breakdown(&format!("H-base {model} b{batch}"), &w, SystemKind::hermes_base(), &config);
-            print_breakdown(&format!("Hermes {model} b{batch}"), &w, SystemKind::hermes(), &config);
+            print_breakdown(
+                &format!("H-base {model} b{batch}"),
+                &w,
+                SystemKind::hermes_base(),
+                &config,
+            );
+            print_breakdown(
+                &format!("Hermes {model} b{batch}"),
+                &w,
+                SystemKind::hermes(),
+                &config,
+            );
         }
     }
 }

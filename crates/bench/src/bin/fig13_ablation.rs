@@ -13,9 +13,13 @@ fn fc_latency(model: ModelId, batch: usize, options: HermesOptions, config: &Sys
         .unwrap_or(f64::NAN)
 }
 
+/// A named scheduling-ablation variant (constructor kept as a fn pointer so
+/// the table below stays data).
+type Variant = (&'static str, fn() -> HermesOptions);
+
 fn main() {
     let config = SystemConfig::paper_default();
-    let variants: [(&str, fn() -> HermesOptions); 6] = [
+    let variants: [Variant; 6] = [
         ("Hermes-random", HermesOptions::random_mapping),
         ("Hermes-partition", HermesOptions::partition_only),
         ("Hermes-token-adjustment", HermesOptions::token_adjustment),
@@ -27,7 +31,10 @@ fn main() {
     let batches = [1usize, 4, 16];
     for model in [ModelId::Llama2_13B, ModelId::Llama2_70B] {
         println!("\n## {model}");
-        println!("| variant | {} |", batches.map(|b| format!("b{b}")).join(" | "));
+        println!(
+            "| variant | {} |",
+            batches.map(|b| format!("b{b}")).join(" | ")
+        );
         println!("|---|---|---|---|");
         let mut baseline = vec![0.0f64; batches.len()];
         for (row, (name, make)) in variants.iter().enumerate() {

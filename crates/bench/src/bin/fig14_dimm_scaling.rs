@@ -8,9 +8,17 @@ use hermes_model::ModelId;
 fn main() {
     let dimm_counts = [1usize, 2, 4, 8, 16];
     println!("# Fig. 14 — throughput vs number of NDP-DIMMs (tokens/s, batch 1)");
-    println!("| model | {} |", dimm_counts.map(|d| format!("{d} DIMMs")).join(" | "));
+    println!(
+        "| model | {} |",
+        dimm_counts.map(|d| format!("{d} DIMMs")).join(" | ")
+    );
     println!("|---|---|---|---|---|---|");
-    for model in [ModelId::Opt13B, ModelId::Opt30B, ModelId::Falcon40B, ModelId::Llama2_70B] {
+    for model in [
+        ModelId::Opt13B,
+        ModelId::Opt30B,
+        ModelId::Falcon40B,
+        ModelId::Llama2_70B,
+    ] {
         let workload = Workload::paper_default(model);
         let cells: Vec<String> = dimm_counts
             .iter()

@@ -9,7 +9,10 @@ fn main() {
     let multipliers = [32u32, 64, 128, 256, 512];
     let batches = [1usize, 2, 4, 8, 16];
     println!("# Fig. 16 — GEMV-unit multipliers DSE, OPT-13B (speedup over 32 multipliers)");
-    println!("| batch | {} |", multipliers.map(|m| m.to_string()).join(" | "));
+    println!(
+        "| batch | {} |",
+        multipliers.map(|m| m.to_string()).join(" | ")
+    );
     println!("|---|---|---|---|---|---|");
     for &batch in &batches {
         let workload = Workload::paper_default(ModelId::Opt13B).with_batch(batch);

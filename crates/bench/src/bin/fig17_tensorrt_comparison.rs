@@ -20,7 +20,14 @@ fn main() {
             (Some(h), Some(t)) if t > 0.0 => format!("{:.1}%", 100.0 * h / t),
             _ => "-".to_string(),
         };
-        println!("| {batch} | {} | {} | {} |", trt.formatted(), hermes.formatted(), ratio);
+        println!(
+            "| {batch} | {} | {} | {} |",
+            trt.formatted(),
+            hermes.formatted(),
+            ratio
+        );
     }
-    println!("\nHardware budget: Hermes ≈ $2,500 (RTX 4090 + 8 DDR4 NDP-DIMMs) vs ≈ $50,000 (5x A100).");
+    println!(
+        "\nHardware budget: Hermes ≈ $2,500 (RTX 4090 + 8 DDR4 NDP-DIMMs) vs ≈ $50,000 (5x A100)."
+    );
 }

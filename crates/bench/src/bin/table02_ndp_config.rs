@@ -5,15 +5,28 @@ use hermes_ndp::{ActivationUnit, DimmConfig, DramBandwidthModel, GemvUnit};
 fn main() {
     let cfg = DimmConfig::ddr4_3200();
     println!("# Table II — NDP-DIMM configuration");
-    println!("NDP core: {} multipliers, 256 KB buffer, {:.0} MHz, {:.2} mm^2/core",
-        cfg.gemv_multipliers, cfg.ndp_clock_hz / 1e6, cfg.ndp_core_area_mm2);
-    println!("DIMM: DDR4-3200, {} GB/DIMM, {} ranks, {} bank groups/rank, {} banks/group",
-        cfg.capacity_bytes / (1 << 30), cfg.ranks, cfg.bank_groups, cfg.banks_per_group);
+    println!(
+        "NDP core: {} multipliers, 256 KB buffer, {:.0} MHz, {:.2} mm^2/core",
+        cfg.gemv_multipliers,
+        cfg.ndp_clock_hz / 1e6,
+        cfg.ndp_core_area_mm2
+    );
+    println!(
+        "DIMM: DDR4-3200, {} GB/DIMM, {} ranks, {} bank groups/rank, {} banks/group",
+        cfg.capacity_bytes / (1 << 30),
+        cfg.ranks,
+        cfg.bank_groups,
+        cfg.banks_per_group
+    );
     let t = &cfg.timing;
     println!("Timing: tRC={} tRCD={} tCL={} tRP={} tBL={} tCCD_S={} tCCD_L={} tRRD_S={} tRRD_L={} tFAW={}",
         t.t_rc, t.t_rcd, t.t_cl, t.t_rp, t.t_bl, t.t_ccd_s, t.t_ccd_l, t.t_rrd_s, t.t_rrd_l, t.t_faw);
-    println!("DIMM-link: {:.0} GB/s per link, {} lanes, {:.2} pJ/bit",
-        cfg.link_bandwidth / 1e9, cfg.link_lanes, cfg.link_energy_pj_per_bit);
+    println!(
+        "DIMM-link: {:.0} GB/s per link, {} lanes, {:.2} pJ/bit",
+        cfg.link_bandwidth / 1e9,
+        cfg.link_lanes,
+        cfg.link_energy_pj_per_bit
+    );
     let dram = DramBandwidthModel::new(cfg.clone());
     let gemv = GemvUnit::new(&cfg);
     let act = ActivationUnit::new(&cfg);

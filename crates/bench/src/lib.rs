@@ -60,11 +60,7 @@ pub fn run_cell(kind: SystemKind, workload: &Workload, config: &SystemConfig) ->
 }
 
 /// Run a lineup of systems on the same workload.
-pub fn run_lineup(
-    systems: &[SystemKind],
-    workload: &Workload,
-    config: &SystemConfig,
-) -> Vec<Cell> {
+pub fn run_lineup(systems: &[SystemKind], workload: &Workload, config: &SystemConfig) -> Vec<Cell> {
     systems
         .iter()
         .map(|&kind| run_cell(kind, workload, config))
@@ -76,7 +72,10 @@ pub fn run_lineup(
 pub fn print_table(title: &str, columns: &[String], rows: &[(String, Vec<String>)]) {
     println!("\n## {title}\n");
     println!("| system | {} |", columns.join(" | "));
-    println!("|---|{}|", columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|---|{}|",
+        columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for (name, cells) in rows {
         println!("| {name} | {} |", cells.join(" | "));
     }
@@ -123,11 +122,7 @@ mod tests {
         let mut w = Workload::paper_default(ModelId::Opt13B);
         w.gen_len = 4;
         w.prompt_len = 8;
-        let cells = run_lineup(
-            &[SystemKind::Accelerate, SystemKind::hermes()],
-            &w,
-            &config,
-        );
+        let cells = run_lineup(&[SystemKind::Accelerate, SystemKind::hermes()], &w, &config);
         assert_eq!(cells.len(), 2);
         let speedup = geomean_speedup(&cells[1..], &cells[..1]).unwrap();
         assert!(speedup > 1.0);

@@ -81,8 +81,7 @@ pub fn run_flexgen(workload: &Workload, config: &SystemConfig) -> InferenceRepor
     let mut breakdown = LatencyBreakdown::default();
     let prompt_flops = hermes_model::flops::model_flops_per_token(&cfg, workload.prompt_len / 2)
         * (workload.prompt_len * batch) as u64;
-    breakdown.prefill =
-        (streamed as f64 / bandwidth).max(kernel.gemm_time(total, prompt_flops));
+    breakdown.prefill = (streamed as f64 / bandwidth).max(kernel.gemm_time(total, prompt_flops));
 
     for t in 0..workload.gen_len {
         let kv_len = workload.prompt_len + t;
@@ -90,8 +89,7 @@ pub fn run_flexgen(workload: &Workload, config: &SystemConfig) -> InferenceRepor
             + shape.sparse_block_bytes(Block::Mlp)
             + shape.projection_bytes();
         let fc_flops = 2 * fc_bytes / cfg.dtype_bytes;
-        let compute = cfg.num_layers as f64
-            * kernel.kernel_time(fc_bytes, fc_flops * batch as u64)
+        let compute = cfg.num_layers as f64 * kernel.kernel_time(fc_bytes, fc_flops * batch as u64)
             + cfg.num_layers as f64
                 * kernel.attention_time(
                     shape.attention_kv_bytes(kv_len),
@@ -164,20 +162,22 @@ pub fn run_dejavu(workload: &Workload, config: &SystemConfig) -> InferenceReport
         * (workload.prompt_len * batch) as u64;
     breakdown.prefill = ((cfg.total_param_bytes() - cache_budget.min(sparse)) as f64 / bandwidth)
         .max(kernel.gemm_time(cfg.total_param_bytes(), prompt_flops));
-    let predictor_time_per_token =
-        kernel.kernel_time(predictor_bytes, mlp_predictor.flops_per_token(&cfg) * batch as u64);
+    let predictor_time_per_token = kernel.kernel_time(
+        predictor_bytes,
+        mlp_predictor.flops_per_token(&cfg) * batch as u64,
+    );
 
     for t in 0..workload.gen_len {
         let token = activity.next_token();
         let kv_len = workload.prompt_len + t;
         breakdown.predictor += predictor_time_per_token;
-        for layer in 0..cfg.num_layers {
+        for (layer, full_layer) in full.iter().enumerate() {
             for (bi, block) in Block::ALL.into_iter().enumerate() {
                 let ba = token.block(layer, block);
                 let neuron_bytes = cfg.neuron_weight_bytes(block);
                 let neuron_flops = cfg.neuron_flops(block);
-                let union = ba.expected_union(&full[layer][bi], batch);
-                let active = ba.expected_active(&full[layer][bi]);
+                let union = ba.expected_union(&full_layer[bi], batch);
+                let active = ba.expected_active(&full_layer[bi]);
                 // The share of activated neurons not already cached on the
                 // GPU must be fetched over PCIe before the layer can run.
                 let fetched_bytes = union * (1.0 - resident_fraction) * neuron_bytes as f64;
@@ -239,7 +239,10 @@ pub fn run_tensorrt_llm(
             + shape.projection_bytes();
         let fc_flops = 2 * fc_bytes / cfg.dtype_bytes;
         breakdown.fc += cfg.num_layers as f64
-            * kernel.kernel_time(fc_bytes / num_gpus as u64, fc_flops * batch as u64 / num_gpus as u64);
+            * kernel.kernel_time(
+                fc_bytes / num_gpus as u64,
+                fc_flops * batch as u64 / num_gpus as u64,
+            );
         breakdown.attention += cfg.num_layers as f64
             * kernel.attention_time(
                 shape.attention_kv_bytes(kv_len) / num_gpus as u64,

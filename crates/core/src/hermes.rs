@@ -348,8 +348,7 @@ impl HermesSystem {
                             worst
                         }
                         ColdExecutor::HostCpu => {
-                            let union_total: f64 =
-                                per_union.iter().sum::<f64>() + spill_union;
+                            let union_total: f64 = per_union.iter().sum::<f64>() + spill_union;
                             let seq_total: f64 = per_seq.iter().sum::<f64>() + spill_active;
                             let bytes = (union_total * neuron_bytes as f64) as u64;
                             let flops = (seq_total * neuron_flops as f64) as u64;
@@ -389,7 +388,9 @@ impl HermesSystem {
                     shape.projection_flops() * batch as u64,
                 );
                 let migration_time = self.config.pcie.transfer_time(promoted_bytes_token)
-                    + dimm.link().transfer_time(pending_remap_bytes / cfg.num_layers.max(1) as u64);
+                    + dimm
+                        .link()
+                        .transfer_time(pending_remap_bytes / cfg.num_layers.max(1) as u64);
                 promoted_bytes_token = 0;
                 breakdown.others += proj_time + sync;
                 breakdown.migration += (migration_time - proj_time).max(0.0);
@@ -422,10 +423,7 @@ impl HermesSystem {
                         for (bi, block) in Block::ALL.into_iter().enumerate() {
                             let avg: Vec<f64> =
                                 layer_mults[bi].iter().map(|m| m / window as f64).collect();
-                            moved_bytes += plan
-                                .cold_placement
-                                .block_mut(l, block)
-                                .rebalance(&avg)
+                            moved_bytes += plan.cold_placement.block_mut(l, block).rebalance(&avg)
                                 * cfg.neuron_weight_bytes(block) as f64;
                             layer_mults[bi].iter_mut().for_each(|m| *m = 0.0);
                         }
@@ -467,8 +465,7 @@ impl HermesSystem {
         // Whole layers resident on the GPU, the rest computed by the DIMMs.
         let layer_bytes = shape.total_bytes();
         let budget = self.gpu_hot_budget(cfg) + cfg.memory_footprint().projection_bytes;
-        let resident_layers =
-            ((budget / layer_bytes.max(1)) as usize).min(cfg.num_layers);
+        let resident_layers = ((budget / layer_bytes.max(1)) as usize).min(cfg.num_layers);
         let sync = self.sync_time(cfg);
 
         let mut breakdown = LatencyBreakdown {
@@ -520,14 +517,13 @@ impl HermesSystem {
     /// PCIe once), while the scheduler records neuron activity.
     fn prefill_time(&self, cfg: &ModelConfig, resident_bytes: u64) -> f64 {
         let total = cfg.total_param_bytes();
-        let streamed = total.saturating_sub(
-            resident_bytes + cfg.memory_footprint().dense_resident_bytes(),
-        );
+        let streamed =
+            total.saturating_sub(resident_bytes + cfg.memory_footprint().dense_resident_bytes());
         let stream_time = self.config.pcie.transfer_time(streamed);
         let kernel = KernelCostModel::new(self.config.gpu.clone());
         let tokens = (self.workload.prompt_len * self.workload.batch) as u64;
-        let flops = hermes_model::flops::model_flops_per_token(cfg, self.workload.prompt_len / 2)
-            * tokens;
+        let flops =
+            hermes_model::flops::model_flops_per_token(cfg, self.workload.prompt_len / 2) * tokens;
         let compute_time = kernel.gemm_time(total, flops);
         stream_time.max(compute_time)
     }
@@ -551,9 +547,13 @@ mod tests {
     }
 
     fn run(model: ModelId, options: HermesOptions) -> InferenceReport {
-        HermesSystem::new(quick_workload(model), SystemConfig::paper_default(), options)
-            .run()
-            .expect("supported configuration")
+        HermesSystem::new(
+            quick_workload(model),
+            SystemConfig::paper_default(),
+            options,
+        )
+        .run()
+        .expect("supported configuration")
     }
 
     #[test]
@@ -661,6 +661,10 @@ mod tests {
         assert!(report.gpu_weight_bytes <= SystemConfig::paper_default().gpu.memory_bytes);
         assert!(report.dimm_imbalance >= 1.0);
         // With remapping the average imbalance should stay modest.
-        assert!(report.dimm_imbalance < 2.5, "imbalance {}", report.dimm_imbalance);
+        assert!(
+            report.dimm_imbalance < 2.5,
+            "imbalance {}",
+            report.dimm_imbalance
+        );
     }
 }

@@ -105,11 +105,11 @@ impl NeuronPlan {
             bytes: u64,
         }
         let mut candidates: Vec<Candidate> = Vec::new();
-        for layer in 0..cfg.num_layers {
+        for (layer, layer_scores) in scores.iter().enumerate() {
             for (bi, block) in Block::ALL.into_iter().enumerate() {
                 let bytes = cfg.neuron_weight_bytes(block);
                 let flops = cfg.neuron_flops(block) as f64;
-                for (i, &score) in scores[layer][bi].iter().enumerate() {
+                for (i, &score) in layer_scores[bi].iter().enumerate() {
                     candidates.push(Candidate {
                         layer: layer as u32,
                         block,
@@ -149,14 +149,14 @@ impl NeuronPlan {
         let mut cold = Vec::with_capacity(cfg.num_layers);
         let mut hot_mass = 0.0;
         let mut total_mass = 0.0;
-        for layer in 0..cfg.num_layers {
+        for (layer, layer_flags) in hot_flags.iter().enumerate() {
             let mut full_blocks = Vec::with_capacity(2);
             let mut hot_blocks = Vec::with_capacity(2);
             let mut cold_blocks = Vec::with_capacity(2);
             for (bi, block) in Block::ALL.into_iter().enumerate() {
                 let pop = popularity.block(layer, block);
                 let clusters = activity.clusters().block(layer, block);
-                let flags = &hot_flags[layer][bi];
+                let flags = &layer_flags[bi];
                 let hot_sums = ClusterPopSums::from_subset(
                     pop,
                     clusters,
@@ -192,7 +192,11 @@ impl NeuronPlan {
             cold,
             cold_placement,
             hot_bytes,
-            hot_coverage: if total_mass > 0.0 { hot_mass / total_mass } else { 0.0 },
+            hot_coverage: if total_mass > 0.0 {
+                hot_mass / total_mass
+            } else {
+                0.0
+            },
         }
     }
 }

@@ -100,9 +100,7 @@ pub fn try_run_system(
         SystemKind::Hermes(options) => {
             HermesSystem::new(workload.clone(), config.clone(), options).run()
         }
-        SystemKind::TensorRtLlm { num_gpus } => {
-            Ok(run_tensorrt_llm(workload, num_gpus, 300.0e9))
-        }
+        SystemKind::TensorRtLlm { num_gpus } => Ok(run_tensorrt_llm(workload, num_gpus, 300.0e9)),
     }
 }
 
@@ -190,7 +188,11 @@ mod tests {
         let hermes = run_system(SystemKind::hermes(), &w, &config).tokens_per_second();
         let accelerate = run_system(SystemKind::Accelerate, &w, &config).tokens_per_second();
         let dejavu = run_system(SystemKind::DejaVu, &w, &config).tokens_per_second();
-        assert!(hermes / accelerate > 20.0, "vs accelerate {:.1}", hermes / accelerate);
+        assert!(
+            hermes / accelerate > 20.0,
+            "vs accelerate {:.1}",
+            hermes / accelerate
+        );
         assert!(hermes / dejavu > 5.0, "vs dejavu {:.1}", hermes / dejavu);
     }
 }

@@ -97,7 +97,7 @@ mod tests {
         let m = model();
         let weight_bytes = 100_000_000u64;
         let flops = 2 * weight_bytes; // 2 FLOPs per FP16 element read
-        // Ridge point of the 4090 is ~300 FLOP/byte; batch 512 crosses it.
+                                      // Ridge point of the 4090 is ~300 FLOP/byte; batch 512 crosses it.
         let t_small = m.gemv_time(weight_bytes, flops, 1);
         let t_large = m.gemv_time(weight_bytes, flops, 512);
         assert!(t_large > t_small);

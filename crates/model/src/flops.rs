@@ -26,8 +26,8 @@ impl LayerFlops {
     /// Dense per-token FLOPs of one layer at the given KV-cache length.
     pub fn dense(cfg: &ModelConfig, kv_len: usize) -> Self {
         let shape = cfg.layer_shape();
-        let qkv = cfg.neurons_per_layer(Block::Attention) as u64
-            * cfg.neuron_flops(Block::Attention);
+        let qkv =
+            cfg.neurons_per_layer(Block::Attention) as u64 * cfg.neuron_flops(Block::Attention);
         let mlp = cfg.neurons_per_layer(Block::Mlp) as u64 * cfg.neuron_flops(Block::Mlp);
         LayerFlops {
             qkv,
@@ -75,10 +75,7 @@ mod tests {
         for id in ModelId::ALL {
             let cfg = ModelConfig::from_id(id);
             let f = LayerFlops::dense(&cfg, 128);
-            assert!(
-                f.sparse_portion() as f64 / f.total() as f64 > 0.6,
-                "{id}"
-            );
+            assert!(f.sparse_portion() as f64 / f.total() as f64 > 0.6, "{id}");
         }
     }
 

@@ -82,8 +82,8 @@ impl LayerShape {
             // we charge them proportionally.
             Block::Attention => {
                 let q = self.hidden as u64;
-                let kv_share = 2 * self.kv_hidden as u64 * self.hidden as u64
-                    / self.hidden.max(1) as u64;
+                let kv_share =
+                    2 * self.kv_hidden as u64 * self.hidden as u64 / self.hidden.max(1) as u64;
                 q + kv_share
             }
             // An MLP neuron owns a row of FC1/up (+ gate when present) and a

@@ -32,7 +32,9 @@ impl MemoryFootprint {
             attention_neuron_bytes: layers * shape.sparse_block_bytes(Block::Attention),
             mlp_neuron_bytes: layers * shape.sparse_block_bytes(Block::Mlp),
             projection_bytes: layers * shape.projection_bytes(),
-            embedding_bytes: 2 * (cfg.vocab_size as u64) * (cfg.hidden_size as u64)
+            embedding_bytes: 2
+                * (cfg.vocab_size as u64)
+                * (cfg.hidden_size as u64)
                 * cfg.dtype_bytes,
             kv_bytes_per_token: layers * shape.kv_bytes_per_token(),
         }

@@ -48,8 +48,7 @@ impl ActivationUnit {
         }
         let per_lane = (elements as f64 / self.lanes as f64).ceil();
         let reduction = (elements as f64).log2().ceil().max(1.0);
-        let cycles =
-            per_lane * (1.0 + Self::SOFTMAX_EXTRA_CYCLES_PER_ELEMENT) + reduction;
+        let cycles = per_lane * (1.0 + Self::SOFTMAX_EXTRA_CYCLES_PER_ELEMENT) + reduction;
         cycles / self.clock_hz
     }
 }

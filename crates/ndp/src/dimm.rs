@@ -133,7 +133,10 @@ mod tests {
         let flops = (bytes / 2) * 2;
         let t32 = d.gemv_time(bytes, flops, 32);
         let compute32 = d.gemv().compute_time(flops * 32);
-        assert!((t32 - compute32).abs() / compute32 < 1e-9, "expected compute-bound");
+        assert!(
+            (t32 - compute32).abs() / compute32 < 1e-9,
+            "expected compute-bound"
+        );
         assert!(t32 > d.gemv_time(bytes, flops, 1));
     }
 

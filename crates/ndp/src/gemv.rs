@@ -87,4 +87,49 @@ mod tests {
         assert!(!unit.fits_in_buffer(512 * 1024));
         assert_eq!(unit.buffer_bytes(), 256 * 1024);
     }
+
+    #[test]
+    fn buffer_boundary_is_inclusive() {
+        let unit = GemvUnit::new(&DimmConfig::ddr4_3200());
+        assert!(unit.fits_in_buffer(unit.buffer_bytes()));
+        assert!(!unit.fits_in_buffer(unit.buffer_bytes() + 1));
+        assert!(unit.fits_in_buffer(0));
+    }
+
+    #[test]
+    fn peak_flops_scales_with_clock() {
+        let mut slow_cfg = DimmConfig::ddr4_3200();
+        slow_cfg.ndp_clock_hz /= 2.0;
+        let base = GemvUnit::new(&DimmConfig::ddr4_3200());
+        let slow = GemvUnit::new(&slow_cfg);
+        assert!((base.peak_flops() / slow.peak_flops() - 2.0).abs() < 1e-9);
+        assert!((slow.compute_time(1 << 20) / base.compute_time(1 << 20) - 2.0).abs() < 1e-9);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(32))]
+
+        /// compute_time is exactly linear in FLOPs: additive and monotone.
+        #[test]
+        fn compute_time_is_linear(a in 1u64..1_000_000_000, b in 1u64..1_000_000_000) {
+            let unit = GemvUnit::new(&DimmConfig::ddr4_3200());
+            let ta = unit.compute_time(a);
+            let tb = unit.compute_time(b);
+            let tab = unit.compute_time(a + b);
+            proptest::prop_assert!(ta > 0.0 && tb > 0.0);
+            proptest::prop_assert!((tab - (ta + tb)).abs() <= 1e-12 * tab.max(1e-300));
+            if a < b {
+                proptest::prop_assert!(ta < tb);
+            }
+        }
+
+        /// Doubling the multiplier count halves the compute time.
+        #[test]
+        fn multipliers_halve_compute_time(mults in 1u32..512, flops in 1u64..1_000_000_000) {
+            let small = GemvUnit::new(&DimmConfig::ddr4_3200().with_multipliers(mults));
+            let large = GemvUnit::new(&DimmConfig::ddr4_3200().with_multipliers(2 * mults));
+            let ratio = small.compute_time(flops) / large.compute_time(flops);
+            proptest::prop_assert!((ratio - 2.0).abs() < 1e-9);
+        }
+    }
 }

@@ -58,7 +58,10 @@ impl DimmPool {
 
     /// Aggregate internal bandwidth of the pool (bytes/s).
     pub fn aggregate_internal_bandwidth(&self) -> f64 {
-        self.dimms.iter().map(|d| d.dram().internal_bandwidth()).sum()
+        self.dimms
+            .iter()
+            .map(|d| d.dram().internal_bandwidth())
+            .sum()
     }
 
     /// Aggregate GEMV throughput (FLOP/s).

@@ -100,11 +100,7 @@ impl CorrelationTable {
     /// Storage cost in bytes (two 16-bit indices per neuron, as a compact
     /// hardware table would store them).
     pub fn storage_bytes(&self) -> u64 {
-        let neurons: usize = self
-            .layers
-            .iter()
-            .map(|l| l[0].len() + l[1].len())
-            .sum();
+        let neurons: usize = self.layers.iter().map(|l| l[0].len() + l[1].len()).sum();
         (neurons * 2 * 2) as u64
     }
 }

@@ -133,7 +133,11 @@ impl HermesPredictor {
         let layer_wise_available =
             self.config.use_layer_wise && layer > 0 && prev_layer_active.is_some();
         for (i, &s) in states.iter().enumerate() {
-            let s1 = if self.config.use_token_wise { s as f64 } else { 0.0 };
+            let s1 = if self.config.use_token_wise {
+                s as f64
+            } else {
+                0.0
+            };
             let active = if layer_wise_available {
                 let prev = prev_layer_active.expect("checked above");
                 let [a, b] = self.correlation.parents(layer, block, i);
@@ -260,16 +264,16 @@ mod tests {
 
     #[test]
     fn prediction_beats_chance() {
-        let (cfg, mut gen, mut p) = trained_predictor(21);
+        let (_cfg, mut gen, mut p) = trained_predictor(21);
         let mut correct = 0usize;
         let mut total = 0usize;
         for _ in 0..16 {
             let tok = gen.next_token();
             let predicted = p.predict_token();
-            for layer in 0..cfg.num_layers {
+            for (layer, pred_layer) in predicted.iter().enumerate() {
                 for (bi, block) in Block::ALL.into_iter().enumerate() {
                     let actual = tok.block(layer, block);
-                    let pred = &predicted[layer][bi];
+                    let pred = &pred_layer[bi];
                     for i in 0..actual.len() {
                         if pred.get(i) == actual.get(i) {
                             correct += 1;

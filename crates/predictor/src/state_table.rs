@@ -106,11 +106,7 @@ impl NeuronStateTable {
     /// Storage cost of the table in bytes: 4 bits per neuron (the paper
     /// reports 232 KB for LLaMA-7B).
     pub fn storage_bytes(&self) -> u64 {
-        let neurons: usize = self
-            .layers
-            .iter()
-            .map(|l| l[0].len() + l[1].len())
-            .sum();
+        let neurons: usize = self.layers.iter().map(|l| l[0].len() + l[1].len()).sum();
         neurons.div_ceil(2) as u64
     }
 }
@@ -139,7 +135,9 @@ mod tests {
         let mid = NeuronStateTable::quantize_frequency(0.5);
         assert!((1..15).contains(&mid));
         // Monotone in frequency.
-        assert!(NeuronStateTable::quantize_frequency(0.7) >= NeuronStateTable::quantize_frequency(0.3));
+        assert!(
+            NeuronStateTable::quantize_frequency(0.7) >= NeuronStateTable::quantize_frequency(0.3)
+        );
     }
 
     #[test]

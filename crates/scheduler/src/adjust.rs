@@ -74,7 +74,7 @@ impl OnlineAdjuster {
                 })
                 .map(|(i, &s)| (i, s))
                 .collect();
-            to_promote.sort_by(|a, b| b.1.cmp(&a.1));
+            to_promote.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
             // Candidates to demote: GPU residents, coldest first.
             let mut to_demote: Vec<(usize, u8)> = states
                 .iter()
@@ -82,27 +82,27 @@ impl OnlineAdjuster {
                 .filter(|(i, _)| assignment.placement(layer, block, *i) == Placement::Gpu)
                 .map(|(i, &s)| (i, s))
                 .collect();
-            to_demote.sort_by(|a, b| a.1.cmp(&b.1));
+            to_demote.sort_by_key(|&(_, s)| s);
 
             let mut demote_iter = to_demote.into_iter();
             for (neuron, state) in to_promote {
                 if bytes_to_gpu + neuron_bytes > self.max_bytes_per_round {
                     break;
                 }
-                // Find a victim that is colder than the candidate.
-                let victim = loop {
-                    match demote_iter.next() {
-                        Some((v, vs)) if vs < state => break Some(v),
-                        Some(_) => break None,
-                        None => break None,
-                    }
+                // Find a victim that is colder than the candidate. The demote
+                // list is sorted coldest-first, so if its head is not colder
+                // no later entry can be either.
+                let victim = match demote_iter.next() {
+                    Some((v, vs)) if vs < state => Some(v),
+                    _ => None,
                 };
                 let Some(victim) = victim else { break };
                 // The victim's home DIMM takes back its computation; neurons
                 // are always stored on the DIMMs, so demotion is free. The
                 // promoted neuron keeps being stored on its DIMM but is now
                 // computed on the GPU.
-                let victim_home = Placement::Dimm(Self::home_dimm(assignment, layer, block, victim));
+                let victim_home =
+                    Placement::Dimm(Self::home_dimm(assignment, layer, block, victim));
                 assignment.set_placement(layer, block, victim, victim_home);
                 assignment.set_placement(layer, block, neuron, Placement::Gpu);
                 bytes_to_gpu += neuron_bytes;
@@ -121,12 +121,7 @@ impl OnlineAdjuster {
     /// The DIMM a demoted neuron returns to: the least-loaded-by-count DIMM,
     /// a cheap stand-in for "its storage home" (all neurons are stored on
     /// every DIMM's share determined by the offline mapper).
-    fn home_dimm(
-        assignment: &NeuronAssignment,
-        layer: usize,
-        block: Block,
-        _neuron: usize,
-    ) -> u16 {
+    fn home_dimm(assignment: &NeuronAssignment, layer: usize, block: Block, _neuron: usize) -> u16 {
         let mut counts = vec![0usize; assignment.num_dimms()];
         for p in assignment.block(layer, block) {
             if let Placement::Dimm(d) = p {
@@ -159,7 +154,12 @@ mod tests {
         cfg
     }
 
-    fn setup() -> (ModelConfig, HermesPredictor, NeuronAssignment, TraceGenerator) {
+    fn setup() -> (
+        ModelConfig,
+        HermesPredictor,
+        NeuronAssignment,
+        TraceGenerator,
+    ) {
         let cfg = tiny_model();
         let profile = SparsityProfile::for_model(&cfg);
         let mut gen = TraceGenerator::new(&cfg, &profile, 11);
@@ -206,7 +206,9 @@ mod tests {
     #[test]
     fn byte_budget_limits_promotions() {
         let (cfg, predictor, mut assignment, _) = setup();
-        let one_neuron = cfg.neuron_weight_bytes(Block::Attention).min(cfg.neuron_weight_bytes(Block::Mlp));
+        let one_neuron = cfg
+            .neuron_weight_bytes(Block::Attention)
+            .min(cfg.neuron_weight_bytes(Block::Mlp));
         let adjuster = OnlineAdjuster::new(one_neuron);
         let plan = adjuster.adjust_layer(&cfg, &predictor, &mut assignment, 0);
         assert!(plan.bytes_to_gpu <= one_neuron);

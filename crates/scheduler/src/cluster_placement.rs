@@ -335,7 +335,9 @@ mod tests {
         let n = 20;
         for _ in 0..n {
             let act = model.next_token();
-            total += placement.block(1, Block::Mlp).imbalance(act.block(1, Block::Mlp));
+            total += placement
+                .block(1, Block::Mlp)
+                .imbalance(act.block(1, Block::Mlp));
         }
         let mean = total / n as f64;
         assert!(mean > 1.05, "mean imbalance {mean:.3}");
@@ -367,7 +369,10 @@ mod tests {
         let before = placement.block(1, Block::Mlp).imbalance(ba);
         let moved = placement.block_mut(1, Block::Mlp).rebalance(&window);
         let after = placement.block(1, Block::Mlp).imbalance(ba);
-        assert!(after <= before + 1e-9, "imbalance {before:.3} -> {after:.3}");
+        assert!(
+            after <= before + 1e-9,
+            "imbalance {before:.3} -> {after:.3}"
+        );
         assert!(moved >= 0.0);
     }
 

@@ -131,9 +131,7 @@ impl OfflinePartitioner {
                     .block(layer, block)
                     .iter()
                     .enumerate()
-                    .filter(|(i, _)| {
-                        assignment.placement(layer, block, *i) != Placement::Gpu
-                    })
+                    .filter(|(i, _)| assignment.placement(layer, block, *i) != Placement::Gpu)
                     .map(|(i, &f)| (i, f))
                     .collect();
                 cold.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
@@ -198,11 +196,7 @@ impl OfflinePartitioner {
     ///
     /// Panics if the model has more than 20 neurons in total, where the
     /// exhaustive search would be intractable.
-    pub fn exact_small(
-        &self,
-        cfg: &ModelConfig,
-        freqs: &NeuronFrequencies,
-    ) -> NeuronAssignment {
+    pub fn exact_small(&self, cfg: &ModelConfig, freqs: &NeuronFrequencies) -> NeuronAssignment {
         let total_neurons: usize = (0..cfg.num_layers)
             .map(|l| {
                 Block::ALL
@@ -237,7 +231,11 @@ impl OfflinePartitioner {
                 }
             }
             if assignment
-                .validate(cfg, self.input.gpu_budget_bytes, self.input.dimm_capacity_bytes)
+                .validate(
+                    cfg,
+                    self.input.gpu_budget_bytes,
+                    self.input.dimm_capacity_bytes,
+                )
                 .is_ok()
             {
                 let obj = self.objective(cfg, freqs, &assignment);
@@ -415,5 +413,78 @@ mod tests {
         let freqs = freqs_for(&cfg, 6, 8);
         let partitioner = OfflinePartitioner::new(input(&cfg, 0.2, 2));
         let _ = partitioner.exact_small(&cfg, &freqs);
+    }
+
+    #[test]
+    fn random_partition_is_seed_deterministic() {
+        let cfg = tiny_model();
+        let freqs = freqs_for(&cfg, 7, 32);
+        let partitioner = OfflinePartitioner::new(input(&cfg, 0.2, 4));
+        let a = partitioner.partition(&cfg, &freqs, PartitionGoal::Random { seed: 11 });
+        let b = partitioner.partition(&cfg, &freqs, PartitionGoal::Random { seed: 11 });
+        assert_eq!(a, b, "same seed must reproduce the same assignment");
+        let c = partitioner.partition(&cfg, &freqs, PartitionGoal::Random { seed: 12 });
+        assert_ne!(a, c, "different seeds should shuffle differently");
+    }
+
+    #[test]
+    fn input_accessor_exposes_problem() {
+        let cfg = tiny_model();
+        let inp = input(&cfg, 0.3, 8);
+        let partitioner = OfflinePartitioner::new(inp.clone());
+        assert_eq!(partitioner.input(), &inp);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one DIMM")]
+    fn zero_dimms_rejected() {
+        let cfg = tiny_model();
+        let _ = OfflinePartitioner::new(input(&cfg, 0.2, 0));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(12))]
+
+        /// For any DIMM count and GPU budget fraction, the greedy partition
+        /// is feasible: within the GPU budget, every neuron placed, and both
+        /// goals produce assignments that validate.
+        #[test]
+        fn greedy_partition_is_always_feasible(
+            dimms in 1usize..8,
+            gpu_fraction in 0.0f64..0.9,
+            seed in 0u64..1_000,
+        ) {
+            let cfg = tiny_model();
+            let freqs = freqs_for(&cfg, seed, 16);
+            let inp = input(&cfg, gpu_fraction, dimms);
+            let budget = inp.gpu_budget_bytes;
+            let partitioner = OfflinePartitioner::new(inp);
+            for goal in [PartitionGoal::FrequencyOptimal, PartitionGoal::Random { seed }] {
+                let a = partitioner.partition(&cfg, &freqs, goal);
+                proptest::prop_assert!(a.gpu_bytes(&cfg) <= budget);
+                proptest::prop_assert!(a.validate(&cfg, budget, u64::MAX).is_ok());
+                // The objective of any feasible assignment is positive and
+                // at least the per-layer sync floor (Eq. 1 lower bound).
+                let obj = partitioner.objective(&cfg, &freqs, &a);
+                let sync_floor =
+                    2.0 * partitioner.input().sync_time * cfg.num_layers as f64;
+                proptest::prop_assert!(obj >= sync_floor);
+            }
+        }
+
+        /// The frequency-optimal goal never does worse than random under the
+        /// shared objective, for any seed.
+        #[test]
+        fn optimal_never_loses_to_random(seed in 0u64..1_000) {
+            let cfg = tiny_model();
+            let freqs = freqs_for(&cfg, seed.wrapping_add(100), 24);
+            let partitioner = OfflinePartitioner::new(input(&cfg, 0.2, 4));
+            let opt = partitioner.partition(&cfg, &freqs, PartitionGoal::FrequencyOptimal);
+            let rnd = partitioner.partition(&cfg, &freqs, PartitionGoal::Random { seed });
+            proptest::prop_assert!(
+                partitioner.objective(&cfg, &freqs, &opt)
+                    <= partitioner.objective(&cfg, &freqs, &rnd) + 1e-12
+            );
+        }
     }
 }

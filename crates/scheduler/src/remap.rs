@@ -78,11 +78,7 @@ impl WindowRemapper {
     /// Run Algorithm 1 over every (layer, block), migrating the most
     /// activated cold neurons from overloaded to underloaded DIMMs, then
     /// reset the window.
-    pub fn rebalance(
-        &mut self,
-        cfg: &ModelConfig,
-        assignment: &mut NeuronAssignment,
-    ) -> RemapPlan {
+    pub fn rebalance(&mut self, cfg: &ModelConfig, assignment: &mut NeuronAssignment) -> RemapPlan {
         let mut moves = Vec::new();
         let mut bytes_moved = 0u64;
         let num_dimms = assignment.num_dimms();
@@ -115,7 +111,7 @@ impl WindowRemapper {
                         .filter(|(_, p)| **p == Placement::Dimm(heavy as u16))
                         .map(|(i, _)| (i, activity[i]))
                         .collect();
-                    candidates.sort_by(|a, b| b.1.cmp(&a.1));
+                    candidates.sort_by_key(|&(_, act)| std::cmp::Reverse(act));
                     for (neuron, act) in candidates {
                         if loads[heavy] <= loads[light] || act == 0 {
                             break;

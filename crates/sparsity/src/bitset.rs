@@ -193,6 +193,65 @@ mod tests {
     }
 
     #[test]
+    fn new_bitset_is_all_zero() {
+        let bs = Bitset::new(100);
+        assert_eq!(bs.len(), 100);
+        assert!(!bs.is_empty());
+        assert_eq!(bs.count_ones(), 0);
+        assert!((0..100).all(|i| !bs.get(i)));
+    }
+
+    #[test]
+    fn zero_length_bitset_is_empty() {
+        let bs = Bitset::new(0);
+        assert!(bs.is_empty());
+        assert_eq!(bs.count_ones(), 0);
+        assert_eq!(bs.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn from_empty_iterator_is_empty() {
+        let bs: Bitset = std::iter::empty::<usize>().collect();
+        assert!(bs.is_empty());
+        assert_eq!(bs.len(), 0);
+    }
+
+    #[test]
+    fn clear_resets_all_bits() {
+        let mut bs: Bitset = [0usize, 63, 64, 99].into_iter().collect();
+        assert_eq!(bs.count_ones(), 4);
+        bs.clear();
+        assert_eq!(bs.count_ones(), 0);
+        assert_eq!(bs.len(), 100, "clear must not change capacity");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let bs = Bitset::new(10);
+        let _ = bs.get(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn intersection_length_mismatch_panics() {
+        let a = Bitset::new(8);
+        let b = Bitset::new(16);
+        let _ = a.intersection_count(&b);
+    }
+
+    #[test]
+    fn set_is_idempotent() {
+        let mut bs = Bitset::new(70);
+        bs.set(65, true);
+        bs.set(65, true);
+        assert_eq!(bs.count_ones(), 1);
+        bs.set(65, false);
+        bs.set(65, false);
+        assert_eq!(bs.count_ones(), 0);
+    }
+
+    #[test]
     fn union_with_accumulates() {
         let mut a = Bitset::new(8);
         a.set(1, true);
@@ -221,6 +280,35 @@ mod tests {
         fn iter_ones_matches_count(indices in proptest::collection::vec(0usize..300, 0..64)) {
             let bs: Bitset = indices.clone().into_iter().collect();
             prop_assert_eq!(bs.iter_ones().count(), bs.count_ones());
+        }
+
+        #[test]
+        fn union_with_matches_union_count(
+            xs in proptest::collection::vec(0usize..256, 0..96),
+            ys in proptest::collection::vec(0usize..256, 0..96),
+        ) {
+            let mut a = Bitset::new(256);
+            let mut b = Bitset::new(256);
+            for x in &xs { a.set(*x, true); }
+            for y in &ys { b.set(*y, true); }
+            let expected = a.union_count(&b);
+            a.union_with(&b);
+            prop_assert_eq!(a.count_ones(), expected);
+            // Union is a superset of both operands.
+            prop_assert!(b.iter_ones().all(|i| a.get(i)));
+            prop_assert_eq!(a.intersection_count(&b), b.count_ones());
+        }
+
+        #[test]
+        fn iter_ones_is_sorted_and_matches_get(
+            indices in proptest::collection::vec(0usize..400, 0..128),
+        ) {
+            let mut bs = Bitset::new(400);
+            for i in &indices { bs.set(*i, true); }
+            let ones: Vec<usize> = bs.iter_ones().collect();
+            prop_assert!(ones.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(ones.iter().all(|&i| bs.get(i)));
+            prop_assert!((0..400).filter(|&i| bs.get(i)).eq(ones.iter().copied()));
         }
     }
 }

@@ -219,12 +219,12 @@ mod tests {
         let mut total = 0usize;
         for _ in 0..200 {
             cp.step(&mut rng);
-            for c in 0..cp.num_clusters() {
+            for (c, prev_mult) in prev.iter_mut().enumerate() {
                 let cur = cp.multiplier(c);
-                if (cur > 1.0) == (prev[c] > 1.0) {
+                if (cur > 1.0) == (*prev_mult > 1.0) {
                     same_direction += 1;
                 }
-                prev[c] = cur;
+                *prev_mult = cur;
                 total += 1;
             }
         }

@@ -88,7 +88,8 @@ impl NeuronPopularity {
             for block in Block::ALL {
                 let n = cfg.neurons_per_layer(block);
                 let density = profile.density(block);
-                let rank_probs = zipf_probabilities(n, density, profile.hot_fraction, profile.hot_mass);
+                let rank_probs =
+                    zipf_probabilities(n, density, profile.hot_fraction, profile.hot_mass);
                 // Scatter popularity ranks over neuron indices.
                 let mut order: Vec<u32> = (0..n as u32).collect();
                 order.shuffle(&mut rng);
@@ -99,9 +100,8 @@ impl NeuronPopularity {
                 // Parents: the neurons holding the same and next popularity
                 // rank in the previous layer, which yields the strong
                 // layer-wise correlation of Fig. 4b.
-                let prev_order: Option<&Vec<u32>> = prev_rank_orders
-                    .as_ref()
-                    .map(|o| match block {
+                let prev_order: Option<&Vec<u32>> =
+                    prev_rank_orders.as_ref().map(|o| match block {
                         Block::Attention => &o[0],
                         Block::Mlp => &o[1],
                     });
@@ -172,7 +172,9 @@ fn zipf_probabilities(n: usize, density: f64, hot_fraction: f64, hot_mass: f64) 
         if len == 0 {
             return Vec::new();
         }
-        let mut w: Vec<f64> = (0..len).map(|r| 1.0 / ((r + 1) as f64).powf(ALPHA)).collect();
+        let mut w: Vec<f64> = (0..len)
+            .map(|r| 1.0 / ((r + 1) as f64).powf(ALPHA))
+            .collect();
         let sum: f64 = w.iter().sum();
         for v in &mut w {
             *v = (*v / sum * mass).min(CAP);
@@ -255,9 +257,15 @@ mod tests {
         let profile = SparsityProfile::for_model(&cfg);
         let a = NeuronPopularity::generate(&cfg, &profile, 11);
         let b = NeuronPopularity::generate(&cfg, &profile, 11);
-        assert_eq!(a.block(1, Block::Mlp).probs(), b.block(1, Block::Mlp).probs());
+        assert_eq!(
+            a.block(1, Block::Mlp).probs(),
+            b.block(1, Block::Mlp).probs()
+        );
         let c = NeuronPopularity::generate(&cfg, &profile, 12);
-        assert_ne!(a.block(1, Block::Mlp).probs(), c.block(1, Block::Mlp).probs());
+        assert_ne!(
+            a.block(1, Block::Mlp).probs(),
+            c.block(1, Block::Mlp).probs()
+        );
     }
 
     #[test]
@@ -268,7 +276,10 @@ mod tests {
         let bp = pop.block(0, Block::Mlp);
         let top = bp.top_k(10);
         assert_eq!(top.len(), 10);
-        let min_top = top.iter().map(|&i| bp.prob(i as usize)).fold(f64::MAX, f64::min);
+        let min_top = top
+            .iter()
+            .map(|&i| bp.prob(i as usize))
+            .fold(f64::MAX, f64::min);
         // Every non-top neuron must be no more popular than the least popular
         // top neuron.
         for i in 0..bp.len() {

@@ -227,7 +227,11 @@ impl HotColdCoverage {
         let hot_compute: f64 = entries[..hot_count].iter().map(|(f, fl, _)| f * fl).sum();
         let hot_bytes: f64 = entries[..hot_count].iter().map(|(_, _, b)| *b).sum();
         let cold_count = entries.len() - hot_count;
-        let hot_intensity = if hot_count > 0 { hot_compute / hot_count as f64 } else { 0.0 };
+        let hot_intensity = if hot_count > 0 {
+            hot_compute / hot_count as f64
+        } else {
+            0.0
+        };
         let cold_intensity = if cold_count > 0 {
             (total_compute - hot_compute) / cold_count as f64
         } else {
@@ -235,9 +239,21 @@ impl HotColdCoverage {
         };
         HotColdCoverage {
             hot_fraction,
-            hot_param_share: if total_bytes > 0.0 { hot_bytes / total_bytes } else { 0.0 },
-            hot_compute_share: if total_compute > 0.0 { hot_compute / total_compute } else { 0.0 },
-            intensity_ratio: if cold_intensity > 0.0 { hot_intensity / cold_intensity } else { f64::INFINITY },
+            hot_param_share: if total_bytes > 0.0 {
+                hot_bytes / total_bytes
+            } else {
+                0.0
+            },
+            hot_compute_share: if total_compute > 0.0 {
+                hot_compute / total_compute
+            } else {
+                0.0
+            },
+            intensity_ratio: if cold_intensity > 0.0 {
+                hot_intensity / cold_intensity
+            } else {
+                f64::INFINITY
+            },
         }
     }
 }
@@ -347,7 +363,12 @@ mod tests {
     fn similarity_curve_decreases_then_flattens() {
         let (_, _, trace) = setup(80);
         let curve = TokenSimilarityCurve::measure(&trace, 40);
-        assert!(curve.at(1) > curve.at(20), "adjacent {} vs distant {}", curve.at(1), curve.at(20));
+        assert!(
+            curve.at(1) > curve.at(20),
+            "adjacent {} vs distant {}",
+            curve.at(1),
+            curve.at(20)
+        );
         // Beyond the window the curve should be nearly flat.
         let tail_delta = (curve.at(30) - curve.at(40)).abs();
         assert!(tail_delta < 0.08, "tail still moving by {tail_delta}");
@@ -369,9 +390,21 @@ mod tests {
         let (cfg, _, trace) = setup(48);
         let freqs = NeuronFrequencies::measure(&trace);
         let cov = HotColdCoverage::measure(&cfg, &freqs, 0.2);
-        assert!(cov.hot_compute_share > 0.5, "compute share {}", cov.hot_compute_share);
-        assert!(cov.hot_param_share < 0.35, "param share {}", cov.hot_param_share);
-        assert!(cov.intensity_ratio > 4.0, "intensity ratio {}", cov.intensity_ratio);
+        assert!(
+            cov.hot_compute_share > 0.5,
+            "compute share {}",
+            cov.hot_compute_share
+        );
+        assert!(
+            cov.hot_param_share < 0.35,
+            "param share {}",
+            cov.hot_param_share
+        );
+        assert!(
+            cov.intensity_ratio > 4.0,
+            "intensity ratio {}",
+            cov.intensity_ratio
+        );
     }
 
     #[test]

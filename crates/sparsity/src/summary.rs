@@ -265,7 +265,10 @@ mod tests {
         }
         expected /= steps as f64;
         let rel = (expected - measured).abs() / measured.max(1.0);
-        assert!(rel < 0.25, "statistical {expected:.1} vs trace {measured:.1}");
+        assert!(
+            rel < 0.25,
+            "statistical {expected:.1} vs trace {measured:.1}"
+        );
     }
 
     #[test]

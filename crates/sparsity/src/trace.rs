@@ -49,7 +49,11 @@ impl TokenActivations {
     /// averaged over all layers and blocks. This is the quantity plotted in
     /// Fig. 4a.
     pub fn similarity(&self, other: &TokenActivations) -> f64 {
-        assert_eq!(self.num_layers(), other.num_layers(), "layer count mismatch");
+        assert_eq!(
+            self.num_layers(),
+            other.num_layers(),
+            "layer count mismatch"
+        );
         let mut total = 0.0;
         let mut n = 0usize;
         for (a, b) in self.layers.iter().zip(&other.layers) {
@@ -103,7 +107,12 @@ impl TraceGenerator {
         let mlp_neurons = popularity.block(0, Block::Mlp).len();
         TraceGenerator {
             popularity,
-            clusters: ModelClusterProcess::new(num_layers, attention_neurons, mlp_neurons, &profile),
+            clusters: ModelClusterProcess::new(
+                num_layers,
+                attention_neurons,
+                mlp_neurons,
+                &profile,
+            ),
             profile,
             rng: SmallRng::seed_from_u64(seed ^ 0x5eed_1234_abcd),
             prev: None,
@@ -149,7 +158,11 @@ impl TraceGenerator {
                     let temporal = match &self.prev {
                         Some(prev) => {
                             let was = prev.block(layer, block).get(i);
-                            let pr = if was { p + rho * (1.0 - p) } else { p * (1.0 - rho) };
+                            let pr = if was {
+                                p + rho * (1.0 - p)
+                            } else {
+                                p * (1.0 - rho)
+                            };
                             self.rng.gen_bool(pr.clamp(0.0, 1.0))
                         }
                         None => self.rng.gen_bool(p.clamp(0.0, 1.0)),
@@ -217,10 +230,7 @@ mod tests {
         assert_eq!(tok.num_layers(), cfg.num_layers);
         for layer in 0..cfg.num_layers {
             for block in Block::ALL {
-                assert_eq!(
-                    tok.block(layer, block).len(),
-                    cfg.neurons_per_layer(block)
-                );
+                assert_eq!(tok.block(layer, block).len(), cfg.neurons_per_layer(block));
             }
         }
     }
@@ -251,8 +261,14 @@ mod tests {
     fn adjacent_tokens_are_more_similar_than_distant() {
         let mut gen = generator(3);
         let toks = gen.generate(40);
-        let adjacent: f64 = (0..39).map(|i| toks[i].similarity(&toks[i + 1])).sum::<f64>() / 39.0;
-        let distant: f64 = (0..10).map(|i| toks[i].similarity(&toks[i + 30])).sum::<f64>() / 10.0;
+        let adjacent: f64 = (0..39)
+            .map(|i| toks[i].similarity(&toks[i + 1]))
+            .sum::<f64>()
+            / 39.0;
+        let distant: f64 = (0..10)
+            .map(|i| toks[i].similarity(&toks[i + 30]))
+            .sum::<f64>()
+            / 10.0;
         assert!(
             adjacent > distant + 0.02,
             "adjacent {adjacent:.3} should exceed distant {distant:.3}"

@@ -26,6 +26,11 @@ fn main() {
             .expect("supported");
         let fc_ms = report.breakdown.fc * 1e3 / workload.gen_len as f64;
         let base = *baseline.get_or_insert(fc_ms);
-        println!("{:<26} {:>8.2} ms/token   {:>5.2}x", name, fc_ms, base / fc_ms);
+        println!(
+            "{:<26} {:>8.2} ms/token   {:>5.2}x",
+            name,
+            fc_ms,
+            base / fc_ms
+        );
     }
 }

@@ -9,7 +9,10 @@ use hermes_model::ModelId;
 fn main() {
     let config = SystemConfig::paper_default();
     println!("OPT-66B end-to-end throughput (tokens/s)\n");
-    println!("{:<8} {:>12} {:>12} {:>10}", "batch", "Deja Vu", "Hermes", "speedup");
+    println!(
+        "{:<8} {:>12} {:>12} {:>10}",
+        "batch", "Deja Vu", "Hermes", "speedup"
+    );
     for batch in [1usize, 2, 4, 8, 16] {
         let workload = Workload::paper_default(ModelId::Opt66B).with_batch(batch);
         let dejavu = try_run_system(SystemKind::DejaVu, &workload, &config)
@@ -18,6 +21,12 @@ fn main() {
         let hermes = try_run_system(SystemKind::hermes(), &workload, &config)
             .map(|r| r.tokens_per_second())
             .unwrap_or(f64::NAN);
-        println!("{:<8} {:>12.2} {:>12.2} {:>9.1}x", batch, dejavu, hermes, hermes / dejavu);
+        println!(
+            "{:<8} {:>12.2} {:>12.2} {:>9.1}x",
+            batch,
+            dejavu,
+            hermes,
+            hermes / dejavu
+        );
     }
 }

@@ -31,9 +31,17 @@ fn main() {
     let full_predictor = HermesPredictor::new(&full, PredictorConfig::default());
     let mlp = MlpPredictorModel::default();
     println!("\nLLaMA2-7B predictor footprints:");
-    println!("  Hermes state table:       {:.0} KB", full_predictor.states().storage_bytes() as f64 / 1024.0);
-    println!("  Hermes correlation table: {:.2} MB", full_predictor.correlation().storage_bytes() as f64 / 1e6);
-    println!("  MLP predictor (baseline): {:.2} GB + {:.0}% runtime overhead",
+    println!(
+        "  Hermes state table:       {:.0} KB",
+        full_predictor.states().storage_bytes() as f64 / 1024.0
+    );
+    println!(
+        "  Hermes correlation table: {:.2} MB",
+        full_predictor.correlation().storage_bytes() as f64 / 1e6
+    );
+    println!(
+        "  MLP predictor (baseline): {:.2} GB + {:.0}% runtime overhead",
         mlp.storage_bytes(&full) as f64 / 1e9,
-        100.0 * mlp.runtime_overhead_fraction(&full));
+        100.0 * mlp.runtime_overhead_fraction(&full)
+    );
 }

@@ -13,12 +13,27 @@ fn main() {
 
     println!("system:              {}", report.system);
     println!("model:               {}", workload.model);
-    println!("batch / prompt / gen: {} / {} / {}", workload.batch, workload.prompt_len, workload.gen_len);
+    println!(
+        "batch / prompt / gen: {} / {} / {}",
+        workload.batch, workload.prompt_len, workload.gen_len
+    );
     println!("tokens/s (end-to-end): {:.2}", report.tokens_per_second());
-    println!("tokens/s (decode):     {:.2}", report.decode_tokens_per_second());
-    println!("decode latency:        {:.2} ms/token", report.decode_latency_ms_per_token());
-    println!("hot neurons on GPU:    {:.2} GiB", report.hot_neuron_bytes as f64 / (1u64 << 30) as f64);
-    println!("GPU weights total:     {:.2} GiB", report.gpu_weight_bytes as f64 / (1u64 << 30) as f64);
+    println!(
+        "tokens/s (decode):     {:.2}",
+        report.decode_tokens_per_second()
+    );
+    println!(
+        "decode latency:        {:.2} ms/token",
+        report.decode_latency_ms_per_token()
+    );
+    println!(
+        "hot neurons on GPU:    {:.2} GiB",
+        report.hot_neuron_bytes as f64 / (1u64 << 30) as f64
+    );
+    println!(
+        "GPU weights total:     {:.2} GiB",
+        report.gpu_weight_bytes as f64 / (1u64 << 30) as f64
+    );
     println!("mean DIMM imbalance:   {:.3}", report.dimm_imbalance);
     let b = &report.breakdown;
     println!("\nbreakdown (s): fc={:.3} attention={:.3} predictor={:.4} prefill={:.3} comm={:.4} migration={:.4} others={:.3}",

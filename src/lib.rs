@@ -1,0 +1,39 @@
+//! Hermes — a simulation of "Make LLM Inference Affordable to Everyone:
+//! Augmenting GPU Memory with NDP-DIMM" (HPCA'25).
+//!
+//! This facade crate re-exports every subsystem crate under one roof and owns
+//! the workspace-level integration tests (`tests/`) and runnable examples
+//! (`examples/`). The subsystems:
+//!
+//! * [`model`] — model configs, layer shapes, neuron ids, memory footprints.
+//! * [`sparsity`] — activation-sparsity modelling: popularity, traces,
+//!   clusters, hot/cold statistics.
+//! * [`predictor`] — the correlation-aware activation predictor and the MLP
+//!   baseline.
+//! * [`scheduler`] — offline partitioning, cluster placement, window
+//!   remapping and online hot/cold adjustment.
+//! * [`ndp`] — the NDP-DIMM hardware model (DRAM timing, GEMV/activation
+//!   units, links, pools).
+//! * [`gpu`] — consumer GPU, host CPU and PCIe cost models.
+//! * [`core`] — the end-to-end Hermes system and the baseline offloading
+//!   systems it is evaluated against.
+//!
+//! # Example
+//!
+//! ```
+//! use hermes::core::{run_system, SystemConfig, SystemKind, Workload};
+//! use hermes::model::ModelId;
+//!
+//! let workload = Workload::paper_default(ModelId::Opt13B);
+//! let config = SystemConfig::paper_default();
+//! let report = run_system(SystemKind::hermes(), &workload, &config);
+//! assert!(report.tokens_per_second() > 1.0);
+//! ```
+
+pub use hermes_core as core;
+pub use hermes_gpu as gpu;
+pub use hermes_model as model;
+pub use hermes_ndp as ndp;
+pub use hermes_predictor as predictor;
+pub use hermes_scheduler as scheduler;
+pub use hermes_sparsity as sparsity;

@@ -34,7 +34,11 @@ fn paper_headline_ordering_opt66b() {
     assert!(hermes > host);
     // The speedups over pure offloading are orders of magnitude (the paper
     // reports 148.98x over FlexGen and 75.24x over Deja Vu on average).
-    assert!(hermes / flexgen > 20.0, "vs FlexGen {:.1}x", hermes / flexgen);
+    assert!(
+        hermes / flexgen > 20.0,
+        "vs FlexGen {:.1}x",
+        hermes / flexgen
+    );
     assert!(hermes / dejavu > 10.0, "vs Deja Vu {:.1}x", hermes / dejavu);
 }
 
@@ -78,7 +82,10 @@ fn communication_dominates_offloading_baselines() {
     // Hermes eliminates almost all of it.
     let hermes = try_run_system(SystemKind::hermes(), &w, &config).unwrap();
     let hermes_share = hermes.breakdown.communication / hermes.breakdown.decode_total();
-    assert!(hermes_share < 0.1, "Hermes communication share {hermes_share:.2}");
+    assert!(
+        hermes_share < 0.1,
+        "Hermes communication share {hermes_share:.2}"
+    );
 }
 
 #[test]

@@ -2,9 +2,7 @@
 //! activation traces (the claims of Section IV-C).
 
 use hermes_model::{Block, ModelConfig, ModelId};
-use hermes_predictor::{
-    HermesPredictor, MlpPredictorModel, PredictorConfig, PredictorEval,
-};
+use hermes_predictor::{HermesPredictor, MlpPredictorModel, PredictorConfig, PredictorEval};
 use hermes_sparsity::{SparsityProfile, TraceGenerator};
 
 fn small_model() -> ModelConfig {
@@ -69,7 +67,10 @@ fn predictor_state_is_tiny_compared_to_mlp_baseline() {
     // State table matches the paper's 232 KB figure and the whole predictor
     // is orders of magnitude below the ~2 GB MLP predictors.
     let state_kb = hermes.states().storage_bytes() as f64 / 1024.0;
-    assert!((200.0..260.0).contains(&state_kb), "state table {state_kb:.0} KB");
+    assert!(
+        (200.0..260.0).contains(&state_kb),
+        "state table {state_kb:.0} KB"
+    );
     assert!(mlp.storage_bytes(&cfg) > 300 * hermes.storage_bytes());
 }
 

@@ -76,12 +76,18 @@ fn gemv_multipliers_matter_more_at_large_batch() {
     let gain = |batch: usize| {
         let w = quick(ModelId::Opt13B, batch);
         let small = hermes_tps(&w, &SystemConfig::paper_default().with_gemv_multipliers(32));
-        let large = hermes_tps(&w, &SystemConfig::paper_default().with_gemv_multipliers(512));
+        let large = hermes_tps(
+            &w,
+            &SystemConfig::paper_default().with_gemv_multipliers(512),
+        );
         large / small
     };
     let gain_b1 = gain(1);
     let gain_b16 = gain(16);
-    assert!(gain_b16 >= gain_b1, "b16 gain {gain_b16:.2} vs b1 gain {gain_b1:.2}");
+    assert!(
+        gain_b16 >= gain_b1,
+        "b16 gain {gain_b16:.2} vs b1 gain {gain_b1:.2}"
+    );
 }
 
 proptest! {

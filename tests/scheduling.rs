@@ -6,8 +6,8 @@ use hermes_core::{HermesOptions, HermesSystem, SystemConfig, Workload};
 use hermes_model::{Block, ModelConfig, ModelId};
 use hermes_predictor::{HermesPredictor, PredictorConfig};
 use hermes_scheduler::{
-    NeuronAssignment, OfflinePartitioner, OnlineAdjuster, PartitionGoal, PartitionInput,
-    Placement, WindowRemapper,
+    NeuronAssignment, OfflinePartitioner, OnlineAdjuster, PartitionGoal, PartitionInput, Placement,
+    WindowRemapper,
 };
 use hermes_sparsity::{NeuronFrequencies, SparsityProfile, TraceGenerator};
 
@@ -101,7 +101,8 @@ fn remapping_reduces_dimm_load_imbalance_on_contiguous_layouts() {
     for _ in 0..5 {
         remapper.record_token(&gen.next_token());
     }
-    let before = hermes_scheduler::remap::imbalance(&remapper.dimm_loads(&assignment, 2, Block::Mlp));
+    let before =
+        hermes_scheduler::remap::imbalance(&remapper.dimm_loads(&assignment, 2, Block::Mlp));
     let probe = remapper.clone();
     remapper.rebalance(&cfg, &mut assignment);
     let after = hermes_scheduler::remap::imbalance(&probe.dimm_loads(&assignment, 2, Block::Mlp));

@@ -1,0 +1,184 @@
+//! Offline stub of `proptest`.
+//!
+//! Supports the subset this workspace uses: the `proptest!` macro (with an
+//! optional `#![proptest_config(...)]` inner attribute), range strategies over
+//! integers and floats, `proptest::collection::vec`, and
+//! `prop_assert!`/`prop_assert_eq!`. Instead of upstream's shrinking search,
+//! each property is checked against `cases` deterministic pseudo-random
+//! samples; a failing sample panics with the ordinary assert message, which is
+//! enough signal for this simulation codebase.
+
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SampleUniform};
+    use std::ops::Range;
+
+    /// A value generator. Upstream proptest strategies build shrinkable value
+    /// trees; this stub only samples.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+    }
+
+    impl<T: SampleUniform> Strategy for Range<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    /// Strategy for `Vec`s with an element strategy and a length range.
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = if self.size.start < self.size.end {
+                rng.gen_range(self.size.clone())
+            } else {
+                self.size.start
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Runner configuration. Only `cases` is honoured by this stub.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+// Re-export for the generated code in `proptest!`, so user crates don't need
+// their own `rand` dependency just to expand the macro.
+#[doc(hidden)]
+pub use rand as __rand;
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::strategy::Strategy as _;
+                let config: $crate::ProptestConfig = $config;
+                // Deterministic per-test seed so failures reproduce.
+                let seed = {
+                    let name = concat!(module_path!(), "::", stringify!($name));
+                    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+                    })
+                };
+                let mut rng = <$crate::__rand::rngs::SmallRng as $crate::__rand::SeedableRng>::seed_from_u64(seed);
+                for case in 0..config.cases {
+                    let run = || {
+                        $(let $arg = ($strategy).sample(&mut rng);)+
+                        $body
+                    };
+                    // Surface which case number failed (the stub cannot shrink).
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest stub: property {} failed on case {}/{}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5usize..50, f in 0.1f64..0.9) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!((0.1..0.9).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in crate::collection::vec(0u32..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0i64..100) {
+            prop_assert_eq!(x - x, 0);
+        }
+    }
+}

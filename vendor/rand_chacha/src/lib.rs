@@ -1,0 +1,146 @@
+//! Offline stub of `rand_chacha`: a ChaCha8-based deterministic generator
+//! implementing the local `rand` stub's `RngCore`/`SeedableRng` traits.
+//!
+//! The block function is the genuine ChaCha quarter-round construction with 8
+//! rounds; only the seed-expansion convenience (`seed_from_u64`) differs from
+//! upstream, so streams are deterministic but not bit-identical to the real
+//! crate. No test in this workspace depends on upstream bit streams.
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_ROUNDS: usize = 8;
+
+/// "expand 32-byte k" — the standard ChaCha constant words.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key (8 words) + counter (2 words) + nonce (2 words).
+    state: [u32; 16],
+    /// Buffered output of the current block.
+    buffer: [u32; 16],
+    /// Next unread word in `buffer`; 16 means "exhausted".
+    index: usize,
+}
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self.buffer.iter_mut().zip(working.iter().zip(&self.state)) {
+            *out = w.wrapping_add(s);
+        }
+        // 64-bit block counter in words 12..14.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.index = 0;
+    }
+
+    fn next_word(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        for i in 0..8 {
+            let mut bytes = [0u8; 4];
+            bytes.copy_from_slice(&seed[i * 4..(i + 1) * 4]);
+            state[4 + i] = u32::from_le_bytes(bytes);
+        }
+        // Counter and nonce start at zero.
+        Self {
+            state,
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        // Expand via SplitMix64, mirroring the local rand stub's convention.
+        let mut seed = [0u8; 32];
+        let mut sm = state;
+        for chunk in seed.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&splitmix64(&mut sm).to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        let mut c = ChaCha8Rng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn uniformity_sanity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mean: f64 = (0..50_000).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / 50_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

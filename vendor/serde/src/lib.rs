@@ -1,0 +1,17 @@
+//! Offline stub of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and report
+//! types but never serializes anything (there is no `serde_json` or similar
+//! in the tree). This stub keeps those derives compiling without network
+//! access: the derive macros are no-ops and the traits are blanket-implemented
+//! so any future `T: Serialize` bound is also satisfied.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,18 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no crates.io access, and the workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as inert annotations (no serialization
+//! is performed anywhere). These derives therefore expand to nothing; the
+//! matching marker traits live in the sibling `serde` stub crate.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
