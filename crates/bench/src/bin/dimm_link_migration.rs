@@ -8,7 +8,8 @@ use hermes_ndp::{DimmConfig, DimmLink, HostMediatedPath};
 fn main() {
     let config = SystemConfig::paper_default();
     let workload = Workload::paper_default(ModelId::Opt66B);
-    let report = hermes_core::run_system(SystemKind::hermes(), &workload, &config);
+    let report = hermes_core::try_run_system(SystemKind::hermes(), &workload, &config)
+        .expect("Hermes supports OPT-66B on the paper platform");
     let decode = report.breakdown.decode_total();
 
     // Migration volume observed by the engine rides DIMM-links; replay the

@@ -1,5 +1,12 @@
 //! Baseline inference systems: HuggingFace Accelerate, FlexGen, Deja Vu and
 //! the TensorRT-LLM multi-A100 reference (Section V-A2, Fig. 9/11/17).
+//!
+//! Each baseline is modelled as a step-wise engine like the Hermes family:
+//! a `*_session` planner precomputes the run, hands the per-token loop body
+//! to a [`Session`] stepper, and an [`InferenceEngine`]
+//! wrapper ([`AccelerateEngine`], [`FlexGenEngine`], [`DejaVuEngine`],
+//! [`TensorRtLlmEngine`]) validates inputs and opens sessions. The classic
+//! `run_*` helpers remain as thin one-shot drivers over those sessions.
 
 use hermes_gpu::{GpuDevice, KernelCostModel};
 use hermes_model::Block;
@@ -8,15 +15,20 @@ use hermes_sparsity::{
     ClusterPopSums, NeuronPopularity, SparsityProfile, StatisticalActivityModel,
 };
 
-use crate::hermes::layer_shape;
+use crate::engine::{drive, InferenceEngine, Session, SessionSpec, SimSession, StepOutcome};
+use crate::error::HermesError;
 use crate::report::{InferenceReport, LatencyBreakdown};
 use crate::{SystemConfig, Workload};
 
-/// HuggingFace Accelerate: weights that do not fit on the GPU are streamed
-/// from host memory layer by layer, synchronously, for every token.
-pub fn run_accelerate(workload: &Workload, config: &SystemConfig) -> InferenceReport {
+/// Default GPU-to-GPU interconnect bandwidth of the TensorRT-LLM reference
+/// platform (NVLink-class, bytes/s).
+pub const TENSORRT_INTERCONNECT_BANDWIDTH: f64 = 300.0e9;
+
+/// Plan a HuggingFace Accelerate run: weights that do not fit on the GPU are
+/// streamed from host memory layer by layer, synchronously, for every token.
+pub(crate) fn accelerate_session(workload: &Workload, config: &SystemConfig) -> SimSession {
     let cfg = workload.model_config();
-    let shape = layer_shape(&cfg);
+    let shape = cfg.layer_shape();
     let kernel = KernelCostModel::new(config.gpu.clone());
     let batch = workload.batch;
 
@@ -28,48 +40,59 @@ pub fn run_accelerate(workload: &Workload, config: &SystemConfig) -> InferenceRe
     // pipelined offloaders.
     let bandwidth = config.offload_bandwidth() * 0.5;
 
-    let mut breakdown = LatencyBreakdown::default();
     // Prefill: stream the non-resident weights once and run the prompt.
     let prompt_flops = hermes_model::flops::model_flops_per_token(&cfg, workload.prompt_len / 2)
         * (workload.prompt_len * batch) as u64;
-    breakdown.prefill = streamed as f64 / bandwidth + kernel.gemm_time(total, prompt_flops);
+    let prefill_seconds = streamed as f64 / bandwidth + kernel.gemm_time(total, prompt_flops);
 
-    for t in 0..workload.gen_len {
-        let kv_len = workload.prompt_len + t;
+    let spec = SessionSpec {
+        system: "Huggingface Accelerate".to_string(),
+        workload: workload.clone(),
+        prefill_seconds,
+        gpu_weight_bytes: resident,
+        hot_neuron_bytes: 0,
+        hot_coverage: 0.0,
+    };
+    let prompt_len = workload.prompt_len;
+    let pcie_latency = config.pcie.latency;
+    let stepper = move |t: usize| -> StepOutcome {
+        let kv_len = prompt_len + t;
+        let mut latency = LatencyBreakdown::default();
         // Synchronous per-layer weight loads.
-        breakdown.communication +=
-            streamed as f64 / bandwidth + cfg.num_layers as f64 * config.pcie.latency;
+        latency.communication += streamed as f64 / bandwidth + cfg.num_layers as f64 * pcie_latency;
         // Dense compute for every layer.
         let fc_bytes = shape.sparse_block_bytes(Block::Attention)
             + shape.sparse_block_bytes(Block::Mlp)
             + shape.projection_bytes();
         let fc_flops = 2 * fc_bytes / cfg.dtype_bytes;
-        breakdown.fc +=
-            cfg.num_layers as f64 * kernel.kernel_time(fc_bytes, fc_flops * batch as u64);
-        breakdown.attention += cfg.num_layers as f64
+        latency.fc += cfg.num_layers as f64 * kernel.kernel_time(fc_bytes, fc_flops * batch as u64);
+        latency.attention += cfg.num_layers as f64
             * kernel.attention_time(
                 shape.attention_kv_bytes(kv_len),
                 shape.attention_flops(kv_len),
                 batch,
             );
-    }
-
-    InferenceReport {
-        system: "Huggingface Accelerate".to_string(),
-        workload: workload.clone(),
-        breakdown,
-        gpu_weight_bytes: resident,
-        hot_neuron_bytes: 0,
-        dimm_imbalance: 1.0,
-    }
+        StepOutcome::balanced(latency)
+    };
+    SimSession::new(spec, Box::new(stepper))
 }
 
-/// FlexGen: zig-zag block scheduling that overlaps weight prefetch with the
-/// computation of a block of tokens, maximising throughput under the PCIe
-/// bandwidth limit.
-pub fn run_flexgen(workload: &Workload, config: &SystemConfig) -> InferenceReport {
+/// HuggingFace Accelerate, one-shot: drive the session to completion.
+///
+/// Low-level and unchecked: the workload/config are simulated as given,
+/// without validation. Use [`AccelerateEngine`] (or
+/// [`try_run_system`](crate::try_run_system)) for the validating entry
+/// point that reports invalid inputs as [`HermesError`].
+pub fn run_accelerate(workload: &Workload, config: &SystemConfig) -> InferenceReport {
+    drive(accelerate_session(workload, config))
+}
+
+/// Plan a FlexGen run: zig-zag block scheduling that overlaps weight
+/// prefetch with the computation of a block of tokens, maximising throughput
+/// under the PCIe bandwidth limit.
+pub(crate) fn flexgen_session(workload: &Workload, config: &SystemConfig) -> SimSession {
     let cfg = workload.model_config();
-    let shape = layer_shape(&cfg);
+    let shape = cfg.layer_shape();
     let kernel = KernelCostModel::new(config.gpu.clone());
     let batch = workload.batch;
 
@@ -78,13 +101,22 @@ pub fn run_flexgen(workload: &Workload, config: &SystemConfig) -> InferenceRepor
     let streamed = total - resident;
     let bandwidth = config.offload_bandwidth();
 
-    let mut breakdown = LatencyBreakdown::default();
     let prompt_flops = hermes_model::flops::model_flops_per_token(&cfg, workload.prompt_len / 2)
         * (workload.prompt_len * batch) as u64;
-    breakdown.prefill = (streamed as f64 / bandwidth).max(kernel.gemm_time(total, prompt_flops));
+    let prefill_seconds = (streamed as f64 / bandwidth).max(kernel.gemm_time(total, prompt_flops));
 
-    for t in 0..workload.gen_len {
-        let kv_len = workload.prompt_len + t;
+    let spec = SessionSpec {
+        system: "FlexGen".to_string(),
+        workload: workload.clone(),
+        prefill_seconds,
+        gpu_weight_bytes: resident,
+        hot_neuron_bytes: 0,
+        hot_coverage: 0.0,
+    };
+    let prompt_len = workload.prompt_len;
+    let stepper = move |t: usize| -> StepOutcome {
+        let kv_len = prompt_len + t;
+        let mut latency = LatencyBreakdown::default();
         let fc_bytes = shape.sparse_block_bytes(Block::Attention)
             + shape.sparse_block_bytes(Block::Mlp)
             + shape.projection_bytes();
@@ -102,26 +134,30 @@ pub fn run_flexgen(workload: &Workload, config: &SystemConfig) -> InferenceRepor
         // step costs the longer of the two; the overlapped communication is
         // charged to the communication bucket, the exposed remainder to fc.
         let step = stream.max(compute);
-        breakdown.communication += stream;
-        breakdown.fc += step - stream;
-    }
-
-    InferenceReport {
-        system: "FlexGen".to_string(),
-        workload: workload.clone(),
-        breakdown,
-        gpu_weight_bytes: resident,
-        hot_neuron_bytes: 0,
-        dimm_imbalance: 1.0,
-    }
+        latency.communication += stream;
+        latency.fc += step - stream;
+        StepOutcome::balanced(latency)
+    };
+    SimSession::new(spec, Box::new(stepper))
 }
 
-/// Deja Vu (adapted to offloading): activation sparsity reduces the weights
-/// that must cross PCIe to the activated neurons of each token, predicted by
-/// per-layer MLP predictors.
-pub fn run_dejavu(workload: &Workload, config: &SystemConfig) -> InferenceReport {
+/// FlexGen, one-shot: drive the session to completion.
+///
+/// Low-level and unchecked: no validation and no OPT-family guard — the
+/// caller is responsible for only passing OPT workloads. Use
+/// [`FlexGenEngine`] (or [`try_run_system`](crate::try_run_system)) for the
+/// validating entry point that reports unsupported models as
+/// [`HermesError::ModelNotSupported`].
+pub fn run_flexgen(workload: &Workload, config: &SystemConfig) -> InferenceReport {
+    drive(flexgen_session(workload, config))
+}
+
+/// Plan a Deja Vu run (adapted to offloading): activation sparsity reduces
+/// the weights that must cross PCIe to the activated neurons of each token,
+/// predicted by per-layer MLP predictors.
+pub(crate) fn dejavu_session(workload: &Workload, config: &SystemConfig) -> SimSession {
     let cfg = workload.model_config();
-    let shape = layer_shape(&cfg);
+    let shape = cfg.layer_shape();
     let kernel = KernelCostModel::new(config.gpu.clone());
     let batch = workload.batch;
     let profile = SparsityProfile::for_model_on(&cfg, workload.dataset);
@@ -157,20 +193,32 @@ pub fn run_dejavu(workload: &Workload, config: &SystemConfig) -> InferenceReport
         })
         .collect();
 
-    let mut breakdown = LatencyBreakdown::default();
     let prompt_flops = hermes_model::flops::model_flops_per_token(&cfg, workload.prompt_len / 2)
         * (workload.prompt_len * batch) as u64;
-    breakdown.prefill = ((cfg.total_param_bytes() - cache_budget.min(sparse)) as f64 / bandwidth)
+    let prefill_seconds = ((cfg.total_param_bytes() - cache_budget.min(sparse)) as f64 / bandwidth)
         .max(kernel.gemm_time(cfg.total_param_bytes(), prompt_flops));
     let predictor_time_per_token = kernel.kernel_time(
         predictor_bytes,
         mlp_predictor.flops_per_token(&cfg) * batch as u64,
     );
 
-    for t in 0..workload.gen_len {
+    let spec = SessionSpec {
+        system: "Deja Vu".to_string(),
+        workload: workload.clone(),
+        prefill_seconds,
+        gpu_weight_bytes: dense + predictor_bytes + cache_budget.min(sparse),
+        hot_neuron_bytes: 0,
+        hot_coverage: 0.0,
+    };
+    let prompt_len = workload.prompt_len;
+    let pcie_latency = config.pcie.latency;
+    let stepper = move |t: usize| -> StepOutcome {
         let token = activity.next_token();
-        let kv_len = workload.prompt_len + t;
-        breakdown.predictor += predictor_time_per_token;
+        let kv_len = prompt_len + t;
+        let mut latency = LatencyBreakdown {
+            predictor: predictor_time_per_token,
+            ..Default::default()
+        };
         for (layer, full_layer) in full.iter().enumerate() {
             for (bi, block) in Block::ALL.into_iter().enumerate() {
                 let ba = token.block(layer, block);
@@ -181,44 +229,50 @@ pub fn run_dejavu(workload: &Workload, config: &SystemConfig) -> InferenceReport
                 // The share of activated neurons not already cached on the
                 // GPU must be fetched over PCIe before the layer can run.
                 let fetched_bytes = union * (1.0 - resident_fraction) * neuron_bytes as f64;
-                breakdown.communication += fetched_bytes / bandwidth + config.pcie.latency;
-                breakdown.fc += kernel.kernel_time(
+                latency.communication += fetched_bytes / bandwidth + pcie_latency;
+                latency.fc += kernel.kernel_time(
                     (union * neuron_bytes as f64) as u64,
                     (active * batch as f64 * neuron_flops as f64) as u64,
                 );
             }
-            breakdown.attention += kernel.attention_time(
+            latency.attention += kernel.attention_time(
                 shape.attention_kv_bytes(kv_len),
                 shape.attention_flops(kv_len),
                 batch,
             );
-            breakdown.others += kernel.kernel_time(
+            latency.others += kernel.kernel_time(
                 shape.projection_bytes(),
                 shape.projection_flops() * batch as u64,
             );
         }
-    }
-
-    InferenceReport {
-        system: "Deja Vu".to_string(),
-        workload: workload.clone(),
-        breakdown,
-        gpu_weight_bytes: dense + predictor_bytes + cache_budget.min(sparse),
-        hot_neuron_bytes: 0,
-        dimm_imbalance: 1.0,
-    }
+        StepOutcome::balanced(latency)
+    };
+    SimSession::new(spec, Box::new(stepper))
 }
 
-/// TensorRT-LLM on `num_gpus` A100-40GB GPUs with tensor parallelism — the
-/// high-performance (and high-cost) reference of Fig. 17.
-pub fn run_tensorrt_llm(
+/// Deja Vu, one-shot: drive the session to completion.
+///
+/// Low-level and unchecked: no validation and no OPT-family guard — the
+/// caller is responsible for only passing OPT workloads. Use
+/// [`DejaVuEngine`] (or [`try_run_system`](crate::try_run_system)) for the
+/// validating entry point that reports unsupported models as
+/// [`HermesError::ModelNotSupported`].
+pub fn run_dejavu(workload: &Workload, config: &SystemConfig) -> InferenceReport {
+    drive(dejavu_session(workload, config))
+}
+
+/// Plan a TensorRT-LLM run on `num_gpus` A100-40GB GPUs with tensor
+/// parallelism — the high-performance (and high-cost) reference of Fig. 17.
+///
+/// `num_gpus` must be at least 1; [`TensorRtLlmEngine`] validates this
+/// before reaching here.
+pub(crate) fn tensorrt_session(
     workload: &Workload,
     num_gpus: usize,
     interconnect_bandwidth: f64,
-) -> InferenceReport {
-    assert!(num_gpus > 0, "need at least one GPU");
+) -> SimSession {
     let cfg = workload.model_config();
-    let shape = layer_shape(&cfg);
+    let shape = cfg.layer_shape();
     let gpu = GpuDevice::a100_40gb();
     let kernel = KernelCostModel::new(gpu.clone());
     let batch = workload.batch;
@@ -227,23 +281,32 @@ pub fn run_tensorrt_llm(
     let parallel_efficiency = 0.62;
     let effective_gpus = 1.0 + (num_gpus as f64 - 1.0) * parallel_efficiency;
 
-    let mut breakdown = LatencyBreakdown::default();
     let prompt_flops = hermes_model::flops::model_flops_per_token(&cfg, workload.prompt_len / 2)
         * (workload.prompt_len * batch) as u64;
-    breakdown.prefill = kernel.gemm_time(cfg.total_param_bytes(), prompt_flops) / effective_gpus;
+    let prefill_seconds = kernel.gemm_time(cfg.total_param_bytes(), prompt_flops) / effective_gpus;
 
-    for t in 0..workload.gen_len {
-        let kv_len = workload.prompt_len + t;
+    let spec = SessionSpec {
+        system: format!("TensorRT-LLM ({num_gpus}x A100)"),
+        workload: workload.clone(),
+        prefill_seconds,
+        gpu_weight_bytes: cfg.total_param_bytes() / num_gpus as u64,
+        hot_neuron_bytes: 0,
+        hot_coverage: 0.0,
+    };
+    let prompt_len = workload.prompt_len;
+    let stepper = move |t: usize| -> StepOutcome {
+        let kv_len = prompt_len + t;
+        let mut latency = LatencyBreakdown::default();
         let fc_bytes = shape.sparse_block_bytes(Block::Attention)
             + shape.sparse_block_bytes(Block::Mlp)
             + shape.projection_bytes();
         let fc_flops = 2 * fc_bytes / cfg.dtype_bytes;
-        breakdown.fc += cfg.num_layers as f64
+        latency.fc += cfg.num_layers as f64
             * kernel.kernel_time(
                 fc_bytes / num_gpus as u64,
                 fc_flops * batch as u64 / num_gpus as u64,
             );
-        breakdown.attention += cfg.num_layers as f64
+        latency.attention += cfg.num_layers as f64
             * kernel.attention_time(
                 shape.attention_kv_bytes(kv_len) / num_gpus as u64,
                 shape.attention_flops(kv_len) / num_gpus as u64,
@@ -256,16 +319,180 @@ pub fn run_tensorrt_llm(
             * (10e-6 + allreduce_bytes as f64 / interconnect_bandwidth)
             * (num_gpus as f64 - 1.0).max(0.0)
             / num_gpus as f64;
-        breakdown.communication += allreduce;
+        latency.communication += allreduce;
+        StepOutcome::balanced(latency)
+    };
+    SimSession::new(spec, Box::new(stepper))
+}
+
+/// TensorRT-LLM, one-shot: drive the session to completion.
+///
+/// # Panics
+///
+/// Panics if `num_gpus` is 0; use [`TensorRtLlmEngine`] for a validating,
+/// non-panicking entry point.
+pub fn run_tensorrt_llm(
+    workload: &Workload,
+    num_gpus: usize,
+    interconnect_bandwidth: f64,
+) -> InferenceReport {
+    assert!(num_gpus > 0, "need at least one GPU");
+    drive(tensorrt_session(workload, num_gpus, interconnect_bandwidth))
+}
+
+/// HuggingFace Accelerate as an [`InferenceEngine`].
+#[derive(Debug, Clone)]
+pub struct AccelerateEngine {
+    config: SystemConfig,
+}
+
+impl AccelerateEngine {
+    /// Create an engine for a hardware configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        AccelerateEngine { config }
+    }
+}
+
+impl InferenceEngine for AccelerateEngine {
+    fn name(&self) -> String {
+        "Huggingface Accelerate".to_string()
     }
 
-    InferenceReport {
-        system: format!("TensorRT-LLM ({num_gpus}x A100)"),
-        workload: workload.clone(),
-        breakdown,
-        gpu_weight_bytes: cfg.total_param_bytes() / num_gpus as u64,
-        hot_neuron_bytes: 0,
-        dimm_imbalance: 1.0,
+    fn start(&self, workload: &Workload) -> Result<Box<dyn Session>, HermesError> {
+        workload.validate()?;
+        self.config.validate()?;
+        Ok(Box::new(accelerate_session(workload, &self.config)))
+    }
+}
+
+/// FlexGen as an [`InferenceEngine`] (OPT models only).
+#[derive(Debug, Clone)]
+pub struct FlexGenEngine {
+    config: SystemConfig,
+}
+
+impl FlexGenEngine {
+    /// Create an engine for a hardware configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        FlexGenEngine { config }
+    }
+}
+
+impl InferenceEngine for FlexGenEngine {
+    fn name(&self) -> String {
+        "FlexGen".to_string()
+    }
+
+    fn start(&self, workload: &Workload) -> Result<Box<dyn Session>, HermesError> {
+        workload.validate()?;
+        self.config.validate()?;
+        if !workload.model.is_opt_family() {
+            return Err(HermesError::ModelNotSupported {
+                system: self.name(),
+            });
+        }
+        Ok(Box::new(flexgen_session(workload, &self.config)))
+    }
+}
+
+/// Deja Vu as an [`InferenceEngine`] (OPT models only).
+#[derive(Debug, Clone)]
+pub struct DejaVuEngine {
+    config: SystemConfig,
+}
+
+impl DejaVuEngine {
+    /// Create an engine for a hardware configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        DejaVuEngine { config }
+    }
+}
+
+impl InferenceEngine for DejaVuEngine {
+    fn name(&self) -> String {
+        "Deja Vu".to_string()
+    }
+
+    fn start(&self, workload: &Workload) -> Result<Box<dyn Session>, HermesError> {
+        workload.validate()?;
+        self.config.validate()?;
+        if !workload.model.is_opt_family() {
+            return Err(HermesError::ModelNotSupported {
+                system: self.name(),
+            });
+        }
+        Ok(Box::new(dejavu_session(workload, &self.config)))
+    }
+}
+
+/// The TensorRT-LLM multi-A100 reference as an [`InferenceEngine`].
+///
+/// Runs on its own A100 platform, so the simulation takes no
+/// [`SystemConfig`]; when built via
+/// [`SystemKind::engine`](crate::SystemKind::engine) the host configuration
+/// is still carried for input validation, so the step-wise path rejects
+/// exactly the inputs the one-shot [`try_run_system`](crate::try_run_system)
+/// driver rejects.
+#[derive(Debug, Clone)]
+pub struct TensorRtLlmEngine {
+    num_gpus: usize,
+    interconnect_bandwidth: f64,
+    host_config: Option<SystemConfig>,
+}
+
+impl TensorRtLlmEngine {
+    /// Create an engine for `num_gpus` A100-40GB GPUs with the default
+    /// NVLink-class interconnect ([`TENSORRT_INTERCONNECT_BANDWIDTH`]).
+    pub fn new(num_gpus: usize) -> Self {
+        TensorRtLlmEngine {
+            num_gpus,
+            interconnect_bandwidth: TENSORRT_INTERCONNECT_BANDWIDTH,
+            host_config: None,
+        }
+    }
+
+    /// Same engine with a different GPU-to-GPU interconnect bandwidth
+    /// (bytes/s).
+    pub fn with_interconnect_bandwidth(mut self, bandwidth: f64) -> Self {
+        self.interconnect_bandwidth = bandwidth;
+        self
+    }
+
+    /// Same engine, additionally validating `config` on every
+    /// [`InferenceEngine::start`] even though the A100 platform does not use
+    /// it (keeps session-path validation consistent with the one-shot
+    /// driver).
+    pub fn with_host_config(mut self, config: SystemConfig) -> Self {
+        self.host_config = Some(config);
+        self
+    }
+}
+
+impl InferenceEngine for TensorRtLlmEngine {
+    fn name(&self) -> String {
+        format!("TensorRT-LLM ({}x A100)", self.num_gpus)
+    }
+
+    fn start(&self, workload: &Workload) -> Result<Box<dyn Session>, HermesError> {
+        workload.validate()?;
+        if let Some(config) = &self.host_config {
+            config.validate()?;
+        }
+        if self.num_gpus == 0 {
+            return Err(HermesError::InvalidConfig(
+                "num_gpus must be at least 1".to_string(),
+            ));
+        }
+        if !self.interconnect_bandwidth.is_finite() || self.interconnect_bandwidth <= 0.0 {
+            return Err(HermesError::InvalidConfig(
+                "interconnect_bandwidth must be positive".to_string(),
+            ));
+        }
+        Ok(Box::new(tensorrt_session(
+            workload,
+            self.num_gpus,
+            self.interconnect_bandwidth,
+        )))
     }
 }
 
@@ -338,5 +565,40 @@ mod tests {
             (0.02..0.6).contains(&frac),
             "predictor share of compute {frac:.3}"
         );
+    }
+
+    #[test]
+    fn baseline_engines_validate_inputs() {
+        let config = SystemConfig::paper_default();
+        let llama = quick_workload(ModelId::Llama2_13B, 1);
+        assert!(matches!(
+            FlexGenEngine::new(config.clone()).start(&llama),
+            Err(HermesError::ModelNotSupported { .. })
+        ));
+        assert!(matches!(
+            DejaVuEngine::new(config.clone()).start(&llama),
+            Err(HermesError::ModelNotSupported { .. })
+        ));
+        assert!(AccelerateEngine::new(config.clone()).start(&llama).is_ok());
+        assert!(matches!(
+            TensorRtLlmEngine::new(0).start(&llama),
+            Err(HermesError::InvalidConfig(_))
+        ));
+        let mut invalid = llama.clone();
+        invalid.batch = 0;
+        assert!(matches!(
+            AccelerateEngine::new(config).start(&invalid),
+            Err(HermesError::InvalidWorkload(_))
+        ));
+    }
+
+    #[test]
+    fn tensorrt_engine_matches_one_shot_runner() {
+        let w = quick_workload(ModelId::Llama2_70B, 1);
+        let engine = TensorRtLlmEngine::new(5);
+        assert_eq!(engine.name(), "TensorRT-LLM (5x A100)");
+        let mut session = engine.start(&w).unwrap();
+        let report = crate::engine::run_session(session.as_mut()).unwrap();
+        assert_eq!(report, run_tensorrt_llm(&w, 5, 300.0e9));
     }
 }

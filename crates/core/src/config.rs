@@ -5,6 +5,8 @@ use serde::{Deserialize, Serialize};
 use hermes_gpu::{GpuDevice, HostCpu, PcieLink};
 use hermes_ndp::DimmConfig;
 
+use crate::error::HermesError;
+
 /// The hardware a system is simulated on.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -73,15 +75,20 @@ impl SystemConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
-        self.gpu.validate()?;
-        self.dimm.validate()?;
+    /// Returns [`HermesError::InvalidConfig`] naming the first invalid
+    /// field.
+    pub fn validate(&self) -> Result<(), HermesError> {
+        self.gpu.validate().map_err(HermesError::InvalidConfig)?;
+        self.dimm.validate().map_err(HermesError::InvalidConfig)?;
         if self.num_dimms == 0 {
-            return Err("num_dimms must be at least 1".into());
+            return Err(HermesError::InvalidConfig(
+                "num_dimms must be at least 1".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.offload_bandwidth_derate) {
-            return Err("offload_bandwidth_derate must be within [0, 1]".into());
+            return Err(HermesError::InvalidConfig(
+                "offload_bandwidth_derate must be within [0, 1]".into(),
+            ));
         }
         Ok(())
     }
@@ -122,9 +129,9 @@ mod tests {
     fn invalid_configs_rejected() {
         let mut cfg = SystemConfig::paper_default();
         cfg.num_dimms = 0;
-        assert!(cfg.validate().is_err());
+        assert!(matches!(cfg.validate(), Err(HermesError::InvalidConfig(_))));
         let mut cfg = SystemConfig::paper_default();
         cfg.offload_bandwidth_derate = 1.5;
-        assert!(cfg.validate().is_err());
+        assert!(matches!(cfg.validate(), Err(HermesError::InvalidConfig(_))));
     }
 }

@@ -1,0 +1,402 @@
+//! The step-wise engine API: engines, sessions and per-token events.
+//!
+//! The Hermes workflow is inherently token-stepped — predictor lookups,
+//! hot/cold adjustment churn and window-based remapping (Algorithm 1) all
+//! happen *between* decode steps — so the public API exposes that structure
+//! directly instead of hiding it behind a closed-loop batch simulation:
+//!
+//! * [`InferenceEngine`] — a system (Hermes family or baseline) bound to a
+//!   hardware configuration; [`InferenceEngine::start`] validates a workload
+//!   and opens a [`Session`].
+//! * [`Session`] — explicit per-request state: [`Session::prefill`] runs the
+//!   prompting phase, each [`Session::step`] generates one token, and
+//!   [`Session::report`] folds everything executed so far into an
+//!   [`InferenceReport`].
+//! * [`TokenEvent`] — emitted by every `prefill`/`step` call, carrying the
+//!   per-token latency breakdown (predictor, FC, attention, migration, …)
+//!   and the current hot-set / DIMM-balance state.
+//!
+//! [`run_session`] is the one-shot driver: it drives a session to completion
+//! and returns the folded report, which is exactly what
+//! [`try_run_system`](crate::try_run_system) does under the hood. Step-wise
+//! and one-shot execution therefore agree by construction.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::HermesError;
+use crate::report::{InferenceReport, LatencyBreakdown, TokenLatencyStats};
+use crate::workload::Workload;
+
+/// Which phase of a run a [`TokenEvent`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// The prompting phase ([`Session::prefill`]).
+    Prefill,
+    /// One decode step ([`Session::step`]).
+    Decode,
+}
+
+/// One event of a [`Session`]'s stream: the prefill event followed by one
+/// event per generated token.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TokenEvent {
+    /// Which phase produced this event.
+    pub phase: Phase,
+    /// Decode-step index (0-based); 0 for the prefill event as well.
+    pub index: usize,
+    /// Latency breakdown of this event alone (not cumulative).
+    pub latency: LatencyBreakdown,
+    /// Bytes of hot-neuron weights resident on the GPU (0 for systems that
+    /// do not partition neurons).
+    pub hot_neuron_bytes: u64,
+    /// Fraction of the activation mass covered by the hot set (0 for
+    /// systems without a hot/cold partition).
+    pub hot_coverage: f64,
+    /// Running average DIMM load imbalance observed so far (1.0 = balanced;
+    /// only meaningful for NDP-based systems).
+    pub dimm_imbalance: f64,
+}
+
+impl TokenEvent {
+    /// Total latency of this event in seconds.
+    pub fn latency_seconds(&self) -> f64 {
+        self.latency.total()
+    }
+}
+
+/// Explicit per-request state of an inference run, produced by
+/// [`InferenceEngine::start`].
+///
+/// The protocol is `prefill()` once, then `step()` until it returns
+/// `Ok(None)`; [`Session::report`] can be called at any point to fold what
+/// has been executed so far into an [`InferenceReport`].
+pub trait Session {
+    /// Run the prompting phase and return its event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HermesError::SessionState`] if the session was already
+    /// prefilled.
+    fn prefill(&mut self) -> Result<TokenEvent, HermesError>;
+
+    /// Generate the next token, or `Ok(None)` once the workload's `gen_len`
+    /// tokens have all been produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HermesError::SessionState`] if [`Session::prefill`] has not
+    /// run yet.
+    fn step(&mut self) -> Result<Option<TokenEvent>, HermesError>;
+
+    /// Number of decode tokens generated so far.
+    fn generated(&self) -> usize;
+
+    /// Whether every token of the workload has been generated.
+    fn is_done(&self) -> bool;
+
+    /// Fold everything executed so far into an [`InferenceReport`].
+    ///
+    /// Calling this mid-run yields a partial report (the metrics of the
+    /// tokens generated so far); after the session is driven to completion
+    /// it matches the one-shot report of
+    /// [`try_run_system`](crate::try_run_system) exactly.
+    fn report(&self) -> InferenceReport;
+}
+
+/// An inference system bound to a hardware configuration, able to open
+/// step-wise [`Session`]s for workloads.
+///
+/// Implemented by the Hermes family ([`HermesEngine`](crate::HermesEngine))
+/// and every baseline ([`AccelerateEngine`](crate::AccelerateEngine),
+/// [`FlexGenEngine`](crate::FlexGenEngine),
+/// [`DejaVuEngine`](crate::DejaVuEngine),
+/// [`TensorRtLlmEngine`](crate::TensorRtLlmEngine));
+/// [`SystemKind::engine`](crate::SystemKind::engine) dispatches to the right
+/// implementation.
+pub trait InferenceEngine {
+    /// Display name of the system (as used in the paper's figures).
+    fn name(&self) -> String;
+
+    /// Validate `workload` against this engine's configuration and open a
+    /// session for it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HermesError::InvalidWorkload`] /
+    /// [`HermesError::InvalidConfig`] for invalid inputs,
+    /// [`HermesError::ModelNotSupported`] when the system cannot run the
+    /// model family, and [`HermesError::InsufficientMemory`] when the model
+    /// does not fit in the configuration's memory.
+    fn start(&self, workload: &Workload) -> Result<Box<dyn Session>, HermesError>;
+}
+
+/// Drive a session to completion and return the folded report.
+///
+/// Works on a fresh session (runs prefill itself) and on a partially driven
+/// one (resumes stepping where the caller left off).
+///
+/// # Errors
+///
+/// Propagates any [`HermesError`] raised by the session protocol (none for
+/// a freshly started session).
+pub fn run_session(session: &mut dyn Session) -> Result<InferenceReport, HermesError> {
+    match session.prefill() {
+        Ok(_) => {}
+        // Already prefilled by the caller: resume stepping.
+        Err(HermesError::SessionState(_)) => {}
+        Err(e) => return Err(e),
+    }
+    while session.step()?.is_some() {}
+    Ok(session.report())
+}
+
+/// What one decode step of a simulated engine produced: the per-token
+/// latency plus any DIMM load-imbalance samples observed during the step.
+pub(crate) struct StepOutcome {
+    /// Latency breakdown of this token.
+    pub latency: LatencyBreakdown,
+    /// Sum of per-block imbalance samples observed during this token.
+    pub imbalance_sum: f64,
+    /// Number of imbalance samples observed during this token.
+    pub imbalance_samples: usize,
+}
+
+impl StepOutcome {
+    /// A step outcome with no imbalance samples (non-NDP systems).
+    pub(crate) fn balanced(latency: LatencyBreakdown) -> Self {
+        StepOutcome {
+            latency,
+            imbalance_sum: 0.0,
+            imbalance_samples: 0,
+        }
+    }
+}
+
+/// Static per-session metadata captured when the session is planned.
+pub(crate) struct SessionSpec {
+    /// Display name of the system.
+    pub system: String,
+    /// The workload being run.
+    pub workload: Workload,
+    /// Cost of the prompting phase in seconds.
+    pub prefill_seconds: f64,
+    /// Peak bytes of GPU memory used for weights.
+    pub gpu_weight_bytes: u64,
+    /// Bytes of hot-neuron weights resident on the GPU.
+    pub hot_neuron_bytes: u64,
+    /// Fraction of activation mass covered by the hot set.
+    pub hot_coverage: f64,
+}
+
+/// The shared [`Session`] implementation used by every simulated engine:
+/// the engine plans its run up front and hands over a stepper closure that
+/// computes one decode token per call.
+pub(crate) struct SimSession {
+    spec: SessionSpec,
+    stepper: Box<dyn FnMut(usize) -> StepOutcome>,
+    prefilled: bool,
+    t: usize,
+    breakdown: LatencyBreakdown,
+    token_latencies: Vec<f64>,
+    imbalance_sum: f64,
+    imbalance_samples: usize,
+}
+
+impl SimSession {
+    /// Create a session from its planned metadata and per-token stepper.
+    pub(crate) fn new(spec: SessionSpec, stepper: Box<dyn FnMut(usize) -> StepOutcome>) -> Self {
+        SimSession {
+            spec,
+            stepper,
+            prefilled: false,
+            t: 0,
+            breakdown: LatencyBreakdown::default(),
+            token_latencies: Vec::new(),
+            imbalance_sum: 0.0,
+            imbalance_samples: 0,
+        }
+    }
+
+    fn running_imbalance(&self) -> f64 {
+        if self.imbalance_samples > 0 {
+            self.imbalance_sum / self.imbalance_samples as f64
+        } else {
+            1.0
+        }
+    }
+
+    fn event(&self, phase: Phase, index: usize, latency: LatencyBreakdown) -> TokenEvent {
+        TokenEvent {
+            phase,
+            index,
+            latency,
+            hot_neuron_bytes: self.spec.hot_neuron_bytes,
+            hot_coverage: self.spec.hot_coverage,
+            dimm_imbalance: self.running_imbalance(),
+        }
+    }
+}
+
+impl Session for SimSession {
+    fn prefill(&mut self) -> Result<TokenEvent, HermesError> {
+        if self.prefilled {
+            return Err(HermesError::SessionState(
+                "prefill() may only run once per session".to_string(),
+            ));
+        }
+        self.prefilled = true;
+        let latency = LatencyBreakdown {
+            prefill: self.spec.prefill_seconds,
+            ..Default::default()
+        };
+        self.breakdown.prefill += latency.prefill;
+        Ok(self.event(Phase::Prefill, 0, latency))
+    }
+
+    fn step(&mut self) -> Result<Option<TokenEvent>, HermesError> {
+        if !self.prefilled {
+            return Err(HermesError::SessionState(
+                "step() requires prefill() to run first".to_string(),
+            ));
+        }
+        if self.t >= self.spec.workload.gen_len {
+            return Ok(None);
+        }
+        let outcome = (self.stepper)(self.t);
+        self.breakdown = self.breakdown.merged(&outcome.latency);
+        self.token_latencies.push(outcome.latency.total());
+        self.imbalance_sum += outcome.imbalance_sum;
+        self.imbalance_samples += outcome.imbalance_samples;
+        let index = self.t;
+        self.t += 1;
+        Ok(Some(self.event(Phase::Decode, index, outcome.latency)))
+    }
+
+    fn generated(&self) -> usize {
+        self.t
+    }
+
+    fn is_done(&self) -> bool {
+        self.t >= self.spec.workload.gen_len
+    }
+
+    fn report(&self) -> InferenceReport {
+        InferenceReport {
+            system: self.spec.system.clone(),
+            workload: self.spec.workload.clone(),
+            breakdown: self.breakdown,
+            gpu_weight_bytes: self.spec.gpu_weight_bytes,
+            hot_neuron_bytes: self.spec.hot_neuron_bytes,
+            dimm_imbalance: self.running_imbalance(),
+            latency_stats: TokenLatencyStats::from_decode_latencies(
+                self.breakdown.prefill,
+                &self.token_latencies,
+            ),
+        }
+    }
+}
+
+/// Drive an internally constructed session to completion; infallible because
+/// the protocol is upheld by construction.
+pub(crate) fn drive(mut session: SimSession) -> InferenceReport {
+    match run_session(&mut session) {
+        Ok(report) => report,
+        // Unreachable: a fresh SimSession never reports protocol errors.
+        Err(_) => session.report(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_model::ModelId;
+
+    fn spec(gen_len: usize) -> SessionSpec {
+        let mut workload = Workload::paper_default(ModelId::Opt13B);
+        workload.gen_len = gen_len;
+        SessionSpec {
+            system: "test".to_string(),
+            workload,
+            prefill_seconds: 2.0,
+            gpu_weight_bytes: 10,
+            hot_neuron_bytes: 4,
+            hot_coverage: 0.5,
+        }
+    }
+
+    fn constant_session(gen_len: usize, per_token: f64) -> SimSession {
+        SimSession::new(
+            spec(gen_len),
+            Box::new(move |_| {
+                StepOutcome::balanced(LatencyBreakdown {
+                    fc: per_token,
+                    ..Default::default()
+                })
+            }),
+        )
+    }
+
+    #[test]
+    fn protocol_is_enforced() {
+        let mut s = constant_session(3, 0.1);
+        assert!(matches!(s.step(), Err(HermesError::SessionState(_))));
+        let first = s.prefill().unwrap();
+        assert_eq!(first.phase, Phase::Prefill);
+        assert!(matches!(s.prefill(), Err(HermesError::SessionState(_))));
+        let mut n = 0;
+        while let Some(ev) = s.step().unwrap() {
+            assert_eq!(ev.phase, Phase::Decode);
+            assert_eq!(ev.index, n);
+            n += 1;
+        }
+        assert_eq!(n, 3);
+        assert!(s.is_done());
+        assert_eq!(s.generated(), 3);
+        assert!(s.step().unwrap().is_none());
+    }
+
+    #[test]
+    fn report_folds_events() {
+        let mut s = constant_session(4, 0.5);
+        s.prefill().unwrap();
+        while s.step().unwrap().is_some() {}
+        let report = s.report();
+        assert!((report.breakdown.prefill - 2.0).abs() < 1e-12);
+        assert!((report.breakdown.fc - 2.0).abs() < 1e-12);
+        assert!((report.latency_stats.ttft - 2.5).abs() < 1e-12);
+        assert!((report.latency_stats.tpot_mean - 0.5).abs() < 1e-12);
+        assert!((report.latency_stats.tpot_p99 - 0.5).abs() < 1e-12);
+        assert_eq!(report.gpu_weight_bytes, 10);
+        assert_eq!(report.hot_neuron_bytes, 4);
+    }
+
+    #[test]
+    fn partial_reports_cover_only_generated_tokens() {
+        let mut s = constant_session(8, 0.25);
+        s.prefill().unwrap();
+        s.step().unwrap();
+        s.step().unwrap();
+        let partial = s.report();
+        assert!((partial.breakdown.fc - 0.5).abs() < 1e-12);
+        assert!(!s.is_done());
+    }
+
+    #[test]
+    fn imbalance_samples_average_across_steps() {
+        let mut weights = vec![2.0, 4.0].into_iter();
+        let mut s = SimSession::new(
+            spec(2),
+            Box::new(move |_| StepOutcome {
+                latency: LatencyBreakdown::default(),
+                imbalance_sum: weights.next().unwrap(),
+                imbalance_samples: 1,
+            }),
+        );
+        s.prefill().unwrap();
+        let e1 = s.step().unwrap().unwrap();
+        assert!((e1.dimm_imbalance - 2.0).abs() < 1e-12);
+        let e2 = s.step().unwrap().unwrap();
+        assert!((e2.dimm_imbalance - 3.0).abs() < 1e-12);
+        assert!((s.report().dimm_imbalance - 3.0).abs() < 1e-12);
+    }
+}

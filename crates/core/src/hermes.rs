@@ -5,12 +5,14 @@
 use serde::{Deserialize, Serialize};
 
 use hermes_gpu::KernelCostModel;
-use hermes_model::{Block, LayerShape, ModelConfig};
-use hermes_ndp::{DimmPool, NdpDimm};
+use hermes_model::{Block, ModelConfig};
+use hermes_ndp::NdpDimm;
 use hermes_predictor::{HermesPredictor, PredictorConfig};
 use hermes_scheduler::ColdPlacementPolicy;
 use hermes_sparsity::{NeuronPopularity, SparsityProfile, StatisticalActivityModel};
 
+use crate::engine::{run_session, InferenceEngine, Session, SessionSpec, SimSession, StepOutcome};
+use crate::error::HermesError;
 pub use crate::planner::MappingPolicy;
 use crate::planner::NeuronPlan;
 use crate::report::{InferenceReport, LatencyBreakdown};
@@ -36,7 +38,10 @@ impl OnlineAdjustment {
     /// either component alone is noticeably weaker (Fig. 13).
     pub fn tracking_quality(self) -> f64 {
         match self {
-            OnlineAdjustment::None => 1.0, // unused: the static mapping rules
+            // With no online adjustment the static mapping is executed
+            // exactly as planned — there is no predictor in the loop, so no
+            // activation mass is lost to tracking error.
+            OnlineAdjustment::None => 1.0,
             OnlineAdjustment::TokenOnly => 0.90,
             OnlineAdjustment::LayerOnly => 0.91,
             OnlineAdjustment::Full => 0.98,
@@ -164,21 +169,6 @@ impl HermesOptions {
     }
 }
 
-/// Why a workload cannot run on a given system/configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Unsupported {
-    /// The model's weights do not fit in GPU + DIMM memory.
-    InsufficientMemory {
-        /// Bytes required.
-        required: u64,
-        /// Bytes available.
-        available: u64,
-    },
-    /// The inference system does not support this model family
-    /// (FlexGen and Deja Vu only support OPT models).
-    ModelNotSupported,
-}
-
 /// The Hermes-family inference engine.
 #[derive(Debug, Clone)]
 pub struct HermesSystem {
@@ -211,13 +201,23 @@ impl HermesSystem {
         self.config.pcie.transfer_time(bytes)
     }
 
-    /// Simulate the run.
+    /// Validate the inputs and open a step-wise [`Session`] for this
+    /// workload: `prefill()` runs the prompting phase, each `step()`
+    /// generates one token. This is the `start` path of [`HermesEngine`].
     ///
     /// # Errors
     ///
-    /// Returns [`Unsupported::InsufficientMemory`] when the model does not
-    /// fit in the combined GPU + DIMM capacity of the configuration.
-    pub fn run(&self) -> Result<InferenceReport, Unsupported> {
+    /// Returns [`HermesError::InvalidWorkload`] /
+    /// [`HermesError::InvalidConfig`] for invalid inputs and
+    /// [`HermesError::InsufficientMemory`] when the model does not fit in
+    /// the combined DIMM capacity of the configuration.
+    pub fn session(&self) -> Result<Box<dyn Session>, HermesError> {
+        Ok(Box::new(self.sim_session()?))
+    }
+
+    fn sim_session(&self) -> Result<SimSession, HermesError> {
+        self.workload.validate()?;
+        self.config.validate()?;
         let cfg = self.workload.model_config();
         // Every weight parameter is stored on the DIMMs (Section IV-C2); the
         // GPU only holds *copies* of hot neurons plus the dense weights, so
@@ -230,23 +230,36 @@ impl HermesSystem {
         let total_bytes = cfg.total_param_bytes() + kv_bytes;
         let available = self.config.dimm_capacity_total();
         if total_bytes > available {
-            return Err(Unsupported::InsufficientMemory {
+            return Err(HermesError::InsufficientMemory {
                 required: total_bytes,
                 available,
             });
         }
         if self.options.use_sparsity {
-            Ok(self.run_sparse(&cfg))
+            Ok(self.sparse_session(&cfg))
         } else {
-            Ok(self.run_base(&cfg))
+            Ok(self.base_session(&cfg))
         }
     }
 
-    /// The full sparsity-aware Hermes / Hermes-host engine.
-    fn run_sparse(&self, cfg: &ModelConfig) -> InferenceReport {
-        let profile = SparsityProfile::for_model_on(cfg, self.workload.dataset);
-        let popularity = NeuronPopularity::generate(cfg, &profile, self.workload.seed);
-        let mut activity = StatisticalActivityModel::new(cfg, &profile, self.workload.seed);
+    /// Simulate the run end to end: a thin driver that opens a session and
+    /// folds its per-token events into the report.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HermesSystem::session`].
+    pub fn run(&self) -> Result<InferenceReport, HermesError> {
+        let mut session = self.sim_session()?;
+        run_session(&mut session)
+    }
+
+    /// Plan the full sparsity-aware Hermes / Hermes-host engine and hand
+    /// the per-token loop body over to a session stepper.
+    fn sparse_session(&self, cfg: &ModelConfig) -> SimSession {
+        let cfg = cfg.clone();
+        let profile = SparsityProfile::for_model_on(&cfg, self.workload.dataset);
+        let popularity = NeuronPopularity::generate(&cfg, &profile, self.workload.seed);
+        let mut activity = StatisticalActivityModel::new(&cfg, &profile, self.workload.seed);
         let batch = self.workload.batch;
         let shape = cfg.layer_shape();
         let kernel = KernelCostModel::new(self.config.gpu.clone());
@@ -262,50 +275,59 @@ impl HermesSystem {
             MappingPolicy::Oracle
         };
         let mut plan = NeuronPlan::build(
-            cfg,
+            &cfg,
             &profile,
             &popularity,
             &activity,
-            self.gpu_hot_budget(cfg),
+            self.gpu_hot_budget(&cfg),
             effective_mapping,
             num_dimms,
             ColdPlacementPolicy::Contiguous,
             self.workload.seed,
         );
-        let quality = if self.options.adjustment == OnlineAdjustment::None {
-            1.0
-        } else {
-            self.options.adjustment.tracking_quality()
-        };
+        let quality = self.options.adjustment.tracking_quality();
 
         // Lightweight predictor bookkeeping (storage + per-token overhead).
-        let predictor = HermesPredictor::new(cfg, PredictorConfig::default());
+        let predictor = HermesPredictor::new(&cfg, PredictorConfig::default());
         let predictor_time_per_token = predictor.lookups_per_token() as f64 * 1e-9;
 
-        let mut breakdown = LatencyBreakdown {
-            prefill: self.prefill_time(cfg, plan.hot_bytes),
-            ..Default::default()
+        let spec = SessionSpec {
+            system: self.options.name().to_string(),
+            workload: self.workload.clone(),
+            prefill_seconds: self.prefill_time(&cfg, plan.hot_bytes),
+            gpu_weight_bytes: cfg.memory_footprint().dense_resident_bytes() + plan.hot_bytes,
+            hot_neuron_bytes: plan.hot_bytes,
+            hot_coverage: plan.hot_coverage,
         };
-        let sync = self.sync_time(cfg);
+
+        let options = self.options;
+        let prompt_len = self.workload.prompt_len;
+        let sync = self.sync_time(&cfg);
+        let host_cpu = self.config.host_cpu.clone();
+        let pcie = self.config.pcie.clone();
+        let hot_bytes = plan.hot_bytes;
         let window = 5usize;
         let mut window_multipliers: Vec<[Vec<f64>; 2]> = Vec::new();
         let mut pending_remap_bytes = 0u64;
-        let mut imbalance_sum = 0.0;
-        let mut imbalance_samples = 0usize;
 
-        for t in 0..self.workload.gen_len {
+        let stepper = move |t: usize| -> StepOutcome {
             let token = activity.next_token();
-            let kv_len = self.workload.prompt_len + t;
-            breakdown.predictor += predictor_time_per_token;
+            let kv_len = prompt_len + t;
+            let mut latency = LatencyBreakdown {
+                predictor: predictor_time_per_token,
+                ..Default::default()
+            };
+            let mut imbalance_sum = 0.0;
+            let mut imbalance_samples = 0usize;
             // Hot/cold adjustment churn: a small share of the hot set is
             // refreshed each token; the copies ride PCIe under the
             // projection computation.
-            let churn_fraction = match self.options.adjustment {
+            let churn_fraction = match options.adjustment {
                 OnlineAdjustment::None => 0.0,
                 _ => 0.01,
             };
             let mut promoted_bytes_token =
-                (plan.hot_bytes as f64 * churn_fraction) as u64 / cfg.num_layers.max(1) as u64;
+                (hot_bytes as f64 * churn_fraction) as u64 / cfg.num_layers.max(1) as u64;
 
             for layer in 0..cfg.num_layers {
                 // ---- Sparse FC blocks: QKV generation and MLP. ----
@@ -329,7 +351,7 @@ impl HermesSystem {
                     let placement = plan.cold_placement.block(layer, block);
                     let per_seq = placement.dimm_loads(ba);
                     let per_union = placement.dimm_union_loads(ba, batch);
-                    let t_cold = match self.options.cold_executor {
+                    let t_cold = match options.cold_executor {
                         ColdExecutor::NdpDimm => {
                             let mut worst: f64 = 0.0;
                             for d in 0..num_dimms {
@@ -352,17 +374,17 @@ impl HermesSystem {
                             let seq_total: f64 = per_seq.iter().sum::<f64>() + spill_active;
                             let bytes = (union_total * neuron_bytes as f64) as u64;
                             let flops = (seq_total * neuron_flops as f64) as u64;
-                            self.config.host_cpu.gemv_time(bytes, flops, batch)
+                            host_cpu.gemv_time(bytes, flops, batch)
                         }
                     };
                     fc_time += t_gpu.max(t_cold);
                 }
-                breakdown.fc += fc_time;
+                latency.fc += fc_time;
 
                 // ---- Attention over the KV cache. ----
                 let kv_bytes = shape.attention_kv_bytes(kv_len);
                 let attn_flops = shape.attention_flops(kv_len);
-                breakdown.attention += match self.options.cold_executor {
+                latency.attention += match options.cold_executor {
                     ColdExecutor::NdpDimm => {
                         // KV cache sharded across the DIMMs.
                         dimm.attention_time(
@@ -376,9 +398,7 @@ impl HermesSystem {
                     // for hot neurons), so attention streams it through the
                     // host CPU.
                     ColdExecutor::HostCpu => {
-                        self.config
-                            .host_cpu
-                            .gemv_time(kv_bytes * batch as u64, attn_flops, batch)
+                        host_cpu.gemv_time(kv_bytes * batch as u64, attn_flops, batch)
                     }
                 };
 
@@ -387,18 +407,18 @@ impl HermesSystem {
                     shape.projection_bytes(),
                     shape.projection_flops() * batch as u64,
                 );
-                let migration_time = self.config.pcie.transfer_time(promoted_bytes_token)
+                let migration_time = pcie.transfer_time(promoted_bytes_token)
                     + dimm
                         .link()
                         .transfer_time(pending_remap_bytes / cfg.num_layers.max(1) as u64);
                 promoted_bytes_token = 0;
-                breakdown.others += proj_time + sync;
-                breakdown.migration += (migration_time - proj_time).max(0.0);
+                latency.others += proj_time + sync;
+                latency.migration += (migration_time - proj_time).max(0.0);
             }
             pending_remap_bytes = 0;
 
             // ---- Window-based remapping (Algorithm 1). ----
-            if self.options.window_remapping {
+            if options.window_remapping {
                 if window_multipliers.is_empty() {
                     window_multipliers = (0..cfg.num_layers)
                         .map(|l| {
@@ -417,7 +437,7 @@ impl HermesSystem {
                         }
                     }
                 }
-                if (t + 1) % window == 0 {
+                if (t + 1).is_multiple_of(window) {
                     let mut moved_bytes = 0.0;
                     for (l, layer_mults) in window_multipliers.iter_mut().enumerate() {
                         for (bi, block) in Block::ALL.into_iter().enumerate() {
@@ -437,79 +457,73 @@ impl HermesSystem {
                     pending_remap_bytes = (moved_bytes as u64).min(hideable);
                 }
             }
-        }
 
-        InferenceReport {
-            system: self.options.name().to_string(),
-            workload: self.workload.clone(),
-            breakdown,
-            gpu_weight_bytes: cfg.memory_footprint().dense_resident_bytes() + plan.hot_bytes,
-            hot_neuron_bytes: plan.hot_bytes,
-            dimm_imbalance: if imbalance_samples > 0 {
-                imbalance_sum / imbalance_samples as f64
-            } else {
-                1.0
-            },
-        }
+            StepOutcome {
+                latency,
+                imbalance_sum,
+                imbalance_samples,
+            }
+        };
+        SimSession::new(spec, Box::new(stepper))
     }
 
     /// Hermes-base: the NDP-DIMM extension without activation sparsity.
-    fn run_base(&self, cfg: &ModelConfig) -> InferenceReport {
+    fn base_session(&self, cfg: &ModelConfig) -> SimSession {
+        let cfg = cfg.clone();
         let shape = cfg.layer_shape();
         let kernel = KernelCostModel::new(self.config.gpu.clone());
-        let pool = DimmPool::homogeneous(self.config.num_dimms, self.config.dimm.clone());
-        let dimm = pool.dimm(0);
+        let dimm = NdpDimm::new(self.config.dimm.clone());
         let batch = self.workload.batch;
         let num_dimms = self.config.num_dimms;
 
         // Whole layers resident on the GPU, the rest computed by the DIMMs.
         let layer_bytes = shape.total_bytes();
-        let budget = self.gpu_hot_budget(cfg) + cfg.memory_footprint().projection_bytes;
+        let budget = self.gpu_hot_budget(&cfg) + cfg.memory_footprint().projection_bytes;
         let resident_layers = ((budget / layer_bytes.max(1)) as usize).min(cfg.num_layers);
-        let sync = self.sync_time(cfg);
+        let sync = self.sync_time(&cfg);
+        let prompt_len = self.workload.prompt_len;
 
-        let mut breakdown = LatencyBreakdown {
-            prefill: self.prefill_time(cfg, resident_layers as u64 * layer_bytes),
-            ..Default::default()
+        let spec = SessionSpec {
+            system: self.options.name().to_string(),
+            workload: self.workload.clone(),
+            prefill_seconds: self.prefill_time(&cfg, resident_layers as u64 * layer_bytes),
+            gpu_weight_bytes: resident_layers as u64 * layer_bytes,
+            hot_neuron_bytes: 0,
+            hot_coverage: 0.0,
         };
-        for t in 0..self.workload.gen_len {
-            let kv_len = self.workload.prompt_len + t;
+
+        let stepper = move |t: usize| -> StepOutcome {
+            let kv_len = prompt_len + t;
+            let mut latency = LatencyBreakdown::default();
             for layer in 0..cfg.num_layers {
                 let fc_bytes = shape.sparse_block_bytes(Block::Attention)
                     + shape.sparse_block_bytes(Block::Mlp);
                 let fc_flops = 2 * fc_bytes / cfg.dtype_bytes;
                 if layer < resident_layers {
                     // GPU computes the whole FC of this layer.
-                    breakdown.fc +=
+                    latency.fc +=
                         kernel.kernel_time(fc_bytes, fc_flops * batch as u64) + 2.0 * sync;
                 } else {
                     // The DIMMs stream and compute the full FC, split evenly.
-                    breakdown.fc += dimm.gemv_time(
+                    latency.fc += dimm.gemv_time(
                         fc_bytes / num_dimms as u64,
                         fc_flops / num_dimms as u64,
                         batch,
                     );
                 }
-                breakdown.attention += dimm.attention_time(
+                latency.attention += dimm.attention_time(
                     shape.attention_kv_bytes(kv_len) / num_dimms as u64,
                     shape.attention_flops(kv_len) / num_dimms as u64,
                     batch,
                 );
-                breakdown.others += kernel.kernel_time(
+                latency.others += kernel.kernel_time(
                     shape.projection_bytes(),
                     shape.projection_flops() * batch as u64,
                 ) + sync;
             }
-        }
-
-        InferenceReport {
-            system: self.options.name().to_string(),
-            workload: self.workload.clone(),
-            breakdown,
-            gpu_weight_bytes: resident_layers as u64 * layer_bytes,
-            hot_neuron_bytes: 0,
-            dimm_imbalance: 1.0,
-        }
+            StepOutcome::balanced(latency)
+        };
+        SimSession::new(spec, Box::new(stepper))
     }
 
     /// Prompting-phase cost: the prompt is processed on the GPU following a
@@ -529,9 +543,29 @@ impl HermesSystem {
     }
 }
 
-/// Shared helper: layer shape accessor used by the baselines as well.
-pub(crate) fn layer_shape(cfg: &ModelConfig) -> LayerShape {
-    cfg.layer_shape()
+/// The Hermes family as an [`InferenceEngine`]: a hardware configuration
+/// plus [`HermesOptions`], opening one [`Session`] per workload.
+#[derive(Debug, Clone)]
+pub struct HermesEngine {
+    config: SystemConfig,
+    options: HermesOptions,
+}
+
+impl HermesEngine {
+    /// Create an engine for a hardware configuration and option set.
+    pub fn new(config: SystemConfig, options: HermesOptions) -> Self {
+        HermesEngine { config, options }
+    }
+}
+
+impl InferenceEngine for HermesEngine {
+    fn name(&self) -> String {
+        self.options.name().to_string()
+    }
+
+    fn start(&self, workload: &Workload) -> Result<Box<dyn Session>, HermesError> {
+        HermesSystem::new(workload.clone(), self.config.clone(), self.options).session()
+    }
 }
 
 #[cfg(test)]
@@ -650,8 +684,22 @@ mod tests {
         let result = HermesSystem::new(workload, config, HermesOptions::full()).run();
         assert!(matches!(
             result,
-            Err(Unsupported::InsufficientMemory { .. })
+            Err(HermesError::InsufficientMemory { .. })
         ));
+    }
+
+    #[test]
+    fn engine_start_matches_system_run() {
+        let workload = quick_workload(ModelId::Opt13B);
+        let config = SystemConfig::paper_default();
+        let engine = HermesEngine::new(config.clone(), HermesOptions::full());
+        assert_eq!(engine.name(), "Hermes");
+        let mut session = engine.start(&workload).unwrap();
+        let report = run_session(session.as_mut()).unwrap();
+        let oneshot = HermesSystem::new(workload, config, HermesOptions::full())
+            .run()
+            .unwrap();
+        assert_eq!(report, oneshot);
     }
 
     #[test]

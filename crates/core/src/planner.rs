@@ -42,9 +42,11 @@ pub struct NeuronPlan {
     pub cold: Vec<[ClusterPopSums; 2]>,
     /// Cold-neuron placement across the DIMMs.
     pub cold_placement: ClusterColdPlacement,
-    /// Bytes of hot-neuron weights resident in GPU memory.
+    /// Bytes of hot-neuron weights resident in GPU memory (surfaced on every
+    /// [`TokenEvent`](crate::TokenEvent) of a Hermes session).
     pub hot_bytes: u64,
-    /// Fraction of total activation mass covered by the hot set.
+    /// Fraction of total activation mass covered by the hot set (surfaced as
+    /// [`TokenEvent::hot_coverage`](crate::TokenEvent::hot_coverage)).
     pub hot_coverage: f64,
 }
 

@@ -61,6 +61,55 @@ impl LatencyBreakdown {
     }
 }
 
+/// Serving-grade per-token latency statistics of one run, in seconds.
+///
+/// Produced by folding the [`TokenEvent`](crate::TokenEvent) stream of a
+/// [`Session`](crate::Session): TTFT is the time until the first generated
+/// token is available (prompting phase plus the first decode step), and the
+/// TPOT (time-per-output-token) statistics summarise the distribution of the
+/// per-token decode latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TokenLatencyStats {
+    /// Time to first token: the prompting phase plus the first decode step.
+    pub ttft: f64,
+    /// Mean per-token decode latency.
+    pub tpot_mean: f64,
+    /// Median (p50) per-token decode latency.
+    pub tpot_p50: f64,
+    /// 95th-percentile per-token decode latency.
+    pub tpot_p95: f64,
+    /// 99th-percentile per-token decode latency.
+    pub tpot_p99: f64,
+}
+
+impl TokenLatencyStats {
+    /// Fold a prefill cost and the per-token decode latencies (in seconds,
+    /// in generation order) into summary statistics. Percentiles use the
+    /// nearest-rank definition. With no decode tokens the TPOT statistics
+    /// are zero and TTFT is the prefill cost alone.
+    pub fn from_decode_latencies(prefill_seconds: f64, latencies: &[f64]) -> Self {
+        if latencies.is_empty() {
+            return TokenLatencyStats {
+                ttft: prefill_seconds,
+                ..Default::default()
+            };
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let percentile = |p: f64| -> f64 {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        TokenLatencyStats {
+            ttft: prefill_seconds + latencies[0],
+            tpot_mean: latencies.iter().sum::<f64>() / latencies.len() as f64,
+            tpot_p50: percentile(50.0),
+            tpot_p95: percentile(95.0),
+            tpot_p99: percentile(99.0),
+        }
+    }
+}
+
 /// The result of simulating one system on one workload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InferenceReport {
@@ -78,6 +127,8 @@ pub struct InferenceReport {
     /// Average DIMM load imbalance during decode (1.0 = balanced; only
     /// meaningful for NDP-based systems).
     pub dimm_imbalance: f64,
+    /// TTFT and per-token (TPOT) latency percentiles of the decode phase.
+    pub latency_stats: TokenLatencyStats,
 }
 
 impl InferenceReport {
@@ -136,6 +187,7 @@ mod tests {
             gpu_weight_bytes: 0,
             hot_neuron_bytes: 0,
             dimm_imbalance: 1.0,
+            latency_stats: TokenLatencyStats::default(),
         };
         assert!((report.tokens_per_second() - 128.0 / 4.0).abs() < 1e-9);
         assert!((report.decode_tokens_per_second() - 128.0 / 2.0).abs() < 1e-9);
@@ -145,5 +197,27 @@ mod tests {
     #[test]
     fn default_breakdown_is_zero() {
         assert_eq!(LatencyBreakdown::default().total(), 0.0);
+    }
+
+    #[test]
+    fn token_latency_stats_percentiles_use_nearest_rank() {
+        let latencies: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let stats = TokenLatencyStats::from_decode_latencies(10.0, &latencies);
+        assert!((stats.ttft - 11.0).abs() < 1e-12);
+        assert!((stats.tpot_mean - 50.5).abs() < 1e-12);
+        assert!((stats.tpot_p50 - 50.0).abs() < 1e-12);
+        assert!((stats.tpot_p95 - 95.0).abs() < 1e-12);
+        assert!((stats.tpot_p99 - 99.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn token_latency_stats_handle_tiny_and_empty_runs() {
+        let empty = TokenLatencyStats::from_decode_latencies(3.0, &[]);
+        assert!((empty.ttft - 3.0).abs() < 1e-12);
+        assert_eq!(empty.tpot_p99, 0.0);
+        let single = TokenLatencyStats::from_decode_latencies(1.0, &[0.5]);
+        assert!((single.ttft - 1.5).abs() < 1e-12);
+        assert!((single.tpot_p50 - 0.5).abs() < 1e-12);
+        assert!((single.tpot_p99 - 0.5).abs() < 1e-12);
     }
 }

@@ -1,9 +1,16 @@
 //! Dispatch over every inference system evaluated in the paper.
+//!
+//! [`SystemKind`] names a system; [`SystemKind::engine`] binds it to a
+//! hardware configuration as a `Box<dyn InferenceEngine>`, from which
+//! step-wise [`Session`](crate::Session)s are opened. [`try_run_system`] is
+//! the one-shot convenience driver over that machinery.
 
 use serde::{Deserialize, Serialize};
 
-use crate::baselines::{run_accelerate, run_dejavu, run_flexgen, run_tensorrt_llm};
-use crate::hermes::{HermesOptions, HermesSystem, Unsupported};
+use crate::baselines::{AccelerateEngine, DejaVuEngine, FlexGenEngine, TensorRtLlmEngine};
+use crate::engine::{run_session, InferenceEngine};
+use crate::error::HermesError;
+use crate::hermes::{HermesEngine, HermesOptions};
 use crate::report::InferenceReport;
 use crate::{SystemConfig, Workload};
 
@@ -64,55 +71,45 @@ impl SystemKind {
             SystemKind::TensorRtLlm { num_gpus } => format!("TensorRT-LLM ({num_gpus}x A100)"),
         }
     }
+
+    /// Bind this system to a hardware configuration, returning the engine
+    /// that opens step-wise sessions for it.
+    ///
+    /// The TensorRT-LLM reference runs on its own multi-A100 platform and
+    /// ignores `config`.
+    pub fn engine(&self, config: &SystemConfig) -> Box<dyn InferenceEngine> {
+        match *self {
+            SystemKind::Accelerate => Box::new(AccelerateEngine::new(config.clone())),
+            SystemKind::FlexGen => Box::new(FlexGenEngine::new(config.clone())),
+            SystemKind::DejaVu => Box::new(DejaVuEngine::new(config.clone())),
+            SystemKind::Hermes(options) => Box::new(HermesEngine::new(config.clone(), options)),
+            SystemKind::TensorRtLlm { num_gpus } => {
+                Box::new(TensorRtLlmEngine::new(num_gpus).with_host_config(config.clone()))
+            }
+        }
+    }
 }
 
-/// Simulate a system on a workload, reporting why it cannot run when the
-/// combination is unsupported (the "N.P." entries of Figs. 11 and 14).
+/// Simulate a system on a workload in one shot: open a session via
+/// [`SystemKind::engine`], drive it to completion and fold its per-token
+/// events into the report.
 ///
 /// # Errors
 ///
-/// Returns [`Unsupported::ModelNotSupported`] for FlexGen/Deja Vu on
-/// non-OPT models and [`Unsupported::InsufficientMemory`] when the model
-/// does not fit in the configuration's memory.
+/// Returns [`HermesError::InvalidWorkload`] / [`HermesError::InvalidConfig`]
+/// for invalid inputs, [`HermesError::ModelNotSupported`] for FlexGen and
+/// Deja Vu on non-OPT models, and [`HermesError::InsufficientMemory`] when
+/// the model does not fit in the configuration's memory (the "N.P." entries
+/// of Figs. 11 and 14).
 pub fn try_run_system(
     kind: SystemKind,
     workload: &Workload,
     config: &SystemConfig,
-) -> Result<InferenceReport, Unsupported> {
-    workload.validate().expect("workload must be valid");
-    config.validate().expect("system config must be valid");
-    match kind {
-        SystemKind::Accelerate => Ok(run_accelerate(workload, config)),
-        SystemKind::FlexGen => {
-            if workload.model.is_opt_family() {
-                Ok(run_flexgen(workload, config))
-            } else {
-                Err(Unsupported::ModelNotSupported)
-            }
-        }
-        SystemKind::DejaVu => {
-            if workload.model.is_opt_family() {
-                Ok(run_dejavu(workload, config))
-            } else {
-                Err(Unsupported::ModelNotSupported)
-            }
-        }
-        SystemKind::Hermes(options) => {
-            HermesSystem::new(workload.clone(), config.clone(), options).run()
-        }
-        SystemKind::TensorRtLlm { num_gpus } => Ok(run_tensorrt_llm(workload, num_gpus, 300.0e9)),
-    }
-}
-
-/// Simulate a system on a workload.
-///
-/// # Panics
-///
-/// Panics if the combination is unsupported; use [`try_run_system`] when
-/// "not supported" is an expected outcome.
-pub fn run_system(kind: SystemKind, workload: &Workload, config: &SystemConfig) -> InferenceReport {
-    try_run_system(kind, workload, config)
-        .unwrap_or_else(|e| panic!("{} cannot run {}: {:?}", kind.name(), workload.model, e))
+) -> Result<InferenceReport, HermesError> {
+    // Validation happens in `InferenceEngine::start`, the single entry point
+    // shared with callers who drive sessions themselves.
+    let mut session = kind.engine(config).start(workload)?;
+    run_session(session.as_mut())
 }
 
 #[cfg(test)]
@@ -141,7 +138,7 @@ mod tests {
             SystemKind::hermes(),
         ]
         .into_iter()
-        .map(|k| run_system(k, &w, &config).tokens_per_second())
+        .map(|k| try_run_system(k, &w, &config).unwrap().tokens_per_second())
         .collect();
         for pair in tps.windows(2) {
             assert!(
@@ -157,11 +154,11 @@ mod tests {
         let w = quick(ModelId::Llama2_13B);
         assert!(matches!(
             try_run_system(SystemKind::FlexGen, &w, &config),
-            Err(Unsupported::ModelNotSupported)
+            Err(HermesError::ModelNotSupported { .. })
         ));
         assert!(matches!(
             try_run_system(SystemKind::DejaVu, &w, &config),
-            Err(Unsupported::ModelNotSupported)
+            Err(HermesError::ModelNotSupported { .. })
         ));
         // Accelerate and Hermes support every model.
         assert!(try_run_system(SystemKind::Accelerate, &w, &config).is_ok());
@@ -180,19 +177,62 @@ mod tests {
     }
 
     #[test]
+    fn engine_names_match_kind_names() {
+        let config = SystemConfig::paper_default();
+        let mut kinds = SystemKind::figure9_lineup();
+        kinds.push(SystemKind::TensorRtLlm { num_gpus: 5 });
+        for kind in kinds {
+            assert_eq!(kind.engine(&config).name(), kind.name());
+        }
+    }
+
+    #[test]
     fn hermes_speedup_over_offloading_is_large() {
         // Fig. 9: Hermes achieves orders-of-magnitude speedups over
         // Accelerate and large speedups over Deja Vu on OPT models.
         let config = SystemConfig::paper_default();
         let w = quick(ModelId::Opt30B);
-        let hermes = run_system(SystemKind::hermes(), &w, &config).tokens_per_second();
-        let accelerate = run_system(SystemKind::Accelerate, &w, &config).tokens_per_second();
-        let dejavu = run_system(SystemKind::DejaVu, &w, &config).tokens_per_second();
+        let tps = |kind| {
+            try_run_system(kind, &w, &config)
+                .unwrap()
+                .tokens_per_second()
+        };
+        let hermes = tps(SystemKind::hermes());
+        let accelerate = tps(SystemKind::Accelerate);
+        let dejavu = tps(SystemKind::DejaVu);
         assert!(
             hermes / accelerate > 20.0,
             "vs accelerate {:.1}",
             hermes / accelerate
         );
         assert!(hermes / dejavu > 5.0, "vs dejavu {:.1}", hermes / dejavu);
+    }
+
+    #[test]
+    fn invalid_workloads_and_configs_return_errors_not_panics() {
+        let config = SystemConfig::paper_default();
+        let mut w = quick(ModelId::Opt13B);
+        w.batch = 0;
+        assert!(matches!(
+            try_run_system(SystemKind::hermes(), &w, &config),
+            Err(HermesError::InvalidWorkload(_))
+        ));
+        let w = quick(ModelId::Opt13B);
+        let mut bad_config = SystemConfig::paper_default();
+        bad_config.num_dimms = 0;
+        assert!(matches!(
+            try_run_system(SystemKind::hermes(), &w, &bad_config),
+            Err(HermesError::InvalidConfig(_))
+        ));
+        // Invalid inputs are rejected for every system kind, including ones
+        // that do not otherwise touch the offending field.
+        assert!(matches!(
+            try_run_system(SystemKind::Accelerate, &w, &bad_config),
+            Err(HermesError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            try_run_system(SystemKind::TensorRtLlm { num_gpus: 5 }, &w, &bad_config),
+            Err(HermesError::InvalidConfig(_))
+        ));
     }
 }

@@ -5,6 +5,8 @@ use serde::{Deserialize, Serialize};
 use hermes_model::{ModelConfig, ModelId};
 use hermes_sparsity::Dataset;
 
+use crate::error::HermesError;
+
 /// One end-to-end inference workload (Section V-A3/A4: sequence lengths
 /// fixed at 128/128, batch sizes 1–16, ChatGPT-prompts / Alpaca datasets).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -63,16 +65,23 @@ impl Workload {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`HermesError::InvalidWorkload`] naming the first invalid
+    /// field.
+    pub fn validate(&self) -> Result<(), HermesError> {
         if self.batch == 0 {
-            return Err("batch must be at least 1".into());
+            return Err(HermesError::InvalidWorkload(
+                "batch must be at least 1".into(),
+            ));
         }
         if self.gen_len == 0 {
-            return Err("gen_len must be at least 1".into());
+            return Err(HermesError::InvalidWorkload(
+                "gen_len must be at least 1".into(),
+            ));
         }
         if self.prompt_len == 0 {
-            return Err("prompt_len must be at least 1".into());
+            return Err(HermesError::InvalidWorkload(
+                "prompt_len must be at least 1".into(),
+            ));
         }
         Ok(())
     }
@@ -103,12 +112,12 @@ mod tests {
     fn invalid_workloads_rejected() {
         let mut w = Workload::paper_default(ModelId::Opt13B);
         w.batch = 0;
-        assert!(w.validate().is_err());
+        assert!(matches!(w.validate(), Err(HermesError::InvalidWorkload(_))));
         let mut w = Workload::paper_default(ModelId::Opt13B);
         w.gen_len = 0;
-        assert!(w.validate().is_err());
+        assert!(matches!(w.validate(), Err(HermesError::InvalidWorkload(_))));
         let mut w = Workload::paper_default(ModelId::Opt13B);
         w.prompt_len = 0;
-        assert!(w.validate().is_err());
+        assert!(matches!(w.validate(), Err(HermesError::InvalidWorkload(_))));
     }
 }

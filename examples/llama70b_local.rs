@@ -26,7 +26,7 @@ fn main() {
                 report.tokens_per_second(),
                 report.decode_latency_ms_per_token()
             ),
-            Err(reason) => println!("{:<28} not supported: {reason:?}", kind.name()),
+            Err(reason) => println!("{:<28} not supported: {reason}", kind.name()),
         }
     }
     println!("\nHermes hardware budget is roughly $2,500 vs $50,000 for the 5x A100 system (Section V-F).");

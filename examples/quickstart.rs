@@ -1,15 +1,23 @@
 //! Quickstart: simulate the full Hermes system on OPT-13B with the paper's
-//! default platform (one RTX 4090 + 8 NDP-DIMMs) and print the report.
+//! default platform (one RTX 4090 + 8 NDP-DIMMs) via the session API and
+//! print the report, including the serving-grade TTFT/TPOT metrics.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use hermes_core::{run_system, SystemConfig, SystemKind, Workload};
+use hermes_core::{SystemConfig, SystemKind, Workload};
 use hermes_model::ModelId;
 
-fn main() {
+fn main() -> Result<(), hermes_core::HermesError> {
     let workload = Workload::paper_default(ModelId::Opt13B);
     let config = SystemConfig::paper_default();
-    let report = run_system(SystemKind::hermes(), &workload, &config);
+
+    // Bind the system to the hardware, open a session for the workload and
+    // drive it token by token; the report folds the per-token events.
+    let engine = SystemKind::hermes().engine(&config);
+    let mut session = engine.start(&workload)?;
+    session.prefill()?;
+    while session.step()?.is_some() {}
+    let report = session.report();
 
     println!("system:              {}", report.system);
     println!("model:               {}", workload.model);
@@ -26,6 +34,15 @@ fn main() {
         "decode latency:        {:.2} ms/token",
         report.decode_latency_ms_per_token()
     );
+    let stats = &report.latency_stats;
+    println!("TTFT:                  {:.1} ms", stats.ttft * 1e3);
+    println!(
+        "TPOT mean/p50/p95/p99: {:.2} / {:.2} / {:.2} / {:.2} ms",
+        stats.tpot_mean * 1e3,
+        stats.tpot_p50 * 1e3,
+        stats.tpot_p95 * 1e3,
+        stats.tpot_p99 * 1e3
+    );
     println!(
         "hot neurons on GPU:    {:.2} GiB",
         report.hot_neuron_bytes as f64 / (1u64 << 30) as f64
@@ -38,4 +55,5 @@ fn main() {
     let b = &report.breakdown;
     println!("\nbreakdown (s): fc={:.3} attention={:.3} predictor={:.4} prefill={:.3} comm={:.4} migration={:.4} others={:.3}",
         b.fc, b.attention, b.predictor, b.prefill, b.communication, b.migration, b.others);
+    Ok(())
 }

@@ -16,19 +16,28 @@
 //!   units, links, pools).
 //! * [`gpu`] — consumer GPU, host CPU and PCIe cost models.
 //! * [`core`] — the end-to-end Hermes system and the baseline offloading
-//!   systems it is evaluated against.
+//!   systems it is evaluated against, exposed through a step-wise
+//!   engine/session API.
 //!
 //! # Example
 //!
+//! One-shot simulation via the [`core::try_run_system`] driver:
+//!
 //! ```
-//! use hermes::core::{run_system, SystemConfig, SystemKind, Workload};
+//! use hermes::core::{try_run_system, SystemConfig, SystemKind, Workload};
 //! use hermes::model::ModelId;
 //!
 //! let workload = Workload::paper_default(ModelId::Opt13B);
 //! let config = SystemConfig::paper_default();
-//! let report = run_system(SystemKind::hermes(), &workload, &config);
+//! let report = try_run_system(SystemKind::hermes(), &workload, &config)?;
 //! assert!(report.tokens_per_second() > 1.0);
+//! assert!(report.latency_stats.ttft > 0.0);
+//! # Ok::<(), hermes::core::HermesError>(())
 //! ```
+//!
+//! Or token by token, with a per-token event stream — see
+//! [`core::SystemKind::engine`], [`core::Session`] and the `streaming`
+//! example.
 
 pub use hermes_core as core;
 pub use hermes_gpu as gpu;
