@@ -1,0 +1,95 @@
+//! Serving-load sweep: throughput and latency versus offered load for
+//! Hermes and the four baselines under open-loop request arrivals.
+//!
+//! For each system and arrival process (Poisson and bursty), the sweep
+//! offers an increasing request rate to the continuous-batching simulator
+//! and reports goodput, tail TTFT/TPOT and queueing delay; a second table
+//! compares continuous against static batching at a moderate load. This is
+//! the serving-scenario counterpart of the paper's closed-loop Figs. 9/11.
+//!
+//! Run with: `cargo run --release -p hermes-bench --bin serving_load`
+
+use hermes_core::{ArrivalProcess, ServingReport, SystemConfig, SystemKind, Workload};
+use hermes_model::ModelId;
+use hermes_serve::{simulate, AdmissionConfig, BatchingPolicy, ServingSimulation};
+
+/// Hermes plus the four baselines of the Fig. 9 lineup that take an offered
+/// load (the TensorRT-LLM reference is covered by the closed-loop figures).
+fn systems() -> Vec<SystemKind> {
+    vec![
+        SystemKind::Accelerate,
+        SystemKind::FlexGen,
+        SystemKind::DejaVu,
+        SystemKind::hermes_base(),
+        SystemKind::hermes(),
+    ]
+}
+
+fn template() -> Workload {
+    let mut w = Workload::paper_default(ModelId::Opt30B);
+    w.prompt_len = 64;
+    w.gen_len = 32;
+    w
+}
+
+fn row(report: &ServingReport) -> String {
+    format!(
+        "{:>7.3} | {:>8.2} | {:>8.2} | {:>8.2} | {:>8.1} | {:>8.1} | {:>9.2}",
+        report.goodput_rps(),
+        report.tokens_per_second(),
+        report.ttft.p50,
+        report.ttft.p95,
+        report.tpot.p95 * 1e3,
+        report.tpot.p99 * 1e3,
+        report.queue_delay.mean,
+    )
+}
+
+fn main() {
+    let config = SystemConfig::paper_default();
+    let num_requests = 24;
+    let admission = AdmissionConfig::unlimited().with_max_batch(8);
+    let loads = [0.05, 0.2, 0.8, 3.2];
+
+    type ArrivalFactory = fn(f64) -> ArrivalProcess;
+    let arrivals: [(&str, ArrivalFactory); 2] = [
+        ("Poisson", |rate| ArrivalProcess::Poisson { rate }),
+        ("bursty (burst=6)", |rate| ArrivalProcess::Bursty {
+            rate,
+            burst: 6,
+        }),
+    ];
+    for (arrival_name, arrival_of) in arrivals {
+        println!("\n# Serving load sweep — OPT-30B, {arrival_name} arrivals, continuous batching");
+        println!(
+            "| system | offered rps | goodput rps | tokens/s | TTFT p50 s | TTFT p95 s | \
+             TPOT p95 ms | TPOT p99 ms | queue mean s |"
+        );
+        println!("|---|---|---|---|---|---|---|---|---|");
+        for kind in systems() {
+            for &rate in &loads {
+                let sim = ServingSimulation::new(template(), arrival_of(rate), num_requests)
+                    .with_admission(admission);
+                match simulate(kind, &config, &sim) {
+                    Ok(outcome) => println!(
+                        "| {} | {:>7.2} | {} |",
+                        kind.name(),
+                        rate,
+                        row(&outcome.report)
+                    ),
+                    Err(e) => println!("| {} | {:>7.2} | N.P. ({e}) |", kind.name(), rate),
+                }
+            }
+        }
+    }
+
+    println!("\n# Continuous vs. static batching — Hermes, Poisson 0.6 rps, 16 requests");
+    println!("| policy | goodput rps | tokens/s | TTFT p50 s | TTFT p95 s | TPOT p95 ms | TPOT p99 ms | queue mean s |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for policy in [BatchingPolicy::Continuous, BatchingPolicy::Static] {
+        let sim = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 0.6 }, 16)
+            .with_policy(policy);
+        let outcome = simulate(SystemKind::hermes(), &config, &sim).expect("valid scenario");
+        println!("| {} | {} |", policy.name(), row(&outcome.report));
+    }
+}

@@ -2,20 +2,24 @@
 //! the TensorRT-LLM multi-A100 reference (Section V-A2, Fig. 9/11/17).
 //!
 //! Each baseline is modelled as a step-wise engine like the Hermes family:
-//! a `*_session` planner precomputes the run, hands the per-token loop body
-//! to a [`Session`] stepper, and an [`InferenceEngine`]
-//! wrapper ([`AccelerateEngine`], [`FlexGenEngine`], [`DejaVuEngine`],
-//! [`TensorRtLlmEngine`]) validates inputs and opens sessions. The classic
-//! `run_*` helpers remain as thin one-shot drivers over those sessions.
+//! a `*_plan` planner precomputes the run and hands pricing over to a
+//! [`StepCostModel`] that prices one decode step for the *current* batch
+//! composition, and an [`InferenceEngine`] wrapper ([`AccelerateEngine`],
+//! [`FlexGenEngine`], [`DejaVuEngine`], [`TensorRtLlmEngine`]) validates
+//! inputs and opens sessions over the plan. The classic `run_*` helpers
+//! remain as thin one-shot drivers over those plans.
 
 use hermes_gpu::{GpuDevice, KernelCostModel};
-use hermes_model::Block;
+use hermes_model::{Block, LayerShape, ModelConfig};
 use hermes_predictor::MlpPredictorModel;
 use hermes_sparsity::{
     ClusterPopSums, NeuronPopularity, SparsityProfile, StatisticalActivityModel,
 };
 
-use crate::engine::{drive, InferenceEngine, Session, SessionSpec, SimSession, StepOutcome};
+use crate::engine::{
+    drive, BatchState, InferenceEngine, PlannedRun, SessionSpec, SimSession, StepCostModel,
+    StepOutcome,
+};
 use crate::error::HermesError;
 use crate::report::{InferenceReport, LatencyBreakdown};
 use crate::{SystemConfig, Workload};
@@ -24,13 +28,62 @@ use crate::{SystemConfig, Workload};
 /// platform (NVLink-class, bytes/s).
 pub const TENSORRT_INTERCONNECT_BANDWIDTH: f64 = 300.0e9;
 
-/// Plan a HuggingFace Accelerate run: weights that do not fit on the GPU are
-/// streamed from host memory layer by layer, synchronously, for every token.
-pub(crate) fn accelerate_session(workload: &Workload, config: &SystemConfig) -> SimSession {
+/// Cost model of a HuggingFace Accelerate run: weights that do not fit on
+/// the GPU are streamed from host memory layer by layer, synchronously, for
+/// every token.
+struct AccelerateCostModel {
+    cfg: ModelConfig,
+    shape: LayerShape,
+    kernel: KernelCostModel,
+    streamed: u64,
+    bandwidth: f64,
+    pcie_latency: f64,
+}
+
+impl StepCostModel for AccelerateCostModel {
+    fn prefill_cost(&self, prompt_len: usize, batch: usize) -> f64 {
+        // Prefill: stream the non-resident weights once and run the prompt.
+        let prompt_flops = hermes_model::flops::model_flops_per_token(&self.cfg, prompt_len / 2)
+            * (prompt_len * batch) as u64;
+        self.streamed as f64 / self.bandwidth
+            + self
+                .kernel
+                .gemm_time(self.cfg.total_param_bytes(), prompt_flops)
+    }
+
+    fn decode_cost(&mut self, batch: &BatchState) -> StepOutcome {
+        if batch.is_empty() {
+            return StepOutcome::balanced(LatencyBreakdown::default());
+        }
+        let b = batch.size();
+        let mut latency = LatencyBreakdown::default();
+        // Synchronous per-layer weight loads.
+        latency.communication +=
+            self.streamed as f64 / self.bandwidth + self.cfg.num_layers as f64 * self.pcie_latency;
+        // Dense compute for every layer.
+        let fc_bytes = self.shape.sparse_block_bytes(Block::Attention)
+            + self.shape.sparse_block_bytes(Block::Mlp)
+            + self.shape.projection_bytes();
+        let fc_flops = 2 * fc_bytes / self.cfg.dtype_bytes;
+        latency.fc +=
+            self.cfg.num_layers as f64 * self.kernel.kernel_time(fc_bytes, fc_flops * b as u64);
+        for (kv_len, count) in batch.context_groups() {
+            latency.attention += self.cfg.num_layers as f64
+                * self.kernel.attention_time(
+                    self.shape.attention_kv_bytes(kv_len),
+                    self.shape.attention_flops(kv_len),
+                    count,
+                );
+        }
+        StepOutcome::balanced(latency)
+    }
+}
+
+/// Plan a HuggingFace Accelerate run.
+pub(crate) fn accelerate_plan(workload: &Workload, config: &SystemConfig) -> PlannedRun {
     let cfg = workload.model_config();
     let shape = cfg.layer_shape();
     let kernel = KernelCostModel::new(config.gpu.clone());
-    let batch = workload.batch;
 
     let total = cfg.total_param_bytes();
     let resident = config.gpu.usable_weight_bytes().min(total);
@@ -40,95 +93,80 @@ pub(crate) fn accelerate_session(workload: &Workload, config: &SystemConfig) -> 
     // pipelined offloaders.
     let bandwidth = config.offload_bandwidth() * 0.5;
 
-    // Prefill: stream the non-resident weights once and run the prompt.
-    let prompt_flops = hermes_model::flops::model_flops_per_token(&cfg, workload.prompt_len / 2)
-        * (workload.prompt_len * batch) as u64;
-    let prefill_seconds = streamed as f64 / bandwidth + kernel.gemm_time(total, prompt_flops);
-
+    let cost = AccelerateCostModel {
+        cfg,
+        shape,
+        kernel,
+        streamed,
+        bandwidth,
+        pcie_latency: config.pcie.latency,
+    };
     let spec = SessionSpec {
         system: "Huggingface Accelerate".to_string(),
         workload: workload.clone(),
-        prefill_seconds,
+        prefill_seconds: cost.prefill_cost(workload.prompt_len, workload.batch),
         gpu_weight_bytes: resident,
         hot_neuron_bytes: 0,
         hot_coverage: 0.0,
     };
-    let prompt_len = workload.prompt_len;
-    let pcie_latency = config.pcie.latency;
-    let stepper = move |t: usize| -> StepOutcome {
-        let kv_len = prompt_len + t;
-        let mut latency = LatencyBreakdown::default();
-        // Synchronous per-layer weight loads.
-        latency.communication += streamed as f64 / bandwidth + cfg.num_layers as f64 * pcie_latency;
-        // Dense compute for every layer.
-        let fc_bytes = shape.sparse_block_bytes(Block::Attention)
-            + shape.sparse_block_bytes(Block::Mlp)
-            + shape.projection_bytes();
-        let fc_flops = 2 * fc_bytes / cfg.dtype_bytes;
-        latency.fc += cfg.num_layers as f64 * kernel.kernel_time(fc_bytes, fc_flops * batch as u64);
-        latency.attention += cfg.num_layers as f64
-            * kernel.attention_time(
-                shape.attention_kv_bytes(kv_len),
-                shape.attention_flops(kv_len),
-                batch,
-            );
-        StepOutcome::balanced(latency)
-    };
-    SimSession::new(spec, Box::new(stepper))
+    PlannedRun {
+        spec,
+        cost: Box::new(cost),
+    }
 }
 
-/// HuggingFace Accelerate, one-shot: drive the session to completion.
+/// HuggingFace Accelerate, one-shot: drive the planned run to completion.
 ///
 /// Low-level and unchecked: the workload/config are simulated as given,
 /// without validation. Use [`AccelerateEngine`] (or
 /// [`try_run_system`](crate::try_run_system)) for the validating entry
 /// point that reports invalid inputs as [`HermesError`].
 pub fn run_accelerate(workload: &Workload, config: &SystemConfig) -> InferenceReport {
-    drive(accelerate_session(workload, config))
+    drive(SimSession::from_plan(accelerate_plan(workload, config)))
 }
 
-/// Plan a FlexGen run: zig-zag block scheduling that overlaps weight
-/// prefetch with the computation of a block of tokens, maximising throughput
-/// under the PCIe bandwidth limit.
-pub(crate) fn flexgen_session(workload: &Workload, config: &SystemConfig) -> SimSession {
-    let cfg = workload.model_config();
-    let shape = cfg.layer_shape();
-    let kernel = KernelCostModel::new(config.gpu.clone());
-    let batch = workload.batch;
+/// Cost model of a FlexGen run: zig-zag block scheduling that overlaps
+/// weight prefetch with the computation of a block of tokens, maximising
+/// throughput under the PCIe bandwidth limit.
+struct FlexGenCostModel {
+    cfg: ModelConfig,
+    shape: LayerShape,
+    kernel: KernelCostModel,
+    streamed: u64,
+    bandwidth: f64,
+}
 
-    let total = cfg.total_param_bytes();
-    let resident = config.gpu.usable_weight_bytes().min(total);
-    let streamed = total - resident;
-    let bandwidth = config.offload_bandwidth();
+impl StepCostModel for FlexGenCostModel {
+    fn prefill_cost(&self, prompt_len: usize, batch: usize) -> f64 {
+        let prompt_flops = hermes_model::flops::model_flops_per_token(&self.cfg, prompt_len / 2)
+            * (prompt_len * batch) as u64;
+        (self.streamed as f64 / self.bandwidth).max(
+            self.kernel
+                .gemm_time(self.cfg.total_param_bytes(), prompt_flops),
+        )
+    }
 
-    let prompt_flops = hermes_model::flops::model_flops_per_token(&cfg, workload.prompt_len / 2)
-        * (workload.prompt_len * batch) as u64;
-    let prefill_seconds = (streamed as f64 / bandwidth).max(kernel.gemm_time(total, prompt_flops));
-
-    let spec = SessionSpec {
-        system: "FlexGen".to_string(),
-        workload: workload.clone(),
-        prefill_seconds,
-        gpu_weight_bytes: resident,
-        hot_neuron_bytes: 0,
-        hot_coverage: 0.0,
-    };
-    let prompt_len = workload.prompt_len;
-    let stepper = move |t: usize| -> StepOutcome {
-        let kv_len = prompt_len + t;
+    fn decode_cost(&mut self, batch: &BatchState) -> StepOutcome {
+        if batch.is_empty() {
+            return StepOutcome::balanced(LatencyBreakdown::default());
+        }
+        let b = batch.size();
         let mut latency = LatencyBreakdown::default();
-        let fc_bytes = shape.sparse_block_bytes(Block::Attention)
-            + shape.sparse_block_bytes(Block::Mlp)
-            + shape.projection_bytes();
-        let fc_flops = 2 * fc_bytes / cfg.dtype_bytes;
-        let compute = cfg.num_layers as f64 * kernel.kernel_time(fc_bytes, fc_flops * batch as u64)
-            + cfg.num_layers as f64
-                * kernel.attention_time(
-                    shape.attention_kv_bytes(kv_len),
-                    shape.attention_flops(kv_len),
-                    batch,
+        let fc_bytes = self.shape.sparse_block_bytes(Block::Attention)
+            + self.shape.sparse_block_bytes(Block::Mlp)
+            + self.shape.projection_bytes();
+        let fc_flops = 2 * fc_bytes / self.cfg.dtype_bytes;
+        let mut compute =
+            self.cfg.num_layers as f64 * self.kernel.kernel_time(fc_bytes, fc_flops * b as u64);
+        for (kv_len, count) in batch.context_groups() {
+            compute += self.cfg.num_layers as f64
+                * self.kernel.attention_time(
+                    self.shape.attention_kv_bytes(kv_len),
+                    self.shape.attention_flops(kv_len),
+                    count,
                 );
-        let stream = streamed as f64 / bandwidth;
+        }
+        let stream = self.streamed as f64 / self.bandwidth;
         // The zig-zag schedule overlaps the stream of the next layer with the
         // computation of the whole token block on the current layer, so each
         // step costs the longer of the two; the overlapped communication is
@@ -137,11 +175,42 @@ pub(crate) fn flexgen_session(workload: &Workload, config: &SystemConfig) -> Sim
         latency.communication += stream;
         latency.fc += step - stream;
         StepOutcome::balanced(latency)
-    };
-    SimSession::new(spec, Box::new(stepper))
+    }
 }
 
-/// FlexGen, one-shot: drive the session to completion.
+/// Plan a FlexGen run.
+pub(crate) fn flexgen_plan(workload: &Workload, config: &SystemConfig) -> PlannedRun {
+    let cfg = workload.model_config();
+    let shape = cfg.layer_shape();
+    let kernel = KernelCostModel::new(config.gpu.clone());
+
+    let total = cfg.total_param_bytes();
+    let resident = config.gpu.usable_weight_bytes().min(total);
+    let streamed = total - resident;
+    let bandwidth = config.offload_bandwidth();
+
+    let cost = FlexGenCostModel {
+        cfg,
+        shape,
+        kernel,
+        streamed,
+        bandwidth,
+    };
+    let spec = SessionSpec {
+        system: "FlexGen".to_string(),
+        workload: workload.clone(),
+        prefill_seconds: cost.prefill_cost(workload.prompt_len, workload.batch),
+        gpu_weight_bytes: resident,
+        hot_neuron_bytes: 0,
+        hot_coverage: 0.0,
+    };
+    PlannedRun {
+        spec,
+        cost: Box::new(cost),
+    }
+}
+
+/// FlexGen, one-shot: drive the planned run to completion.
 ///
 /// Low-level and unchecked: no validation and no OPT-family guard — the
 /// caller is responsible for only passing OPT workloads. Use
@@ -149,20 +218,91 @@ pub(crate) fn flexgen_session(workload: &Workload, config: &SystemConfig) -> Sim
 /// validating entry point that reports unsupported models as
 /// [`HermesError::ModelNotSupported`].
 pub fn run_flexgen(workload: &Workload, config: &SystemConfig) -> InferenceReport {
-    drive(flexgen_session(workload, config))
+    drive(SimSession::from_plan(flexgen_plan(workload, config)))
 }
 
-/// Plan a Deja Vu run (adapted to offloading): activation sparsity reduces
-/// the weights that must cross PCIe to the activated neurons of each token,
-/// predicted by per-layer MLP predictors.
-pub(crate) fn dejavu_session(workload: &Workload, config: &SystemConfig) -> SimSession {
+/// Cost model of a Deja Vu run (adapted to offloading): activation sparsity
+/// reduces the weights that must cross PCIe to the activated neurons of each
+/// token, predicted by per-layer MLP predictors.
+struct DejaVuCostModel {
+    cfg: ModelConfig,
+    shape: LayerShape,
+    kernel: KernelCostModel,
+    activity: StatisticalActivityModel,
+    /// Cluster sums of the full sparse set, for expected activated unions.
+    full: Vec<[ClusterPopSums; 2]>,
+    resident_fraction: f64,
+    bandwidth: f64,
+    pcie_latency: f64,
+    predictor_bytes: u64,
+    predictor_flops_per_token: u64,
+    prefill_streamed: u64,
+}
+
+impl StepCostModel for DejaVuCostModel {
+    fn prefill_cost(&self, prompt_len: usize, batch: usize) -> f64 {
+        let prompt_flops = hermes_model::flops::model_flops_per_token(&self.cfg, prompt_len / 2)
+            * (prompt_len * batch) as u64;
+        (self.prefill_streamed as f64 / self.bandwidth).max(
+            self.kernel
+                .gemm_time(self.cfg.total_param_bytes(), prompt_flops),
+        )
+    }
+
+    fn decode_cost(&mut self, batch: &BatchState) -> StepOutcome {
+        if batch.is_empty() {
+            return StepOutcome::balanced(LatencyBreakdown::default());
+        }
+        let b = batch.size();
+        let token = self.activity.next_token();
+        let mut latency = LatencyBreakdown {
+            predictor: self.kernel.kernel_time(
+                self.predictor_bytes,
+                self.predictor_flops_per_token * b as u64,
+            ),
+            ..Default::default()
+        };
+        let context_groups = batch.context_groups();
+        for (layer, full_layer) in self.full.iter().enumerate() {
+            for (bi, block) in Block::ALL.into_iter().enumerate() {
+                let ba = token.block(layer, block);
+                let neuron_bytes = self.cfg.neuron_weight_bytes(block);
+                let neuron_flops = self.cfg.neuron_flops(block);
+                let union = ba.expected_union(&full_layer[bi], b);
+                let active = ba.expected_active(&full_layer[bi]);
+                // The share of activated neurons not already cached on the
+                // GPU must be fetched over PCIe before the layer can run.
+                let fetched_bytes = union * (1.0 - self.resident_fraction) * neuron_bytes as f64;
+                latency.communication += fetched_bytes / self.bandwidth + self.pcie_latency;
+                latency.fc += self.kernel.kernel_time(
+                    (union * neuron_bytes as f64) as u64,
+                    (active * b as f64 * neuron_flops as f64) as u64,
+                );
+            }
+            for &(kv_len, count) in &context_groups {
+                latency.attention += self.kernel.attention_time(
+                    self.shape.attention_kv_bytes(kv_len),
+                    self.shape.attention_flops(kv_len),
+                    count,
+                );
+            }
+            latency.others += self.kernel.kernel_time(
+                self.shape.projection_bytes(),
+                self.shape.projection_flops() * b as u64,
+            );
+        }
+        StepOutcome::balanced(latency)
+    }
+}
+
+/// Plan a Deja Vu run.
+pub(crate) fn dejavu_plan(workload: &Workload, config: &SystemConfig) -> PlannedRun {
     let cfg = workload.model_config();
     let shape = cfg.layer_shape();
     let kernel = KernelCostModel::new(config.gpu.clone());
-    let batch = workload.batch;
     let profile = SparsityProfile::for_model_on(&cfg, workload.dataset);
     let popularity = NeuronPopularity::generate(&cfg, &profile, workload.seed);
-    let mut activity = StatisticalActivityModel::new(&cfg, &profile, workload.seed);
+    let activity = StatisticalActivityModel::new(&cfg, &profile, workload.seed);
     let mlp_predictor = MlpPredictorModel::default();
 
     // GPU memory: dense weights + MLP predictors stay resident, the rest of
@@ -193,64 +333,37 @@ pub(crate) fn dejavu_session(workload: &Workload, config: &SystemConfig) -> SimS
         })
         .collect();
 
-    let prompt_flops = hermes_model::flops::model_flops_per_token(&cfg, workload.prompt_len / 2)
-        * (workload.prompt_len * batch) as u64;
-    let prefill_seconds = ((cfg.total_param_bytes() - cache_budget.min(sparse)) as f64 / bandwidth)
-        .max(kernel.gemm_time(cfg.total_param_bytes(), prompt_flops));
-    let predictor_time_per_token = kernel.kernel_time(
+    let gpu_weight_bytes = dense + predictor_bytes + cache_budget.min(sparse);
+    let prefill_streamed = cfg.total_param_bytes() - cache_budget.min(sparse);
+    let predictor_flops_per_token = mlp_predictor.flops_per_token(&cfg);
+    let cost = DejaVuCostModel {
+        cfg,
+        shape,
+        kernel,
+        activity,
+        full,
+        resident_fraction,
+        bandwidth,
+        pcie_latency: config.pcie.latency,
         predictor_bytes,
-        mlp_predictor.flops_per_token(&cfg) * batch as u64,
-    );
-
+        predictor_flops_per_token,
+        prefill_streamed,
+    };
     let spec = SessionSpec {
         system: "Deja Vu".to_string(),
         workload: workload.clone(),
-        prefill_seconds,
-        gpu_weight_bytes: dense + predictor_bytes + cache_budget.min(sparse),
+        prefill_seconds: cost.prefill_cost(workload.prompt_len, workload.batch),
+        gpu_weight_bytes,
         hot_neuron_bytes: 0,
         hot_coverage: 0.0,
     };
-    let prompt_len = workload.prompt_len;
-    let pcie_latency = config.pcie.latency;
-    let stepper = move |t: usize| -> StepOutcome {
-        let token = activity.next_token();
-        let kv_len = prompt_len + t;
-        let mut latency = LatencyBreakdown {
-            predictor: predictor_time_per_token,
-            ..Default::default()
-        };
-        for (layer, full_layer) in full.iter().enumerate() {
-            for (bi, block) in Block::ALL.into_iter().enumerate() {
-                let ba = token.block(layer, block);
-                let neuron_bytes = cfg.neuron_weight_bytes(block);
-                let neuron_flops = cfg.neuron_flops(block);
-                let union = ba.expected_union(&full_layer[bi], batch);
-                let active = ba.expected_active(&full_layer[bi]);
-                // The share of activated neurons not already cached on the
-                // GPU must be fetched over PCIe before the layer can run.
-                let fetched_bytes = union * (1.0 - resident_fraction) * neuron_bytes as f64;
-                latency.communication += fetched_bytes / bandwidth + pcie_latency;
-                latency.fc += kernel.kernel_time(
-                    (union * neuron_bytes as f64) as u64,
-                    (active * batch as f64 * neuron_flops as f64) as u64,
-                );
-            }
-            latency.attention += kernel.attention_time(
-                shape.attention_kv_bytes(kv_len),
-                shape.attention_flops(kv_len),
-                batch,
-            );
-            latency.others += kernel.kernel_time(
-                shape.projection_bytes(),
-                shape.projection_flops() * batch as u64,
-            );
-        }
-        StepOutcome::balanced(latency)
-    };
-    SimSession::new(spec, Box::new(stepper))
+    PlannedRun {
+        spec,
+        cost: Box::new(cost),
+    }
 }
 
-/// Deja Vu, one-shot: drive the session to completion.
+/// Deja Vu, one-shot: drive the planned run to completion.
 ///
 /// Low-level and unchecked: no validation and no OPT-family guard — the
 /// caller is responsible for only passing OPT workloads. Use
@@ -258,7 +371,62 @@ pub(crate) fn dejavu_session(workload: &Workload, config: &SystemConfig) -> SimS
 /// validating entry point that reports unsupported models as
 /// [`HermesError::ModelNotSupported`].
 pub fn run_dejavu(workload: &Workload, config: &SystemConfig) -> InferenceReport {
-    drive(dejavu_session(workload, config))
+    drive(SimSession::from_plan(dejavu_plan(workload, config)))
+}
+
+/// Cost model of a TensorRT-LLM run on `num_gpus` A100-40GB GPUs with
+/// tensor parallelism.
+struct TensorRtCostModel {
+    cfg: ModelConfig,
+    shape: LayerShape,
+    kernel: KernelCostModel,
+    num_gpus: usize,
+    interconnect_bandwidth: f64,
+    effective_gpus: f64,
+}
+
+impl StepCostModel for TensorRtCostModel {
+    fn prefill_cost(&self, prompt_len: usize, batch: usize) -> f64 {
+        let prompt_flops = hermes_model::flops::model_flops_per_token(&self.cfg, prompt_len / 2)
+            * (prompt_len * batch) as u64;
+        self.kernel
+            .gemm_time(self.cfg.total_param_bytes(), prompt_flops)
+            / self.effective_gpus
+    }
+
+    fn decode_cost(&mut self, batch: &BatchState) -> StepOutcome {
+        if batch.is_empty() {
+            return StepOutcome::balanced(LatencyBreakdown::default());
+        }
+        let b = batch.size();
+        let mut latency = LatencyBreakdown::default();
+        let fc_bytes = self.shape.sparse_block_bytes(Block::Attention)
+            + self.shape.sparse_block_bytes(Block::Mlp)
+            + self.shape.projection_bytes();
+        let fc_flops = 2 * fc_bytes / self.cfg.dtype_bytes;
+        latency.fc += self.cfg.num_layers as f64
+            * self.kernel.kernel_time(
+                fc_bytes / self.num_gpus as u64,
+                fc_flops * b as u64 / self.num_gpus as u64,
+            );
+        for (kv_len, count) in batch.context_groups() {
+            latency.attention += self.cfg.num_layers as f64
+                * self.kernel.attention_time(
+                    self.shape.attention_kv_bytes(kv_len) / self.num_gpus as u64,
+                    self.shape.attention_flops(kv_len) / self.num_gpus as u64,
+                    count,
+                );
+        }
+        // Two all-reduces per layer (attention output + MLP output).
+        let allreduce_bytes = (self.cfg.hidden_size * b) as u64 * self.cfg.dtype_bytes;
+        let allreduce = 2.0
+            * self.cfg.num_layers as f64
+            * (10e-6 + allreduce_bytes as f64 / self.interconnect_bandwidth)
+            * (self.num_gpus as f64 - 1.0).max(0.0)
+            / self.num_gpus as f64;
+        latency.communication += allreduce;
+        StepOutcome::balanced(latency)
+    }
 }
 
 /// Plan a TensorRT-LLM run on `num_gpus` A100-40GB GPUs with tensor
@@ -266,66 +434,44 @@ pub fn run_dejavu(workload: &Workload, config: &SystemConfig) -> InferenceReport
 ///
 /// `num_gpus` must be at least 1; [`TensorRtLlmEngine`] validates this
 /// before reaching here.
-pub(crate) fn tensorrt_session(
+pub(crate) fn tensorrt_plan(
     workload: &Workload,
     num_gpus: usize,
     interconnect_bandwidth: f64,
-) -> SimSession {
+) -> PlannedRun {
     let cfg = workload.model_config();
     let shape = cfg.layer_shape();
     let gpu = GpuDevice::a100_40gb();
     let kernel = KernelCostModel::new(gpu.clone());
-    let batch = workload.batch;
     // Tensor parallelism splits weights across GPUs but pays an all-reduce
     // per block; the achievable scaling efficiency is well below linear.
     let parallel_efficiency = 0.62;
     let effective_gpus = 1.0 + (num_gpus as f64 - 1.0) * parallel_efficiency;
 
-    let prompt_flops = hermes_model::flops::model_flops_per_token(&cfg, workload.prompt_len / 2)
-        * (workload.prompt_len * batch) as u64;
-    let prefill_seconds = kernel.gemm_time(cfg.total_param_bytes(), prompt_flops) / effective_gpus;
-
+    let gpu_weight_bytes = cfg.total_param_bytes() / num_gpus as u64;
+    let cost = TensorRtCostModel {
+        cfg,
+        shape,
+        kernel,
+        num_gpus,
+        interconnect_bandwidth,
+        effective_gpus,
+    };
     let spec = SessionSpec {
         system: format!("TensorRT-LLM ({num_gpus}x A100)"),
         workload: workload.clone(),
-        prefill_seconds,
-        gpu_weight_bytes: cfg.total_param_bytes() / num_gpus as u64,
+        prefill_seconds: cost.prefill_cost(workload.prompt_len, workload.batch),
+        gpu_weight_bytes,
         hot_neuron_bytes: 0,
         hot_coverage: 0.0,
     };
-    let prompt_len = workload.prompt_len;
-    let stepper = move |t: usize| -> StepOutcome {
-        let kv_len = prompt_len + t;
-        let mut latency = LatencyBreakdown::default();
-        let fc_bytes = shape.sparse_block_bytes(Block::Attention)
-            + shape.sparse_block_bytes(Block::Mlp)
-            + shape.projection_bytes();
-        let fc_flops = 2 * fc_bytes / cfg.dtype_bytes;
-        latency.fc += cfg.num_layers as f64
-            * kernel.kernel_time(
-                fc_bytes / num_gpus as u64,
-                fc_flops * batch as u64 / num_gpus as u64,
-            );
-        latency.attention += cfg.num_layers as f64
-            * kernel.attention_time(
-                shape.attention_kv_bytes(kv_len) / num_gpus as u64,
-                shape.attention_flops(kv_len) / num_gpus as u64,
-                batch,
-            );
-        // Two all-reduces per layer (attention output + MLP output).
-        let allreduce_bytes = (cfg.hidden_size * batch) as u64 * cfg.dtype_bytes;
-        let allreduce = 2.0
-            * cfg.num_layers as f64
-            * (10e-6 + allreduce_bytes as f64 / interconnect_bandwidth)
-            * (num_gpus as f64 - 1.0).max(0.0)
-            / num_gpus as f64;
-        latency.communication += allreduce;
-        StepOutcome::balanced(latency)
-    };
-    SimSession::new(spec, Box::new(stepper))
+    PlannedRun {
+        spec,
+        cost: Box::new(cost),
+    }
 }
 
-/// TensorRT-LLM, one-shot: drive the session to completion.
+/// TensorRT-LLM, one-shot: drive the planned run to completion.
 ///
 /// # Panics
 ///
@@ -337,7 +483,11 @@ pub fn run_tensorrt_llm(
     interconnect_bandwidth: f64,
 ) -> InferenceReport {
     assert!(num_gpus > 0, "need at least one GPU");
-    drive(tensorrt_session(workload, num_gpus, interconnect_bandwidth))
+    drive(SimSession::from_plan(tensorrt_plan(
+        workload,
+        num_gpus,
+        interconnect_bandwidth,
+    )))
 }
 
 /// HuggingFace Accelerate as an [`InferenceEngine`].
@@ -358,10 +508,10 @@ impl InferenceEngine for AccelerateEngine {
         "Huggingface Accelerate".to_string()
     }
 
-    fn start(&self, workload: &Workload) -> Result<Box<dyn Session>, HermesError> {
+    fn plan(&self, workload: &Workload) -> Result<PlannedRun, HermesError> {
         workload.validate()?;
         self.config.validate()?;
-        Ok(Box::new(accelerate_session(workload, &self.config)))
+        Ok(accelerate_plan(workload, &self.config))
     }
 }
 
@@ -383,7 +533,7 @@ impl InferenceEngine for FlexGenEngine {
         "FlexGen".to_string()
     }
 
-    fn start(&self, workload: &Workload) -> Result<Box<dyn Session>, HermesError> {
+    fn plan(&self, workload: &Workload) -> Result<PlannedRun, HermesError> {
         workload.validate()?;
         self.config.validate()?;
         if !workload.model.is_opt_family() {
@@ -391,7 +541,7 @@ impl InferenceEngine for FlexGenEngine {
                 system: self.name(),
             });
         }
-        Ok(Box::new(flexgen_session(workload, &self.config)))
+        Ok(flexgen_plan(workload, &self.config))
     }
 }
 
@@ -413,7 +563,7 @@ impl InferenceEngine for DejaVuEngine {
         "Deja Vu".to_string()
     }
 
-    fn start(&self, workload: &Workload) -> Result<Box<dyn Session>, HermesError> {
+    fn plan(&self, workload: &Workload) -> Result<PlannedRun, HermesError> {
         workload.validate()?;
         self.config.validate()?;
         if !workload.model.is_opt_family() {
@@ -421,7 +571,7 @@ impl InferenceEngine for DejaVuEngine {
                 system: self.name(),
             });
         }
-        Ok(Box::new(dejavu_session(workload, &self.config)))
+        Ok(dejavu_plan(workload, &self.config))
     }
 }
 
@@ -459,7 +609,7 @@ impl TensorRtLlmEngine {
     }
 
     /// Same engine, additionally validating `config` on every
-    /// [`InferenceEngine::start`] even though the A100 platform does not use
+    /// [`InferenceEngine::plan`] even though the A100 platform does not use
     /// it (keeps session-path validation consistent with the one-shot
     /// driver).
     pub fn with_host_config(mut self, config: SystemConfig) -> Self {
@@ -473,7 +623,7 @@ impl InferenceEngine for TensorRtLlmEngine {
         format!("TensorRT-LLM ({}x A100)", self.num_gpus)
     }
 
-    fn start(&self, workload: &Workload) -> Result<Box<dyn Session>, HermesError> {
+    fn plan(&self, workload: &Workload) -> Result<PlannedRun, HermesError> {
         workload.validate()?;
         if let Some(config) = &self.host_config {
             config.validate()?;
@@ -488,11 +638,11 @@ impl InferenceEngine for TensorRtLlmEngine {
                 "interconnect_bandwidth must be positive".to_string(),
             ));
         }
-        Ok(Box::new(tensorrt_session(
+        Ok(tensorrt_plan(
             workload,
             self.num_gpus,
             self.interconnect_bandwidth,
-        )))
+        ))
     }
 }
 
@@ -600,5 +750,21 @@ mod tests {
         let mut session = engine.start(&w).unwrap();
         let report = crate::engine::run_session(session.as_mut()).unwrap();
         assert_eq!(report, run_tensorrt_llm(&w, 5, 300.0e9));
+    }
+
+    #[test]
+    fn decode_cost_scales_with_batch_composition() {
+        // The same plan prices different batch compositions differently:
+        // more sequences cost more, and longer contexts cost more attention.
+        let config = SystemConfig::paper_default();
+        let w = quick_workload(ModelId::Opt30B, 1);
+        let mut plan = flexgen_plan(&w, &config);
+        let small = plan.cost.decode_cost(&BatchState::uniform(1, 64));
+        let large = plan.cost.decode_cost(&BatchState::uniform(16, 64));
+        assert!(large.latency.total() >= small.latency.total());
+        let mut plan = tensorrt_plan(&w, 5, 300.0e9);
+        let short = plan.cost.decode_cost(&BatchState::uniform(4, 64));
+        let long = plan.cost.decode_cost(&BatchState::uniform(4, 4096));
+        assert!(long.latency.attention > short.latency.attention);
     }
 }

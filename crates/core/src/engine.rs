@@ -1,4 +1,5 @@
-//! The step-wise engine API: engines, sessions and per-token events.
+//! The step-wise engine API: engines, cost models, sessions and per-token
+//! events.
 //!
 //! The Hermes workflow is inherently token-stepped — predictor lookups,
 //! hot/cold adjustment churn and window-based remapping (Algorithm 1) all
@@ -6,8 +7,16 @@
 //! directly instead of hiding it behind a closed-loop batch simulation:
 //!
 //! * [`InferenceEngine`] — a system (Hermes family or baseline) bound to a
-//!   hardware configuration; [`InferenceEngine::start`] validates a workload
-//!   and opens a [`Session`].
+//!   hardware configuration; [`InferenceEngine::plan`] validates a workload
+//!   and produces a [`PlannedRun`], and [`InferenceEngine::start`] wraps the
+//!   plan in a [`Session`].
+//! * [`StepCostModel`] — the planned run's pricing function: one decode step
+//!   is priced as a function of the *current* batch composition
+//!   ([`BatchState`]: the active sequences and their context lengths), not a
+//!   batch size frozen at planning time. This is what lets a single plan
+//!   drive both the closed-loop fixed-batch sessions below and the open-loop
+//!   continuous-batching simulator in `hermes-serve`, where the batch
+//!   composition changes at every token boundary.
 //! * [`Session`] — explicit per-request state: [`Session::prefill`] runs the
 //!   prompting phase, each [`Session::step`] generates one token, and
 //!   [`Session::report`] folds everything executed so far into an
@@ -34,6 +43,17 @@ pub enum Phase {
     Prefill,
     /// One decode step ([`Session::step`]).
     Decode,
+}
+
+/// Where a [`Session`] stands in its prefill → decode → done lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionPhase {
+    /// Freshly started: [`Session::prefill`] has not run yet.
+    Created,
+    /// Prefilled and generating tokens ([`Session::step`]).
+    Decoding,
+    /// Every token of the workload has been generated.
+    Done,
 }
 
 /// One event of a [`Session`]'s stream: the prefill event followed by one
@@ -88,6 +108,13 @@ pub trait Session {
     /// run yet.
     fn step(&mut self) -> Result<Option<TokenEvent>, HermesError>;
 
+    /// Where the session stands in its prefill → decode → done lifecycle.
+    ///
+    /// Drivers branch on this instead of probing `prefill()` and swallowing
+    /// its [`HermesError::SessionState`], so genuine protocol errors are
+    /// never masked.
+    fn phase(&self) -> SessionPhase;
+
     /// Number of decode tokens generated so far.
     fn generated(&self) -> usize;
 
@@ -103,8 +130,156 @@ pub trait Session {
     fn report(&self) -> InferenceReport;
 }
 
-/// An inference system bound to a hardware configuration, able to open
-/// step-wise [`Session`]s for workloads.
+/// Drive a session to completion and return the folded report.
+///
+/// Works on a fresh session (runs prefill itself) and on a partially driven
+/// one (resumes stepping where the caller left off), branching on
+/// [`Session::phase`] rather than probing `prefill()`.
+///
+/// # Errors
+///
+/// Propagates any [`HermesError`] raised by the session protocol (none for
+/// a freshly started session).
+pub fn run_session(session: &mut dyn Session) -> Result<InferenceReport, HermesError> {
+    if session.phase() == SessionPhase::Created {
+        session.prefill()?;
+    }
+    while session.step()?.is_some() {}
+    Ok(session.report())
+}
+
+/// The composition of the decode batch at one step: the context length
+/// (prompt plus tokens generated so far) of every active sequence.
+///
+/// Under continuous batching this changes at every token boundary —
+/// sequences join after their prefill, grow their context each step and
+/// leave when finished — so [`StepCostModel::decode_cost`] takes the
+/// composition explicitly instead of a batch size frozen at planning time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchState {
+    context_lens: Vec<usize>,
+}
+
+impl BatchState {
+    /// A batch from the context lengths of its active sequences.
+    pub fn new(context_lens: Vec<usize>) -> Self {
+        BatchState { context_lens }
+    }
+
+    /// A batch of `batch` sequences that all share one context length — the
+    /// shape of a closed-loop fixed-batch run at one decode step.
+    pub fn uniform(batch: usize, context_len: usize) -> Self {
+        BatchState {
+            context_lens: vec![context_len; batch],
+        }
+    }
+
+    /// Number of active sequences.
+    pub fn size(&self) -> usize {
+        self.context_lens.len()
+    }
+
+    /// Whether the batch has no active sequences.
+    pub fn is_empty(&self) -> bool {
+        self.context_lens.is_empty()
+    }
+
+    /// Context length of each active sequence.
+    pub fn context_lens(&self) -> &[usize] {
+        &self.context_lens
+    }
+
+    /// Distinct context lengths with their multiplicities, sorted by
+    /// context length.
+    ///
+    /// Cost models batch the sequences of equal context length into one
+    /// kernel, so a uniform batch prices exactly like the closed-loop
+    /// formulas while a mixed batch pays one kernel per context group.
+    pub fn context_groups(&self) -> Vec<(usize, usize)> {
+        let mut sorted = self.context_lens.clone();
+        sorted.sort_unstable();
+        let mut groups: Vec<(usize, usize)> = Vec::new();
+        for len in sorted {
+            match groups.last_mut() {
+                Some((l, n)) if *l == len => *n += 1,
+                _ => groups.push((len, 1)),
+            }
+        }
+        groups
+    }
+}
+
+/// What one decode step of a simulated engine produced: the step's
+/// latency plus any DIMM load-imbalance samples observed during the step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutcome {
+    /// Latency breakdown of this step.
+    pub latency: LatencyBreakdown,
+    /// Sum of per-block imbalance samples observed during this step.
+    pub imbalance_sum: f64,
+    /// Number of imbalance samples observed during this step.
+    pub imbalance_samples: usize,
+}
+
+impl StepOutcome {
+    /// A step outcome with no imbalance samples (non-NDP systems).
+    pub fn balanced(latency: LatencyBreakdown) -> Self {
+        StepOutcome {
+            latency,
+            imbalance_sum: 0.0,
+            imbalance_samples: 0,
+        }
+    }
+}
+
+/// Prices the work of a planned run as a function of the current batch
+/// composition.
+///
+/// A cost model is produced by [`InferenceEngine::plan`] and owns all the
+/// per-run simulation state (activation traces, hot/cold plan, window
+/// remapping counters, …): each [`StepCostModel::decode_cost`] call advances
+/// that state by one token and prices the step for whatever batch
+/// composition the caller is running — a fixed batch for the closed-loop
+/// sessions, a changing one under continuous batching.
+pub trait StepCostModel {
+    /// Cost in seconds of the prompting phase for `batch` sequences of
+    /// `prompt_len` tokens each, prefilled together.
+    fn prefill_cost(&self, prompt_len: usize, batch: usize) -> f64;
+
+    /// Price one decode step over the given batch composition and advance
+    /// the model's internal per-token state.
+    fn decode_cost(&mut self, batch: &BatchState) -> StepOutcome;
+}
+
+/// Static per-run metadata captured when the run is planned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// Display name of the system.
+    pub system: String,
+    /// The workload the run was planned for.
+    pub workload: Workload,
+    /// Cost of the prompting phase in seconds (for the planned workload's
+    /// prompt length and batch size).
+    pub prefill_seconds: f64,
+    /// Peak bytes of GPU memory used for weights.
+    pub gpu_weight_bytes: u64,
+    /// Bytes of hot-neuron weights resident on the GPU.
+    pub hot_neuron_bytes: u64,
+    /// Fraction of activation mass covered by the hot set.
+    pub hot_coverage: f64,
+}
+
+/// A validated, planned run: the static metadata plus the dynamic-batch
+/// cost model that prices it, produced by [`InferenceEngine::plan`].
+pub struct PlannedRun {
+    /// Static metadata of the planned run.
+    pub spec: SessionSpec,
+    /// The pricing function of the run.
+    pub cost: Box<dyn StepCostModel>,
+}
+
+/// An inference system bound to a hardware configuration, able to plan runs
+/// and open step-wise [`Session`]s for workloads.
 ///
 /// Implemented by the Hermes family ([`HermesEngine`](crate::HermesEngine))
 /// and every baseline ([`AccelerateEngine`](crate::AccelerateEngine),
@@ -117,8 +292,9 @@ pub trait InferenceEngine {
     /// Display name of the system (as used in the paper's figures).
     fn name(&self) -> String;
 
-    /// Validate `workload` against this engine's configuration and open a
-    /// session for it.
+    /// Validate `workload` against this engine's configuration and plan a
+    /// run for it: the static metadata plus the [`StepCostModel`] that
+    /// prices decode steps for any batch composition.
     ///
     /// # Errors
     ///
@@ -127,73 +303,25 @@ pub trait InferenceEngine {
     /// [`HermesError::ModelNotSupported`] when the system cannot run the
     /// model family, and [`HermesError::InsufficientMemory`] when the model
     /// does not fit in the configuration's memory.
-    fn start(&self, workload: &Workload) -> Result<Box<dyn Session>, HermesError>;
-}
+    fn plan(&self, workload: &Workload) -> Result<PlannedRun, HermesError>;
 
-/// Drive a session to completion and return the folded report.
-///
-/// Works on a fresh session (runs prefill itself) and on a partially driven
-/// one (resumes stepping where the caller left off).
-///
-/// # Errors
-///
-/// Propagates any [`HermesError`] raised by the session protocol (none for
-/// a freshly started session).
-pub fn run_session(session: &mut dyn Session) -> Result<InferenceReport, HermesError> {
-    match session.prefill() {
-        Ok(_) => {}
-        // Already prefilled by the caller: resume stepping.
-        Err(HermesError::SessionState(_)) => {}
-        Err(e) => return Err(e),
+    /// Validate `workload` and open a closed-loop session for it: the plan's
+    /// cost model driven at the workload's fixed batch size.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InferenceEngine::plan`].
+    fn start(&self, workload: &Workload) -> Result<Box<dyn Session>, HermesError> {
+        Ok(Box::new(SimSession::from_plan(self.plan(workload)?)))
     }
-    while session.step()?.is_some() {}
-    Ok(session.report())
-}
-
-/// What one decode step of a simulated engine produced: the per-token
-/// latency plus any DIMM load-imbalance samples observed during the step.
-pub(crate) struct StepOutcome {
-    /// Latency breakdown of this token.
-    pub latency: LatencyBreakdown,
-    /// Sum of per-block imbalance samples observed during this token.
-    pub imbalance_sum: f64,
-    /// Number of imbalance samples observed during this token.
-    pub imbalance_samples: usize,
-}
-
-impl StepOutcome {
-    /// A step outcome with no imbalance samples (non-NDP systems).
-    pub(crate) fn balanced(latency: LatencyBreakdown) -> Self {
-        StepOutcome {
-            latency,
-            imbalance_sum: 0.0,
-            imbalance_samples: 0,
-        }
-    }
-}
-
-/// Static per-session metadata captured when the session is planned.
-pub(crate) struct SessionSpec {
-    /// Display name of the system.
-    pub system: String,
-    /// The workload being run.
-    pub workload: Workload,
-    /// Cost of the prompting phase in seconds.
-    pub prefill_seconds: f64,
-    /// Peak bytes of GPU memory used for weights.
-    pub gpu_weight_bytes: u64,
-    /// Bytes of hot-neuron weights resident on the GPU.
-    pub hot_neuron_bytes: u64,
-    /// Fraction of activation mass covered by the hot set.
-    pub hot_coverage: f64,
 }
 
 /// The shared [`Session`] implementation used by every simulated engine:
-/// the engine plans its run up front and hands over a stepper closure that
-/// computes one decode token per call.
+/// a [`PlannedRun`] driven at the planned workload's fixed batch size, with
+/// every sequence at the same context length.
 pub(crate) struct SimSession {
     spec: SessionSpec,
-    stepper: Box<dyn FnMut(usize) -> StepOutcome>,
+    cost: Box<dyn StepCostModel>,
     prefilled: bool,
     t: usize,
     breakdown: LatencyBreakdown,
@@ -203,11 +331,11 @@ pub(crate) struct SimSession {
 }
 
 impl SimSession {
-    /// Create a session from its planned metadata and per-token stepper.
-    pub(crate) fn new(spec: SessionSpec, stepper: Box<dyn FnMut(usize) -> StepOutcome>) -> Self {
+    /// Create a fixed-batch session from a planned run.
+    pub(crate) fn from_plan(plan: PlannedRun) -> Self {
         SimSession {
-            spec,
-            stepper,
+            spec: plan.spec,
+            cost: plan.cost,
             prefilled: false,
             t: 0,
             breakdown: LatencyBreakdown::default(),
@@ -262,7 +390,11 @@ impl Session for SimSession {
         if self.t >= self.spec.workload.gen_len {
             return Ok(None);
         }
-        let outcome = (self.stepper)(self.t);
+        let batch = BatchState::uniform(
+            self.spec.workload.batch,
+            self.spec.workload.prompt_len + self.t,
+        );
+        let outcome = self.cost.decode_cost(&batch);
         self.breakdown = self.breakdown.merged(&outcome.latency);
         self.token_latencies.push(outcome.latency.total());
         self.imbalance_sum += outcome.imbalance_sum;
@@ -270,6 +402,16 @@ impl Session for SimSession {
         let index = self.t;
         self.t += 1;
         Ok(Some(self.event(Phase::Decode, index, outcome.latency)))
+    }
+
+    fn phase(&self) -> SessionPhase {
+        if !self.prefilled {
+            SessionPhase::Created
+        } else if self.t >= self.spec.workload.gen_len {
+            SessionPhase::Done
+        } else {
+            SessionPhase::Decoding
+        }
     }
 
     fn generated(&self) -> usize {
@@ -324,24 +466,39 @@ mod tests {
         }
     }
 
+    /// A cost model computed from a closure over the batch composition.
+    struct FnCost<F: FnMut(&BatchState) -> StepOutcome>(F);
+
+    impl<F: FnMut(&BatchState) -> StepOutcome> StepCostModel for FnCost<F> {
+        fn prefill_cost(&self, _prompt_len: usize, _batch: usize) -> f64 {
+            2.0
+        }
+
+        fn decode_cost(&mut self, batch: &BatchState) -> StepOutcome {
+            (self.0)(batch)
+        }
+    }
+
     fn constant_session(gen_len: usize, per_token: f64) -> SimSession {
-        SimSession::new(
-            spec(gen_len),
-            Box::new(move |_| {
+        SimSession::from_plan(PlannedRun {
+            spec: spec(gen_len),
+            cost: Box::new(FnCost(move |_| {
                 StepOutcome::balanced(LatencyBreakdown {
                     fc: per_token,
                     ..Default::default()
                 })
-            }),
-        )
+            })),
+        })
     }
 
     #[test]
     fn protocol_is_enforced() {
         let mut s = constant_session(3, 0.1);
+        assert_eq!(s.phase(), SessionPhase::Created);
         assert!(matches!(s.step(), Err(HermesError::SessionState(_))));
         let first = s.prefill().unwrap();
         assert_eq!(first.phase, Phase::Prefill);
+        assert_eq!(s.phase(), SessionPhase::Decoding);
         assert!(matches!(s.prefill(), Err(HermesError::SessionState(_))));
         let mut n = 0;
         while let Some(ev) = s.step().unwrap() {
@@ -351,6 +508,7 @@ mod tests {
         }
         assert_eq!(n, 3);
         assert!(s.is_done());
+        assert_eq!(s.phase(), SessionPhase::Done);
         assert_eq!(s.generated(), 3);
         assert!(s.step().unwrap().is_none());
     }
@@ -382,21 +540,58 @@ mod tests {
     }
 
     #[test]
+    fn steps_see_the_workload_batch_and_growing_context() {
+        let mut s = SimSession::from_plan(PlannedRun {
+            spec: {
+                let mut sp = spec(3);
+                sp.workload.batch = 4;
+                sp.workload.prompt_len = 32;
+                sp
+            },
+            cost: Box::new(FnCost(|batch: &BatchState| {
+                assert_eq!(batch.size(), 4);
+                StepOutcome::balanced(LatencyBreakdown {
+                    // Encode the (uniform) context length into the latency so
+                    // the assertion below can observe it.
+                    fc: batch.context_lens()[0] as f64,
+                    ..Default::default()
+                })
+            })),
+        });
+        s.prefill().unwrap();
+        let contexts: Vec<f64> = std::iter::from_fn(|| s.step().unwrap())
+            .map(|e| e.latency.fc)
+            .collect();
+        assert_eq!(contexts, vec![32.0, 33.0, 34.0]);
+    }
+
+    #[test]
     fn imbalance_samples_average_across_steps() {
         let mut weights = vec![2.0, 4.0].into_iter();
-        let mut s = SimSession::new(
-            spec(2),
-            Box::new(move |_| StepOutcome {
+        let mut s = SimSession::from_plan(PlannedRun {
+            spec: spec(2),
+            cost: Box::new(FnCost(move |_| StepOutcome {
                 latency: LatencyBreakdown::default(),
                 imbalance_sum: weights.next().unwrap(),
                 imbalance_samples: 1,
-            }),
-        );
+            })),
+        });
         s.prefill().unwrap();
         let e1 = s.step().unwrap().unwrap();
         assert!((e1.dimm_imbalance - 2.0).abs() < 1e-12);
         let e2 = s.step().unwrap().unwrap();
         assert!((e2.dimm_imbalance - 3.0).abs() < 1e-12);
         assert!((s.report().dimm_imbalance - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_state_groups_by_context_length() {
+        let b = BatchState::new(vec![40, 32, 40, 33, 32]);
+        assert_eq!(b.size(), 5);
+        assert_eq!(b.context_groups(), vec![(32, 2), (33, 1), (40, 2)]);
+        let u = BatchState::uniform(3, 128);
+        assert_eq!(u.context_groups(), vec![(128, 3)]);
+        assert!(BatchState::new(vec![]).is_empty());
+        assert!(BatchState::new(vec![]).context_groups().is_empty());
     }
 }

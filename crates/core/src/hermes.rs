@@ -4,14 +4,17 @@
 
 use serde::{Deserialize, Serialize};
 
-use hermes_gpu::KernelCostModel;
-use hermes_model::{Block, ModelConfig};
+use hermes_gpu::{HostCpu, KernelCostModel, PcieLink};
+use hermes_model::{Block, LayerShape, ModelConfig};
 use hermes_ndp::NdpDimm;
 use hermes_predictor::{HermesPredictor, PredictorConfig};
 use hermes_scheduler::ColdPlacementPolicy;
 use hermes_sparsity::{NeuronPopularity, SparsityProfile, StatisticalActivityModel};
 
-use crate::engine::{run_session, InferenceEngine, Session, SessionSpec, SimSession, StepOutcome};
+use crate::engine::{
+    run_session, BatchState, InferenceEngine, PlannedRun, Session, SessionSpec, SimSession,
+    StepCostModel, StepOutcome,
+};
 use crate::error::HermesError;
 pub use crate::planner::MappingPolicy;
 use crate::planner::NeuronPlan;
@@ -169,6 +172,309 @@ impl HermesOptions {
     }
 }
 
+/// Prompting-phase cost shared by the Hermes-family cost models: the prompt
+/// is processed on the GPU following a traditional offloading strategy
+/// (weights not resident stream over PCIe once), while the scheduler records
+/// neuron activity.
+fn offload_prefill_cost(
+    cfg: &ModelConfig,
+    kernel: &KernelCostModel,
+    pcie: &PcieLink,
+    resident_bytes: u64,
+    prompt_len: usize,
+    batch: usize,
+) -> f64 {
+    let total = cfg.total_param_bytes();
+    let streamed =
+        total.saturating_sub(resident_bytes + cfg.memory_footprint().dense_resident_bytes());
+    let stream_time = pcie.transfer_time(streamed);
+    let tokens = (prompt_len * batch) as u64;
+    let flops = hermes_model::flops::model_flops_per_token(cfg, prompt_len / 2) * tokens;
+    let compute_time = kernel.gemm_time(total, flops);
+    stream_time.max(compute_time)
+}
+
+/// Cost model of the sparsity-aware Hermes / Hermes-host configurations: hot
+/// neurons on the GPU, cold neurons on the DIMMs (or host CPU), with online
+/// hot/cold adjustment and window-based remapping advancing per step.
+struct SparseCostModel {
+    cfg: ModelConfig,
+    shape: LayerShape,
+    kernel: KernelCostModel,
+    dimm: NdpDimm,
+    num_dimms: usize,
+    options: HermesOptions,
+    quality: f64,
+    predictor_time_per_token: f64,
+    plan: NeuronPlan,
+    activity: StatisticalActivityModel,
+    host_cpu: HostCpu,
+    pcie: PcieLink,
+    hot_bytes: u64,
+    /// Decode steps already priced (drives the remapping window).
+    steps: usize,
+    window: usize,
+    window_multipliers: Vec<[Vec<f64>; 2]>,
+    pending_remap_bytes: u64,
+}
+
+impl SparseCostModel {
+    /// Per-direction synchronisation cost of a GPU kernel in the Hermes
+    /// workflow (Eq. 3): shipping an activation vector across PCIe for the
+    /// current batch size.
+    fn sync_time(&self, batch: usize) -> f64 {
+        let bytes = (self.cfg.hidden_size * batch) as u64 * self.cfg.dtype_bytes;
+        self.pcie.transfer_time(bytes)
+    }
+}
+
+impl StepCostModel for SparseCostModel {
+    fn prefill_cost(&self, prompt_len: usize, batch: usize) -> f64 {
+        offload_prefill_cost(
+            &self.cfg,
+            &self.kernel,
+            &self.pcie,
+            self.hot_bytes,
+            prompt_len,
+            batch,
+        )
+    }
+
+    fn decode_cost(&mut self, batch: &BatchState) -> StepOutcome {
+        if batch.is_empty() {
+            return StepOutcome::balanced(LatencyBreakdown::default());
+        }
+        let b = batch.size();
+        let context_groups = batch.context_groups();
+        let token = self.activity.next_token();
+        let cfg = &self.cfg;
+        let sync = self.sync_time(b);
+        let mut latency = LatencyBreakdown {
+            predictor: self.predictor_time_per_token,
+            ..Default::default()
+        };
+        let mut imbalance_sum = 0.0;
+        let mut imbalance_samples = 0usize;
+        // Hot/cold adjustment churn: a small share of the hot set is
+        // refreshed each token; the copies ride PCIe under the
+        // projection computation.
+        let churn_fraction = match self.options.adjustment {
+            OnlineAdjustment::None => 0.0,
+            _ => 0.01,
+        };
+        let mut promoted_bytes_token =
+            (self.hot_bytes as f64 * churn_fraction) as u64 / cfg.num_layers.max(1) as u64;
+
+        for layer in 0..cfg.num_layers {
+            // ---- Sparse FC blocks: QKV generation and MLP. ----
+            let mut fc_time = 0.0;
+            for (bi, block) in Block::ALL.into_iter().enumerate() {
+                let ba = token.block(layer, block);
+                let neuron_bytes = cfg.neuron_weight_bytes(block);
+                let neuron_flops = cfg.neuron_flops(block);
+
+                let hot = &self.plan.hot[layer][bi];
+                let hot_active = ba.expected_active(hot) * self.quality;
+                let hot_union = ba.expected_union(hot, b) * self.quality;
+                // Mispredicted hot activations fall back to the cold side.
+                let spill_active = ba.expected_active(hot) * (1.0 - self.quality);
+                let spill_union = ba.expected_union(hot, b) * (1.0 - self.quality);
+
+                let gpu_bytes = (hot_union * neuron_bytes as f64) as u64;
+                let gpu_flops = (hot_active * b as f64 * neuron_flops as f64) as u64;
+                let t_gpu = self.kernel.kernel_time(gpu_bytes, gpu_flops) + 2.0 * sync;
+
+                let placement = self.plan.cold_placement.block(layer, block);
+                let per_seq = placement.dimm_loads(ba);
+                let per_union = placement.dimm_union_loads(ba, b);
+                let t_cold = match self.options.cold_executor {
+                    ColdExecutor::NdpDimm => {
+                        let mut worst: f64 = 0.0;
+                        for d in 0..self.num_dimms {
+                            let load_union = per_union[d] + spill_union / self.num_dimms as f64;
+                            let load_seq = per_seq[d] + spill_active / self.num_dimms as f64;
+                            let bytes = (load_union * neuron_bytes as f64) as u64;
+                            let flops = (load_seq * neuron_flops as f64) as u64;
+                            worst = worst.max(self.dimm.gemv_time(bytes, flops, b));
+                        }
+                        let loads_total: f64 = per_seq.iter().sum();
+                        if loads_total > 0.0 {
+                            let max = per_seq.iter().copied().fold(0.0, f64::max);
+                            imbalance_sum += max / (loads_total / self.num_dimms as f64);
+                            imbalance_samples += 1;
+                        }
+                        worst
+                    }
+                    ColdExecutor::HostCpu => {
+                        let union_total: f64 = per_union.iter().sum::<f64>() + spill_union;
+                        let seq_total: f64 = per_seq.iter().sum::<f64>() + spill_active;
+                        let bytes = (union_total * neuron_bytes as f64) as u64;
+                        let flops = (seq_total * neuron_flops as f64) as u64;
+                        self.host_cpu.gemv_time(bytes, flops, b)
+                    }
+                };
+                fc_time += t_gpu.max(t_cold);
+            }
+            latency.fc += fc_time;
+
+            // ---- Attention over the KV cache: one kernel per group of
+            // sequences sharing a context length. ----
+            for &(kv_len, count) in &context_groups {
+                let kv_bytes = self.shape.attention_kv_bytes(kv_len);
+                let attn_flops = self.shape.attention_flops(kv_len);
+                latency.attention += match self.options.cold_executor {
+                    ColdExecutor::NdpDimm => {
+                        // KV cache sharded across the DIMMs.
+                        self.dimm.attention_time(
+                            kv_bytes / self.num_dimms as u64,
+                            attn_flops / self.num_dimms as u64,
+                            count,
+                        )
+                    }
+                    // In the PowerInfer-style host configuration the KV
+                    // cache lives in host DRAM (the GPU memory is reserved
+                    // for hot neurons), so attention streams it through the
+                    // host CPU.
+                    ColdExecutor::HostCpu => {
+                        self.host_cpu
+                            .gemv_time(kv_bytes * count as u64, attn_flops, count)
+                    }
+                };
+            }
+
+            // ---- Dense projection on the GPU; migrations hide under it.
+            let proj_time = self.kernel.kernel_time(
+                self.shape.projection_bytes(),
+                self.shape.projection_flops() * b as u64,
+            );
+            let migration_time = self.pcie.transfer_time(promoted_bytes_token)
+                + self
+                    .dimm
+                    .link()
+                    .transfer_time(self.pending_remap_bytes / cfg.num_layers.max(1) as u64);
+            promoted_bytes_token = 0;
+            latency.others += proj_time + sync;
+            latency.migration += (migration_time - proj_time).max(0.0);
+        }
+        self.pending_remap_bytes = 0;
+
+        // ---- Window-based remapping (Algorithm 1). ----
+        if self.options.window_remapping {
+            if self.window_multipliers.is_empty() {
+                self.window_multipliers = (0..cfg.num_layers)
+                    .map(|l| {
+                        [
+                            vec![0.0; token.block(l, Block::Attention).num_clusters()],
+                            vec![0.0; token.block(l, Block::Mlp).num_clusters()],
+                        ]
+                    })
+                    .collect();
+            }
+            for (l, layer_mults) in self.window_multipliers.iter_mut().enumerate() {
+                for (bi, block) in Block::ALL.into_iter().enumerate() {
+                    let ba = token.block(l, block);
+                    for (c, slot) in layer_mults[bi].iter_mut().enumerate() {
+                        *slot += ba.multiplier(c);
+                    }
+                }
+            }
+            if (self.steps + 1).is_multiple_of(self.window) {
+                let mut moved_bytes = 0.0;
+                for (l, layer_mults) in self.window_multipliers.iter_mut().enumerate() {
+                    for (bi, block) in Block::ALL.into_iter().enumerate() {
+                        let avg: Vec<f64> = layer_mults[bi]
+                            .iter()
+                            .map(|m| m / self.window as f64)
+                            .collect();
+                        moved_bytes += self.plan.cold_placement.block_mut(l, block).rebalance(&avg)
+                            * cfg.neuron_weight_bytes(block) as f64;
+                        layer_mults[bi].iter_mut().for_each(|m| *m = 0.0);
+                    }
+                }
+                // The greedy remapper only migrates as much as the
+                // DIMM-links can hide under the next token's projection
+                // computations (Section IV-D: "minimal data transfer");
+                // the rest of the logical rebalancing is deferred to the
+                // following windows.
+                let hideable = cfg.num_layers as u64 * (2 << 20);
+                self.pending_remap_bytes = (moved_bytes as u64).min(hideable);
+            }
+        }
+        self.steps += 1;
+
+        StepOutcome {
+            latency,
+            imbalance_sum,
+            imbalance_samples,
+        }
+    }
+}
+
+/// Cost model of Hermes-base: whole layers resident on the GPU, the rest
+/// computed by the DIMMs, no activation sparsity.
+struct BaseCostModel {
+    cfg: ModelConfig,
+    shape: LayerShape,
+    kernel: KernelCostModel,
+    dimm: NdpDimm,
+    num_dimms: usize,
+    resident_layers: usize,
+    pcie: PcieLink,
+}
+
+impl StepCostModel for BaseCostModel {
+    fn prefill_cost(&self, prompt_len: usize, batch: usize) -> f64 {
+        offload_prefill_cost(
+            &self.cfg,
+            &self.kernel,
+            &self.pcie,
+            self.resident_layers as u64 * self.shape.total_bytes(),
+            prompt_len,
+            batch,
+        )
+    }
+
+    fn decode_cost(&mut self, batch: &BatchState) -> StepOutcome {
+        if batch.is_empty() {
+            return StepOutcome::balanced(LatencyBreakdown::default());
+        }
+        let b = batch.size();
+        let context_groups = batch.context_groups();
+        let sync = self
+            .pcie
+            .transfer_time((self.cfg.hidden_size * b) as u64 * self.cfg.dtype_bytes);
+        let mut latency = LatencyBreakdown::default();
+        for layer in 0..self.cfg.num_layers {
+            let fc_bytes = self.shape.sparse_block_bytes(Block::Attention)
+                + self.shape.sparse_block_bytes(Block::Mlp);
+            let fc_flops = 2 * fc_bytes / self.cfg.dtype_bytes;
+            if layer < self.resident_layers {
+                // GPU computes the whole FC of this layer.
+                latency.fc += self.kernel.kernel_time(fc_bytes, fc_flops * b as u64) + 2.0 * sync;
+            } else {
+                // The DIMMs stream and compute the full FC, split evenly.
+                latency.fc += self.dimm.gemv_time(
+                    fc_bytes / self.num_dimms as u64,
+                    fc_flops / self.num_dimms as u64,
+                    b,
+                );
+            }
+            for &(kv_len, count) in &context_groups {
+                latency.attention += self.dimm.attention_time(
+                    self.shape.attention_kv_bytes(kv_len) / self.num_dimms as u64,
+                    self.shape.attention_flops(kv_len) / self.num_dimms as u64,
+                    count,
+                );
+            }
+            latency.others += self.kernel.kernel_time(
+                self.shape.projection_bytes(),
+                self.shape.projection_flops() * b as u64,
+            ) + sync;
+        }
+        StepOutcome::balanced(latency)
+    }
+}
+
 /// The Hermes-family inference engine.
 #[derive(Debug, Clone)]
 pub struct HermesSystem {
@@ -194,13 +500,6 @@ impl HermesSystem {
         self.config.gpu.usable_weight_bytes().saturating_sub(dense)
     }
 
-    /// Per-direction synchronisation cost of a GPU kernel in the Hermes
-    /// workflow (Eq. 3): shipping an activation vector across PCIe.
-    fn sync_time(&self, cfg: &ModelConfig) -> f64 {
-        let bytes = (cfg.hidden_size * self.workload.batch) as u64 * cfg.dtype_bytes;
-        self.config.pcie.transfer_time(bytes)
-    }
-
     /// Validate the inputs and open a step-wise [`Session`] for this
     /// workload: `prefill()` runs the prompting phase, each `step()`
     /// generates one token. This is the `start` path of [`HermesEngine`].
@@ -212,10 +511,16 @@ impl HermesSystem {
     /// [`HermesError::InsufficientMemory`] when the model does not fit in
     /// the combined DIMM capacity of the configuration.
     pub fn session(&self) -> Result<Box<dyn Session>, HermesError> {
-        Ok(Box::new(self.sim_session()?))
+        Ok(Box::new(SimSession::from_plan(self.plan()?)))
     }
 
-    fn sim_session(&self) -> Result<SimSession, HermesError> {
+    /// Validate the inputs and plan the run: static metadata plus the
+    /// dynamic-batch [`StepCostModel`] that prices it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HermesSystem::session`].
+    pub fn plan(&self) -> Result<PlannedRun, HermesError> {
         self.workload.validate()?;
         self.config.validate()?;
         let cfg = self.workload.model_config();
@@ -236,9 +541,9 @@ impl HermesSystem {
             });
         }
         if self.options.use_sparsity {
-            Ok(self.sparse_session(&cfg))
+            Ok(self.sparse_plan(&cfg))
         } else {
-            Ok(self.base_session(&cfg))
+            Ok(self.base_plan(&cfg))
         }
     }
 
@@ -249,18 +554,16 @@ impl HermesSystem {
     ///
     /// Same conditions as [`HermesSystem::session`].
     pub fn run(&self) -> Result<InferenceReport, HermesError> {
-        let mut session = self.sim_session()?;
+        let mut session = SimSession::from_plan(self.plan()?);
         run_session(&mut session)
     }
 
-    /// Plan the full sparsity-aware Hermes / Hermes-host engine and hand
-    /// the per-token loop body over to a session stepper.
-    fn sparse_session(&self, cfg: &ModelConfig) -> SimSession {
+    /// Plan the full sparsity-aware Hermes / Hermes-host engine.
+    fn sparse_plan(&self, cfg: &ModelConfig) -> PlannedRun {
         let cfg = cfg.clone();
         let profile = SparsityProfile::for_model_on(&cfg, self.workload.dataset);
         let popularity = NeuronPopularity::generate(&cfg, &profile, self.workload.seed);
-        let mut activity = StatisticalActivityModel::new(&cfg, &profile, self.workload.seed);
-        let batch = self.workload.batch;
+        let activity = StatisticalActivityModel::new(&cfg, &profile, self.workload.seed);
         let shape = cfg.layer_shape();
         let kernel = KernelCostModel::new(self.config.gpu.clone());
         let dimm = NdpDimm::new(self.config.dimm.clone());
@@ -274,7 +577,7 @@ impl HermesSystem {
         } else {
             MappingPolicy::Oracle
         };
-        let mut plan = NeuronPlan::build(
+        let plan = NeuronPlan::build(
             &cfg,
             &profile,
             &popularity,
@@ -291,255 +594,75 @@ impl HermesSystem {
         let predictor = HermesPredictor::new(&cfg, PredictorConfig::default());
         let predictor_time_per_token = predictor.lookups_per_token() as f64 * 1e-9;
 
+        let hot_bytes = plan.hot_bytes;
+        let hot_coverage = plan.hot_coverage;
+        let cost = SparseCostModel {
+            shape,
+            kernel,
+            dimm,
+            num_dimms,
+            options: self.options,
+            quality,
+            predictor_time_per_token,
+            plan,
+            activity,
+            host_cpu: self.config.host_cpu.clone(),
+            pcie: self.config.pcie.clone(),
+            hot_bytes,
+            steps: 0,
+            window: 5,
+            window_multipliers: Vec::new(),
+            pending_remap_bytes: 0,
+            cfg: cfg.clone(),
+        };
         let spec = SessionSpec {
             system: self.options.name().to_string(),
             workload: self.workload.clone(),
-            prefill_seconds: self.prefill_time(&cfg, plan.hot_bytes),
-            gpu_weight_bytes: cfg.memory_footprint().dense_resident_bytes() + plan.hot_bytes,
-            hot_neuron_bytes: plan.hot_bytes,
-            hot_coverage: plan.hot_coverage,
+            prefill_seconds: cost.prefill_cost(self.workload.prompt_len, self.workload.batch),
+            gpu_weight_bytes: cfg.memory_footprint().dense_resident_bytes() + hot_bytes,
+            hot_neuron_bytes: hot_bytes,
+            hot_coverage,
         };
-
-        let options = self.options;
-        let prompt_len = self.workload.prompt_len;
-        let sync = self.sync_time(&cfg);
-        let host_cpu = self.config.host_cpu.clone();
-        let pcie = self.config.pcie.clone();
-        let hot_bytes = plan.hot_bytes;
-        let window = 5usize;
-        let mut window_multipliers: Vec<[Vec<f64>; 2]> = Vec::new();
-        let mut pending_remap_bytes = 0u64;
-
-        let stepper = move |t: usize| -> StepOutcome {
-            let token = activity.next_token();
-            let kv_len = prompt_len + t;
-            let mut latency = LatencyBreakdown {
-                predictor: predictor_time_per_token,
-                ..Default::default()
-            };
-            let mut imbalance_sum = 0.0;
-            let mut imbalance_samples = 0usize;
-            // Hot/cold adjustment churn: a small share of the hot set is
-            // refreshed each token; the copies ride PCIe under the
-            // projection computation.
-            let churn_fraction = match options.adjustment {
-                OnlineAdjustment::None => 0.0,
-                _ => 0.01,
-            };
-            let mut promoted_bytes_token =
-                (hot_bytes as f64 * churn_fraction) as u64 / cfg.num_layers.max(1) as u64;
-
-            for layer in 0..cfg.num_layers {
-                // ---- Sparse FC blocks: QKV generation and MLP. ----
-                let mut fc_time = 0.0;
-                for (bi, block) in Block::ALL.into_iter().enumerate() {
-                    let ba = token.block(layer, block);
-                    let neuron_bytes = cfg.neuron_weight_bytes(block);
-                    let neuron_flops = cfg.neuron_flops(block);
-
-                    let hot = &plan.hot[layer][bi];
-                    let hot_active = ba.expected_active(hot) * quality;
-                    let hot_union = ba.expected_union(hot, batch) * quality;
-                    // Mispredicted hot activations fall back to the cold side.
-                    let spill_active = ba.expected_active(hot) * (1.0 - quality);
-                    let spill_union = ba.expected_union(hot, batch) * (1.0 - quality);
-
-                    let gpu_bytes = (hot_union * neuron_bytes as f64) as u64;
-                    let gpu_flops = (hot_active * batch as f64 * neuron_flops as f64) as u64;
-                    let t_gpu = kernel.kernel_time(gpu_bytes, gpu_flops) + 2.0 * sync;
-
-                    let placement = plan.cold_placement.block(layer, block);
-                    let per_seq = placement.dimm_loads(ba);
-                    let per_union = placement.dimm_union_loads(ba, batch);
-                    let t_cold = match options.cold_executor {
-                        ColdExecutor::NdpDimm => {
-                            let mut worst: f64 = 0.0;
-                            for d in 0..num_dimms {
-                                let load_union = per_union[d] + spill_union / num_dimms as f64;
-                                let load_seq = per_seq[d] + spill_active / num_dimms as f64;
-                                let bytes = (load_union * neuron_bytes as f64) as u64;
-                                let flops = (load_seq * neuron_flops as f64) as u64;
-                                worst = worst.max(dimm.gemv_time(bytes, flops, batch));
-                            }
-                            let loads_total: f64 = per_seq.iter().sum();
-                            if loads_total > 0.0 {
-                                let max = per_seq.iter().copied().fold(0.0, f64::max);
-                                imbalance_sum += max / (loads_total / num_dimms as f64);
-                                imbalance_samples += 1;
-                            }
-                            worst
-                        }
-                        ColdExecutor::HostCpu => {
-                            let union_total: f64 = per_union.iter().sum::<f64>() + spill_union;
-                            let seq_total: f64 = per_seq.iter().sum::<f64>() + spill_active;
-                            let bytes = (union_total * neuron_bytes as f64) as u64;
-                            let flops = (seq_total * neuron_flops as f64) as u64;
-                            host_cpu.gemv_time(bytes, flops, batch)
-                        }
-                    };
-                    fc_time += t_gpu.max(t_cold);
-                }
-                latency.fc += fc_time;
-
-                // ---- Attention over the KV cache. ----
-                let kv_bytes = shape.attention_kv_bytes(kv_len);
-                let attn_flops = shape.attention_flops(kv_len);
-                latency.attention += match options.cold_executor {
-                    ColdExecutor::NdpDimm => {
-                        // KV cache sharded across the DIMMs.
-                        dimm.attention_time(
-                            kv_bytes / num_dimms as u64,
-                            attn_flops / num_dimms as u64,
-                            batch,
-                        )
-                    }
-                    // In the PowerInfer-style host configuration the KV
-                    // cache lives in host DRAM (the GPU memory is reserved
-                    // for hot neurons), so attention streams it through the
-                    // host CPU.
-                    ColdExecutor::HostCpu => {
-                        host_cpu.gemv_time(kv_bytes * batch as u64, attn_flops, batch)
-                    }
-                };
-
-                // ---- Dense projection on the GPU; migrations hide under it.
-                let proj_time = kernel.kernel_time(
-                    shape.projection_bytes(),
-                    shape.projection_flops() * batch as u64,
-                );
-                let migration_time = pcie.transfer_time(promoted_bytes_token)
-                    + dimm
-                        .link()
-                        .transfer_time(pending_remap_bytes / cfg.num_layers.max(1) as u64);
-                promoted_bytes_token = 0;
-                latency.others += proj_time + sync;
-                latency.migration += (migration_time - proj_time).max(0.0);
-            }
-            pending_remap_bytes = 0;
-
-            // ---- Window-based remapping (Algorithm 1). ----
-            if options.window_remapping {
-                if window_multipliers.is_empty() {
-                    window_multipliers = (0..cfg.num_layers)
-                        .map(|l| {
-                            [
-                                vec![0.0; token.block(l, Block::Attention).num_clusters()],
-                                vec![0.0; token.block(l, Block::Mlp).num_clusters()],
-                            ]
-                        })
-                        .collect();
-                }
-                for (l, layer_mults) in window_multipliers.iter_mut().enumerate() {
-                    for (bi, block) in Block::ALL.into_iter().enumerate() {
-                        let ba = token.block(l, block);
-                        for (c, slot) in layer_mults[bi].iter_mut().enumerate() {
-                            *slot += ba.multiplier(c);
-                        }
-                    }
-                }
-                if (t + 1).is_multiple_of(window) {
-                    let mut moved_bytes = 0.0;
-                    for (l, layer_mults) in window_multipliers.iter_mut().enumerate() {
-                        for (bi, block) in Block::ALL.into_iter().enumerate() {
-                            let avg: Vec<f64> =
-                                layer_mults[bi].iter().map(|m| m / window as f64).collect();
-                            moved_bytes += plan.cold_placement.block_mut(l, block).rebalance(&avg)
-                                * cfg.neuron_weight_bytes(block) as f64;
-                            layer_mults[bi].iter_mut().for_each(|m| *m = 0.0);
-                        }
-                    }
-                    // The greedy remapper only migrates as much as the
-                    // DIMM-links can hide under the next token's projection
-                    // computations (Section IV-D: "minimal data transfer");
-                    // the rest of the logical rebalancing is deferred to the
-                    // following windows.
-                    let hideable = cfg.num_layers as u64 * (2 << 20);
-                    pending_remap_bytes = (moved_bytes as u64).min(hideable);
-                }
-            }
-
-            StepOutcome {
-                latency,
-                imbalance_sum,
-                imbalance_samples,
-            }
-        };
-        SimSession::new(spec, Box::new(stepper))
+        PlannedRun {
+            spec,
+            cost: Box::new(cost),
+        }
     }
 
-    /// Hermes-base: the NDP-DIMM extension without activation sparsity.
-    fn base_session(&self, cfg: &ModelConfig) -> SimSession {
+    /// Plan Hermes-base: the NDP-DIMM extension without activation sparsity.
+    fn base_plan(&self, cfg: &ModelConfig) -> PlannedRun {
         let cfg = cfg.clone();
         let shape = cfg.layer_shape();
         let kernel = KernelCostModel::new(self.config.gpu.clone());
         let dimm = NdpDimm::new(self.config.dimm.clone());
-        let batch = self.workload.batch;
         let num_dimms = self.config.num_dimms;
 
         // Whole layers resident on the GPU, the rest computed by the DIMMs.
         let layer_bytes = shape.total_bytes();
         let budget = self.gpu_hot_budget(&cfg) + cfg.memory_footprint().projection_bytes;
         let resident_layers = ((budget / layer_bytes.max(1)) as usize).min(cfg.num_layers);
-        let sync = self.sync_time(&cfg);
-        let prompt_len = self.workload.prompt_len;
 
+        let cost = BaseCostModel {
+            cfg,
+            shape,
+            kernel,
+            dimm,
+            num_dimms,
+            resident_layers,
+            pcie: self.config.pcie.clone(),
+        };
         let spec = SessionSpec {
             system: self.options.name().to_string(),
             workload: self.workload.clone(),
-            prefill_seconds: self.prefill_time(&cfg, resident_layers as u64 * layer_bytes),
+            prefill_seconds: cost.prefill_cost(self.workload.prompt_len, self.workload.batch),
             gpu_weight_bytes: resident_layers as u64 * layer_bytes,
             hot_neuron_bytes: 0,
             hot_coverage: 0.0,
         };
-
-        let stepper = move |t: usize| -> StepOutcome {
-            let kv_len = prompt_len + t;
-            let mut latency = LatencyBreakdown::default();
-            for layer in 0..cfg.num_layers {
-                let fc_bytes = shape.sparse_block_bytes(Block::Attention)
-                    + shape.sparse_block_bytes(Block::Mlp);
-                let fc_flops = 2 * fc_bytes / cfg.dtype_bytes;
-                if layer < resident_layers {
-                    // GPU computes the whole FC of this layer.
-                    latency.fc +=
-                        kernel.kernel_time(fc_bytes, fc_flops * batch as u64) + 2.0 * sync;
-                } else {
-                    // The DIMMs stream and compute the full FC, split evenly.
-                    latency.fc += dimm.gemv_time(
-                        fc_bytes / num_dimms as u64,
-                        fc_flops / num_dimms as u64,
-                        batch,
-                    );
-                }
-                latency.attention += dimm.attention_time(
-                    shape.attention_kv_bytes(kv_len) / num_dimms as u64,
-                    shape.attention_flops(kv_len) / num_dimms as u64,
-                    batch,
-                );
-                latency.others += kernel.kernel_time(
-                    shape.projection_bytes(),
-                    shape.projection_flops() * batch as u64,
-                ) + sync;
-            }
-            StepOutcome::balanced(latency)
-        };
-        SimSession::new(spec, Box::new(stepper))
-    }
-
-    /// Prompting-phase cost: the prompt is processed on the GPU following a
-    /// traditional offloading strategy (weights not resident stream over
-    /// PCIe once), while the scheduler records neuron activity.
-    fn prefill_time(&self, cfg: &ModelConfig, resident_bytes: u64) -> f64 {
-        let total = cfg.total_param_bytes();
-        let streamed =
-            total.saturating_sub(resident_bytes + cfg.memory_footprint().dense_resident_bytes());
-        let stream_time = self.config.pcie.transfer_time(streamed);
-        let kernel = KernelCostModel::new(self.config.gpu.clone());
-        let tokens = (self.workload.prompt_len * self.workload.batch) as u64;
-        let flops =
-            hermes_model::flops::model_flops_per_token(cfg, self.workload.prompt_len / 2) * tokens;
-        let compute_time = kernel.gemm_time(total, flops);
-        stream_time.max(compute_time)
+        PlannedRun {
+            spec,
+            cost: Box::new(cost),
+        }
     }
 }
 
@@ -563,8 +686,8 @@ impl InferenceEngine for HermesEngine {
         self.options.name().to_string()
     }
 
-    fn start(&self, workload: &Workload) -> Result<Box<dyn Session>, HermesError> {
-        HermesSystem::new(workload.clone(), self.config.clone(), self.options).session()
+    fn plan(&self, workload: &Workload) -> Result<PlannedRun, HermesError> {
+        HermesSystem::new(workload.clone(), self.config.clone(), self.options).plan()
     }
 }
 
@@ -714,5 +837,29 @@ mod tests {
             "imbalance {}",
             report.dimm_imbalance
         );
+    }
+
+    #[test]
+    fn plan_prices_mixed_context_batches() {
+        // A heterogeneous batch prices attention per context group; a
+        // uniform batch of the same size must match the closed-loop formula
+        // exactly (one group), and a longer-context group must cost more.
+        let w = quick_workload(ModelId::Opt13B);
+        let config = SystemConfig::paper_default();
+        let mk = || {
+            HermesSystem::new(w.clone(), config.clone(), HermesOptions::full())
+                .plan()
+                .unwrap()
+        };
+        let mut uniform = mk();
+        let mut mixed = mk();
+        let u = uniform.cost.decode_cost(&BatchState::uniform(4, 64));
+        let m = mixed
+            .cost
+            .decode_cost(&BatchState::new(vec![64, 64, 256, 256]));
+        // Same sampled token (same seed, same step), same batch size, but
+        // the mixed batch carries longer contexts → more attention time.
+        assert!(m.latency.attention > u.latency.attention);
+        assert_eq!(u.latency.fc, m.latency.fc);
     }
 }

@@ -73,10 +73,15 @@ pub mod workload;
 
 pub use baselines::{AccelerateEngine, DejaVuEngine, FlexGenEngine, TensorRtLlmEngine};
 pub use config::SystemConfig;
-pub use engine::{run_session, InferenceEngine, Phase, Session, TokenEvent};
+pub use engine::{
+    run_session, BatchState, InferenceEngine, Phase, PlannedRun, Session, SessionPhase,
+    SessionSpec, StepCostModel, StepOutcome, TokenEvent,
+};
 pub use error::HermesError;
 pub use hermes::{HermesEngine, HermesOptions, HermesSystem, MappingPolicy, OnlineAdjustment};
 pub use planner::NeuronPlan;
-pub use report::{InferenceReport, LatencyBreakdown, TokenLatencyStats};
+pub use report::{
+    DistributionStats, InferenceReport, LatencyBreakdown, ServingReport, TokenLatencyStats,
+};
 pub use systems::{try_run_system, SystemKind};
-pub use workload::Workload;
+pub use workload::{ArrivalProcess, Workload};

@@ -1,5 +1,6 @@
 //! Inference reports: the latency breakdown and throughput metrics the
-//! paper's figures are built from.
+//! paper's figures are built from, plus the aggregate [`ServingReport`] of
+//! an open-loop multi-request simulation.
 
 use serde::{Deserialize, Serialize};
 
@@ -82,6 +83,18 @@ pub struct TokenLatencyStats {
     pub tpot_p99: f64,
 }
 
+/// Sort samples ascending and return a nearest-rank percentile accessor
+/// (shared by every percentile folder in this module).
+fn sorted_with_percentile(samples: &[f64]) -> (Vec<f64>, impl Fn(&[f64], f64) -> f64) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let percentile = |sorted: &[f64], p: f64| -> f64 {
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    };
+    (sorted, percentile)
+}
+
 impl TokenLatencyStats {
     /// Fold a prefill cost and the per-token decode latencies (in seconds,
     /// in generation order) into summary statistics. Percentiles use the
@@ -94,18 +107,105 @@ impl TokenLatencyStats {
                 ..Default::default()
             };
         }
-        let mut sorted = latencies.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let percentile = |p: f64| -> f64 {
-            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-            sorted[rank.clamp(1, sorted.len()) - 1]
-        };
+        let (sorted, percentile) = sorted_with_percentile(latencies);
         TokenLatencyStats {
             ttft: prefill_seconds + latencies[0],
             tpot_mean: latencies.iter().sum::<f64>() / latencies.len() as f64,
-            tpot_p50: percentile(50.0),
-            tpot_p95: percentile(95.0),
-            tpot_p99: percentile(99.0),
+            tpot_p50: percentile(&sorted, 50.0),
+            tpot_p95: percentile(&sorted, 95.0),
+            tpot_p99: percentile(&sorted, 99.0),
+        }
+    }
+}
+
+/// Summary statistics of one per-request metric (seconds), nearest-rank
+/// percentiles like [`TokenLatencyStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DistributionStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl DistributionStats {
+    /// Fold samples into summary statistics (nearest-rank percentiles).
+    /// All-zero for an empty sample set.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return DistributionStats::default();
+        }
+        let (sorted, percentile) = sorted_with_percentile(samples);
+        DistributionStats {
+            mean: samples.iter().sum::<f64>() / samples.len() as f64,
+            p50: percentile(&sorted, 50.0),
+            p95: percentile(&sorted, 95.0),
+            p99: percentile(&sorted, 99.0),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// The result of simulating one system under an open-loop request-level
+/// serving load (produced by the `hermes-serve` simulator).
+///
+/// All per-request metrics are measured from each request's *arrival*:
+/// queueing delay runs until the request is admitted into the batch, TTFT
+/// until its first generated token, and end-to-end latency until its last.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Name of the simulated system (as used in the paper's figures).
+    pub system: String,
+    /// Display name of the batching policy that produced this report.
+    pub policy: String,
+    /// Requests offered to the simulator.
+    pub num_requests: usize,
+    /// Requests that ran to completion.
+    pub completed: usize,
+    /// Offered load in requests per second (0 when the arrival process does
+    /// not define one, e.g. all-at-once).
+    pub offered_rps: f64,
+    /// Virtual time at which the last request completed (seconds).
+    pub makespan: f64,
+    /// Total tokens generated across all requests.
+    pub generated_tokens: usize,
+    /// Aggregate machine-time breakdown across the whole simulation.
+    pub breakdown: LatencyBreakdown,
+    /// Per-request queueing delay (arrival → admission).
+    pub queue_delay: DistributionStats,
+    /// Per-request time to first token (arrival → first generated token).
+    pub ttft: DistributionStats,
+    /// Per-request time per output token after the first.
+    pub tpot: DistributionStats,
+    /// Per-request end-to-end latency (arrival → completion).
+    pub e2e: DistributionStats,
+    /// Average DIMM load imbalance during decode (1.0 = balanced; only
+    /// meaningful for NDP-based systems).
+    pub dimm_imbalance: f64,
+}
+
+impl ServingReport {
+    /// Completed requests per second of virtual time (goodput).
+    pub fn goodput_rps(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.completed as f64 / self.makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Generated tokens per second of virtual time.
+    pub fn tokens_per_second(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.generated_tokens as f64 / self.makespan
+        } else {
+            0.0
         }
     }
 }
@@ -208,6 +308,48 @@ mod tests {
         assert!((stats.tpot_p50 - 50.0).abs() < 1e-12);
         assert!((stats.tpot_p95 - 95.0).abs() < 1e-12);
         assert!((stats.tpot_p99 - 99.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_stats_match_nearest_rank() {
+        let samples: Vec<f64> = (1..=200).map(|i| i as f64 / 2.0).collect();
+        let stats = DistributionStats::from_samples(&samples);
+        assert!((stats.mean - 50.25).abs() < 1e-12);
+        assert!((stats.p50 - 50.0).abs() < 1e-12);
+        assert!((stats.p95 - 95.0).abs() < 1e-12);
+        assert!((stats.p99 - 99.0).abs() < 1e-12);
+        assert!((stats.max - 100.0).abs() < 1e-12);
+        assert_eq!(
+            DistributionStats::from_samples(&[]),
+            DistributionStats::default()
+        );
+    }
+
+    #[test]
+    fn serving_report_rates_use_makespan() {
+        let report = ServingReport {
+            system: "Hermes".to_string(),
+            policy: "continuous".to_string(),
+            num_requests: 10,
+            completed: 10,
+            offered_rps: 2.0,
+            makespan: 5.0,
+            generated_tokens: 400,
+            breakdown: breakdown(),
+            queue_delay: DistributionStats::default(),
+            ttft: DistributionStats::default(),
+            tpot: DistributionStats::default(),
+            e2e: DistributionStats::default(),
+            dimm_imbalance: 1.0,
+        };
+        assert!((report.goodput_rps() - 2.0).abs() < 1e-12);
+        assert!((report.tokens_per_second() - 80.0).abs() < 1e-12);
+        let empty = ServingReport {
+            makespan: 0.0,
+            ..report
+        };
+        assert_eq!(empty.goodput_rps(), 0.0);
+        assert_eq!(empty.tokens_per_second(), 0.0);
     }
 
     #[test]

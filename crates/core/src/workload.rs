@@ -1,4 +1,6 @@
-//! Inference workload description.
+//! Inference workload descriptions: the closed-loop [`Workload`] of the
+//! paper's evaluation and the open-loop [`ArrivalProcess`] specs consumed by
+//! the `hermes-serve` request-level simulator.
 
 use serde::{Deserialize, Serialize};
 
@@ -87,6 +89,95 @@ impl Workload {
     }
 }
 
+/// How requests arrive at an open-loop serving simulation.
+///
+/// The spec is pure data (how inter-arrival gaps are distributed); the
+/// `hermes-serve` crate samples it into concrete arrival times with a seeded
+/// generator, so equal seeds always produce equal traces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Every request is already queued at time zero — the closed-loop batch
+    /// shape of the paper's evaluation.
+    AllAtOnce,
+    /// Memoryless arrivals at `rate` requests per second (exponential
+    /// inter-arrival gaps).
+    Poisson {
+        /// Offered load in requests per second.
+        rate: f64,
+    },
+    /// Bursts of `burst` requests arriving together; bursts are spaced so
+    /// the long-run offered load is still `rate` requests per second.
+    Bursty {
+        /// Offered load in requests per second.
+        rate: f64,
+        /// Number of requests arriving together in each burst.
+        burst: usize,
+    },
+    /// Replay explicit arrival offsets in seconds since simulation start
+    /// (sorted, non-negative) — e.g. timestamps from a production trace.
+    Trace {
+        /// Arrival time of each request, in seconds.
+        times: Vec<f64>,
+    },
+}
+
+impl ArrivalProcess {
+    /// Validate the arrival spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HermesError::InvalidWorkload`] naming the first invalid
+    /// field.
+    pub fn validate(&self) -> Result<(), HermesError> {
+        match self {
+            ArrivalProcess::AllAtOnce => Ok(()),
+            ArrivalProcess::Poisson { rate } => {
+                if !rate.is_finite() || *rate <= 0.0 {
+                    return Err(HermesError::InvalidWorkload(
+                        "arrival rate must be positive and finite".into(),
+                    ));
+                }
+                Ok(())
+            }
+            ArrivalProcess::Bursty { rate, burst } => {
+                if !rate.is_finite() || *rate <= 0.0 {
+                    return Err(HermesError::InvalidWorkload(
+                        "arrival rate must be positive and finite".into(),
+                    ));
+                }
+                if *burst == 0 {
+                    return Err(HermesError::InvalidWorkload(
+                        "burst size must be at least 1".into(),
+                    ));
+                }
+                Ok(())
+            }
+            ArrivalProcess::Trace { times } => {
+                if times.iter().any(|t| !t.is_finite() || *t < 0.0) {
+                    return Err(HermesError::InvalidWorkload(
+                        "trace arrival times must be non-negative and finite".into(),
+                    ));
+                }
+                if times.windows(2).any(|w| w[0] > w[1]) {
+                    return Err(HermesError::InvalidWorkload(
+                        "trace arrival times must be sorted".into(),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The offered load in requests per second, when the spec defines one
+    /// (`None` for all-at-once and traces).
+    pub fn offered_rps(&self) -> Option<f64> {
+        match self {
+            ArrivalProcess::Poisson { rate } | ArrivalProcess::Bursty { rate, .. } => Some(*rate),
+            ArrivalProcess::AllAtOnce | ArrivalProcess::Trace { .. } => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +197,47 @@ mod tests {
         let w = Workload::paper_default(ModelId::Opt13B).with_batch(16);
         assert_eq!(w.total_generated_tokens(), 16 * 128);
         assert_eq!(w.with_seed(9).seed, 9);
+    }
+
+    #[test]
+    fn arrival_specs_validate() {
+        ArrivalProcess::AllAtOnce.validate().unwrap();
+        ArrivalProcess::Poisson { rate: 2.0 }.validate().unwrap();
+        ArrivalProcess::Bursty {
+            rate: 2.0,
+            burst: 4,
+        }
+        .validate()
+        .unwrap();
+        ArrivalProcess::Trace {
+            times: vec![0.0, 0.5, 0.5, 2.0],
+        }
+        .validate()
+        .unwrap();
+        for bad in [
+            ArrivalProcess::Poisson { rate: 0.0 },
+            ArrivalProcess::Poisson {
+                rate: f64::INFINITY,
+            },
+            ArrivalProcess::Bursty {
+                rate: 1.0,
+                burst: 0,
+            },
+            ArrivalProcess::Trace {
+                times: vec![1.0, 0.5],
+            },
+            ArrivalProcess::Trace { times: vec![-1.0] },
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(HermesError::InvalidWorkload(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+        assert_eq!(
+            ArrivalProcess::Poisson { rate: 3.0 }.offered_rps(),
+            Some(3.0)
+        );
+        assert_eq!(ArrivalProcess::AllAtOnce.offered_rps(), None);
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! `hermes-serve` — an open-loop, request-level serving simulator on top of
+//! the `hermes-core` engines.
+//!
+//! The paper evaluates Hermes under closed-loop, fixed-batch workloads; this
+//! crate models the production-serving scenario instead: requests arrive
+//! over time ([`ArrivalProcess`]: all-at-once, Poisson, bursty, or a
+//! replayed trace), wait in an FCFS admission queue bounded by batch and
+//! KV-memory caps ([`AdmissionConfig`]), and are batched by a scheduler —
+//! [`BatchingPolicy::Continuous`] joins requests at token boundaries and
+//! frees slots as sequences finish, [`BatchingPolicy::Static`] runs
+//! closed-loop batches to completion.
+//!
+//! The simulator is a deterministic discrete-event loop over a virtual
+//! clock. It prices every decode step through the engine's
+//! [`StepCostModel`](hermes_core::StepCostModel), so the cost of a step
+//! follows the *current* batch composition (how many sequences are active
+//! and how long their contexts are), and produces per-request
+//! [`RequestRecord`]s plus an aggregate
+//! [`ServingReport`](hermes_core::ServingReport) (queueing delay, TTFT,
+//! TPOT and end-to-end percentiles, goodput). Equal inputs always produce
+//! bitwise-identical outcomes, and with all-at-once arrivals, no caps and
+//! static batching the simulation reproduces the closed-loop
+//! [`InferenceReport`](hermes_core::InferenceReport) numbers exactly.
+//!
+//! # Example: Poisson load on Hermes
+//!
+//! ```
+//! use hermes_core::{ArrivalProcess, SystemConfig, SystemKind, Workload};
+//! use hermes_model::ModelId;
+//! use hermes_serve::{simulate, ServingSimulation};
+//!
+//! let mut template = Workload::paper_default(ModelId::Opt13B);
+//! template.prompt_len = 32;
+//! template.gen_len = 8;
+//!
+//! let sim = ServingSimulation::new(
+//!     template,
+//!     ArrivalProcess::Poisson { rate: 2.0 },
+//!     6,
+//! );
+//! let outcome = simulate(SystemKind::hermes(), &SystemConfig::paper_default(), &sim)?;
+//!
+//! assert_eq!(outcome.report.completed, 6);
+//! assert!(outcome.report.ttft.p95 >= outcome.report.ttft.p50);
+//! for record in &outcome.records {
+//!     assert!(record.ttft() > 0.0 && record.e2e() >= record.ttft());
+//! }
+//! # Ok::<(), hermes_core::HermesError>(())
+//! ```
+
+pub mod arrival;
+pub mod request;
+pub mod scheduler;
+pub mod simulator;
+
+pub use arrival::sample_arrival_times;
+pub use request::{RequestRecord, ServingRequest};
+pub use scheduler::{request_kv_bytes, AdmissionConfig, BatchingPolicy};
+pub use simulator::{simulate, ServingOutcome, ServingSimulation};
+
+// Re-export the arrival spec so downstream users need not name hermes-core
+// for the common case.
+pub use hermes_core::ArrivalProcess;

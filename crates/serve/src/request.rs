@@ -1,0 +1,123 @@
+//! Requests offered to the serving simulator and the per-request records it
+//! produces.
+
+use serde::{Deserialize, Serialize};
+
+use hermes_core::Workload;
+
+/// One request offered to the serving simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingRequest {
+    /// Request id (index in arrival order).
+    pub id: usize,
+    /// Arrival time in seconds since simulation start.
+    pub arrival: f64,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Number of tokens to generate.
+    pub gen_len: usize,
+}
+
+impl ServingRequest {
+    /// Build one request per arrival time, all with the template workload's
+    /// prompt and generation lengths.
+    pub fn from_template(template: &Workload, arrival_times: &[f64]) -> Vec<ServingRequest> {
+        arrival_times
+            .iter()
+            .enumerate()
+            .map(|(id, &arrival)| ServingRequest {
+                id,
+                arrival,
+                prompt_len: template.prompt_len,
+                gen_len: template.gen_len,
+            })
+            .collect()
+    }
+}
+
+/// The lifecycle timestamps of one completed request (all in seconds of
+/// virtual time since simulation start).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// Request id (index in arrival order).
+    pub id: usize,
+    /// When the request arrived.
+    pub arrival: f64,
+    /// When the request left the admission queue (its prefill started).
+    pub admitted: f64,
+    /// When the request's first token was generated.
+    pub first_token: f64,
+    /// When the request's last token was generated.
+    pub completed: f64,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Tokens generated.
+    pub gen_len: usize,
+}
+
+impl RequestRecord {
+    /// Time spent waiting in the admission queue.
+    pub fn queue_delay(&self) -> f64 {
+        self.admitted - self.arrival
+    }
+
+    /// Time to first token, measured from arrival.
+    pub fn ttft(&self) -> f64 {
+        self.first_token - self.arrival
+    }
+
+    /// End-to-end latency, measured from arrival.
+    pub fn e2e(&self) -> f64 {
+        self.completed - self.arrival
+    }
+
+    /// Time per output token after the first (0 for single-token requests).
+    pub fn tpot(&self) -> f64 {
+        if self.gen_len > 1 {
+            (self.completed - self.first_token) / (self.gen_len - 1) as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_model::ModelId;
+
+    #[test]
+    fn requests_inherit_template_lengths() {
+        let mut template = Workload::paper_default(ModelId::Opt13B);
+        template.prompt_len = 64;
+        template.gen_len = 16;
+        let requests = ServingRequest::from_template(&template, &[0.0, 1.5]);
+        assert_eq!(requests.len(), 2);
+        assert_eq!(requests[1].id, 1);
+        assert_eq!(requests[1].arrival, 1.5);
+        assert_eq!(requests[1].prompt_len, 64);
+        assert_eq!(requests[1].gen_len, 16);
+    }
+
+    #[test]
+    fn record_metrics_are_differences() {
+        let record = RequestRecord {
+            id: 0,
+            arrival: 1.0,
+            admitted: 3.0,
+            first_token: 4.0,
+            completed: 13.0,
+            prompt_len: 32,
+            gen_len: 10,
+        };
+        assert!((record.queue_delay() - 2.0).abs() < 1e-12);
+        assert!((record.ttft() - 3.0).abs() < 1e-12);
+        assert!((record.e2e() - 12.0).abs() < 1e-12);
+        assert!((record.tpot() - 1.0).abs() < 1e-12);
+        let single = RequestRecord {
+            gen_len: 1,
+            ..record
+        };
+        assert_eq!(single.tpot(), 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Batching policies and admission control for the serving simulator.
+
+use serde::{Deserialize, Serialize};
+
+use hermes_core::{HermesError, Workload};
+
+/// How the scheduler forms decode batches out of queued requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchingPolicy {
+    /// Continuous batching: queued requests join the running batch at the
+    /// next token boundary (FCFS), and finished sequences free their slot
+    /// immediately.
+    Continuous,
+    /// Static batching: a batch is formed only when the system is idle and
+    /// runs to completion before the next batch is admitted — the shape of
+    /// the paper's closed-loop evaluation.
+    Static,
+}
+
+impl BatchingPolicy {
+    /// Display name used in [`ServingReport`](hermes_core::ServingReport)s
+    /// and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BatchingPolicy::Continuous => "continuous",
+            BatchingPolicy::Static => "static",
+        }
+    }
+}
+
+/// Caps the admission queue enforces before letting a request join the
+/// batch. `None` means unlimited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Maximum number of concurrently running sequences.
+    pub max_batch: Option<usize>,
+    /// Budget in bytes for the KV caches of all concurrently running
+    /// sequences (each request reserves its full-context KV footprint on
+    /// admission).
+    pub kv_memory_bytes: Option<u64>,
+}
+
+impl AdmissionConfig {
+    /// No caps: every queued request is admitted at the next boundary.
+    pub fn unlimited() -> Self {
+        AdmissionConfig::default()
+    }
+
+    /// Cap the number of concurrently running sequences.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = Some(max_batch);
+        self
+    }
+
+    /// Cap the KV-cache bytes of concurrently running sequences.
+    pub fn with_kv_memory_bytes(mut self, bytes: u64) -> Self {
+        self.kv_memory_bytes = Some(bytes);
+        self
+    }
+
+    /// Validate the caps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HermesError::InvalidConfig`] for caps that can never admit
+    /// anything.
+    pub fn validate(&self) -> Result<(), HermesError> {
+        if self.max_batch == Some(0) {
+            return Err(HermesError::InvalidConfig(
+                "admission max_batch must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether a request with the given KV footprint may join a batch that
+    /// currently runs `active` sequences holding `active_kv_bytes` of KV
+    /// cache.
+    pub fn admits(&self, active: usize, active_kv_bytes: u64, request_kv_bytes: u64) -> bool {
+        if let Some(max_batch) = self.max_batch {
+            if active >= max_batch {
+                return false;
+            }
+        }
+        if let Some(budget) = self.kv_memory_bytes {
+            if active_kv_bytes + request_kv_bytes > budget {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// KV-cache bytes one request reserves for its whole lifetime: the
+/// full-context (prompt + generation) footprint of a single sequence.
+pub fn request_kv_bytes(template: &Workload, prompt_len: usize, gen_len: usize) -> u64 {
+    template
+        .model_config()
+        .memory_footprint()
+        .kv_cache_bytes(prompt_len + gen_len, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_model::ModelId;
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(BatchingPolicy::Continuous.name(), "continuous");
+        assert_eq!(BatchingPolicy::Static.name(), "static");
+    }
+
+    #[test]
+    fn unlimited_admits_everything() {
+        let caps = AdmissionConfig::unlimited();
+        caps.validate().unwrap();
+        assert!(caps.admits(10_000, u64::MAX / 2, u64::MAX / 2));
+    }
+
+    #[test]
+    fn caps_are_enforced() {
+        let caps = AdmissionConfig::unlimited()
+            .with_max_batch(2)
+            .with_kv_memory_bytes(100);
+        caps.validate().unwrap();
+        assert!(caps.admits(1, 50, 50));
+        assert!(!caps.admits(2, 0, 10), "batch cap");
+        assert!(!caps.admits(1, 60, 50), "memory cap");
+        assert!(matches!(
+            AdmissionConfig::unlimited().with_max_batch(0).validate(),
+            Err(HermesError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn kv_footprint_scales_with_context() {
+        let template = Workload::paper_default(ModelId::Opt13B);
+        let short = request_kv_bytes(&template, 64, 64);
+        let long = request_kv_bytes(&template, 128, 128);
+        assert_eq!(long, 2 * short);
+        assert!(short > 0);
+    }
+}

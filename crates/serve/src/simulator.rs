@@ -1,0 +1,355 @@
+//! The discrete-event serving simulator: a virtual clock driving arrivals,
+//! admission, prefill and shared decode steps through a planned engine's
+//! [`StepCostModel`](hermes_core::StepCostModel).
+
+use serde::{Deserialize, Serialize};
+
+use hermes_core::{
+    ArrivalProcess, BatchState, DistributionStats, HermesError, LatencyBreakdown, ServingReport,
+    SystemConfig, SystemKind, Workload,
+};
+
+use crate::arrival::sample_arrival_times;
+use crate::request::{RequestRecord, ServingRequest};
+use crate::scheduler::{request_kv_bytes, AdmissionConfig, BatchingPolicy};
+
+/// One open-loop serving scenario: which requests arrive when, and how the
+/// scheduler batches them.
+///
+/// The `template` workload supplies the model, dataset, calibration seed and
+/// the per-request prompt/generation lengths; its `batch` field only
+/// parameterises the engine's up-front validation (the actual batch
+/// composition is decided by the scheduler at every token boundary).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingSimulation {
+    /// Model, dataset, seed and per-request sequence lengths.
+    pub template: Workload,
+    /// How requests arrive.
+    pub arrival: ArrivalProcess,
+    /// Number of requests offered.
+    pub num_requests: usize,
+    /// Seed of the arrival sampler (independent of the template's
+    /// activation-trace seed).
+    pub arrival_seed: u64,
+    /// How the scheduler forms batches.
+    pub policy: BatchingPolicy,
+    /// Admission caps.
+    pub admission: AdmissionConfig,
+}
+
+impl ServingSimulation {
+    /// A scenario with continuous batching and no admission caps.
+    pub fn new(template: Workload, arrival: ArrivalProcess, num_requests: usize) -> Self {
+        let arrival_seed = template.seed;
+        ServingSimulation {
+            template,
+            arrival,
+            num_requests,
+            arrival_seed,
+            policy: BatchingPolicy::Continuous,
+            admission: AdmissionConfig::unlimited(),
+        }
+    }
+
+    /// Same scenario with a different batching policy.
+    pub fn with_policy(mut self, policy: BatchingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Same scenario with different admission caps.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Same scenario with a different arrival-sampler seed.
+    pub fn with_arrival_seed(mut self, seed: u64) -> Self {
+        self.arrival_seed = seed;
+        self
+    }
+}
+
+/// Everything one simulation produced: the aggregate report plus the
+/// per-request lifecycle records it was folded from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingOutcome {
+    /// Aggregate serving metrics.
+    pub report: ServingReport,
+    /// Lifecycle timestamps of every request, in arrival order.
+    pub records: Vec<RequestRecord>,
+}
+
+/// A sequence currently holding a batch slot.
+struct ActiveSequence {
+    /// Index into the request/record vectors.
+    idx: usize,
+    /// Current context length (prompt + tokens generated so far).
+    context: usize,
+    /// Tokens still to generate.
+    remaining: usize,
+    /// KV bytes reserved by this sequence.
+    kv_bytes: u64,
+}
+
+/// Simulate `kind` on `config` under an open-loop serving scenario.
+///
+/// The simulation is a deterministic discrete-event loop over a virtual
+/// clock: at every token boundary queued arrivals are admitted (FCFS, up to
+/// the scenario's caps — continuously, or only into an idle system under
+/// static batching), newly admitted requests are prefilled (grouped by
+/// prompt length), and one decode step is priced for the *current* batch
+/// composition via the engine's cost model. Equal inputs always produce
+/// bitwise-identical outcomes.
+///
+/// # Errors
+///
+/// Propagates validation errors from the engine, the arrival spec and the
+/// admission caps, and returns [`HermesError::InvalidConfig`] when the caps
+/// are too small to ever admit a queued request.
+pub fn simulate(
+    kind: SystemKind,
+    config: &SystemConfig,
+    sim: &ServingSimulation,
+) -> Result<ServingOutcome, HermesError> {
+    sim.admission.validate()?;
+    let times = sample_arrival_times(&sim.arrival, sim.num_requests, sim.arrival_seed)?;
+    let requests = ServingRequest::from_template(&sim.template, &times);
+    let mut plan = kind.engine(config).plan(&sim.template)?;
+
+    let kv_bytes_per_request: Vec<u64> = requests
+        .iter()
+        .map(|r| request_kv_bytes(&sim.template, r.prompt_len, r.gen_len))
+        .collect();
+    let mut records: Vec<RequestRecord> = requests
+        .iter()
+        .map(|r| RequestRecord {
+            id: r.id,
+            arrival: r.arrival,
+            admitted: 0.0,
+            first_token: 0.0,
+            completed: 0.0,
+            prompt_len: r.prompt_len,
+            gen_len: r.gen_len,
+        })
+        .collect();
+
+    let mut clock = 0.0f64;
+    let mut next_arrival = 0usize;
+    let mut ready: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut active: Vec<ActiveSequence> = Vec::new();
+    let mut active_kv_bytes = 0u64;
+    let mut breakdown = LatencyBreakdown::default();
+    let mut imbalance_sum = 0.0;
+    let mut imbalance_samples = 0usize;
+    let mut generated_tokens = 0usize;
+    let mut completed = 0usize;
+
+    loop {
+        // 1. Pull every request that has arrived by now into the queue.
+        while next_arrival < requests.len() && requests[next_arrival].arrival <= clock {
+            ready.push_back(next_arrival);
+            next_arrival += 1;
+        }
+
+        // 2. Admit from the queue (FCFS) at this token boundary.
+        let may_admit = match sim.policy {
+            BatchingPolicy::Continuous => true,
+            BatchingPolicy::Static => active.is_empty(),
+        };
+        let mut admitted: Vec<usize> = Vec::new();
+        if may_admit {
+            while let Some(&idx) = ready.front() {
+                // `active_kv_bytes` already includes the requests admitted
+                // at this boundary, so the caps see the whole provisional
+                // batch.
+                let kv = kv_bytes_per_request[idx];
+                if !sim
+                    .admission
+                    .admits(active.len() + admitted.len(), active_kv_bytes, kv)
+                {
+                    break;
+                }
+                ready.pop_front();
+                active_kv_bytes += kv;
+                admitted.push(idx);
+            }
+        }
+
+        // 3. Prefill the newly admitted requests, one pass per prompt
+        // length (requests sharing a prompt length are prefilled together,
+        // so an all-at-once batch pays exactly the closed-loop prefill).
+        if !admitted.is_empty() {
+            for &idx in &admitted {
+                records[idx].admitted = clock;
+            }
+            let mut groups: Vec<(usize, usize)> = Vec::new();
+            for &idx in &admitted {
+                let p = requests[idx].prompt_len;
+                match groups.iter_mut().find(|(len, _)| *len == p) {
+                    Some((_, n)) => *n += 1,
+                    None => groups.push((p, 1)),
+                }
+            }
+            for (prompt_len, count) in groups {
+                let cost = plan.cost.prefill_cost(prompt_len, count);
+                breakdown.prefill += cost;
+                clock += cost;
+            }
+            for idx in admitted {
+                let request = &requests[idx];
+                active.push(ActiveSequence {
+                    idx,
+                    context: request.prompt_len,
+                    remaining: request.gen_len,
+                    kv_bytes: kv_bytes_per_request[idx],
+                });
+            }
+        }
+
+        // 4. Nothing running: jump to the next arrival or finish.
+        if active.is_empty() {
+            if !ready.is_empty() {
+                // The queue head could not be admitted into an idle system:
+                // the caps can never be satisfied.
+                return Err(HermesError::InvalidConfig(format!(
+                    "admission caps can never admit request {} (max_batch {:?}, kv budget {:?})",
+                    ready[0], sim.admission.max_batch, sim.admission.kv_memory_bytes
+                )));
+            }
+            if next_arrival < requests.len() {
+                clock = clock.max(requests[next_arrival].arrival);
+                continue;
+            }
+            break;
+        }
+
+        // 5. One shared decode step over the current batch composition.
+        let batch = BatchState::new(active.iter().map(|a| a.context).collect());
+        let outcome = plan.cost.decode_cost(&batch);
+        breakdown = breakdown.merged(&outcome.latency);
+        imbalance_sum += outcome.imbalance_sum;
+        imbalance_samples += outcome.imbalance_samples;
+        clock += outcome.latency.total();
+        generated_tokens += active.len();
+        for seq in &mut active {
+            if seq.remaining == requests[seq.idx].gen_len {
+                records[seq.idx].first_token = clock;
+            }
+            seq.context += 1;
+            seq.remaining -= 1;
+            if seq.remaining == 0 {
+                records[seq.idx].completed = clock;
+                completed += 1;
+                active_kv_bytes -= seq.kv_bytes;
+            }
+        }
+        active.retain(|seq| seq.remaining > 0);
+    }
+
+    let queue_delays: Vec<f64> = records.iter().map(RequestRecord::queue_delay).collect();
+    let ttfts: Vec<f64> = records.iter().map(RequestRecord::ttft).collect();
+    let tpots: Vec<f64> = records.iter().map(RequestRecord::tpot).collect();
+    let e2es: Vec<f64> = records.iter().map(RequestRecord::e2e).collect();
+    let report = ServingReport {
+        system: plan.spec.system.clone(),
+        policy: sim.policy.name().to_string(),
+        num_requests: requests.len(),
+        completed,
+        offered_rps: sim.arrival.offered_rps().unwrap_or(0.0),
+        makespan: clock,
+        generated_tokens,
+        breakdown,
+        queue_delay: DistributionStats::from_samples(&queue_delays),
+        ttft: DistributionStats::from_samples(&ttfts),
+        tpot: DistributionStats::from_samples(&tpots),
+        e2e: DistributionStats::from_samples(&e2es),
+        dimm_imbalance: if imbalance_samples > 0 {
+            imbalance_sum / imbalance_samples as f64
+        } else {
+            1.0
+        },
+    };
+    Ok(ServingOutcome { report, records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_model::ModelId;
+
+    fn template() -> Workload {
+        let mut w = Workload::paper_default(ModelId::Opt13B);
+        w.prompt_len = 32;
+        w.gen_len = 8;
+        w
+    }
+
+    fn config() -> SystemConfig {
+        SystemConfig::paper_default()
+    }
+
+    #[test]
+    fn all_at_once_continuous_and_static_agree_without_caps() {
+        // With every request present at time zero and no caps, both
+        // policies admit everything immediately and run the same batch.
+        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 4);
+        let continuous = simulate(SystemKind::hermes(), &config(), &sim).unwrap();
+        let static_ = simulate(
+            SystemKind::hermes(),
+            &config(),
+            &sim.clone().with_policy(BatchingPolicy::Static),
+        )
+        .unwrap();
+        assert_eq!(continuous.records, static_.records);
+        assert!((continuous.report.makespan - static_.report.makespan).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_batch_cap_limits_concurrency() {
+        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 6)
+            .with_admission(AdmissionConfig::unlimited().with_max_batch(2));
+        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
+        // FCFS: requests finish in waves of two; later waves queue longer.
+        let records = &outcome.records;
+        assert!(records[0].queue_delay() < 1e-12);
+        assert!(records[2].queue_delay() > 0.0);
+        assert!(records[4].queue_delay() > records[2].queue_delay());
+        assert_eq!(outcome.report.completed, 6);
+    }
+
+    #[test]
+    fn impossible_caps_are_reported() {
+        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 2)
+            .with_admission(AdmissionConfig::unlimited().with_kv_memory_bytes(1));
+        assert!(matches!(
+            simulate(SystemKind::hermes_base(), &config(), &sim),
+            Err(HermesError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn empty_simulations_finish_at_time_zero() {
+        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 0);
+        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
+        assert_eq!(outcome.report.makespan, 0.0);
+        assert_eq!(outcome.report.generated_tokens, 0);
+        assert!(outcome.records.is_empty());
+    }
+
+    #[test]
+    fn idle_gaps_jump_the_clock_to_the_next_arrival() {
+        let sim = ServingSimulation::new(
+            template(),
+            ArrivalProcess::Trace {
+                times: vec![0.0, 1000.0],
+            },
+            2,
+        );
+        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
+        // The second request starts fresh after a long idle gap, so its
+        // queueing delay is zero and the makespan exceeds the gap.
+        assert!(outcome.records[1].queue_delay() < 1e-9);
+        assert!(outcome.report.makespan > 1000.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Serving simulation: offer an open-loop Poisson request stream to Hermes
+//! with continuous batching and print each request's lifecycle plus the
+//! aggregate serving metrics.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use hermes::core::{ArrivalProcess, SystemConfig, SystemKind, Workload};
+use hermes::model::ModelId;
+use hermes::serve::{simulate, AdmissionConfig, ServingSimulation};
+
+fn main() -> Result<(), hermes::core::HermesError> {
+    let mut template = Workload::paper_default(ModelId::Opt30B);
+    template.prompt_len = 64;
+    template.gen_len = 32;
+
+    // 12 requests arriving at 0.5 requests/s, at most 4 running at once.
+    let sim = ServingSimulation::new(template, ArrivalProcess::Poisson { rate: 0.5 }, 12)
+        .with_admission(AdmissionConfig::unlimited().with_max_batch(4));
+    let outcome = simulate(SystemKind::hermes(), &SystemConfig::paper_default(), &sim)?;
+
+    println!("request   arrival   queued    TTFT      e2e     TPOT");
+    for r in &outcome.records {
+        println!(
+            "{:>6}   {:>7.2}s {:>7.2}s {:>7.2}s {:>7.2}s {:>6.1}ms",
+            r.id,
+            r.arrival,
+            r.queue_delay(),
+            r.ttft(),
+            r.e2e(),
+            r.tpot() * 1e3
+        );
+    }
+
+    let report = &outcome.report;
+    println!(
+        "\n{} ({} batching): {} requests in {:.1}s of virtual time",
+        report.system, report.policy, report.completed, report.makespan
+    );
+    println!(
+        "goodput {:.2} req/s, {:.1} tokens/s | TTFT p50 {:.2}s p95 {:.2}s | \
+         TPOT p95 {:.0}ms | queue mean {:.2}s",
+        report.goodput_rps(),
+        report.tokens_per_second(),
+        report.ttft.p50,
+        report.ttft.p95,
+        report.tpot.p95 * 1e3,
+        report.queue_delay.mean
+    );
+    Ok(())
+}

@@ -17,7 +17,10 @@
 //! * [`gpu`] — consumer GPU, host CPU and PCIe cost models.
 //! * [`core`] — the end-to-end Hermes system and the baseline offloading
 //!   systems it is evaluated against, exposed through a step-wise
-//!   engine/session API.
+//!   engine/session API over dynamic-batch cost models.
+//! * [`serve`] — the open-loop request-level serving simulator: arrival
+//!   processes, admission queueing, continuous batching and per-request
+//!   serving metrics.
 //!
 //! # Example
 //!
@@ -45,4 +48,5 @@ pub use hermes_model as model;
 pub use hermes_ndp as ndp;
 pub use hermes_predictor as predictor;
 pub use hermes_scheduler as scheduler;
+pub use hermes_serve as serve;
 pub use hermes_sparsity as sparsity;

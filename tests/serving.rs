@@ -1,0 +1,233 @@
+//! Integration tests of the open-loop serving simulator: equivalence with
+//! the closed-loop fixed-batch reports, bitwise determinism, and the
+//! continuous-vs-static batching behaviour under load.
+
+use hermes::core::{
+    try_run_system, ArrivalProcess, HermesError, SystemConfig, SystemKind, Workload,
+};
+use hermes::model::ModelId;
+use hermes::serve::{simulate, AdmissionConfig, BatchingPolicy, ServingSimulation};
+
+fn quick(model: ModelId, batch: usize) -> Workload {
+    let mut w = Workload::paper_default(model).with_batch(batch);
+    w.gen_len = 10;
+    w.prompt_len = 32;
+    w
+}
+
+/// Every system kind of the evaluation, on a model they all support.
+fn all_kinds() -> Vec<SystemKind> {
+    let mut kinds = SystemKind::figure9_lineup();
+    kinds.push(SystemKind::TensorRtLlm { num_gpus: 5 });
+    kinds
+}
+
+fn assert_close(a: f64, b: f64, what: &str) {
+    let scale = a.abs().max(b.abs()).max(1e-12);
+    assert!(
+        (a - b).abs() / scale < 1e-9,
+        "{what}: serving {a} vs closed-loop {b}"
+    );
+}
+
+/// The equivalence regression of the refactor: with all-at-once arrivals,
+/// no admission caps and static batching, the serving simulator must
+/// reproduce the closed-loop fixed-batch `InferenceReport` numbers for
+/// every system.
+#[test]
+fn static_all_at_once_reproduces_fixed_batch_reports() {
+    let config = SystemConfig::paper_default();
+    let batch = 3usize;
+    let w = quick(ModelId::Opt30B, batch);
+    for kind in all_kinds() {
+        let closed = try_run_system(kind, &w, &config).unwrap();
+        let sim = ServingSimulation::new(w.clone(), ArrivalProcess::AllAtOnce, batch)
+            .with_policy(BatchingPolicy::Static);
+        let outcome = simulate(kind, &config, &sim).unwrap();
+        let name = kind.name();
+
+        assert_eq!(outcome.report.system, closed.system, "{name}");
+        assert_eq!(
+            outcome.report.generated_tokens,
+            w.total_generated_tokens(),
+            "{name}"
+        );
+        assert_close(
+            outcome.report.breakdown.total(),
+            closed.breakdown.total(),
+            &format!("{name} total"),
+        );
+        assert_close(
+            outcome.report.breakdown.prefill,
+            closed.breakdown.prefill,
+            &format!("{name} prefill"),
+        );
+        assert_close(
+            outcome.report.breakdown.fc,
+            closed.breakdown.fc,
+            &format!("{name} fc"),
+        );
+        assert_close(
+            outcome.report.breakdown.attention,
+            closed.breakdown.attention,
+            &format!("{name} attention"),
+        );
+        assert_close(
+            outcome.report.breakdown.communication,
+            closed.breakdown.communication,
+            &format!("{name} communication"),
+        );
+        assert_close(
+            outcome.report.makespan,
+            closed.breakdown.total(),
+            &format!("{name} makespan"),
+        );
+        assert_close(
+            outcome.report.dimm_imbalance,
+            closed.dimm_imbalance,
+            &format!("{name} imbalance"),
+        );
+        // Every request arrives at t=0 and rides the same batch, so each
+        // request's TTFT is the closed-loop TTFT.
+        assert_close(
+            outcome.report.ttft.mean,
+            closed.latency_stats.ttft,
+            &format!("{name} ttft"),
+        );
+        assert_close(
+            outcome.report.ttft.p99,
+            closed.latency_stats.ttft,
+            &format!("{name} ttft p99"),
+        );
+    }
+}
+
+/// The serving event stream is bitwise deterministic: equal seeds produce
+/// identical records and reports, different seeds differ.
+#[test]
+fn serving_outcomes_are_bitwise_deterministic_for_equal_seeds() {
+    let config = SystemConfig::paper_default();
+    let w = quick(ModelId::Opt30B, 1);
+    for kind in [SystemKind::hermes(), SystemKind::DejaVu] {
+        let sim = ServingSimulation::new(w.clone(), ArrivalProcess::Poisson { rate: 1.0 }, 8);
+        let a = simulate(kind, &config, &sim).unwrap();
+        let b = simulate(kind, &config, &sim).unwrap();
+        assert_eq!(a.records, b.records, "{}", kind.name());
+        assert_eq!(a.report, b.report, "{}", kind.name());
+
+        let other_seed = simulate(kind, &config, &sim.clone().with_arrival_seed(99)).unwrap();
+        assert_ne!(
+            a.records,
+            other_seed.records,
+            "{}: different arrival seeds must change the trace",
+            kind.name()
+        );
+    }
+}
+
+/// At moderate offered load, continuous batching admits arrivals at token
+/// boundaries instead of making them wait for the whole running batch, so
+/// tail TTFT improves over static batching.
+#[test]
+fn continuous_batching_beats_static_on_tail_ttft() {
+    let config = SystemConfig::paper_default();
+    let mut w = quick(ModelId::Opt30B, 1);
+    w.gen_len = 24;
+    // Moderate load: several arrivals land while earlier requests decode.
+    let sim = ServingSimulation::new(w, ArrivalProcess::Poisson { rate: 0.6 }, 16);
+    let continuous = simulate(SystemKind::hermes(), &config, &sim).unwrap();
+    let static_ = simulate(
+        SystemKind::hermes(),
+        &config,
+        &sim.clone().with_policy(BatchingPolicy::Static),
+    )
+    .unwrap();
+    assert!(
+        continuous.report.ttft.p95 < static_.report.ttft.p95,
+        "continuous p95 TTFT {:.3}s vs static {:.3}s",
+        continuous.report.ttft.p95,
+        static_.report.ttft.p95
+    );
+    assert!(
+        continuous.report.queue_delay.mean <= static_.report.queue_delay.mean,
+        "continuous mean queue delay {:.3}s vs static {:.3}s",
+        continuous.report.queue_delay.mean,
+        static_.report.queue_delay.mean
+    );
+    assert_eq!(continuous.report.completed, 16);
+    assert_eq!(static_.report.completed, 16);
+}
+
+/// Higher offered load increases queueing; the per-request records stay
+/// consistent (arrival ≤ admission ≤ first token ≤ completion).
+#[test]
+fn records_are_consistent_and_load_increases_queueing() {
+    let config = SystemConfig::paper_default();
+    let w = quick(ModelId::Opt30B, 1);
+    let at = |rate: f64| {
+        let sim = ServingSimulation::new(w.clone(), ArrivalProcess::Poisson { rate }, 12)
+            .with_admission(AdmissionConfig::unlimited().with_max_batch(4));
+        simulate(SystemKind::hermes(), &config, &sim).unwrap()
+    };
+    let light = at(0.05);
+    let heavy = at(5.0);
+    for outcome in [&light, &heavy] {
+        for r in &outcome.records {
+            assert!(r.arrival <= r.admitted);
+            assert!(r.admitted < r.first_token);
+            assert!(r.first_token <= r.completed);
+        }
+    }
+    assert!(
+        heavy.report.queue_delay.mean > light.report.queue_delay.mean,
+        "heavy {:.3}s vs light {:.3}s",
+        heavy.report.queue_delay.mean,
+        light.report.queue_delay.mean
+    );
+}
+
+/// Bursty arrivals stress the queue harder than Poisson at the same offered
+/// load.
+#[test]
+fn bursts_inflate_tail_queueing_at_equal_load() {
+    let config = SystemConfig::paper_default();
+    let w = quick(ModelId::Opt30B, 1);
+    let run = |arrival: ArrivalProcess| {
+        let sim = ServingSimulation::new(w.clone(), arrival, 16)
+            .with_admission(AdmissionConfig::unlimited().with_max_batch(2));
+        simulate(SystemKind::hermes_base(), &config, &sim)
+            .unwrap()
+            .report
+    };
+    let poisson = run(ArrivalProcess::Poisson { rate: 0.4 });
+    let bursty = run(ArrivalProcess::Bursty {
+        rate: 0.4,
+        burst: 8,
+    });
+    assert!(
+        bursty.queue_delay.p95 > poisson.queue_delay.p95,
+        "bursty p95 queue delay {:.3}s vs poisson {:.3}s",
+        bursty.queue_delay.p95,
+        poisson.queue_delay.p95
+    );
+}
+
+/// Serving propagates engine validation: unsupported models and invalid
+/// inputs fail exactly like the closed-loop driver.
+#[test]
+fn serving_validates_like_the_closed_loop_driver() {
+    let config = SystemConfig::paper_default();
+    let llama = quick(ModelId::Llama2_13B, 1);
+    let sim = ServingSimulation::new(llama, ArrivalProcess::AllAtOnce, 2);
+    assert!(matches!(
+        simulate(SystemKind::FlexGen, &config, &sim),
+        Err(HermesError::ModelNotSupported { .. })
+    ));
+    let mut invalid = quick(ModelId::Opt13B, 1);
+    invalid.gen_len = 0;
+    let sim = ServingSimulation::new(invalid, ArrivalProcess::AllAtOnce, 2);
+    assert!(matches!(
+        simulate(SystemKind::hermes(), &config, &sim),
+        Err(HermesError::InvalidWorkload(_))
+    ));
+}

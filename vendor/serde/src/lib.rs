@@ -1,17 +1,346 @@
-//! Offline stub of `serde`.
+//! Offline stub of `serde` — now a *working* minimal implementation.
 //!
-//! The workspace derives `Serialize`/`Deserialize` on its config and report
-//! types but never serializes anything (there is no `serde_json` or similar
-//! in the tree). This stub keeps those derives compiling without network
-//! access: the derive macros are no-ops and the traits are blanket-implemented
-//! so any future `T: Serialize` bound is also satisfied.
+//! The build environment has no crates.io access, so this crate provides the
+//! subset of serde the workspace actually exercises: `Serialize` /
+//! `Deserialize` traits driven through a self-describing [`Value`] data
+//! model, real derive macros (see the sibling `serde_derive` stub) and a
+//! JSON front end (the sibling `serde_json` stub). User code only touches
+//! the same surface as upstream serde — `#[derive(Serialize, Deserialize)]`
+//! plus `serde_json::{to_string, from_str}` — so swapping these vendored
+//! crates for the registry versions is a drop-in change; the internal
+//! `Value`-based plumbing is an implementation detail of the stubs.
+//!
+//! Enum representation matches serde's externally-tagged default: unit
+//! variants serialize as a bare string, newtype/tuple/struct variants as a
+//! single-entry map keyed by the variant name.
 
 pub use serde_derive::{Deserialize, Serialize};
 
-pub trait Serialize {}
+use std::fmt;
 
-pub trait Deserialize<'de> {}
+/// The self-describing data model every `Serialize`/`Deserialize` impl of
+/// this stub goes through (a superset of the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` / `Option::None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (`Vec`, array, tuple, tuple variant payload).
+    Seq(Vec<Value>),
+    /// A map with string keys, in insertion order (struct fields, enum
+    /// variant wrappers).
+    Map(Vec<(String, Value)>),
+}
 
-impl<T: ?Sized> Serialize for T {}
+impl Value {
+    /// Look up a key in a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
 
-impl<'de, T: ?Sized> Deserialize<'de> for T {}
+/// Deserialization error of the stub data model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A "found the wrong shape" error.
+    pub fn unexpected(expected: &str, found: &Value) -> Self {
+        DeError(format!("expected {expected}, found {found:?}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// Convert to the self-describing data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can deserialize themselves from a [`Value`].
+///
+/// The lifetime parameter mirrors upstream serde's API surface (the stub
+/// always deserializes from an owned `Value`, so it is unused).
+pub trait Deserialize<'de>: Sized {
+    /// Convert from the self-describing data model.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Read one named field of a [`Value::Map`] — the helper the derived
+/// `Deserialize` impls call per struct field.
+pub fn from_field<'de, T: Deserialize<'de>>(value: &Value, field: &str) -> Result<T, DeError> {
+    match value.get(field) {
+        Some(v) => T::from_value(v),
+        None => Err(DeError(format!("missing field `{field}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls.
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::unexpected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = match value {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    other => return Err(DeError::unexpected("unsigned integer", other)),
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    DeError(format!("integer {raw} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::U64(n as u64)
+                } else {
+                    Value::I64(n)
+                }
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw: i64 = match value {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| DeError(format!("integer {n} out of range for i64")))?,
+                    other => return Err(DeError::unexpected("integer", other)),
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    DeError(format!("integer {raw} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::F64(x) => Ok(*x as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    other => Err(DeError::unexpected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::unexpected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls.
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::unexpected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = <Vec<T>>::from_value(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = stringify!($t); 1 })+;
+                match value {
+                    Value::Seq(items) if items.len() == LEN => {
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::unexpected("tuple", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            u8::from_value(&Value::U64(300)),
+            Err(DeError("integer 300 out of range for u8".into()))
+        );
+    }
+
+    #[test]
+    fn composites_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(<Vec<u32>>::from_value(&v.to_value()).unwrap(), v);
+        let a = [1.0f64, 2.0];
+        assert_eq!(<[f64; 2]>::from_value(&a.to_value()).unwrap(), a);
+        let t = (1u32, -2i32, 0.5f64);
+        assert_eq!(<(u32, i32, f64)>::from_value(&t.to_value()).unwrap(), t);
+        let o: Option<u64> = None;
+        assert_eq!(<Option<u64>>::from_value(&o.to_value()).unwrap(), None);
+        assert_eq!(
+            <Option<u64>>::from_value(&Some(9u64).to_value()).unwrap(),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn shape_mismatches_are_reported() {
+        assert!(<[f64; 3]>::from_value(&[1.0f64, 2.0].to_value()).is_err());
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(<Vec<u64>>::from_value(&Value::Bool(true)).is_err());
+    }
+}

@@ -1,18 +1,429 @@
-//! Offline stub of `serde_derive`.
+//! Offline stub of `serde_derive` — real derives for the sibling `serde`
+//! stub's `Value` data model.
 //!
-//! The build environment has no crates.io access, and the workspace only uses
-//! `#[derive(Serialize, Deserialize)]` as inert annotations (no serialization
-//! is performed anywhere). These derives therefore expand to nothing; the
-//! matching marker traits live in the sibling `serde` stub crate.
+//! The build environment has no crates.io access (so no `syn`/`quote`
+//! either); the derives parse the item with a small hand-rolled token
+//! cursor covering exactly the shapes this workspace uses: named structs,
+//! tuple/unit structs, and enums with unit, tuple and struct variants
+//! (no generics, no `#[serde(...)]` attributes). The generated impls
+//! convert to/from `serde::Value`; the encoding matches upstream serde's
+//! externally-tagged defaults, so swapping these stubs for the registry
+//! crates keeps every serialized artifact shape-compatible.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
 
-#[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+type Cursor = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// The shape of one enum variant.
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
 }
 
+/// The parsed item a derive runs on.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Shape)>,
+    },
+}
+
+fn skip_attributes(it: &mut Cursor) {
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        it.next(); // the bracketed attribute body
+    }
+}
+
+fn skip_visibility(it: &mut Cursor) {
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next(); // pub(crate) / pub(super) scope
+        }
+    }
+}
+
+/// Consume tokens of a type (or discriminant) until a comma at angle-bracket
+/// depth zero, consuming the comma as well.
+fn skip_until_comma(it: &mut Cursor) {
+    let mut depth = 0i32;
+    for token in it.by_ref() {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Count the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut pending = false;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if pending {
+                        fields += 1;
+                        pending = false;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending = true;
+    }
+    if pending {
+        fields += 1;
+    }
+    fields
+}
+
+/// Parse the field names of a named-struct / struct-variant body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut it: Cursor = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut it);
+        skip_visibility(&mut it);
+        match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde_derive stub: expected `:` after field, got {other:?}"),
+                }
+                skip_until_comma(&mut it);
+            }
+            Some(other) => panic!("serde_derive stub: unexpected token in fields: {other}"),
+        }
+    }
+    fields
+}
+
+/// Parse the variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<(String, Shape)> {
+    let mut it: Cursor = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive stub: unexpected token in enum: {other}"),
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                it.next();
+                Shape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push((name, shape));
+        skip_until_comma(&mut it); // trailing comma / explicit discriminant
+    }
+    variants
+}
+
+/// Parse the whole derive input into an [`Item`].
+fn parse_item(input: TokenStream) -> Item {
+    let mut it: Cursor = input.into_iter().peekable();
+    skip_attributes(&mut it);
+    skip_visibility(&mut it);
+    let keyword = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic types are not supported (derive on `{name}`)");
+    }
+    match keyword.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive stub: unexpected struct body: {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive stub: unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+/// Derive `serde::Serialize` (stub data model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            // Newtype structs serialize transparently, like upstream serde.
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: String = (0..arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(variant, shape)| match shape {
+                    Shape::Unit => format!(
+                        "{name}::{variant} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{variant}\")),"
+                    ),
+                    Shape::Tuple(1) => format!(
+                        "{name}::{variant}(__f0) => ::serde::Value::Map(vec![(\
+                         ::std::string::String::from(\"{variant}\"), \
+                         ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    Shape::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let items: String = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{variant}({}) => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from(\"{variant}\"), \
+                             ::serde::Value::Seq(vec![{items}]))]),",
+                            binders.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let entries: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{variant} {{ {} }} => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from(\"{variant}\"), \
+                             ::serde::Value::Map(vec![{entries}]))]),",
+                            fields.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive stub: generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize` (stub data model).
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::from_field(__value, \"{f}\")?,"))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn from_value(__value: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name}(\
+                         ::serde::Deserialize::from_value(__value)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: String = (0..arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __value {{\n\
+                             ::serde::Value::Seq(__items) if __items.len() == {arity} => \
+                                 ::std::result::Result::Ok({name}({inits})),\n\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::DeError::unexpected(\"{name}\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn from_value(_: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, shape)| matches!(shape, Shape::Unit))
+                .map(|(variant, _)| {
+                    format!("\"{variant}\" => ::std::result::Result::Ok({name}::{variant}),")
+                })
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter_map(|(variant, shape)| match shape {
+                    Shape::Unit => None,
+                    Shape::Tuple(1) => Some(format!(
+                        "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}(\
+                         ::serde::Deserialize::from_value(__payload)?)),"
+                    )),
+                    Shape::Tuple(arity) => {
+                        let inits: String = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                            .collect();
+                        Some(format!(
+                            "\"{variant}\" => match __payload {{\n\
+                                 ::serde::Value::Seq(__items) if __items.len() == {arity} => \
+                                     ::std::result::Result::Ok({name}::{variant}({inits})),\n\
+                                 __other => ::std::result::Result::Err(\
+                                     ::serde::DeError::unexpected(\
+                                     \"{name}::{variant}\", __other)),\n\
+                             }},"
+                        ))
+                    }
+                    Shape::Named(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::from_field(__payload, \"{f}\")?,"))
+                            .collect();
+                        Some(format!(
+                            "\"{variant}\" => \
+                             ::std::result::Result::Ok({name}::{variant} {{ {inits} }}),"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __value {{\n\
+                             ::serde::Value::Str(__variant) => match __variant.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => ::std::result::Result::Err(::serde::DeError(\
+                                     ::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__variant, __payload) = &__entries[0];\n\
+                                 match __variant.as_str() {{\n\
+                                     {payload_arms}\n\
+                                     __other => ::std::result::Result::Err(::serde::DeError(\
+                                         ::std::format!(\
+                                         \"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::DeError::unexpected(\"{name} variant\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive stub: generated invalid Deserialize impl")
 }
