@@ -4,14 +4,23 @@
 //! For each system and arrival process (Poisson and bursty), the sweep
 //! offers an increasing request rate to the continuous-batching simulator
 //! and reports goodput, tail TTFT/TPOT and queueing delay; a second table
-//! compares continuous against static batching at a moderate load. This is
-//! the serving-scenario counterpart of the paper's closed-loop Figs. 9/11.
+//! compares continuous against static batching at a moderate load, and a
+//! third compares stall-the-world against chunked prefill (the in-flight
+//! p95 TPOT columns are the point of the chunked-prefill scheduler). This
+//! is the serving-scenario counterpart of the paper's closed-loop
+//! Figs. 9/11.
 //!
 //! Run with: `cargo run --release -p hermes-bench --bin serving_load`
+//!
+//! Pass `--json` to emit the whole sweep as machine-readable JSON (one
+//! object with a `results` array of `{section, system, arrival,
+//! offered_rps, report}` entries) instead of the tables.
+
+use serde::{Deserialize, Serialize};
 
 use hermes_core::{ArrivalProcess, ServingReport, SystemConfig, SystemKind, Workload};
 use hermes_model::ModelId;
-use hermes_serve::{simulate, AdmissionConfig, BatchingPolicy, ServingSimulation};
+use hermes_serve::{simulate, AdmissionConfig, BatchingPolicy, PrefillPolicy, ServingSimulation};
 
 /// Hermes plus the four baselines of the Fig. 9 lineup that take an offered
 /// load (the TensorRT-LLM reference is covered by the closed-loop figures).
@@ -32,6 +41,33 @@ fn template() -> Workload {
     w
 }
 
+/// One simulated scenario of the sweep, tagged with the table it belongs to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SweepEntry {
+    /// Which sweep produced this entry (`load-sweep`, `batching-policy` or
+    /// `prefill-policy`).
+    section: String,
+    /// Display name of the simulated system.
+    system: String,
+    /// Display name of the arrival process.
+    arrival: String,
+    /// Offered load handed to the arrival spec (requests/s).
+    offered_rps: f64,
+    /// The aggregate serving report of the scenario.
+    report: ServingReport,
+}
+
+/// Everything the sweep produced, in emission order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SweepOutput {
+    /// Model under test.
+    model: String,
+    /// Requests offered per scenario in the load sweep.
+    num_requests: usize,
+    /// Every simulated scenario.
+    results: Vec<SweepEntry>,
+}
+
 fn row(report: &ServingReport) -> String {
     format!(
         "{:>7.3} | {:>8.2} | {:>8.2} | {:>8.2} | {:>8.1} | {:>8.1} | {:>9.2}",
@@ -46,10 +82,12 @@ fn row(report: &ServingReport) -> String {
 }
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let config = SystemConfig::paper_default();
     let num_requests = 24;
     let admission = AdmissionConfig::unlimited().with_max_batch(8);
     let loads = [0.05, 0.2, 0.8, 3.2];
+    let mut results: Vec<SweepEntry> = Vec::new();
 
     type ArrivalFactory = fn(f64) -> ArrivalProcess;
     let arrivals: [(&str, ArrivalFactory); 2] = [
@@ -60,36 +98,133 @@ fn main() {
         }),
     ];
     for (arrival_name, arrival_of) in arrivals {
-        println!("\n# Serving load sweep — OPT-30B, {arrival_name} arrivals, continuous batching");
-        println!(
-            "| system | offered rps | goodput rps | tokens/s | TTFT p50 s | TTFT p95 s | \
-             TPOT p95 ms | TPOT p99 ms | queue mean s |"
-        );
-        println!("|---|---|---|---|---|---|---|---|---|");
+        if !json {
+            println!(
+                "\n# Serving load sweep — OPT-30B, {arrival_name} arrivals, continuous batching"
+            );
+            println!(
+                "| system | offered rps | goodput rps | tokens/s | TTFT p50 s | TTFT p95 s | \
+                 TPOT p95 ms | TPOT p99 ms | queue mean s |"
+            );
+            println!("|---|---|---|---|---|---|---|---|---|");
+        }
         for kind in systems() {
             for &rate in &loads {
                 let sim = ServingSimulation::new(template(), arrival_of(rate), num_requests)
                     .with_admission(admission);
                 match simulate(kind, &config, &sim) {
-                    Ok(outcome) => println!(
-                        "| {} | {:>7.2} | {} |",
-                        kind.name(),
-                        rate,
-                        row(&outcome.report)
-                    ),
-                    Err(e) => println!("| {} | {:>7.2} | N.P. ({e}) |", kind.name(), rate),
+                    Ok(outcome) => {
+                        if !json {
+                            println!(
+                                "| {} | {:>7.2} | {} |",
+                                kind.name(),
+                                rate,
+                                row(&outcome.report)
+                            );
+                        }
+                        results.push(SweepEntry {
+                            section: "load-sweep".to_string(),
+                            system: kind.name(),
+                            arrival: arrival_name.to_string(),
+                            offered_rps: rate,
+                            report: outcome.report,
+                        });
+                    }
+                    Err(e) => {
+                        if json {
+                            // Keep stdout valid JSON but leave a trace of the
+                            // dropped scenario so a shrunken `results` array
+                            // is explainable.
+                            eprintln!(
+                                "skipping {} at {rate} rps ({arrival_name}): {e}",
+                                kind.name()
+                            );
+                        } else {
+                            println!("| {} | {:>7.2} | N.P. ({e}) |", kind.name(), rate);
+                        }
+                    }
                 }
             }
         }
     }
 
-    println!("\n# Continuous vs. static batching — Hermes, Poisson 0.6 rps, 16 requests");
-    println!("| policy | goodput rps | tokens/s | TTFT p50 s | TTFT p95 s | TPOT p95 ms | TPOT p99 ms | queue mean s |");
-    println!("|---|---|---|---|---|---|---|---|");
+    if !json {
+        println!("\n# Continuous vs. static batching — Hermes, Poisson 0.6 rps, 16 requests");
+        println!("| policy | goodput rps | tokens/s | TTFT p50 s | TTFT p95 s | TPOT p95 ms | TPOT p99 ms | queue mean s |");
+        println!("|---|---|---|---|---|---|---|---|");
+    }
     for policy in [BatchingPolicy::Continuous, BatchingPolicy::Static] {
         let sim = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 0.6 }, 16)
             .with_policy(policy);
         let outcome = simulate(SystemKind::hermes(), &config, &sim).expect("valid scenario");
-        println!("| {} | {} |", policy.name(), row(&outcome.report));
+        if !json {
+            println!("| {} | {} |", policy.name(), row(&outcome.report));
+        }
+        results.push(SweepEntry {
+            section: "batching-policy".to_string(),
+            system: SystemKind::hermes().name(),
+            arrival: "Poisson".to_string(),
+            offered_rps: 0.6,
+            report: outcome.report,
+        });
+    }
+
+    // Stall-the-world vs. chunked prefill: same offered work, but chunking
+    // bounds the prefill slice each in-flight decode token absorbs, so the
+    // TPOT tail collapses while the joiner's own TTFT pays for it.
+    if !json {
+        println!(
+            "\n# Stall-the-world vs. chunked prefill — Poisson 0.6 rps, 16 requests, \
+             continuous batching"
+        );
+        println!(
+            "| system | prefill | TPOT p50 ms | TPOT p95 ms | TPOT p99 ms | TTFT p95 s | \
+             tokens/s |"
+        );
+        println!("|---|---|---|---|---|---|---|");
+    }
+    for kind in [SystemKind::hermes_base(), SystemKind::hermes()] {
+        for prefill in [
+            PrefillPolicy::StallTheWorld,
+            PrefillPolicy::Chunked {
+                chunk_tokens: 8,
+                budget: 8,
+            },
+        ] {
+            let sim = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 0.6 }, 16)
+                .with_prefill(prefill);
+            let outcome = simulate(kind, &config, &sim).expect("valid scenario");
+            if !json {
+                println!(
+                    "| {} | {} | {:>8.1} | {:>8.1} | {:>8.1} | {:>7.2} | {:>8.2} |",
+                    kind.name(),
+                    prefill.name(),
+                    outcome.report.tpot.p50 * 1e3,
+                    outcome.report.tpot.p95 * 1e3,
+                    outcome.report.tpot.p99 * 1e3,
+                    outcome.report.ttft.p95,
+                    outcome.report.tokens_per_second(),
+                );
+            }
+            results.push(SweepEntry {
+                section: "prefill-policy".to_string(),
+                system: kind.name(),
+                arrival: "Poisson".to_string(),
+                offered_rps: 0.6,
+                report: outcome.report,
+            });
+        }
+    }
+
+    if json {
+        let output = SweepOutput {
+            model: "OPT-30B".to_string(),
+            num_requests,
+            results,
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&output).expect("serializable sweep")
+        );
     }
 }

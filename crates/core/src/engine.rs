@@ -232,6 +232,23 @@ impl StepOutcome {
     }
 }
 
+/// One chunk of prefill work co-scheduled with a decode step: `tokens`
+/// prompt tokens of a request whose full prompt is `prompt_len` tokens long.
+///
+/// Carrying the parent prompt length lets cost models amortize a prompt's
+/// one-shot prefill cost over its chunks instead of re-pricing every chunk
+/// as a standalone prompt — prefill in the offloading engines is dominated
+/// by streaming the non-resident weights once, a cost that is independent of
+/// the prompt length, so pricing each chunk as its own prompt would multiply
+/// that fixed cost by the number of chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefillChunk {
+    /// Full prompt length of the request this chunk belongs to.
+    pub prompt_len: usize,
+    /// Prompt tokens processed in this chunk (1 ..= `prompt_len`).
+    pub tokens: usize,
+}
+
 /// Prices the work of a planned run as a function of the current batch
 /// composition.
 ///
@@ -249,6 +266,57 @@ pub trait StepCostModel {
     /// Price one decode step over the given batch composition and advance
     /// the model's internal per-token state.
     fn decode_cost(&mut self, batch: &BatchState) -> StepOutcome;
+
+    /// Price one combined step: the given prefill chunks piggybacked on a
+    /// decode step over `batch` (chunked prefill — the serving scheduler
+    /// splits admitted prompts into chunks and co-schedules a bounded amount
+    /// of prefill work per token boundary instead of stalling the world).
+    ///
+    /// The default composes the two existing prices: the decode step is
+    /// [`StepCostModel::decode_cost`] (skipped for an empty batch, so a
+    /// pure-prefill step does not advance decode state), and the chunks are
+    /// grouped by parent prompt length — like stall-the-world's grouped
+    /// prefill passes — with each group of `count` chunks totalling `tokens`
+    /// paying the *amortized* share `tokens / (prompt_len * count)` of the
+    /// group's batched one-shot cost `prefill_cost(prompt_len, count)`.
+    /// A prompt prefilled alone therefore chunks to exactly its solo
+    /// one-shot cost, and same-length prompts whose chunks advance in
+    /// lockstep (the budget covers them all each boundary) chunk to exactly
+    /// their stall-the-world *group* cost — chunking redistributes prefill
+    /// over token boundaries without changing the total work, while each
+    /// in-flight decode token only absorbs a chunk-sized slice instead of a
+    /// whole prompt. (Same-length prompts whose chunks do *not* co-schedule
+    /// lose the batched-pass sharing and price as smaller groups, so a
+    /// tight budget can cost more total prefill than stalling.) Engines can
+    /// override this to price fused prefill+decode kernels.
+    fn chunked_step_cost(&mut self, prefill: &[PrefillChunk], batch: &BatchState) -> StepOutcome {
+        let mut outcome = if batch.is_empty() {
+            StepOutcome::balanced(LatencyBreakdown::default())
+        } else {
+            self.decode_cost(batch)
+        };
+        // (prompt_len, chunk count, summed chunk tokens) per group of
+        // same-length chunks sharing this step's prefill pass.
+        let mut groups: Vec<(usize, usize, usize)> = Vec::new();
+        for chunk in prefill {
+            debug_assert!(chunk.tokens >= 1 && chunk.tokens <= chunk.prompt_len);
+            match groups
+                .iter_mut()
+                .find(|(len, _, _)| *len == chunk.prompt_len)
+            {
+                Some((_, count, tokens)) => {
+                    *count += 1;
+                    *tokens += chunk.tokens;
+                }
+                None => groups.push((chunk.prompt_len, 1, chunk.tokens)),
+            }
+        }
+        for (prompt_len, count, tokens) in groups {
+            let full = self.prefill_cost(prompt_len, count);
+            outcome.latency.prefill += full * tokens as f64 / (prompt_len * count) as f64;
+        }
+        outcome
+    }
 }
 
 /// Static per-run metadata captured when the run is planned.
@@ -582,6 +650,79 @@ mod tests {
         let e2 = s.step().unwrap().unwrap();
         assert!((e2.dimm_imbalance - 3.0).abs() < 1e-12);
         assert!((s.report().dimm_imbalance - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunked_step_cost_amortizes_prefill_over_chunks() {
+        // prefill_cost is a constant 2.0 regardless of prompt length (like
+        // the stream-dominated offloading engines), decode costs 0.5.
+        let mut cost = FnCost(|_| {
+            StepOutcome::balanced(LatencyBreakdown {
+                fc: 0.5,
+                ..Default::default()
+            })
+        });
+        // A 16-token chunk of a 64-token prompt pays a quarter of the
+        // prompt's one-shot prefill cost, on top of the decode step.
+        let outcome = cost.chunked_step_cost(
+            &[PrefillChunk {
+                prompt_len: 64,
+                tokens: 16,
+            }],
+            &BatchState::uniform(2, 40),
+        );
+        assert!((outcome.latency.prefill - 0.5).abs() < 1e-12);
+        assert!((outcome.latency.fc - 0.5).abs() < 1e-12);
+        // A solo prompt's chunks across four boundaries sum to exactly its
+        // one-shot stall-the-world prefill cost.
+        let total: f64 = (0..4)
+            .map(|_| {
+                cost.chunked_step_cost(
+                    &[PrefillChunk {
+                        prompt_len: 64,
+                        tokens: 16,
+                    }],
+                    &BatchState::new(vec![]),
+                )
+                .latency
+                .prefill
+            })
+            .sum();
+        assert!((total - 2.0).abs() < 1e-12);
+        // Four same-length chunks co-scheduled in one step form one group
+        // sharing a batched prefill pass (prefill_cost is constant here, as
+        // in the stream-dominated engines): 64 of 64*4 group tokens.
+        let chunks = [PrefillChunk {
+            prompt_len: 64,
+            tokens: 16,
+        }; 4];
+        let grouped = cost.chunked_step_cost(&chunks, &BatchState::new(vec![]));
+        assert!((grouped.latency.prefill - 0.5).abs() < 1e-12);
+        // A pure-prefill step over an empty batch prices no decode work.
+        assert_eq!(grouped.latency.fc, 0.0);
+        // Mixed prompt lengths price per group: a lone 32-token prompt
+        // chunk (8/32 of its one-shot cost) plus the 64-token group above.
+        let mixed = cost.chunked_step_cost(
+            &[
+                PrefillChunk {
+                    prompt_len: 64,
+                    tokens: 16,
+                },
+                PrefillChunk {
+                    prompt_len: 32,
+                    tokens: 8,
+                },
+                PrefillChunk {
+                    prompt_len: 64,
+                    tokens: 16,
+                },
+            ],
+            &BatchState::new(vec![]),
+        );
+        assert!((mixed.latency.prefill - (2.0 * 32.0 / 128.0 + 2.0 * 8.0 / 32.0)).abs() < 1e-12);
+        // No prefill chunks and an empty batch cost nothing.
+        let idle = cost.chunked_step_cost(&[], &BatchState::new(vec![]));
+        assert_eq!(idle.latency.total(), 0.0);
     }
 
     #[test]

@@ -74,8 +74,8 @@ pub mod workload;
 pub use baselines::{AccelerateEngine, DejaVuEngine, FlexGenEngine, TensorRtLlmEngine};
 pub use config::SystemConfig;
 pub use engine::{
-    run_session, BatchState, InferenceEngine, Phase, PlannedRun, Session, SessionPhase,
-    SessionSpec, StepCostModel, StepOutcome, TokenEvent,
+    run_session, BatchState, InferenceEngine, Phase, PlannedRun, PrefillChunk, Session,
+    SessionPhase, SessionSpec, StepCostModel, StepOutcome, TokenEvent,
 };
 pub use error::HermesError;
 pub use hermes::{HermesEngine, HermesOptions, HermesSystem, MappingPolicy, OnlineAdjustment};
@@ -84,4 +84,4 @@ pub use report::{
     DistributionStats, InferenceReport, LatencyBreakdown, ServingReport, TokenLatencyStats,
 };
 pub use systems::{try_run_system, SystemKind};
-pub use workload::{ArrivalProcess, Workload};
+pub use workload::{ArrivalProcess, LengthDistribution, RequestLength, Workload};

@@ -164,12 +164,16 @@ pub struct ServingReport {
     pub system: String,
     /// Display name of the batching policy that produced this report.
     pub policy: String,
+    /// Display name of the prefill policy that produced this report
+    /// (stall-the-world or chunked).
+    pub prefill_policy: String,
     /// Requests offered to the simulator.
     pub num_requests: usize,
     /// Requests that ran to completion.
     pub completed: usize,
-    /// Offered load in requests per second (0 when the arrival process does
-    /// not define one, e.g. all-at-once).
+    /// Offered load in requests per second: the spec rate for Poisson/bursty
+    /// arrivals, the empirical rate over the sampled arrival span for
+    /// replayed traces (0 when the span is empty, e.g. all-at-once).
     pub offered_rps: f64,
     /// Virtual time at which the last request completed (seconds).
     pub makespan: f64,
@@ -181,7 +185,9 @@ pub struct ServingReport {
     pub queue_delay: DistributionStats,
     /// Per-request time to first token (arrival → first generated token).
     pub ttft: DistributionStats,
-    /// Per-request time per output token after the first.
+    /// Per-request time per output token after the first. Single-token
+    /// requests have no inter-token gap and are excluded from this sample
+    /// set (they still count toward TTFT and end-to-end latency).
     pub tpot: DistributionStats,
     /// Per-request end-to-end latency (arrival → completion).
     pub e2e: DistributionStats,
@@ -330,6 +336,7 @@ mod tests {
         let report = ServingReport {
             system: "Hermes".to_string(),
             policy: "continuous".to_string(),
+            prefill_policy: "stall-the-world".to_string(),
             num_requests: 10,
             completed: 10,
             offered_rps: 2.0,

@@ -89,6 +89,105 @@ impl Workload {
     }
 }
 
+/// The prompt and generation length of one serving request, in tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestLength {
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Number of tokens to generate.
+    pub gen_len: usize,
+}
+
+impl RequestLength {
+    /// Validate one request's lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HermesError::InvalidWorkload`] when either length is zero.
+    pub fn validate(&self) -> Result<(), HermesError> {
+        if self.prompt_len == 0 {
+            return Err(HermesError::InvalidWorkload(
+                "request prompt_len must be at least 1".into(),
+            ));
+        }
+        if self.gen_len == 0 {
+            return Err(HermesError::InvalidWorkload(
+                "request gen_len must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// How per-request prompt and generation lengths are drawn in an open-loop
+/// serving simulation.
+///
+/// Like [`ArrivalProcess`], the spec is pure data; the `hermes-serve` crate
+/// samples it with a seeded generator (derived from the arrival seed), so
+/// equal seeds always produce equal per-request lengths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LengthDistribution {
+    /// Every request uses the template workload's `prompt_len`/`gen_len` —
+    /// the homogeneous shape of the paper's closed-loop evaluation.
+    Fixed,
+    /// Per-request lengths drawn independently and uniformly from the given
+    /// inclusive ranges.
+    Uniform {
+        /// Smallest prompt length (inclusive).
+        prompt_min: usize,
+        /// Largest prompt length (inclusive).
+        prompt_max: usize,
+        /// Smallest generation length (inclusive).
+        gen_min: usize,
+        /// Largest generation length (inclusive).
+        gen_max: usize,
+    },
+    /// Explicit per-request lengths, in arrival order — e.g. replayed from a
+    /// production trace alongside [`ArrivalProcess::Trace`].
+    Trace {
+        /// Lengths of each request, in arrival order.
+        lengths: Vec<RequestLength>,
+    },
+}
+
+impl LengthDistribution {
+    /// Validate the length spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HermesError::InvalidWorkload`] naming the first invalid
+    /// field.
+    pub fn validate(&self) -> Result<(), HermesError> {
+        match self {
+            LengthDistribution::Fixed => Ok(()),
+            LengthDistribution::Uniform {
+                prompt_min,
+                prompt_max,
+                gen_min,
+                gen_max,
+            } => {
+                if *prompt_min == 0 || *gen_min == 0 {
+                    return Err(HermesError::InvalidWorkload(
+                        "uniform length bounds must be at least 1".into(),
+                    ));
+                }
+                if prompt_min > prompt_max || gen_min > gen_max {
+                    return Err(HermesError::InvalidWorkload(
+                        "uniform length ranges must satisfy min <= max".into(),
+                    ));
+                }
+                Ok(())
+            }
+            LengthDistribution::Trace { lengths } => {
+                for length in lengths {
+                    length.validate()?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// How requests arrive at an open-loop serving simulation.
 ///
 /// The spec is pure data (how inter-arrival gaps are distributed); the
@@ -238,6 +337,64 @@ mod tests {
             Some(3.0)
         );
         assert_eq!(ArrivalProcess::AllAtOnce.offered_rps(), None);
+    }
+
+    #[test]
+    fn length_distributions_validate() {
+        LengthDistribution::Fixed.validate().unwrap();
+        LengthDistribution::Uniform {
+            prompt_min: 16,
+            prompt_max: 128,
+            gen_min: 1,
+            gen_max: 64,
+        }
+        .validate()
+        .unwrap();
+        LengthDistribution::Trace {
+            lengths: vec![
+                RequestLength {
+                    prompt_len: 8,
+                    gen_len: 1,
+                },
+                RequestLength {
+                    prompt_len: 64,
+                    gen_len: 32,
+                },
+            ],
+        }
+        .validate()
+        .unwrap();
+        for bad in [
+            LengthDistribution::Uniform {
+                prompt_min: 0,
+                prompt_max: 8,
+                gen_min: 1,
+                gen_max: 8,
+            },
+            LengthDistribution::Uniform {
+                prompt_min: 8,
+                prompt_max: 4,
+                gen_min: 1,
+                gen_max: 8,
+            },
+            LengthDistribution::Uniform {
+                prompt_min: 1,
+                prompt_max: 8,
+                gen_min: 4,
+                gen_max: 2,
+            },
+            LengthDistribution::Trace {
+                lengths: vec![RequestLength {
+                    prompt_len: 8,
+                    gen_len: 0,
+                }],
+            },
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(HermesError::InvalidWorkload(_))),
+                "{bad:?} should be rejected"
+            );
+        }
     }
 
     #[test]

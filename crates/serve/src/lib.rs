@@ -4,11 +4,30 @@
 //! The paper evaluates Hermes under closed-loop, fixed-batch workloads; this
 //! crate models the production-serving scenario instead: requests arrive
 //! over time ([`ArrivalProcess`]: all-at-once, Poisson, bursty, or a
-//! replayed trace), wait in an FCFS admission queue bounded by batch and
-//! KV-memory caps ([`AdmissionConfig`]), and are batched by a scheduler —
-//! [`BatchingPolicy::Continuous`] joins requests at token boundaries and
-//! frees slots as sequences finish, [`BatchingPolicy::Static`] runs
-//! closed-loop batches to completion.
+//! replayed trace) with homogeneous or per-request prompt/generation
+//! lengths ([`LengthDistribution`]: fixed,
+//! uniform, or trace-supplied), wait in an FCFS admission queue bounded by
+//! batch and KV-memory caps ([`AdmissionConfig`]), and are batched by a
+//! scheduler — [`BatchingPolicy::Continuous`] joins requests at token
+//! boundaries and frees slots as sequences finish, [`BatchingPolicy::Static`]
+//! runs closed-loop batches to completion.
+//!
+//! Admitted prompts are prefilled under a [`PrefillPolicy`]:
+//! [`PrefillPolicy::StallTheWorld`] prices each admitted prompt in one pass
+//! before the next decode step, so every in-flight sequence absorbs the full
+//! prefill of each late joiner into its per-token latency;
+//! [`PrefillPolicy::Chunked`] splits prompts into token chunks and
+//! co-schedules at most a token budget of prefill per boundary alongside the
+//! decode batch (piggybacked prefill, priced through
+//! [`StepCostModel::chunked_step_cost`](hermes_core::StepCostModel::chunked_step_cost)),
+//! bounding the prefill slice any in-flight token absorbs. Chunks
+//! co-scheduled in one step group by prompt length and share a batched
+//! prefill pass, so a prompt prefilled alone amortizes to exactly its
+//! one-shot cost and same-length prompts advancing in lockstep to exactly
+//! their stall-the-world group cost — chunking redistributes work over
+//! token boundaries without changing the total (only same-length prompts
+//! whose chunks cannot co-schedule under a tight budget lose the
+//! batched-pass sharing).
 //!
 //! The simulator is a deterministic discrete-event loop over a virtual
 //! clock. It prices every decode step through the engine's
@@ -17,9 +36,12 @@
 //! and how long their contexts are), and produces per-request
 //! [`RequestRecord`]s plus an aggregate
 //! [`ServingReport`](hermes_core::ServingReport) (queueing delay, TTFT,
-//! TPOT and end-to-end percentiles, goodput). Equal inputs always produce
-//! bitwise-identical outcomes, and with all-at-once arrivals, no caps and
-//! static batching the simulation reproduces the closed-loop
+//! TPOT and end-to-end percentiles, goodput). TPOT is measured per request
+//! as the time from its first to its last generated token over `gen_len -
+//! 1` gaps; single-token requests have no gap and are excluded from the
+//! TPOT sample set. Equal inputs always produce bitwise-identical outcomes,
+//! and with all-at-once arrivals, no caps, static batching and
+//! stall-the-world prefill the simulation reproduces the closed-loop
 //! [`InferenceReport`](hermes_core::InferenceReport) numbers exactly.
 //!
 //! # Example: Poisson load on Hermes
@@ -54,10 +76,10 @@ pub mod scheduler;
 pub mod simulator;
 
 pub use arrival::sample_arrival_times;
-pub use request::{RequestRecord, ServingRequest};
-pub use scheduler::{request_kv_bytes, AdmissionConfig, BatchingPolicy};
+pub use request::{sample_request_lengths, RequestRecord, ServingRequest};
+pub use scheduler::{request_kv_bytes, AdmissionConfig, BatchingPolicy, PrefillPolicy};
 pub use simulator::{simulate, ServingOutcome, ServingSimulation};
 
-// Re-export the arrival spec so downstream users need not name hermes-core
-// for the common case.
-pub use hermes_core::ArrivalProcess;
+// Re-export the workload specs so downstream users need not name
+// hermes-core for the common case.
+pub use hermes_core::{ArrivalProcess, LengthDistribution, RequestLength};

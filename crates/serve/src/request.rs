@@ -1,9 +1,11 @@
 //! Requests offered to the serving simulator and the per-request records it
 //! produces.
 
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use hermes_core::Workload;
+use hermes_core::{HermesError, LengthDistribution, RequestLength, Workload};
 
 /// One request offered to the serving simulator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -19,19 +21,84 @@ pub struct ServingRequest {
 }
 
 impl ServingRequest {
-    /// Build one request per arrival time, all with the template workload's
-    /// prompt and generation lengths.
-    pub fn from_template(template: &Workload, arrival_times: &[f64]) -> Vec<ServingRequest> {
-        arrival_times
+    /// Build one request per arrival time with per-request lengths sampled
+    /// from `lengths` (seeded, deterministic — equal inputs always produce
+    /// identical requests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HermesError::InvalidWorkload`] when the length spec fails
+    /// [`LengthDistribution::validate`] or a [`LengthDistribution::Trace`]
+    /// supplies a different number of lengths than there are arrivals.
+    pub fn sample(
+        template: &Workload,
+        arrival_times: &[f64],
+        lengths: &LengthDistribution,
+        seed: u64,
+    ) -> Result<Vec<ServingRequest>, HermesError> {
+        let lengths = sample_request_lengths(lengths, template, arrival_times.len(), seed)?;
+        Ok(arrival_times
             .iter()
+            .zip(lengths)
             .enumerate()
-            .map(|(id, &arrival)| ServingRequest {
+            .map(|(id, (&arrival, length))| ServingRequest {
                 id,
                 arrival,
+                prompt_len: length.prompt_len,
+                gen_len: length.gen_len,
+            })
+            .collect())
+    }
+}
+
+/// Sample `count` per-request lengths from a [`LengthDistribution`]. Fully
+/// deterministic: equal `(spec, template, count, seed)` always produce the
+/// identical lengths.
+///
+/// # Errors
+///
+/// Returns [`HermesError::InvalidWorkload`] when the spec fails
+/// [`LengthDistribution::validate`] or a [`LengthDistribution::Trace`]
+/// length count does not match `count`.
+pub fn sample_request_lengths(
+    spec: &LengthDistribution,
+    template: &Workload,
+    count: usize,
+    seed: u64,
+) -> Result<Vec<RequestLength>, HermesError> {
+    spec.validate()?;
+    match spec {
+        LengthDistribution::Fixed => Ok(vec![
+            RequestLength {
                 prompt_len: template.prompt_len,
                 gen_len: template.gen_len,
-            })
-            .collect()
+            };
+            count
+        ]),
+        LengthDistribution::Uniform {
+            prompt_min,
+            prompt_max,
+            gen_min,
+            gen_max,
+        } => {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            Ok((0..count)
+                .map(|_| RequestLength {
+                    prompt_len: rng.gen_range(*prompt_min..=*prompt_max),
+                    gen_len: rng.gen_range(*gen_min..=*gen_max),
+                })
+                .collect())
+        }
+        LengthDistribution::Trace { lengths } => {
+            if lengths.len() != count {
+                return Err(HermesError::InvalidWorkload(format!(
+                    "length trace supplies {} request lengths but {} requests were asked for",
+                    lengths.len(),
+                    count
+                )));
+            }
+            Ok(lengths.clone())
+        }
     }
 }
 
@@ -87,16 +154,85 @@ mod tests {
     use hermes_model::ModelId;
 
     #[test]
-    fn requests_inherit_template_lengths() {
+    fn fixed_lengths_inherit_the_template() {
         let mut template = Workload::paper_default(ModelId::Opt13B);
         template.prompt_len = 64;
         template.gen_len = 16;
-        let requests = ServingRequest::from_template(&template, &[0.0, 1.5]);
+        let requests =
+            ServingRequest::sample(&template, &[0.0, 1.5], &LengthDistribution::Fixed, 0).unwrap();
         assert_eq!(requests.len(), 2);
         assert_eq!(requests[1].id, 1);
         assert_eq!(requests[1].arrival, 1.5);
         assert_eq!(requests[1].prompt_len, 64);
         assert_eq!(requests[1].gen_len, 16);
+    }
+
+    #[test]
+    fn sampled_lengths_are_deterministic_bounded_and_checked() {
+        let template = Workload::paper_default(ModelId::Opt13B);
+        let uniform = LengthDistribution::Uniform {
+            prompt_min: 16,
+            prompt_max: 64,
+            gen_min: 1,
+            gen_max: 32,
+        };
+        let a = sample_request_lengths(&uniform, &template, 100, 7).unwrap();
+        let b = sample_request_lengths(&uniform, &template, 100, 7).unwrap();
+        assert_eq!(a, b, "equal seeds must give identical lengths");
+        assert!(a
+            .iter()
+            .all(|l| (16..=64).contains(&l.prompt_len) && (1..=32).contains(&l.gen_len)));
+        // The whole range is reachable, not just one constant.
+        assert!(a.iter().any(|l| l.prompt_len != a[0].prompt_len));
+        let c = sample_request_lengths(&uniform, &template, 100, 8).unwrap();
+        assert_ne!(a, c, "different seeds must give different lengths");
+
+        let fixed = sample_request_lengths(&LengthDistribution::Fixed, &template, 3, 0).unwrap();
+        assert!(fixed
+            .iter()
+            .all(|l| l.prompt_len == template.prompt_len && l.gen_len == template.gen_len));
+
+        let trace = LengthDistribution::Trace {
+            lengths: vec![RequestLength {
+                prompt_len: 8,
+                gen_len: 4,
+            }],
+        };
+        assert_eq!(
+            sample_request_lengths(&trace, &template, 1, 0).unwrap()[0].gen_len,
+            4
+        );
+        assert!(matches!(
+            sample_request_lengths(&trace, &template, 2, 0),
+            Err(HermesError::InvalidWorkload(_))
+        ));
+    }
+
+    #[test]
+    fn sampled_requests_carry_per_request_lengths() {
+        let template = Workload::paper_default(ModelId::Opt13B);
+        let requests = ServingRequest::sample(
+            &template,
+            &[0.0, 1.0],
+            &LengthDistribution::Trace {
+                lengths: vec![
+                    RequestLength {
+                        prompt_len: 8,
+                        gen_len: 2,
+                    },
+                    RequestLength {
+                        prompt_len: 32,
+                        gen_len: 16,
+                    },
+                ],
+            },
+            0,
+        )
+        .unwrap();
+        assert_eq!(requests[0].prompt_len, 8);
+        assert_eq!(requests[0].gen_len, 2);
+        assert_eq!(requests[1].prompt_len, 32);
+        assert_eq!(requests[1].arrival, 1.0);
     }
 
     #[test]

@@ -28,6 +28,66 @@ impl BatchingPolicy {
     }
 }
 
+/// How the scheduler prices the prompting phase of admitted requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrefillPolicy {
+    /// Prefill each admitted request's whole prompt before the next decode
+    /// step. Simple, but every in-flight sequence absorbs the full prefill
+    /// of each late joiner into its per-token latency.
+    StallTheWorld,
+    /// Chunked (piggybacked) prefill: prompts are split into chunks of at
+    /// most `chunk_tokens` tokens, and at most `budget` prefill tokens are
+    /// co-scheduled with the decode step at each token boundary
+    /// (FCFS across the requests still prefilling). Decode keeps streaming
+    /// while prompts trickle in, bounding the prefill slice any in-flight
+    /// token absorbs.
+    Chunked {
+        /// Largest number of prompt tokens one request advances per token
+        /// boundary.
+        chunk_tokens: usize,
+        /// Largest total number of prefill tokens co-scheduled per token
+        /// boundary, across all prefilling requests.
+        budget: usize,
+    },
+}
+
+impl PrefillPolicy {
+    /// Display name used in [`ServingReport`](hermes_core::ServingReport)s
+    /// and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PrefillPolicy::StallTheWorld => "stall-the-world",
+            PrefillPolicy::Chunked { .. } => "chunked",
+        }
+    }
+
+    /// Validate the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HermesError::InvalidConfig`] for a chunk size or budget of
+    /// zero (no prefill work could ever be scheduled).
+    pub fn validate(&self) -> Result<(), HermesError> {
+        if let PrefillPolicy::Chunked {
+            chunk_tokens,
+            budget,
+        } = self
+        {
+            if *chunk_tokens == 0 {
+                return Err(HermesError::InvalidConfig(
+                    "chunked prefill chunk_tokens must be at least 1".into(),
+                ));
+            }
+            if *budget == 0 {
+                return Err(HermesError::InvalidConfig(
+                    "chunked prefill budget must be at least 1".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Caps the admission queue enforces before letting a request join the
 /// batch. `None` means unlimited.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -109,6 +169,41 @@ mod tests {
     fn policy_names_are_stable() {
         assert_eq!(BatchingPolicy::Continuous.name(), "continuous");
         assert_eq!(BatchingPolicy::Static.name(), "static");
+        assert_eq!(PrefillPolicy::StallTheWorld.name(), "stall-the-world");
+        assert_eq!(
+            PrefillPolicy::Chunked {
+                chunk_tokens: 16,
+                budget: 32
+            }
+            .name(),
+            "chunked"
+        );
+    }
+
+    #[test]
+    fn prefill_policies_validate() {
+        PrefillPolicy::StallTheWorld.validate().unwrap();
+        PrefillPolicy::Chunked {
+            chunk_tokens: 8,
+            budget: 8,
+        }
+        .validate()
+        .unwrap();
+        for bad in [
+            PrefillPolicy::Chunked {
+                chunk_tokens: 0,
+                budget: 8,
+            },
+            PrefillPolicy::Chunked {
+                chunk_tokens: 8,
+                budget: 0,
+            },
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(HermesError::InvalidConfig(_))),
+                "{bad:?} should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -1,44 +1,57 @@
 //! The discrete-event serving simulator: a virtual clock driving arrivals,
-//! admission, prefill and shared decode steps through a planned engine's
-//! [`StepCostModel`](hermes_core::StepCostModel).
+//! admission, prefill (stall-the-world or chunked) and shared decode steps
+//! through a planned engine's [`StepCostModel`](hermes_core::StepCostModel).
 
 use serde::{Deserialize, Serialize};
 
 use hermes_core::{
-    ArrivalProcess, BatchState, DistributionStats, HermesError, LatencyBreakdown, ServingReport,
-    SystemConfig, SystemKind, Workload,
+    ArrivalProcess, BatchState, DistributionStats, HermesError, LatencyBreakdown,
+    LengthDistribution, PrefillChunk, ServingReport, SystemConfig, SystemKind, Workload,
 };
 
 use crate::arrival::sample_arrival_times;
 use crate::request::{RequestRecord, ServingRequest};
-use crate::scheduler::{request_kv_bytes, AdmissionConfig, BatchingPolicy};
+use crate::scheduler::{request_kv_bytes, AdmissionConfig, BatchingPolicy, PrefillPolicy};
 
-/// One open-loop serving scenario: which requests arrive when, and how the
-/// scheduler batches them.
+/// Salt mixed into the arrival seed to derive the length-sampling stream, so
+/// one scenario seed governs both samplers without the draws being
+/// correlated.
+const LENGTH_SEED_SALT: u64 = 0x4c45_4e47_5448_2153; // "LENGTH!S"
+
+/// One open-loop serving scenario: which requests arrive when, how long they
+/// are, and how the scheduler batches and prefills them.
 ///
 /// The `template` workload supplies the model, dataset, calibration seed and
-/// the per-request prompt/generation lengths; its `batch` field only
+/// the default per-request prompt/generation lengths; its `batch` field only
 /// parameterises the engine's up-front validation (the actual batch
-/// composition is decided by the scheduler at every token boundary).
+/// composition is decided by the scheduler at every token boundary), and its
+/// lengths are overridden per request when `lengths` is not
+/// [`LengthDistribution::Fixed`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServingSimulation {
-    /// Model, dataset, seed and per-request sequence lengths.
+    /// Model, dataset, seed and default per-request sequence lengths.
     pub template: Workload,
     /// How requests arrive.
     pub arrival: ArrivalProcess,
     /// Number of requests offered.
     pub num_requests: usize,
-    /// Seed of the arrival sampler (independent of the template's
-    /// activation-trace seed).
+    /// Seed of the arrival and length samplers (independent of the
+    /// template's activation-trace seed).
     pub arrival_seed: u64,
     /// How the scheduler forms batches.
     pub policy: BatchingPolicy,
     /// Admission caps.
     pub admission: AdmissionConfig,
+    /// How per-request prompt/generation lengths are drawn.
+    pub lengths: LengthDistribution,
+    /// How admitted prompts are prefilled: all at once, or chunked alongside
+    /// the running decode batch.
+    pub prefill: PrefillPolicy,
 }
 
 impl ServingSimulation {
-    /// A scenario with continuous batching and no admission caps.
+    /// A scenario with continuous batching, no admission caps, homogeneous
+    /// request lengths and stall-the-world prefill.
     pub fn new(template: Workload, arrival: ArrivalProcess, num_requests: usize) -> Self {
         let arrival_seed = template.seed;
         ServingSimulation {
@@ -48,6 +61,8 @@ impl ServingSimulation {
             arrival_seed,
             policy: BatchingPolicy::Continuous,
             admission: AdmissionConfig::unlimited(),
+            lengths: LengthDistribution::Fixed,
+            prefill: PrefillPolicy::StallTheWorld,
         }
     }
 
@@ -68,6 +83,18 @@ impl ServingSimulation {
         self.arrival_seed = seed;
         self
     }
+
+    /// Same scenario with a different per-request length distribution.
+    pub fn with_lengths(mut self, lengths: LengthDistribution) -> Self {
+        self.lengths = lengths;
+        self
+    }
+
+    /// Same scenario with a different prefill policy.
+    pub fn with_prefill(mut self, prefill: PrefillPolicy) -> Self {
+        self.prefill = prefill;
+        self
+    }
 }
 
 /// Everything one simulation produced: the aggregate report plus the
@@ -80,7 +107,7 @@ pub struct ServingOutcome {
     pub records: Vec<RequestRecord>,
 }
 
-/// A sequence currently holding a batch slot.
+/// A sequence currently holding a batch slot and generating tokens.
 struct ActiveSequence {
     /// Index into the request/record vectors.
     idx: usize,
@@ -92,30 +119,83 @@ struct ActiveSequence {
     kv_bytes: u64,
 }
 
+/// A sequence admitted under chunked prefill whose prompt is still being
+/// processed. It holds its KV reservation but does not join the decode batch
+/// until the prompt completes.
+struct PrefillingSequence {
+    /// Index into the request/record vectors.
+    idx: usize,
+    /// Prompt tokens prefilled so far.
+    done: usize,
+    /// Whether the first chunk has been scheduled (admission is stamped when
+    /// it is).
+    started: bool,
+}
+
+/// The empirical offered rate of a sampled arrival trace: requests per
+/// second over the span from the first to the last arrival (0 when the span
+/// is empty, e.g. all-at-once).
+fn empirical_rps(times: &[f64]) -> f64 {
+    match (times.first(), times.last()) {
+        (Some(&first), Some(&last)) if last > first => (times.len() - 1) as f64 / (last - first),
+        _ => 0.0,
+    }
+}
+
 /// Simulate `kind` on `config` under an open-loop serving scenario.
 ///
 /// The simulation is a deterministic discrete-event loop over a virtual
 /// clock: at every token boundary queued arrivals are admitted (FCFS, up to
 /// the scenario's caps — continuously, or only into an idle system under
-/// static batching), newly admitted requests are prefilled (grouped by
-/// prompt length), and one decode step is priced for the *current* batch
-/// composition via the engine's cost model. Equal inputs always produce
-/// bitwise-identical outcomes.
+/// static batching), newly admitted requests are prefilled, and one decode
+/// step is priced for the *current* batch composition via the engine's cost
+/// model. Under [`PrefillPolicy::StallTheWorld`] each admitted prompt is
+/// prefilled in full (grouped by prompt length) before the next decode step;
+/// under [`PrefillPolicy::Chunked`] at most a budget of prefill tokens per
+/// boundary is co-scheduled with the decode step through
+/// [`StepCostModel::chunked_step_cost`](hermes_core::StepCostModel::chunked_step_cost),
+/// so in-flight sequences absorb chunk-sized slices instead of whole
+/// prompts. Equal inputs always produce bitwise-identical outcomes.
+///
+/// A request's `admitted` timestamp is stamped when its own prefill work
+/// starts (its prompt-length group's pass, or its first chunk), not when the
+/// admission queue is drained, so queue delay includes waiting behind other
+/// groups prefilled at the same boundary.
 ///
 /// # Errors
 ///
-/// Propagates validation errors from the engine, the arrival spec and the
-/// admission caps, and returns [`HermesError::InvalidConfig`] when the caps
-/// are too small to ever admit a queued request.
+/// Propagates validation errors from the engine, the arrival spec, the
+/// length spec, the prefill policy and the admission caps, and returns
+/// [`HermesError::InvalidConfig`] when the caps are too small to ever admit
+/// a queued request.
 pub fn simulate(
     kind: SystemKind,
     config: &SystemConfig,
     sim: &ServingSimulation,
 ) -> Result<ServingOutcome, HermesError> {
     sim.admission.validate()?;
+    sim.prefill.validate()?;
     let times = sample_arrival_times(&sim.arrival, sim.num_requests, sim.arrival_seed)?;
-    let requests = ServingRequest::from_template(&sim.template, &times);
+    let requests = ServingRequest::sample(
+        &sim.template,
+        &times,
+        &sim.lengths,
+        sim.arrival_seed ^ LENGTH_SEED_SALT,
+    )?;
     let mut plan = kind.engine(config).plan(&sim.template)?;
+
+    // The template plan only validated the template's lengths; sampled
+    // per-request lengths can exceed them, so re-validate the request with
+    // the largest KV footprint (engines check memory fit against
+    // `prompt_len + gen_len`) before simulating.
+    if let Some(worst) = requests.iter().max_by_key(|r| r.prompt_len + r.gen_len) {
+        if worst.prompt_len + worst.gen_len > sim.template.prompt_len + sim.template.gen_len {
+            let mut bound = sim.template.clone();
+            bound.prompt_len = worst.prompt_len;
+            bound.gen_len = worst.gen_len;
+            kind.engine(config).plan(&bound)?;
+        }
+    }
 
     let kv_bytes_per_request: Vec<u64> = requests
         .iter()
@@ -138,6 +218,7 @@ pub fn simulate(
     let mut next_arrival = 0usize;
     let mut ready: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
     let mut active: Vec<ActiveSequence> = Vec::new();
+    let mut prefilling: Vec<PrefillingSequence> = Vec::new();
     let mut active_kv_bytes = 0u64;
     let mut breakdown = LatencyBreakdown::default();
     let mut imbalance_sum = 0.0;
@@ -152,10 +233,12 @@ pub fn simulate(
             next_arrival += 1;
         }
 
-        // 2. Admit from the queue (FCFS) at this token boundary.
+        // 2. Admit from the queue (FCFS) at this token boundary. Admission
+        // reserves the request's KV budget and batch slot; the `admitted`
+        // timestamp is stamped later, when its prefill work actually starts.
         let may_admit = match sim.policy {
             BatchingPolicy::Continuous => true,
-            BatchingPolicy::Static => active.is_empty(),
+            BatchingPolicy::Static => active.is_empty() && prefilling.is_empty(),
         };
         let mut admitted: Vec<usize> = Vec::new();
         if may_admit {
@@ -164,10 +247,11 @@ pub fn simulate(
                 // at this boundary, so the caps see the whole provisional
                 // batch.
                 let kv = kv_bytes_per_request[idx];
-                if !sim
-                    .admission
-                    .admits(active.len() + admitted.len(), active_kv_bytes, kv)
-                {
+                if !sim.admission.admits(
+                    active.len() + prefilling.len() + admitted.len(),
+                    active_kv_bytes,
+                    kv,
+                ) {
                     break;
                 }
                 ready.pop_front();
@@ -176,39 +260,88 @@ pub fn simulate(
             }
         }
 
-        // 3. Prefill the newly admitted requests, one pass per prompt
-        // length (requests sharing a prompt length are prefilled together,
-        // so an all-at-once batch pays exactly the closed-loop prefill).
-        if !admitted.is_empty() {
-            for &idx in &admitted {
-                records[idx].admitted = clock;
-            }
-            let mut groups: Vec<(usize, usize)> = Vec::new();
-            for &idx in &admitted {
-                let p = requests[idx].prompt_len;
-                match groups.iter_mut().find(|(len, _)| *len == p) {
-                    Some((_, n)) => *n += 1,
-                    None => groups.push((p, 1)),
+        // 3. Hand the newly admitted requests to the prefill policy.
+        match sim.prefill {
+            PrefillPolicy::StallTheWorld => {
+                // Prefill whole prompts now, one pass per prompt length
+                // (requests sharing a prompt length are prefilled together,
+                // so an all-at-once batch pays exactly the closed-loop
+                // prefill).
+                if !admitted.is_empty() {
+                    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+                    for &idx in &admitted {
+                        let p = requests[idx].prompt_len;
+                        match groups.iter_mut().find(|(len, _)| *len == p) {
+                            Some((_, members)) => members.push(idx),
+                            None => groups.push((p, vec![idx])),
+                        }
+                    }
+                    for (prompt_len, members) in groups {
+                        // This group's prefill starts now, after every
+                        // earlier group's pass has elapsed.
+                        for &idx in &members {
+                            records[idx].admitted = clock;
+                        }
+                        let cost = plan.cost.prefill_cost(prompt_len, members.len());
+                        breakdown.prefill += cost;
+                        clock += cost;
+                    }
+                    for idx in admitted {
+                        let request = &requests[idx];
+                        active.push(ActiveSequence {
+                            idx,
+                            context: request.prompt_len,
+                            remaining: request.gen_len,
+                            kv_bytes: kv_bytes_per_request[idx],
+                        });
+                    }
                 }
             }
-            for (prompt_len, count) in groups {
-                let cost = plan.cost.prefill_cost(prompt_len, count);
-                breakdown.prefill += cost;
-                clock += cost;
-            }
-            for idx in admitted {
-                let request = &requests[idx];
-                active.push(ActiveSequence {
-                    idx,
-                    context: request.prompt_len,
-                    remaining: request.gen_len,
-                    kv_bytes: kv_bytes_per_request[idx],
-                });
+            PrefillPolicy::Chunked { .. } => {
+                for idx in admitted {
+                    prefilling.push(PrefillingSequence {
+                        idx,
+                        done: 0,
+                        started: false,
+                    });
+                }
             }
         }
 
-        // 4. Nothing running: jump to the next arrival or finish.
-        if active.is_empty() {
+        // 4. Schedule this boundary's prefill chunks (FCFS across the
+        // requests still prefilling, up to the policy's token budget).
+        // Always empty under stall-the-world, which never populates
+        // `prefilling`.
+        let mut chunks: Vec<PrefillChunk> = Vec::new();
+        if let PrefillPolicy::Chunked {
+            chunk_tokens,
+            budget,
+        } = sim.prefill
+        {
+            let mut budget_left = budget;
+            for seq in prefilling.iter_mut() {
+                if budget_left == 0 {
+                    break;
+                }
+                let prompt_len = requests[seq.idx].prompt_len;
+                let take = chunk_tokens.min(prompt_len - seq.done).min(budget_left);
+                if !seq.started {
+                    records[seq.idx].admitted = clock;
+                    seq.started = true;
+                }
+                chunks.push(PrefillChunk {
+                    prompt_len,
+                    tokens: take,
+                });
+                seq.done += take;
+                budget_left -= take;
+            }
+        }
+
+        // 5. Nothing running and no prefill scheduled: jump to the next
+        // arrival or finish. (`prefilling` is necessarily empty here — any
+        // prefilling sequence would have scheduled a chunk.)
+        if active.is_empty() && chunks.is_empty() {
             if !ready.is_empty() {
                 // The queue head could not be admitted into an idle system:
                 // the caps can never be satisfied.
@@ -224,9 +357,16 @@ pub fn simulate(
             break;
         }
 
-        // 5. One shared decode step over the current batch composition.
+        // 6. One shared step over the current batch composition, with any
+        // scheduled prefill chunks piggybacked on it. The chunk-free path
+        // prices through `decode_cost` directly, so stall-the-world
+        // reproduces the closed-loop costs bitwise.
         let batch = BatchState::new(active.iter().map(|a| a.context).collect());
-        let outcome = plan.cost.decode_cost(&batch);
+        let outcome = if chunks.is_empty() {
+            plan.cost.decode_cost(&batch)
+        } else {
+            plan.cost.chunked_step_cost(&chunks, &batch)
+        };
         breakdown = breakdown.merged(&outcome.latency);
         imbalance_sum += outcome.imbalance_sum;
         imbalance_samples += outcome.imbalance_samples;
@@ -245,18 +385,47 @@ pub fn simulate(
             }
         }
         active.retain(|seq| seq.remaining > 0);
+
+        // 7. Prompts that completed this step join the decode batch at the
+        // next token boundary.
+        let mut i = 0;
+        while i < prefilling.len() {
+            if prefilling[i].done == requests[prefilling[i].idx].prompt_len {
+                let seq = prefilling.remove(i);
+                let request = &requests[seq.idx];
+                active.push(ActiveSequence {
+                    idx: seq.idx,
+                    context: request.prompt_len,
+                    remaining: request.gen_len,
+                    kv_bytes: kv_bytes_per_request[seq.idx],
+                });
+            } else {
+                i += 1;
+            }
+        }
     }
 
     let queue_delays: Vec<f64> = records.iter().map(RequestRecord::queue_delay).collect();
     let ttfts: Vec<f64> = records.iter().map(RequestRecord::ttft).collect();
-    let tpots: Vec<f64> = records.iter().map(RequestRecord::tpot).collect();
+    // Single-token requests have no inter-token gap; their degenerate 0.0
+    // "TPOT" would drag the percentiles toward zero, so they are excluded
+    // from the TPOT sample set (but kept in TTFT/e2e).
+    let tpots: Vec<f64> = records
+        .iter()
+        .filter(|r| r.gen_len > 1)
+        .map(RequestRecord::tpot)
+        .collect();
     let e2es: Vec<f64> = records.iter().map(RequestRecord::e2e).collect();
     let report = ServingReport {
         system: plan.spec.system.clone(),
         policy: sim.policy.name().to_string(),
+        prefill_policy: sim.prefill.name().to_string(),
         num_requests: requests.len(),
         completed,
-        offered_rps: sim.arrival.offered_rps().unwrap_or(0.0),
+        offered_rps: sim
+            .arrival
+            .offered_rps()
+            .unwrap_or_else(|| empirical_rps(&times)),
         makespan: clock,
         generated_tokens,
         breakdown,
@@ -276,6 +445,7 @@ pub fn simulate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hermes_core::RequestLength;
     use hermes_model::ModelId;
 
     fn template() -> Workload {
@@ -351,5 +521,261 @@ mod tests {
         // queueing delay is zero and the makespan exceeds the gap.
         assert!(outcome.records[1].queue_delay() < 1e-9);
         assert!(outcome.report.makespan > 1000.0);
+    }
+
+    #[test]
+    fn chunked_prefill_reproduces_total_work_and_generates_everything() {
+        // Chunk sizes that do and do not divide the prompt length, budgets
+        // above and below the chunk size: every variant completes all
+        // requests and generates every token.
+        let sim = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 0.5 }, 6);
+        for (chunk_tokens, budget) in [(8, 16), (5, 5), (7, 3), (64, 64)] {
+            let outcome = simulate(
+                SystemKind::hermes_base(),
+                &config(),
+                &sim.clone().with_prefill(PrefillPolicy::Chunked {
+                    chunk_tokens,
+                    budget,
+                }),
+            )
+            .unwrap();
+            assert_eq!(outcome.report.completed, 6, "chunk {chunk_tokens}");
+            assert_eq!(
+                outcome.report.generated_tokens,
+                6 * 8,
+                "chunk {chunk_tokens}"
+            );
+            for r in &outcome.records {
+                assert!(r.arrival <= r.admitted, "chunk {chunk_tokens}");
+                assert!(r.admitted < r.first_token, "chunk {chunk_tokens}");
+                assert!(r.first_token <= r.completed, "chunk {chunk_tokens}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_amortizes_to_the_stalled_prefill_total() {
+        // One request, chunked into 8-token slices: the default cost
+        // composition pro-rates the one-shot prefill cost over the chunks,
+        // so the total prefill seconds match stall-the-world exactly.
+        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 1);
+        let stalled = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
+        let chunked = simulate(
+            SystemKind::hermes_base(),
+            &config(),
+            &sim.clone().with_prefill(PrefillPolicy::Chunked {
+                chunk_tokens: 8,
+                budget: 8,
+            }),
+        )
+        .unwrap();
+        assert!(
+            (chunked.report.breakdown.prefill - stalled.report.breakdown.prefill).abs() < 1e-9,
+            "chunked prefill total {} vs stalled {}",
+            chunked.report.breakdown.prefill,
+            stalled.report.breakdown.prefill
+        );
+        // The lone request's own TTFT is delayed by chunking (its prompt
+        // spreads over several boundaries), never improved.
+        assert!(chunked.records[0].ttft() >= stalled.records[0].ttft() - 1e-12);
+    }
+
+    #[test]
+    fn lockstep_chunked_groups_amortize_to_the_stalled_group_total() {
+        // Four same-length prompts admitted at one boundary: stall-the-world
+        // prefills them as one batched group. With a budget wide enough for
+        // all four to advance each boundary, their co-scheduled chunks share
+        // a batched pass per step and the total prefill matches exactly.
+        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 4);
+        let stalled = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
+        let chunked = simulate(
+            SystemKind::hermes_base(),
+            &config(),
+            &sim.clone().with_prefill(PrefillPolicy::Chunked {
+                chunk_tokens: 8,
+                budget: 32,
+            }),
+        )
+        .unwrap();
+        assert!(
+            (chunked.report.breakdown.prefill - stalled.report.breakdown.prefill).abs() < 1e-9,
+            "lockstep chunked prefill total {} vs stalled group total {}",
+            chunked.report.breakdown.prefill,
+            stalled.report.breakdown.prefill
+        );
+        assert_eq!(chunked.report.completed, 4);
+    }
+
+    #[test]
+    fn heterogeneous_lengths_thread_into_records_and_kv_accounting() {
+        let lengths = vec![
+            RequestLength {
+                prompt_len: 16,
+                gen_len: 4,
+            },
+            RequestLength {
+                prompt_len: 48,
+                gen_len: 12,
+            },
+            RequestLength {
+                prompt_len: 16,
+                gen_len: 1,
+            },
+        ];
+        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 3).with_lengths(
+            LengthDistribution::Trace {
+                lengths: lengths.clone(),
+            },
+        );
+        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
+        assert_eq!(outcome.report.generated_tokens, 4 + 12 + 1);
+        for (r, l) in outcome.records.iter().zip(&lengths) {
+            assert_eq!(r.prompt_len, l.prompt_len);
+            assert_eq!(r.gen_len, l.gen_len);
+        }
+        // The longer request decodes more tokens, so it finishes last.
+        assert!(outcome.records[1].completed > outcome.records[0].completed);
+    }
+
+    #[test]
+    fn same_boundary_groups_stamp_admission_when_their_prefill_starts() {
+        // Two prompt-length groups admitted at the same boundary: the second
+        // group's prefill only starts after the first group's pass, and its
+        // queue delay must say so.
+        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 2).with_lengths(
+            LengthDistribution::Trace {
+                lengths: vec![
+                    RequestLength {
+                        prompt_len: 16,
+                        gen_len: 4,
+                    },
+                    RequestLength {
+                        prompt_len: 48,
+                        gen_len: 4,
+                    },
+                ],
+            },
+        );
+        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
+        let [first, second] = &outcome.records[..] else {
+            panic!("expected two records");
+        };
+        assert!(first.queue_delay() < 1e-12);
+        assert!(
+            second.admitted > first.admitted,
+            "second group admitted at {} but first at {}",
+            second.admitted,
+            first.admitted
+        );
+        // The gap is exactly the first group's prefill pass.
+        assert!(second.queue_delay() > 0.0);
+    }
+
+    #[test]
+    fn single_token_requests_are_excluded_from_tpot() {
+        let single = LengthDistribution::Trace {
+            lengths: vec![
+                RequestLength {
+                    prompt_len: 32,
+                    gen_len: 1,
+                };
+                3
+            ],
+        };
+        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 3)
+            .with_lengths(single.clone());
+        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
+        // All requests are single-token: the TPOT sample set is empty, not
+        // a pile of zeros.
+        assert_eq!(outcome.report.tpot, DistributionStats::default());
+        assert!(outcome.report.ttft.mean > 0.0);
+        assert!(outcome.report.e2e.mean > 0.0);
+
+        // Mixing in multi-token requests: the TPOT percentiles reflect only
+        // them (no zero samples dragging the median down).
+        let mixed = LengthDistribution::Trace {
+            lengths: vec![
+                RequestLength {
+                    prompt_len: 32,
+                    gen_len: 1,
+                },
+                RequestLength {
+                    prompt_len: 32,
+                    gen_len: 8,
+                },
+                RequestLength {
+                    prompt_len: 32,
+                    gen_len: 1,
+                },
+            ],
+        };
+        let outcome = simulate(
+            SystemKind::hermes_base(),
+            &config(),
+            &ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 3).with_lengths(mixed),
+        )
+        .unwrap();
+        assert!(
+            outcome.report.tpot.p50 > 0.0,
+            "p50 TPOT {} polluted by single-token zeros",
+            outcome.report.tpot.p50
+        );
+        assert!(outcome.report.tpot.p50 <= outcome.report.tpot.max);
+    }
+
+    #[test]
+    fn offered_rps_is_empirical_for_traces_and_spec_for_poisson() {
+        let trace = ServingSimulation::new(
+            template(),
+            ArrivalProcess::Trace {
+                times: vec![0.0, 1.0, 2.0, 3.0, 4.0],
+            },
+            5,
+        );
+        let outcome = simulate(SystemKind::hermes_base(), &config(), &trace).unwrap();
+        // 5 arrivals over a 4-second span: 1 request/s.
+        assert!((outcome.report.offered_rps - 1.0).abs() < 1e-12);
+
+        let poisson = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 2.5 }, 4);
+        let outcome = simulate(SystemKind::hermes_base(), &config(), &poisson).unwrap();
+        assert_eq!(outcome.report.offered_rps, 2.5);
+
+        // All-at-once has no arrival span; the empirical rate stays zero.
+        let all = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 4);
+        let outcome = simulate(SystemKind::hermes_base(), &config(), &all).unwrap();
+        assert_eq!(outcome.report.offered_rps, 0.0);
+    }
+
+    #[test]
+    fn oversized_sampled_lengths_fail_memory_validation() {
+        // The template fits, but the sampled request's KV footprint cannot:
+        // the simulator must propagate the engine's memory check instead of
+        // silently producing a report.
+        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 1).with_lengths(
+            LengthDistribution::Trace {
+                lengths: vec![RequestLength {
+                    prompt_len: 500_000_000,
+                    gen_len: 8,
+                }],
+            },
+        );
+        assert!(matches!(
+            simulate(SystemKind::hermes_base(), &config(), &sim),
+            Err(HermesError::InsufficientMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_prefill_policies_are_rejected() {
+        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 1).with_prefill(
+            PrefillPolicy::Chunked {
+                chunk_tokens: 0,
+                budget: 4,
+            },
+        );
+        assert!(matches!(
+            simulate(SystemKind::hermes_base(), &config(), &sim),
+            Err(HermesError::InvalidConfig(_))
+        ));
     }
 }

@@ -1,28 +1,39 @@
-//! Serving simulation: offer an open-loop Poisson request stream to Hermes
-//! with continuous batching and print each request's lifecycle plus the
-//! aggregate serving metrics.
+//! Serving simulation: offer an open-loop Poisson request stream with
+//! heterogeneous request lengths to Hermes, compare stall-the-world against
+//! chunked (piggybacked) prefill, and print each request's lifecycle plus
+//! the aggregate serving metrics.
 //!
 //! Run with: `cargo run --release --example serving`
 
-use hermes::core::{ArrivalProcess, SystemConfig, SystemKind, Workload};
+use hermes::core::{ArrivalProcess, LengthDistribution, SystemConfig, SystemKind, Workload};
 use hermes::model::ModelId;
-use hermes::serve::{simulate, AdmissionConfig, ServingSimulation};
+use hermes::serve::{simulate, AdmissionConfig, PrefillPolicy, ServingSimulation};
 
 fn main() -> Result<(), hermes::core::HermesError> {
     let mut template = Workload::paper_default(ModelId::Opt30B);
     template.prompt_len = 64;
     template.gen_len = 32;
 
-    // 12 requests arriving at 0.5 requests/s, at most 4 running at once.
+    // 12 requests arriving at 0.5 requests/s with per-request lengths, at
+    // most 4 running at once.
     let sim = ServingSimulation::new(template, ArrivalProcess::Poisson { rate: 0.5 }, 12)
-        .with_admission(AdmissionConfig::unlimited().with_max_batch(4));
-    let outcome = simulate(SystemKind::hermes(), &SystemConfig::paper_default(), &sim)?;
+        .with_admission(AdmissionConfig::unlimited().with_max_batch(4))
+        .with_lengths(LengthDistribution::Uniform {
+            prompt_min: 32,
+            prompt_max: 96,
+            gen_min: 8,
+            gen_max: 48,
+        });
+    let config = SystemConfig::paper_default();
+    let outcome = simulate(SystemKind::hermes(), &config, &sim)?;
 
-    println!("request   arrival   queued    TTFT      e2e     TPOT");
+    println!("request   prompt   gen   arrival   queued    TTFT      e2e     TPOT");
     for r in &outcome.records {
         println!(
-            "{:>6}   {:>7.2}s {:>7.2}s {:>7.2}s {:>7.2}s {:>6.1}ms",
+            "{:>6}   {:>5}  {:>4}  {:>7.2}s {:>7.2}s {:>7.2}s {:>7.2}s {:>6.1}ms",
             r.id,
+            r.prompt_len,
+            r.gen_len,
             r.arrival,
             r.queue_delay(),
             r.ttft(),
@@ -33,8 +44,8 @@ fn main() -> Result<(), hermes::core::HermesError> {
 
     let report = &outcome.report;
     println!(
-        "\n{} ({} batching): {} requests in {:.1}s of virtual time",
-        report.system, report.policy, report.completed, report.makespan
+        "\n{} ({} batching, {} prefill): {} requests in {:.1}s of virtual time",
+        report.system, report.policy, report.prefill_policy, report.completed, report.makespan
     );
     println!(
         "goodput {:.2} req/s, {:.1} tokens/s | TTFT p50 {:.2}s p95 {:.2}s | \
@@ -45,6 +56,24 @@ fn main() -> Result<(), hermes::core::HermesError> {
         report.ttft.p95,
         report.tpot.p95 * 1e3,
         report.queue_delay.mean
+    );
+
+    // Chunked prefill: the same load, but prompts trickle in 8-token chunks
+    // alongside the running decode batch instead of stalling it.
+    let chunked = simulate(
+        SystemKind::hermes(),
+        &config,
+        &sim.with_prefill(PrefillPolicy::Chunked {
+            chunk_tokens: 8,
+            budget: 16,
+        }),
+    )?;
+    println!(
+        "chunked prefill: TPOT p95 {:.0}ms (vs {:.0}ms stalled) | TTFT p95 {:.2}s (vs {:.2}s)",
+        chunked.report.tpot.p95 * 1e3,
+        report.tpot.p95 * 1e3,
+        chunked.report.ttft.p95,
+        report.ttft.p95
     );
     Ok(())
 }

@@ -6,7 +6,9 @@ use hermes::core::{
     try_run_system, ArrivalProcess, HermesError, SystemConfig, SystemKind, Workload,
 };
 use hermes::model::ModelId;
-use hermes::serve::{simulate, AdmissionConfig, BatchingPolicy, ServingSimulation};
+use hermes::serve::{
+    simulate, AdmissionConfig, BatchingPolicy, LengthDistribution, PrefillPolicy, ServingSimulation,
+};
 
 fn quick(model: ModelId, batch: usize) -> Workload {
     let mut w = Workload::paper_default(model).with_batch(batch);
@@ -210,6 +212,114 @@ fn bursts_inflate_tail_queueing_at_equal_load() {
         bursty.queue_delay.p95,
         poisson.queue_delay.p95
     );
+}
+
+/// The headline fix of the chunked-prefill refactor: under Poisson load,
+/// splitting late joiners' prompts into chunks bounds the prefill slice any
+/// in-flight decode token absorbs, so the p95 per-token latency (TPOT)
+/// across requests strictly improves over stall-the-world prefill — at
+/// exactly equal total work (same requests, same generated tokens, and the
+/// chunks of each prompt amortize to its one-shot prefill cost).
+#[test]
+fn chunked_prefill_strictly_reduces_p95_tpot_under_load() {
+    let config = SystemConfig::paper_default();
+    let mut w = Workload::paper_default(ModelId::Opt30B);
+    w.prompt_len = 64;
+    w.gen_len = 24;
+    let sim = ServingSimulation::new(w, ArrivalProcess::Poisson { rate: 0.6 }, 16);
+    let stalled = simulate(SystemKind::hermes(), &config, &sim).unwrap();
+    let chunked = simulate(
+        SystemKind::hermes(),
+        &config,
+        &sim.clone().with_prefill(PrefillPolicy::Chunked {
+            chunk_tokens: 8,
+            budget: 8,
+        }),
+    )
+    .unwrap();
+
+    // Equal total work: same request set, every token generated, and the
+    // same total prefill seconds (chunks amortize to the one-shot cost).
+    assert_eq!(
+        chunked.report.generated_tokens,
+        stalled.report.generated_tokens
+    );
+    assert!(
+        (chunked.report.breakdown.prefill - stalled.report.breakdown.prefill).abs() < 1e-9,
+        "chunked prefill total {:.4}s vs stalled {:.4}s",
+        chunked.report.breakdown.prefill,
+        stalled.report.breakdown.prefill
+    );
+
+    // The fix itself: in-flight tail TPOT strictly improves.
+    assert!(
+        chunked.report.tpot.p95 < stalled.report.tpot.p95,
+        "chunked p95 TPOT {:.4}s vs stall-the-world {:.4}s",
+        chunked.report.tpot.p95,
+        stalled.report.tpot.p95
+    );
+    assert!(
+        chunked.report.tpot.mean < stalled.report.tpot.mean,
+        "chunked mean TPOT {:.4}s vs stall-the-world {:.4}s",
+        chunked.report.tpot.mean,
+        stalled.report.tpot.mean
+    );
+    // The price is paid where it belongs: the joiner's own first token waits
+    // for its chunked prompt, so TTFT does not improve.
+    assert!(chunked.report.ttft.p95 >= stalled.report.ttft.p95);
+    assert_eq!(chunked.report.prefill_policy, "chunked");
+    assert_eq!(stalled.report.prefill_policy, "stall-the-world");
+}
+
+/// Heterogeneous request lengths flow end to end: per-request records carry
+/// their own lengths, single-token requests are excluded from TPOT, and the
+/// simulation completes everything under both prefill policies.
+#[test]
+fn heterogeneous_lengths_serve_under_both_prefill_policies() {
+    let config = SystemConfig::paper_default();
+    let w = quick(ModelId::Opt30B, 1);
+    let sim = ServingSimulation::new(w, ArrivalProcess::Poisson { rate: 0.8 }, 12).with_lengths(
+        LengthDistribution::Uniform {
+            prompt_min: 16,
+            prompt_max: 96,
+            gen_min: 1,
+            gen_max: 24,
+        },
+    );
+    for prefill in [
+        PrefillPolicy::StallTheWorld,
+        PrefillPolicy::Chunked {
+            chunk_tokens: 16,
+            budget: 32,
+        },
+    ] {
+        let outcome = simulate(
+            SystemKind::hermes(),
+            &config,
+            &sim.clone().with_prefill(prefill),
+        )
+        .unwrap();
+        assert_eq!(outcome.report.completed, 12, "{}", prefill.name());
+        let expected_tokens: usize = outcome.records.iter().map(|r| r.gen_len).sum();
+        assert_eq!(
+            outcome.report.generated_tokens,
+            expected_tokens,
+            "{}",
+            prefill.name()
+        );
+        // The sampled lengths really vary.
+        assert!(outcome
+            .records
+            .iter()
+            .any(|r| r.prompt_len != outcome.records[0].prompt_len));
+        for r in &outcome.records {
+            assert!((16..=96).contains(&r.prompt_len));
+            assert!((1..=24).contains(&r.gen_len));
+            assert!(r.arrival <= r.admitted);
+            assert!(r.admitted < r.first_token);
+            assert!(r.first_token <= r.completed);
+        }
+    }
 }
 
 /// Serving propagates engine validation: unsupported models and invalid

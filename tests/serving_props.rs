@@ -1,0 +1,133 @@
+//! Property tests of the serving simulator's lifecycle invariants, across
+//! batching policies, prefill policies, arrival processes, chunk sizes and
+//! length distributions.
+
+use proptest::prelude::*;
+
+use hermes::core::{ArrivalProcess, LengthDistribution, SystemConfig, SystemKind, Workload};
+use hermes::model::ModelId;
+use hermes::serve::{simulate, BatchingPolicy, PrefillPolicy, ServingSimulation};
+
+fn template() -> Workload {
+    let mut w = Workload::paper_default(ModelId::Opt13B);
+    w.prompt_len = 24;
+    w.gen_len = 6;
+    w
+}
+
+fn arrival_of(selector: usize, rate: f64) -> ArrivalProcess {
+    match selector {
+        0 => ArrivalProcess::AllAtOnce,
+        1 => ArrivalProcess::Poisson { rate },
+        _ => ArrivalProcess::Bursty { rate, burst: 3 },
+    }
+}
+
+fn prefill_of(selector: usize, chunk_tokens: usize, budget: usize) -> PrefillPolicy {
+    if selector == 0 {
+        PrefillPolicy::StallTheWorld
+    } else {
+        PrefillPolicy::Chunked {
+            chunk_tokens,
+            budget,
+        }
+    }
+}
+
+fn policy_of(selector: usize) -> BatchingPolicy {
+    if selector == 0 {
+        BatchingPolicy::Continuous
+    } else {
+        BatchingPolicy::Static
+    }
+}
+
+proptest! {
+    // Every case runs full engine simulations; keep the budget moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For every sampled scenario: each record's lifecycle is ordered
+    /// (arrival ≤ admitted < first token ≤ completed ≤ makespan), every
+    /// offered request completes, and the report's token count equals the
+    /// sum of per-request generation lengths.
+    #[test]
+    fn lifecycle_invariants_hold_across_scenarios(
+        arrival_sel in 0usize..3,
+        policy_sel in 0usize..2,
+        prefill_sel in 0usize..2,
+        chunk_tokens in 1usize..13,
+        budget in 1usize..25,
+        rate in 0.2f64..3.0,
+        num_requests in 1usize..7,
+        seed in 0u64..1_000,
+        heterogeneous in 0usize..2,
+    ) {
+        let mut sim = ServingSimulation::new(
+            template(),
+            arrival_of(arrival_sel, rate),
+            num_requests,
+        )
+        .with_arrival_seed(seed)
+        .with_policy(policy_of(policy_sel))
+        .with_prefill(prefill_of(prefill_sel, chunk_tokens, budget));
+        if heterogeneous == 1 {
+            sim = sim.with_lengths(LengthDistribution::Uniform {
+                prompt_min: 8,
+                prompt_max: 40,
+                gen_min: 1,
+                gen_max: 10,
+            });
+        }
+        let outcome = simulate(
+            SystemKind::hermes_base(),
+            &SystemConfig::paper_default(),
+            &sim,
+        )
+        .unwrap();
+
+        prop_assert_eq!(outcome.report.completed, num_requests);
+        prop_assert_eq!(outcome.records.len(), num_requests);
+        let expected_tokens: usize = outcome.records.iter().map(|r| r.gen_len).sum();
+        prop_assert_eq!(outcome.report.generated_tokens, expected_tokens);
+        for r in &outcome.records {
+            prop_assert!(r.arrival <= r.admitted, "request {}: arrival {} > admitted {}", r.id, r.arrival, r.admitted);
+            prop_assert!(r.admitted < r.first_token, "request {}: admitted {} >= first_token {}", r.id, r.admitted, r.first_token);
+            prop_assert!(r.first_token <= r.completed, "request {}: first_token {} > completed {}", r.id, r.first_token, r.completed);
+            prop_assert!(r.completed <= outcome.report.makespan + 1e-12);
+        }
+    }
+
+    /// Offering more requests (a strictly larger workload on an identical
+    /// arrival prefix — Poisson times for `n` and `n + 2` share their first
+    /// `n` draws from the seeded stream) never shrinks the makespan.
+    #[test]
+    fn makespan_is_monotone_in_offered_load(
+        rate in 0.3f64..2.0,
+        seed in 0u64..500,
+        num_requests in 2usize..6,
+        policy_sel in 0usize..2,
+        prefill_sel in 0usize..2,
+    ) {
+        let config = SystemConfig::paper_default();
+        let at = |n: usize| {
+            let sim = ServingSimulation::new(
+                template(),
+                ArrivalProcess::Poisson { rate },
+                n,
+            )
+            .with_arrival_seed(seed)
+            .with_policy(policy_of(policy_sel))
+            .with_prefill(prefill_of(prefill_sel, 8, 8));
+            simulate(SystemKind::hermes_base(), &config, &sim)
+                .unwrap()
+                .report
+                .makespan
+        };
+        let base = at(num_requests);
+        let more = at(num_requests + 2);
+        prop_assert!(
+            more >= base - 1e-9,
+            "makespan shrank from {base} to {more} when offering 2 more requests"
+        );
+    }
+}
