@@ -4,11 +4,13 @@
 //! For each system and arrival process (Poisson and bursty), the sweep
 //! offers an increasing request rate to the continuous-batching simulator
 //! and reports goodput, tail TTFT/TPOT and queueing delay; a second table
-//! compares continuous against static batching at a moderate load, and a
+//! compares continuous against static batching at a moderate load, a
 //! third compares stall-the-world against chunked prefill (the in-flight
-//! p95 TPOT columns are the point of the chunked-prefill scheduler). This
-//! is the serving-scenario counterpart of the paper's closed-loop
-//! Figs. 9/11.
+//! p95 TPOT columns are the point of the chunked-prefill scheduler), and a
+//! fourth compares FCFS against priority and EDF scheduling with
+//! KV-pressure preemption under bursty overload (high-priority tail TTFT
+//! collapses while every class still completes). This is the
+//! serving-scenario counterpart of the paper's closed-loop Figs. 9/11.
 //!
 //! Run with: `cargo run --release -p hermes-bench --bin serving_load`
 //!
@@ -18,9 +20,14 @@
 
 use serde::{Deserialize, Serialize};
 
-use hermes_core::{ArrivalProcess, ServingReport, SystemConfig, SystemKind, Workload};
+use hermes_core::{
+    ArrivalProcess, PrioritySpec, RequestClass, ServingReport, SystemConfig, SystemKind, Workload,
+};
 use hermes_model::ModelId;
-use hermes_serve::{simulate, AdmissionConfig, BatchingPolicy, PrefillPolicy, ServingSimulation};
+use hermes_serve::{
+    request_kv_bytes, simulate, AdmissionConfig, BatchingPolicy, PreemptionPolicy, PrefillPolicy,
+    SchedulingPolicy, ServingSimulation,
+};
 
 /// Hermes plus the four baselines of the Fig. 9 lineup that take an offered
 /// load (the TensorRT-LLM reference is covered by the closed-loop figures).
@@ -214,6 +221,73 @@ fn main() {
                 report: outcome.report,
             });
         }
+    }
+
+    // FCFS vs priority vs EDF under bursty overload with a two-seat KV cap:
+    // interactive tier-0 requests (3 s TTFT deadline) interleaved with
+    // best-effort tier-2 bulk. Priority/EDF run with KV-pressure preemption
+    // (evict-and-refill); the high class's tail TTFT and SLO attainment are
+    // the point, the completion column shows nobody starves.
+    if !json {
+        println!(
+            "\n# Scheduling under bursty overload — Hermes, bursty 1.0 rps (burst=8), \
+             16 requests, 2 KV seats"
+        );
+        println!(
+            "| scheduling | preemption | completed | evictions | hi TTFT p50 s | hi TTFT p95 s | \
+             lo TTFT p95 s | hi SLO | tokens/s |"
+        );
+        println!("|---|---|---|---|---|---|---|---|---|");
+    }
+    let template_kv = template();
+    let kv_cap = request_kv_bytes(&template_kv, template_kv.prompt_len, template_kv.gen_len) * 2;
+    for (scheduling, preemption) in [
+        (SchedulingPolicy::Fcfs, PreemptionPolicy::None),
+        (SchedulingPolicy::Priority, PreemptionPolicy::EvictAndRefill),
+        (SchedulingPolicy::Edf, PreemptionPolicy::EvictAndRefill),
+    ] {
+        let sim = ServingSimulation::new(
+            template(),
+            ArrivalProcess::Bursty {
+                rate: 1.0,
+                burst: 8,
+            },
+            16,
+        )
+        .with_admission(AdmissionConfig::unlimited().with_kv_memory_bytes(kv_cap))
+        .with_classes(PrioritySpec::Cycle {
+            classes: vec![
+                RequestClass::new(0).with_ttft_deadline(3.0),
+                RequestClass::new(2),
+            ],
+        })
+        .with_scheduling(scheduling)
+        .with_preemption(preemption);
+        let outcome = simulate(SystemKind::hermes(), &config, &sim).expect("valid scenario");
+        if !json {
+            let report = &outcome.report;
+            let high = report.class(0).expect("tier 0 offered");
+            let low = report.class(2).expect("tier 2 offered");
+            println!(
+                "| {} | {} | {:>5}/16 | {:>5} | {:>8.2} | {:>8.2} | {:>8.2} | {:>5.2} | {:>7.2} |",
+                scheduling.name(),
+                preemption.name(),
+                report.completed,
+                report.preemptions,
+                high.ttft.p50,
+                high.ttft.p95,
+                low.ttft.p95,
+                high.slo_attainment().unwrap_or(1.0),
+                report.tokens_per_second(),
+            );
+        }
+        results.push(SweepEntry {
+            section: "scheduling-policy".to_string(),
+            system: SystemKind::hermes().name(),
+            arrival: "bursty (burst=8)".to_string(),
+            offered_rps: 1.0,
+            report: outcome.report,
+        });
     }
 
     if json {

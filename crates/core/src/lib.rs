@@ -81,7 +81,10 @@ pub use error::HermesError;
 pub use hermes::{HermesEngine, HermesOptions, HermesSystem, MappingPolicy, OnlineAdjustment};
 pub use planner::NeuronPlan;
 pub use report::{
-    DistributionStats, InferenceReport, LatencyBreakdown, ServingReport, TokenLatencyStats,
+    ClassReport, DistributionStats, InferenceReport, LatencyBreakdown, ServingReport,
+    TokenLatencyStats,
 };
 pub use systems::{try_run_system, SystemKind};
-pub use workload::{ArrivalProcess, LengthDistribution, RequestLength, Workload};
+pub use workload::{
+    ArrivalProcess, LengthDistribution, PrioritySpec, RequestClass, RequestLength, Workload,
+};

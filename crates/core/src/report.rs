@@ -152,6 +152,41 @@ impl DistributionStats {
     }
 }
 
+/// Per-priority-tier serving metrics: the latency distributions, preemption
+/// counts and SLO attainment of every request sharing one priority tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassReport {
+    /// The priority tier these requests share (0 is the most important).
+    pub priority: u8,
+    /// Requests of this tier offered to the simulator.
+    pub num_requests: usize,
+    /// Eviction events suffered by this tier's requests (one request may be
+    /// preempted more than once).
+    pub preemptions: usize,
+    /// Per-request queueing delay (arrival → first admission).
+    pub queue_delay: DistributionStats,
+    /// Per-request time to first token (arrival → first generated token).
+    pub ttft: DistributionStats,
+    /// Per-request end-to-end latency (arrival → completion).
+    pub e2e: DistributionStats,
+    /// Requests of this tier that carry a TTFT deadline.
+    pub deadline_requests: usize,
+    /// Deadline-carrying requests whose TTFT met the deadline.
+    pub deadline_met: usize,
+}
+
+impl ClassReport {
+    /// Fraction of this tier's deadline-carrying requests whose TTFT met the
+    /// deadline (`None` when no request of the tier carries one).
+    pub fn slo_attainment(&self) -> Option<f64> {
+        if self.deadline_requests > 0 {
+            Some(self.deadline_met as f64 / self.deadline_requests as f64)
+        } else {
+            None
+        }
+    }
+}
+
 /// The result of simulating one system under an open-loop request-level
 /// serving load (produced by the `hermes-serve` simulator).
 ///
@@ -167,6 +202,12 @@ pub struct ServingReport {
     /// Display name of the prefill policy that produced this report
     /// (stall-the-world or chunked).
     pub prefill_policy: String,
+    /// Display name of the ready-queue scheduling policy that produced this
+    /// report (fcfs, priority or edf).
+    pub scheduling: String,
+    /// Display name of the preemption policy that produced this report
+    /// (none or evict-and-refill).
+    pub preemption_policy: String,
     /// Requests offered to the simulator.
     pub num_requests: usize,
     /// Requests that ran to completion.
@@ -194,9 +235,33 @@ pub struct ServingReport {
     /// Average DIMM load imbalance during decode (1.0 = balanced; only
     /// meaningful for NDP-based systems).
     pub dimm_imbalance: f64,
+    /// Total eviction events across the simulation (a preempted request is
+    /// counted once per eviction).
+    pub preemptions: usize,
+    /// Per-priority-tier metrics, sorted by tier (most important first).
+    /// A single entry for tier 0 when the scenario assigns no classes.
+    pub per_class: Vec<ClassReport>,
 }
 
 impl ServingReport {
+    /// Fraction of deadline-carrying requests (across every tier) whose
+    /// TTFT met the deadline, or `None` when no request carries one.
+    pub fn slo_attainment(&self) -> Option<f64> {
+        let offered: usize = self.per_class.iter().map(|c| c.deadline_requests).sum();
+        if offered > 0 {
+            let met: usize = self.per_class.iter().map(|c| c.deadline_met).sum();
+            Some(met as f64 / offered as f64)
+        } else {
+            None
+        }
+    }
+
+    /// The [`ClassReport`] of one priority tier, when any request of that
+    /// tier was offered.
+    pub fn class(&self, priority: u8) -> Option<&ClassReport> {
+        self.per_class.iter().find(|c| c.priority == priority)
+    }
+
     /// Completed requests per second of virtual time (goodput).
     pub fn goodput_rps(&self) -> f64 {
         if self.makespan > 0.0 {
@@ -331,12 +396,26 @@ mod tests {
         );
     }
 
-    #[test]
-    fn serving_report_rates_use_makespan() {
-        let report = ServingReport {
+    fn class_report(priority: u8, deadline_requests: usize, deadline_met: usize) -> ClassReport {
+        ClassReport {
+            priority,
+            num_requests: deadline_requests.max(1),
+            preemptions: 0,
+            queue_delay: DistributionStats::default(),
+            ttft: DistributionStats::default(),
+            e2e: DistributionStats::default(),
+            deadline_requests,
+            deadline_met,
+        }
+    }
+
+    fn serving_report() -> ServingReport {
+        ServingReport {
             system: "Hermes".to_string(),
             policy: "continuous".to_string(),
             prefill_policy: "stall-the-world".to_string(),
+            scheduling: "fcfs".to_string(),
+            preemption_policy: "none".to_string(),
             num_requests: 10,
             completed: 10,
             offered_rps: 2.0,
@@ -348,7 +427,14 @@ mod tests {
             tpot: DistributionStats::default(),
             e2e: DistributionStats::default(),
             dimm_imbalance: 1.0,
-        };
+            preemptions: 0,
+            per_class: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn serving_report_rates_use_makespan() {
+        let report = serving_report();
         assert!((report.goodput_rps() - 2.0).abs() < 1e-12);
         assert!((report.tokens_per_second() - 80.0).abs() < 1e-12);
         let empty = ServingReport {
@@ -357,6 +443,18 @@ mod tests {
         };
         assert_eq!(empty.goodput_rps(), 0.0);
         assert_eq!(empty.tokens_per_second(), 0.0);
+    }
+
+    #[test]
+    fn slo_attainment_folds_deadline_counts_across_classes() {
+        let mut report = serving_report();
+        // No deadline-carrying requests anywhere: no attainment to report.
+        assert_eq!(report.slo_attainment(), None);
+        report.per_class = vec![class_report(0, 4, 3), class_report(2, 0, 0)];
+        assert!((report.slo_attainment().unwrap() - 0.75).abs() < 1e-12);
+        assert!((report.class(0).unwrap().slo_attainment().unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(report.class(2).unwrap().slo_attainment(), None);
+        assert!(report.class(7).is_none());
     }
 
     #[test]

@@ -119,6 +119,128 @@ impl RequestLength {
     }
 }
 
+/// The scheduling class of one serving request: a priority tier (0 is the
+/// most important) and an optional time-to-first-token deadline in seconds
+/// from the request's arrival.
+///
+/// Classes are consumed by the `hermes-serve` scheduler: priority ordering
+/// sorts the ready queue by tier, earliest-deadline-first by the absolute
+/// deadline (`arrival + ttft_deadline`), and KV-pressure preemption evicts
+/// strictly lower-priority active sequences to make room. The deadline also
+/// feeds SLO attainment in the serving report (fraction of deadline-carrying
+/// requests whose TTFT met the deadline).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestClass {
+    /// Priority tier; 0 is the most important, larger values are less
+    /// important.
+    pub priority: u8,
+    /// TTFT deadline in seconds from arrival, when this request carries an
+    /// SLO (`None` for best-effort requests).
+    pub ttft_deadline: Option<f64>,
+}
+
+impl Default for RequestClass {
+    /// Best effort at the most important tier: priority 0, no deadline —
+    /// the class every request gets when a scenario assigns none.
+    fn default() -> Self {
+        RequestClass {
+            priority: 0,
+            ttft_deadline: None,
+        }
+    }
+}
+
+impl RequestClass {
+    /// A best-effort class at the given priority tier.
+    pub fn new(priority: u8) -> Self {
+        RequestClass {
+            priority,
+            ttft_deadline: None,
+        }
+    }
+
+    /// Same class with a TTFT deadline in seconds from arrival.
+    pub fn with_ttft_deadline(mut self, seconds: f64) -> Self {
+        self.ttft_deadline = Some(seconds);
+        self
+    }
+
+    /// Validate the class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HermesError::InvalidWorkload`] for a deadline that is not
+    /// positive and finite.
+    pub fn validate(&self) -> Result<(), HermesError> {
+        if let Some(deadline) = self.ttft_deadline {
+            if !deadline.is_finite() || deadline <= 0.0 {
+                return Err(HermesError::InvalidWorkload(
+                    "request TTFT deadline must be positive and finite".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How request classes (priority tier + optional TTFT deadline) are assigned
+/// to the requests of an open-loop serving simulation.
+///
+/// Like [`LengthDistribution`], the spec is pure data consumed by the
+/// `hermes-serve` crate; unlike the length sampler, class assignment is
+/// deterministic (no seeded draws), so a scenario pins each request's class
+/// by construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PrioritySpec {
+    /// Every request gets [`RequestClass::default`] — the single-tenant
+    /// shape where scheduling degenerates to FCFS.
+    Fixed,
+    /// Classes assigned round-robin in arrival order: request `i` gets
+    /// `classes[i % classes.len()]` — a deterministic interleaving of
+    /// tenants.
+    Cycle {
+        /// The class cycle, assigned in arrival order.
+        classes: Vec<RequestClass>,
+    },
+    /// Explicit per-request classes, in arrival order — e.g. replayed from a
+    /// production trace alongside [`ArrivalProcess::Trace`].
+    Trace {
+        /// Class of each request, in arrival order.
+        classes: Vec<RequestClass>,
+    },
+}
+
+impl PrioritySpec {
+    /// Validate the priority spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HermesError::InvalidWorkload`] for an empty cycle or any
+    /// invalid class.
+    pub fn validate(&self) -> Result<(), HermesError> {
+        match self {
+            PrioritySpec::Fixed => Ok(()),
+            PrioritySpec::Cycle { classes } => {
+                if classes.is_empty() {
+                    return Err(HermesError::InvalidWorkload(
+                        "priority cycle must name at least one class".into(),
+                    ));
+                }
+                for class in classes {
+                    class.validate()?;
+                }
+                Ok(())
+            }
+            PrioritySpec::Trace { classes } => {
+                for class in classes {
+                    class.validate()?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// How per-request prompt and generation lengths are drawn in an open-loop
 /// serving simulation.
 ///
@@ -388,6 +510,52 @@ mod tests {
                     prompt_len: 8,
                     gen_len: 0,
                 }],
+            },
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(HermesError::InvalidWorkload(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn request_classes_validate() {
+        RequestClass::default().validate().unwrap();
+        RequestClass::new(3).validate().unwrap();
+        let slo = RequestClass::new(1).with_ttft_deadline(0.5);
+        slo.validate().unwrap();
+        assert_eq!(slo.priority, 1);
+        assert_eq!(slo.ttft_deadline, Some(0.5));
+        for bad in [
+            RequestClass::new(0).with_ttft_deadline(0.0),
+            RequestClass::new(0).with_ttft_deadline(-1.0),
+            RequestClass::new(0).with_ttft_deadline(f64::INFINITY),
+            RequestClass::new(0).with_ttft_deadline(f64::NAN),
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(HermesError::InvalidWorkload(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn priority_specs_validate() {
+        PrioritySpec::Fixed.validate().unwrap();
+        PrioritySpec::Cycle {
+            classes: vec![RequestClass::new(0), RequestClass::new(2)],
+        }
+        .validate()
+        .unwrap();
+        PrioritySpec::Trace { classes: vec![] }.validate().unwrap();
+        for bad in [
+            PrioritySpec::Cycle { classes: vec![] },
+            PrioritySpec::Cycle {
+                classes: vec![RequestClass::new(0).with_ttft_deadline(-2.0)],
+            },
+            PrioritySpec::Trace {
+                classes: vec![RequestClass::new(1).with_ttft_deadline(0.0)],
             },
         ] {
             assert!(

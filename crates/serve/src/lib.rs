@@ -6,11 +6,31 @@
 //! over time ([`ArrivalProcess`]: all-at-once, Poisson, bursty, or a
 //! replayed trace) with homogeneous or per-request prompt/generation
 //! lengths ([`LengthDistribution`]: fixed,
-//! uniform, or trace-supplied), wait in an FCFS admission queue bounded by
-//! batch and KV-memory caps ([`AdmissionConfig`]), and are batched by a
-//! scheduler — [`BatchingPolicy::Continuous`] joins requests at token
-//! boundaries and frees slots as sequences finish, [`BatchingPolicy::Static`]
-//! runs closed-loop batches to completion.
+//! uniform, or trace-supplied), carry a scheduling class
+//! ([`RequestClass`]: a priority tier plus an optional TTFT deadline,
+//! assigned deterministically by a [`PrioritySpec`]), wait in an admission
+//! queue bounded by batch and KV-memory caps ([`AdmissionConfig`]), and are
+//! batched by a scheduler — [`BatchingPolicy::Continuous`] joins requests at
+//! token boundaries and frees slots as sequences finish,
+//! [`BatchingPolicy::Static`] runs closed-loop batches to completion.
+//!
+//! The ready queue is ordered by a [`SchedulingPolicy`]: FCFS (arrival
+//! order), priority (tier first, FCFS within a tier) or EDF (earliest
+//! absolute TTFT deadline first; best-effort requests last). Under
+//! [`PreemptionPolicy::EvictAndRefill`], a blocked higher-ranked waiter
+//! evicts strictly lower-ranked active sequences (worst-ranked first):
+//! each victim releases its KV reservation and batch slot and is requeued.
+//! Preemption is *restart with recompute* — the semantics the engine cost
+//! models already express: on re-admission the victim re-prefills its
+//! prompt plus every token it had already generated (priced through
+//! `prefill_cost` / chunked prefill over the effective length), then decode
+//! resumes where it stopped, so no token is priced as decode work twice and
+//! token conservation holds exactly. Preemption never evicts equal-ranked
+//! work, which bounds eviction churn: under priority scheduling requests
+//! never preempt within their own tier, under EDF never within an equal
+//! absolute deadline (EDF ranks by deadline alone, so same-tier requests
+//! with different deadlines *can* evict each other), and under FCFS never
+//! at all.
 //!
 //! Admitted prompts are prefilled under a [`PrefillPolicy`]:
 //! [`PrefillPolicy::StallTheWorld`] prices each admitted prompt in one pass
@@ -36,7 +56,10 @@
 //! and how long their contexts are), and produces per-request
 //! [`RequestRecord`]s plus an aggregate
 //! [`ServingReport`](hermes_core::ServingReport) (queueing delay, TTFT,
-//! TPOT and end-to-end percentiles, goodput). TPOT is measured per request
+//! TPOT and end-to-end percentiles, goodput, preemption counts, per-class
+//! latency distributions and SLO attainment — the fraction of
+//! deadline-carrying requests whose TTFT met the deadline). TPOT is
+//! measured per request
 //! as the time from its first to its last generated token over `gen_len -
 //! 1` gaps; single-token requests have no gap and are excluded from the
 //! TPOT sample set. Equal inputs always produce bitwise-identical outcomes,
@@ -76,10 +99,15 @@ pub mod scheduler;
 pub mod simulator;
 
 pub use arrival::sample_arrival_times;
-pub use request::{sample_request_lengths, RequestRecord, ServingRequest};
-pub use scheduler::{request_kv_bytes, AdmissionConfig, BatchingPolicy, PrefillPolicy};
+pub use request::{assign_request_classes, sample_request_lengths, RequestRecord, ServingRequest};
+pub use scheduler::{
+    request_kv_bytes, AdmissionConfig, BatchingPolicy, PreemptionPolicy, PrefillPolicy,
+    SchedulingPolicy,
+};
 pub use simulator::{simulate, ServingOutcome, ServingSimulation};
 
 // Re-export the workload specs so downstream users need not name
 // hermes-core for the common case.
-pub use hermes_core::{ArrivalProcess, LengthDistribution, RequestLength};
+pub use hermes_core::{
+    ArrivalProcess, LengthDistribution, PrioritySpec, RequestClass, RequestLength,
+};

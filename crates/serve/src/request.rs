@@ -5,7 +5,9 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use hermes_core::{HermesError, LengthDistribution, RequestLength, Workload};
+use hermes_core::{
+    HermesError, LengthDistribution, PrioritySpec, RequestClass, RequestLength, Workload,
+};
 
 /// One request offered to the serving simulator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -18,36 +20,79 @@ pub struct ServingRequest {
     pub prompt_len: usize,
     /// Number of tokens to generate.
     pub gen_len: usize,
+    /// Scheduling class: priority tier and optional TTFT deadline.
+    pub class: RequestClass,
 }
 
 impl ServingRequest {
     /// Build one request per arrival time with per-request lengths sampled
     /// from `lengths` (seeded, deterministic — equal inputs always produce
-    /// identical requests).
+    /// identical requests) and classes assigned by `classes` (deterministic
+    /// by construction).
     ///
     /// # Errors
     ///
-    /// Returns [`HermesError::InvalidWorkload`] when the length spec fails
-    /// [`LengthDistribution::validate`] or a [`LengthDistribution::Trace`]
-    /// supplies a different number of lengths than there are arrivals.
+    /// Returns [`HermesError::InvalidWorkload`] when the length or priority
+    /// spec fails validation, or a trace spec supplies a different number of
+    /// entries than there are arrivals.
     pub fn sample(
         template: &Workload,
         arrival_times: &[f64],
         lengths: &LengthDistribution,
+        classes: &PrioritySpec,
         seed: u64,
     ) -> Result<Vec<ServingRequest>, HermesError> {
         let lengths = sample_request_lengths(lengths, template, arrival_times.len(), seed)?;
+        let classes = assign_request_classes(classes, arrival_times.len())?;
         Ok(arrival_times
             .iter()
-            .zip(lengths)
+            .zip(lengths.into_iter().zip(classes))
             .enumerate()
-            .map(|(id, (&arrival, length))| ServingRequest {
+            .map(|(id, (&arrival, (length, class)))| ServingRequest {
                 id,
                 arrival,
                 prompt_len: length.prompt_len,
                 gen_len: length.gen_len,
+                class,
             })
             .collect())
+    }
+
+    /// The absolute TTFT deadline of this request (`arrival +
+    /// ttft_deadline`), or `None` for best-effort requests.
+    pub fn absolute_deadline(&self) -> Option<f64> {
+        self.class.ttft_deadline.map(|d| self.arrival + d)
+    }
+}
+
+/// Assign `count` request classes from a [`PrioritySpec`]. Fully
+/// deterministic — no seeded draws, the spec pins every class.
+///
+/// # Errors
+///
+/// Returns [`HermesError::InvalidWorkload`] when the spec fails
+/// [`PrioritySpec::validate`] or a [`PrioritySpec::Trace`] class count does
+/// not match `count`.
+pub fn assign_request_classes(
+    spec: &PrioritySpec,
+    count: usize,
+) -> Result<Vec<RequestClass>, HermesError> {
+    spec.validate()?;
+    match spec {
+        PrioritySpec::Fixed => Ok(vec![RequestClass::default(); count]),
+        PrioritySpec::Cycle { classes } => {
+            Ok((0..count).map(|i| classes[i % classes.len()]).collect())
+        }
+        PrioritySpec::Trace { classes } => {
+            if classes.len() != count {
+                return Err(HermesError::InvalidWorkload(format!(
+                    "priority trace supplies {} request classes but {} requests were asked for",
+                    classes.len(),
+                    count
+                )));
+            }
+            Ok(classes.clone())
+        }
     }
 }
 
@@ -120,10 +165,16 @@ pub struct RequestRecord {
     pub prompt_len: usize,
     /// Tokens generated.
     pub gen_len: usize,
+    /// Scheduling class the request was offered with.
+    pub class: RequestClass,
+    /// How many times the request was evicted from the batch (0 when it ran
+    /// uninterrupted).
+    pub preemptions: usize,
 }
 
 impl RequestRecord {
-    /// Time spent waiting in the admission queue.
+    /// Time spent waiting in the admission queue before the request's
+    /// *first* admission (re-admissions after a preemption do not reset it).
     pub fn queue_delay(&self) -> f64 {
         self.admitted - self.arrival
     }
@@ -131,6 +182,13 @@ impl RequestRecord {
     /// Time to first token, measured from arrival.
     pub fn ttft(&self) -> f64 {
         self.first_token - self.arrival
+    }
+
+    /// Whether the request carried a TTFT deadline and met it.
+    ///
+    /// `None` for best-effort requests (no deadline to meet).
+    pub fn met_ttft_deadline(&self) -> Option<bool> {
+        self.class.ttft_deadline.map(|d| self.ttft() <= d)
     }
 
     /// End-to-end latency, measured from arrival.
@@ -158,13 +216,68 @@ mod tests {
         let mut template = Workload::paper_default(ModelId::Opt13B);
         template.prompt_len = 64;
         template.gen_len = 16;
-        let requests =
-            ServingRequest::sample(&template, &[0.0, 1.5], &LengthDistribution::Fixed, 0).unwrap();
+        let requests = ServingRequest::sample(
+            &template,
+            &[0.0, 1.5],
+            &LengthDistribution::Fixed,
+            &PrioritySpec::Fixed,
+            0,
+        )
+        .unwrap();
         assert_eq!(requests.len(), 2);
         assert_eq!(requests[1].id, 1);
         assert_eq!(requests[1].arrival, 1.5);
         assert_eq!(requests[1].prompt_len, 64);
         assert_eq!(requests[1].gen_len, 16);
+        assert_eq!(requests[1].class, RequestClass::default());
+        assert_eq!(requests[1].absolute_deadline(), None);
+    }
+
+    #[test]
+    fn class_assignment_is_deterministic_and_checked() {
+        let gold = RequestClass::new(0).with_ttft_deadline(2.0);
+        let bulk = RequestClass::new(2);
+        let cycle = PrioritySpec::Cycle {
+            classes: vec![gold, bulk],
+        };
+        let classes = assign_request_classes(&cycle, 5).unwrap();
+        assert_eq!(classes.len(), 5);
+        assert_eq!(classes[0], gold);
+        assert_eq!(classes[1], bulk);
+        assert_eq!(classes[4], gold);
+
+        let fixed = assign_request_classes(&PrioritySpec::Fixed, 3).unwrap();
+        assert!(fixed.iter().all(|c| *c == RequestClass::default()));
+
+        let trace = PrioritySpec::Trace {
+            classes: vec![bulk],
+        };
+        assert_eq!(assign_request_classes(&trace, 1).unwrap()[0], bulk);
+        assert!(matches!(
+            assign_request_classes(&trace, 2),
+            Err(HermesError::InvalidWorkload(_))
+        ));
+        assert!(matches!(
+            assign_request_classes(&PrioritySpec::Cycle { classes: vec![] }, 1),
+            Err(HermesError::InvalidWorkload(_))
+        ));
+    }
+
+    #[test]
+    fn absolute_deadlines_offset_from_arrival() {
+        let template = Workload::paper_default(ModelId::Opt13B);
+        let requests = ServingRequest::sample(
+            &template,
+            &[0.0, 1.5],
+            &LengthDistribution::Fixed,
+            &PrioritySpec::Cycle {
+                classes: vec![RequestClass::new(0).with_ttft_deadline(2.0)],
+            },
+            0,
+        )
+        .unwrap();
+        assert_eq!(requests[0].absolute_deadline(), Some(2.0));
+        assert_eq!(requests[1].absolute_deadline(), Some(3.5));
     }
 
     #[test]
@@ -226,6 +339,7 @@ mod tests {
                     },
                 ],
             },
+            &PrioritySpec::Fixed,
             0,
         )
         .unwrap();
@@ -245,6 +359,8 @@ mod tests {
             completed: 13.0,
             prompt_len: 32,
             gen_len: 10,
+            class: RequestClass::default(),
+            preemptions: 0,
         };
         assert!((record.queue_delay() - 2.0).abs() < 1e-12);
         assert!((record.ttft() - 3.0).abs() < 1e-12);
@@ -252,8 +368,20 @@ mod tests {
         assert!((record.tpot() - 1.0).abs() < 1e-12);
         let single = RequestRecord {
             gen_len: 1,
-            ..record
+            ..record.clone()
         };
         assert_eq!(single.tpot(), 0.0);
+        // Deadline accounting: TTFT here is 3.0s.
+        assert_eq!(record.met_ttft_deadline(), None);
+        let met = RequestRecord {
+            class: RequestClass::new(0).with_ttft_deadline(3.5),
+            ..record.clone()
+        };
+        assert_eq!(met.met_ttft_deadline(), Some(true));
+        let missed = RequestRecord {
+            class: RequestClass::new(0).with_ttft_deadline(2.5),
+            ..record
+        };
+        assert_eq!(missed.met_ttft_deadline(), Some(false));
     }
 }

@@ -88,6 +88,65 @@ impl PrefillPolicy {
     }
 }
 
+/// How the scheduler orders the ready queue at every token boundary.
+///
+/// All orderings are total and deterministic: ties (same tier, same
+/// deadline) fall back to arrival order, so FCFS order is preserved within
+/// a priority tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulingPolicy {
+    /// First come, first served — arrival order, the policy of PR 3/4.
+    Fcfs,
+    /// Priority tiers first ([`RequestClass::priority`](hermes_core::RequestClass),
+    /// 0 is most important), arrival order within a tier.
+    Priority,
+    /// Earliest deadline first: requests sorted by absolute TTFT deadline
+    /// (`arrival + ttft_deadline`); best-effort requests (no deadline) sort
+    /// after every deadline-carrying one, in arrival order.
+    Edf,
+}
+
+impl SchedulingPolicy {
+    /// Display name used in [`ServingReport`](hermes_core::ServingReport)s
+    /// and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulingPolicy::Fcfs => "fcfs",
+            SchedulingPolicy::Priority => "priority",
+            SchedulingPolicy::Edf => "edf",
+        }
+    }
+}
+
+/// What the scheduler does when the best-ranked queued request cannot be
+/// admitted under the KV-memory or batch caps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PreemptionPolicy {
+    /// Never evict: the queue head waits for capacity to free up naturally
+    /// (head-of-line blocking, the behaviour of PR 3/4).
+    None,
+    /// Evict strictly lower-ranked active sequences (worst-ranked first)
+    /// until the queue head fits, releasing their KV reservations and
+    /// requeueing them. A preempted request restarts with recompute on
+    /// resume: its prompt *and* the tokens it already generated are
+    /// re-prefilled (priced through the engine's prefill cost), then decode
+    /// continues from where it stopped — generated tokens are never priced
+    /// as decode work twice. Under [`SchedulingPolicy::Fcfs`] no request
+    /// outranks another, so this policy never evicts.
+    EvictAndRefill,
+}
+
+impl PreemptionPolicy {
+    /// Display name used in [`ServingReport`](hermes_core::ServingReport)s
+    /// and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PreemptionPolicy::None => "none",
+            PreemptionPolicy::EvictAndRefill => "evict-and-refill",
+        }
+    }
+}
+
 /// Caps the admission queue enforces before letting a request join the
 /// batch. `None` means unlimited.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -128,6 +187,13 @@ impl AdmissionConfig {
         if self.max_batch == Some(0) {
             return Err(HermesError::InvalidConfig(
                 "admission max_batch must be at least 1".into(),
+            ));
+        }
+        // A zero KV budget can never admit anything either; without this
+        // check it only surfaced as a mid-run "caps can never admit" error.
+        if self.kv_memory_bytes == Some(0) {
+            return Err(HermesError::InvalidConfig(
+                "admission kv_memory_bytes must be at least 1".into(),
             ));
         }
         Ok(())
@@ -178,6 +244,35 @@ mod tests {
             .name(),
             "chunked"
         );
+        assert_eq!(SchedulingPolicy::Fcfs.name(), "fcfs");
+        assert_eq!(SchedulingPolicy::Priority.name(), "priority");
+        assert_eq!(SchedulingPolicy::Edf.name(), "edf");
+        assert_eq!(PreemptionPolicy::None.name(), "none");
+        assert_eq!(PreemptionPolicy::EvictAndRefill.name(), "evict-and-refill");
+    }
+
+    /// Regression: a zero KV budget could never admit anything but used to
+    /// pass `validate()` and only fail mid-run, unlike `max_batch == 0`
+    /// which was rejected upfront. Both caps must now fail the same way.
+    #[test]
+    fn zero_caps_are_rejected_upfront_symmetrically() {
+        for bad in [
+            AdmissionConfig::unlimited().with_max_batch(0),
+            AdmissionConfig::unlimited().with_kv_memory_bytes(0),
+            AdmissionConfig::unlimited()
+                .with_max_batch(0)
+                .with_kv_memory_bytes(0),
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(HermesError::InvalidConfig(_))),
+                "{bad:?} should be rejected upfront"
+            );
+        }
+        // Non-zero budgets still validate, even tiny ones.
+        AdmissionConfig::unlimited()
+            .with_kv_memory_bytes(1)
+            .validate()
+            .unwrap();
     }
 
     #[test]

@@ -5,13 +5,17 @@
 use serde::{Deserialize, Serialize};
 
 use hermes_core::{
-    ArrivalProcess, BatchState, DistributionStats, HermesError, LatencyBreakdown,
-    LengthDistribution, PrefillChunk, ServingReport, SystemConfig, SystemKind, Workload,
+    ArrivalProcess, BatchState, ClassReport, DistributionStats, HermesError, LatencyBreakdown,
+    LengthDistribution, PrefillChunk, PrioritySpec, ServingReport, SystemConfig, SystemKind,
+    Workload,
 };
 
 use crate::arrival::sample_arrival_times;
 use crate::request::{RequestRecord, ServingRequest};
-use crate::scheduler::{request_kv_bytes, AdmissionConfig, BatchingPolicy, PrefillPolicy};
+use crate::scheduler::{
+    request_kv_bytes, AdmissionConfig, BatchingPolicy, PreemptionPolicy, PrefillPolicy,
+    SchedulingPolicy,
+};
 
 /// Salt mixed into the arrival seed to derive the length-sampling stream, so
 /// one scenario seed governs both samplers without the draws being
@@ -47,6 +51,14 @@ pub struct ServingSimulation {
     /// How admitted prompts are prefilled: all at once, or chunked alongside
     /// the running decode batch.
     pub prefill: PrefillPolicy,
+    /// How request classes (priority tier + optional TTFT deadline) are
+    /// assigned.
+    pub classes: PrioritySpec,
+    /// How the ready queue is ordered at every token boundary.
+    pub scheduling: SchedulingPolicy,
+    /// Whether a blocked high-ranked request may evict lower-ranked active
+    /// sequences.
+    pub preemption: PreemptionPolicy,
 }
 
 impl ServingSimulation {
@@ -63,6 +75,9 @@ impl ServingSimulation {
             admission: AdmissionConfig::unlimited(),
             lengths: LengthDistribution::Fixed,
             prefill: PrefillPolicy::StallTheWorld,
+            classes: PrioritySpec::Fixed,
+            scheduling: SchedulingPolicy::Fcfs,
+            preemption: PreemptionPolicy::None,
         }
     }
 
@@ -95,6 +110,24 @@ impl ServingSimulation {
         self.prefill = prefill;
         self
     }
+
+    /// Same scenario with a different class-assignment spec.
+    pub fn with_classes(mut self, classes: PrioritySpec) -> Self {
+        self.classes = classes;
+        self
+    }
+
+    /// Same scenario with a different ready-queue scheduling policy.
+    pub fn with_scheduling(mut self, scheduling: SchedulingPolicy) -> Self {
+        self.scheduling = scheduling;
+        self
+    }
+
+    /// Same scenario with a different preemption policy.
+    pub fn with_preemption(mut self, preemption: PreemptionPolicy) -> Self {
+        self.preemption = preemption;
+        self
+    }
 }
 
 /// Everything one simulation produced: the aggregate report plus the
@@ -125,11 +158,73 @@ struct ActiveSequence {
 struct PrefillingSequence {
     /// Index into the request/record vectors.
     idx: usize,
-    /// Prompt tokens prefilled so far.
+    /// Prefill tokens to process before the sequence may decode: the prompt,
+    /// plus — after a preemption — the tokens already generated, which
+    /// restart-with-recompute re-prefills.
+    target: usize,
+    /// Prefill tokens processed so far.
     done: usize,
     /// Whether the first chunk has been scheduled (admission is stamped when
     /// it is).
     started: bool,
+}
+
+/// The primary scheduling rank of a request under a policy (lower ranks are
+/// served first; ties always fall back to arrival order). Preemption
+/// compares primary ranks only, so it never evicts equal-ranked work: under
+/// priority scheduling never within a tier, under EDF never within an equal
+/// absolute deadline (EDF rank ignores the tier, so requests of one tier
+/// *can* evict each other when their deadlines differ), and under FCFS
+/// never at all.
+fn primary_rank(scheduling: SchedulingPolicy, request: &ServingRequest) -> f64 {
+    match scheduling {
+        SchedulingPolicy::Fcfs => 0.0,
+        SchedulingPolicy::Priority => f64::from(request.class.priority),
+        SchedulingPolicy::Edf => request.absolute_deadline().unwrap_or(f64::INFINITY),
+    }
+}
+
+/// Sort the ready queue: primary rank first, arrival order within a rank —
+/// so FCFS order is preserved inside each priority tier / deadline tie.
+fn sort_ready(ready: &mut [usize], scheduling: SchedulingPolicy, requests: &[ServingRequest]) {
+    ready.sort_by(|&a, &b| {
+        let ra = primary_rank(scheduling, &requests[a]);
+        let rb = primary_rank(scheduling, &requests[b]);
+        ra.total_cmp(&rb).then(a.cmp(&b))
+    });
+}
+
+/// The worst-case workloads the sampled requests imply, for up-front engine
+/// re-validation: the request with the largest prompt and the one with the
+/// largest total context (engine memory and validity checks can depend on
+/// either), deduplicated, whenever the sampled lengths exceed the template's
+/// respective values. Empty when the template plan already covers every
+/// request.
+fn worst_case_bounds(template: &Workload, requests: &[ServingRequest]) -> Vec<Workload> {
+    let max_prompt = requests.iter().max_by_key(|r| r.prompt_len);
+    let max_total = requests.iter().max_by_key(|r| r.prompt_len + r.gen_len);
+    let (Some(max_prompt), Some(max_total)) = (max_prompt, max_total) else {
+        return Vec::new();
+    };
+    if max_prompt.prompt_len <= template.prompt_len
+        && max_total.prompt_len + max_total.gen_len <= template.prompt_len + template.gen_len
+    {
+        return Vec::new();
+    }
+    let mut lengths = vec![(max_prompt.prompt_len, max_prompt.gen_len)];
+    let total = (max_total.prompt_len, max_total.gen_len);
+    if !lengths.contains(&total) {
+        lengths.push(total);
+    }
+    lengths
+        .into_iter()
+        .map(|(prompt_len, gen_len)| {
+            let mut bound = template.clone();
+            bound.prompt_len = prompt_len;
+            bound.gen_len = gen_len;
+            bound
+        })
+        .collect()
 }
 
 /// The empirical offered rate of a sampled arrival trace: requests per
@@ -180,21 +275,19 @@ pub fn simulate(
         &sim.template,
         &times,
         &sim.lengths,
+        &sim.classes,
         sim.arrival_seed ^ LENGTH_SEED_SALT,
     )?;
     let mut plan = kind.engine(config).plan(&sim.template)?;
 
     // The template plan only validated the template's lengths; sampled
-    // per-request lengths can exceed them, so re-validate the request with
-    // the largest KV footprint (engines check memory fit against
-    // `prompt_len + gen_len`) before simulating.
-    if let Some(worst) = requests.iter().max_by_key(|r| r.prompt_len + r.gen_len) {
-        if worst.prompt_len + worst.gen_len > sim.template.prompt_len + sim.template.gen_len {
-            let mut bound = sim.template.clone();
-            bound.prompt_len = worst.prompt_len;
-            bound.gen_len = worst.gen_len;
-            kind.engine(config).plan(&bound)?;
-        }
+    // per-request lengths can exceed them. Engine validity checks can depend
+    // on the prompt length and on the total context independently, so both
+    // the max-prompt and the max-total request are re-validated whenever
+    // either exceeds the template's respective value — a request with a
+    // larger prompt but smaller total must not slip through.
+    for bound in worst_case_bounds(&sim.template, &requests) {
+        kind.engine(config).plan(&bound)?;
     }
 
     let kv_bytes_per_request: Vec<u64> = requests
@@ -211,15 +304,24 @@ pub fn simulate(
             completed: 0.0,
             prompt_len: r.prompt_len,
             gen_len: r.gen_len,
+            class: r.class,
+            preemptions: 0,
         })
         .collect();
 
     let mut clock = 0.0f64;
     let mut next_arrival = 0usize;
-    let mut ready: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut ready: Vec<usize> = Vec::new();
     let mut active: Vec<ActiveSequence> = Vec::new();
     let mut prefilling: Vec<PrefillingSequence> = Vec::new();
     let mut active_kv_bytes = 0u64;
+    // Tokens each request has generated so far; survives preemption, so a
+    // resumed request re-prefills its progress (restart with recompute) and
+    // only decodes the remainder.
+    let mut generated: Vec<usize> = vec![0; requests.len()];
+    // Whether each request's first admission has been stamped (re-admissions
+    // after a preemption keep the original queueing delay).
+    let mut ever_admitted: Vec<bool> = vec![false; requests.len()];
     let mut breakdown = LatencyBreakdown::default();
     let mut imbalance_sum = 0.0;
     let mut imbalance_samples = 0usize;
@@ -229,60 +331,119 @@ pub fn simulate(
     loop {
         // 1. Pull every request that has arrived by now into the queue.
         while next_arrival < requests.len() && requests[next_arrival].arrival <= clock {
-            ready.push_back(next_arrival);
+            ready.push(next_arrival);
             next_arrival += 1;
         }
 
-        // 2. Admit from the queue (FCFS) at this token boundary. Admission
-        // reserves the request's KV budget and batch slot; the `admitted`
-        // timestamp is stamped later, when its prefill work actually starts.
+        // 2. Admit from the queue at this token boundary, in scheduling
+        // order (FCFS / priority / EDF — arrival order within a rank).
+        // Admission reserves the request's KV budget and batch slot; the
+        // `admitted` timestamp is stamped later, when its prefill work
+        // actually starts. When the best-ranked waiter does not fit and
+        // preemption is on, strictly lower-ranked active sequences are
+        // evicted (worst-ranked first) until it does.
         let may_admit = match sim.policy {
             BatchingPolicy::Continuous => true,
             BatchingPolicy::Static => active.is_empty() && prefilling.is_empty(),
         };
         let mut admitted: Vec<usize> = Vec::new();
         if may_admit {
-            while let Some(&idx) = ready.front() {
+            sort_ready(&mut ready, sim.scheduling, &requests);
+            while let Some(&idx) = ready.first() {
                 // `active_kv_bytes` already includes the requests admitted
                 // at this boundary, so the caps see the whole provisional
                 // batch.
                 let kv = kv_bytes_per_request[idx];
-                if !sim.admission.admits(
+                if sim.admission.admits(
                     active.len() + prefilling.len() + admitted.len(),
                     active_kv_bytes,
                     kv,
                 ) {
-                    break;
+                    ready.remove(0);
+                    active_kv_bytes += kv;
+                    admitted.push(idx);
+                    continue;
                 }
-                ready.pop_front();
-                active_kv_bytes += kv;
-                admitted.push(idx);
+                if sim.preemption == PreemptionPolicy::EvictAndRefill {
+                    let rank = primary_rank(sim.scheduling, &requests[idx]);
+                    // Victim candidates: active sequences strictly outranked
+                    // by the blocked waiter, worst-ranked first (latest
+                    // arrival first within a rank). Sequences still
+                    // prefilling under chunked prefill are not evicted.
+                    let mut victims: Vec<usize> = (0..active.len())
+                        .filter(|&pos| {
+                            primary_rank(sim.scheduling, &requests[active[pos].idx]) > rank
+                        })
+                        .collect();
+                    victims.sort_by(|&a, &b| {
+                        let ra = primary_rank(sim.scheduling, &requests[active[a].idx]);
+                        let rb = primary_rank(sim.scheduling, &requests[active[b].idx]);
+                        rb.total_cmp(&ra).then(active[b].idx.cmp(&active[a].idx))
+                    });
+                    // The smallest prefix of victims that makes room, if any.
+                    let mut freed_kv = 0u64;
+                    let mut take = 0usize;
+                    let mut feasible = false;
+                    for &pos in &victims {
+                        freed_kv += active[pos].kv_bytes;
+                        take += 1;
+                        if sim.admission.admits(
+                            active.len() + prefilling.len() + admitted.len() - take,
+                            active_kv_bytes - freed_kv,
+                            kv,
+                        ) {
+                            feasible = true;
+                            break;
+                        }
+                    }
+                    if feasible {
+                        let mut evicted: Vec<usize> = victims.into_iter().take(take).collect();
+                        // Remove back-to-front so positions stay valid.
+                        evicted.sort_unstable_by(|a, b| b.cmp(a));
+                        for pos in evicted {
+                            let victim = active.remove(pos);
+                            active_kv_bytes -= victim.kv_bytes;
+                            records[victim.idx].preemptions += 1;
+                            ready.push(victim.idx);
+                        }
+                        sort_ready(&mut ready, sim.scheduling, &requests);
+                        // Retry the blocked waiter with the freed capacity.
+                        continue;
+                    }
+                }
+                break;
             }
         }
 
-        // 3. Hand the newly admitted requests to the prefill policy.
+        // 3. Hand the newly admitted requests to the prefill policy. A
+        // request resumed after a preemption re-prefills its prompt *plus*
+        // the tokens it already generated (restart with recompute), so its
+        // effective prefill length is `prompt_len + generated`.
         match sim.prefill {
             PrefillPolicy::StallTheWorld => {
-                // Prefill whole prompts now, one pass per prompt length
-                // (requests sharing a prompt length are prefilled together,
+                // Prefill whole prompts now, one pass per effective prefill
+                // length (requests sharing a length are prefilled together,
                 // so an all-at-once batch pays exactly the closed-loop
                 // prefill).
                 if !admitted.is_empty() {
                     let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
                     for &idx in &admitted {
-                        let p = requests[idx].prompt_len;
+                        let p = requests[idx].prompt_len + generated[idx];
                         match groups.iter_mut().find(|(len, _)| *len == p) {
                             Some((_, members)) => members.push(idx),
                             None => groups.push((p, vec![idx])),
                         }
                     }
-                    for (prompt_len, members) in groups {
+                    for (prefill_len, members) in groups {
                         // This group's prefill starts now, after every
                         // earlier group's pass has elapsed.
                         for &idx in &members {
-                            records[idx].admitted = clock;
+                            if !ever_admitted[idx] {
+                                records[idx].admitted = clock;
+                                ever_admitted[idx] = true;
+                            }
                         }
-                        let cost = plan.cost.prefill_cost(prompt_len, members.len());
+                        let cost = plan.cost.prefill_cost(prefill_len, members.len());
                         breakdown.prefill += cost;
                         clock += cost;
                     }
@@ -290,8 +451,8 @@ pub fn simulate(
                         let request = &requests[idx];
                         active.push(ActiveSequence {
                             idx,
-                            context: request.prompt_len,
-                            remaining: request.gen_len,
+                            context: request.prompt_len + generated[idx],
+                            remaining: request.gen_len - generated[idx],
                             kv_bytes: kv_bytes_per_request[idx],
                         });
                     }
@@ -301,6 +462,7 @@ pub fn simulate(
                 for idx in admitted {
                     prefilling.push(PrefillingSequence {
                         idx,
+                        target: requests[idx].prompt_len + generated[idx],
                         done: 0,
                         started: false,
                     });
@@ -323,14 +485,16 @@ pub fn simulate(
                 if budget_left == 0 {
                     break;
                 }
-                let prompt_len = requests[seq.idx].prompt_len;
-                let take = chunk_tokens.min(prompt_len - seq.done).min(budget_left);
+                let take = chunk_tokens.min(seq.target - seq.done).min(budget_left);
                 if !seq.started {
-                    records[seq.idx].admitted = clock;
+                    if !ever_admitted[seq.idx] {
+                        records[seq.idx].admitted = clock;
+                        ever_admitted[seq.idx] = true;
+                    }
                     seq.started = true;
                 }
                 chunks.push(PrefillChunk {
-                    prompt_len,
+                    prompt_len: seq.target,
                     tokens: take,
                 });
                 seq.done += take;
@@ -373,11 +537,12 @@ pub fn simulate(
         clock += outcome.latency.total();
         generated_tokens += active.len();
         for seq in &mut active {
-            if seq.remaining == requests[seq.idx].gen_len {
+            if generated[seq.idx] == 0 {
                 records[seq.idx].first_token = clock;
             }
             seq.context += 1;
             seq.remaining -= 1;
+            generated[seq.idx] += 1;
             if seq.remaining == 0 {
                 records[seq.idx].completed = clock;
                 completed += 1;
@@ -390,13 +555,13 @@ pub fn simulate(
         // next token boundary.
         let mut i = 0;
         while i < prefilling.len() {
-            if prefilling[i].done == requests[prefilling[i].idx].prompt_len {
+            if prefilling[i].done == prefilling[i].target {
                 let seq = prefilling.remove(i);
                 let request = &requests[seq.idx];
                 active.push(ActiveSequence {
                     idx: seq.idx,
-                    context: request.prompt_len,
-                    remaining: request.gen_len,
+                    context: seq.target,
+                    remaining: request.gen_len - generated[seq.idx],
                     kv_bytes: kv_bytes_per_request[seq.idx],
                 });
             } else {
@@ -420,6 +585,8 @@ pub fn simulate(
         system: plan.spec.system.clone(),
         policy: sim.policy.name().to_string(),
         prefill_policy: sim.prefill.name().to_string(),
+        scheduling: sim.scheduling.name().to_string(),
+        preemption_policy: sim.preemption.name().to_string(),
         num_requests: requests.len(),
         completed,
         offered_rps: sim
@@ -438,14 +605,52 @@ pub fn simulate(
         } else {
             1.0
         },
+        preemptions: records.iter().map(|r| r.preemptions).sum(),
+        per_class: fold_class_reports(&records),
     };
     Ok(ServingOutcome { report, records })
+}
+
+/// Fold the per-request records into per-priority-tier reports, sorted by
+/// tier (most important first).
+fn fold_class_reports(records: &[RequestRecord]) -> Vec<ClassReport> {
+    let mut tiers: Vec<u8> = records.iter().map(|r| r.class.priority).collect();
+    tiers.sort_unstable();
+    tiers.dedup();
+    tiers
+        .into_iter()
+        .map(|tier| {
+            let members: Vec<&RequestRecord> = records
+                .iter()
+                .filter(|r| r.class.priority == tier)
+                .collect();
+            let queue_delays: Vec<f64> = members.iter().map(|r| r.queue_delay()).collect();
+            let ttfts: Vec<f64> = members.iter().map(|r| r.ttft()).collect();
+            let e2es: Vec<f64> = members.iter().map(|r| r.e2e()).collect();
+            ClassReport {
+                priority: tier,
+                num_requests: members.len(),
+                preemptions: members.iter().map(|r| r.preemptions).sum(),
+                queue_delay: DistributionStats::from_samples(&queue_delays),
+                ttft: DistributionStats::from_samples(&ttfts),
+                e2e: DistributionStats::from_samples(&e2es),
+                deadline_requests: members
+                    .iter()
+                    .filter(|r| r.class.ttft_deadline.is_some())
+                    .count(),
+                deadline_met: members
+                    .iter()
+                    .filter(|r| r.met_ttft_deadline() == Some(true))
+                    .count(),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hermes_core::RequestLength;
+    use hermes_core::{RequestClass, RequestLength};
     use hermes_model::ModelId;
 
     fn template() -> Workload {
@@ -457,6 +662,59 @@ mod tests {
 
     fn config() -> SystemConfig {
         SystemConfig::paper_default()
+    }
+
+    fn request(id: usize, arrival: f64, prompt_len: usize, gen_len: usize) -> ServingRequest {
+        ServingRequest {
+            id,
+            arrival,
+            prompt_len,
+            gen_len,
+            class: RequestClass::default(),
+        }
+    }
+
+    /// Regression for the re-validation hole: a sampled request with a
+    /// larger prompt but *smaller total* than the template (e.g. template
+    /// 128+128, request 200+8) was never re-validated, because the old code
+    /// only re-planned the request maximizing `prompt_len + gen_len` and
+    /// only when that sum exceeded the template's. The max-prompt request
+    /// must now produce a re-validation bound of its own.
+    #[test]
+    fn worst_case_bounds_cover_larger_prompt_with_smaller_total() {
+        let template = Workload::paper_default(ModelId::Opt13B); // 128 + 128
+        let requests = vec![request(0, 0.0, 200, 8)];
+        let bounds = worst_case_bounds(&template, &requests);
+        assert_eq!(bounds.len(), 1, "max-prompt request must be re-validated");
+        assert_eq!(bounds[0].prompt_len, 200);
+        assert_eq!(bounds[0].gen_len, 8);
+    }
+
+    #[test]
+    fn worst_case_bounds_cover_both_extremes_and_dedupe() {
+        let template = Workload::paper_default(ModelId::Opt13B); // 128 + 128
+                                                                 // Distinct max-prompt (200+8) and max-total (100+200) requests:
+                                                                 // both must be re-validated.
+        let requests = vec![
+            request(0, 0.0, 200, 8),
+            request(1, 0.0, 100, 200),
+            request(2, 0.0, 64, 64),
+        ];
+        let mut pairs: Vec<(usize, usize)> = worst_case_bounds(&template, &requests)
+            .iter()
+            .map(|b| (b.prompt_len, b.gen_len))
+            .collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(100, 200), (200, 8)]);
+
+        // One request embodying both extremes yields a single bound.
+        let one = vec![request(0, 0.0, 300, 300)];
+        assert_eq!(worst_case_bounds(&template, &one).len(), 1);
+
+        // Requests within the template need no re-validation at all.
+        let covered = vec![request(0, 0.0, 64, 64), request(1, 0.0, 128, 128)];
+        assert!(worst_case_bounds(&template, &covered).is_empty());
+        assert!(worst_case_bounds(&template, &[]).is_empty());
     }
 
     #[test]
@@ -763,6 +1021,196 @@ mod tests {
             simulate(SystemKind::hermes_base(), &config(), &sim),
             Err(HermesError::InsufficientMemory { .. })
         ));
+    }
+
+    /// KV budget that fits one template request but not two.
+    fn one_seat_kv_cap() -> u64 {
+        let per_request = request_kv_bytes(&template(), 32, 8);
+        per_request * 3 / 2
+    }
+
+    #[test]
+    fn priority_preemption_evicts_the_lower_tier_and_everyone_completes() {
+        // Request 0 (tier 2) occupies the only KV seat; request 1 (tier 0)
+        // arrives mid-run, evicts it, runs to completion, then request 0
+        // resumes with recompute. Both prefill policies must agree on the
+        // lifecycle accounting.
+        for prefill in [
+            PrefillPolicy::StallTheWorld,
+            PrefillPolicy::Chunked {
+                chunk_tokens: 8,
+                budget: 8,
+            },
+        ] {
+            let sim = ServingSimulation::new(
+                template(),
+                ArrivalProcess::Trace {
+                    times: vec![0.0, 1e-9],
+                },
+                2,
+            )
+            .with_admission(AdmissionConfig::unlimited().with_kv_memory_bytes(one_seat_kv_cap()))
+            .with_classes(PrioritySpec::Trace {
+                classes: vec![RequestClass::new(2), RequestClass::new(0)],
+            })
+            .with_scheduling(SchedulingPolicy::Priority)
+            .with_preemption(PreemptionPolicy::EvictAndRefill)
+            .with_prefill(prefill);
+            let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
+            let name = prefill.name();
+
+            assert_eq!(outcome.report.completed, 2, "{name}");
+            assert_eq!(
+                outcome.report.generated_tokens, 16,
+                "{name}: every token generated once"
+            );
+            assert_eq!(outcome.report.preemptions, 1, "{name}");
+            assert_eq!(outcome.records[0].preemptions, 1, "{name}");
+            assert_eq!(outcome.records[1].preemptions, 0, "{name}");
+            // The high-priority request overtakes: it completes first even
+            // though the low-priority one started first.
+            assert!(
+                outcome.records[1].completed < outcome.records[0].completed,
+                "{name}: high class completed {} vs low {}",
+                outcome.records[1].completed,
+                outcome.records[0].completed
+            );
+            // Lifecycle stays ordered through the eviction.
+            for r in &outcome.records {
+                assert!(r.arrival <= r.admitted, "{name}");
+                assert!(r.admitted < r.first_token, "{name}");
+                assert!(r.first_token <= r.completed, "{name}");
+            }
+            // Per-class accounting: the preemption is charged to tier 2.
+            assert_eq!(outcome.report.class(0).unwrap().preemptions, 0, "{name}");
+            assert_eq!(outcome.report.class(2).unwrap().preemptions, 1, "{name}");
+            assert_eq!(outcome.report.scheduling, "priority", "{name}");
+            assert_eq!(
+                outcome.report.preemption_policy, "evict-and-refill",
+                "{name}"
+            );
+
+            // Restart-with-recompute is paid in prefill seconds: the same
+            // scenario without preemption does strictly less prefill work.
+            let unpreempted = simulate(
+                SystemKind::hermes_base(),
+                &config(),
+                &sim.clone().with_preemption(PreemptionPolicy::None),
+            )
+            .unwrap();
+            assert_eq!(unpreempted.report.preemptions, 0, "{name}");
+            assert!(
+                outcome.report.breakdown.prefill > unpreempted.report.breakdown.prefill,
+                "{name}: preemptive prefill {} vs unpreempted {}",
+                outcome.report.breakdown.prefill,
+                unpreempted.report.breakdown.prefill
+            );
+            // The point of evicting: the high-priority request's TTFT
+            // strictly improves over waiting for the seat.
+            assert!(
+                outcome.records[1].ttft() < unpreempted.records[1].ttft(),
+                "{name}: preemptive TTFT {} vs unpreempted {}",
+                outcome.records[1].ttft(),
+                unpreempted.records[1].ttft()
+            );
+        }
+    }
+
+    #[test]
+    fn fcfs_never_preempts_even_with_eviction_enabled() {
+        // Under FCFS no request outranks another, so EvictAndRefill is
+        // bitwise inert.
+        let sim = ServingSimulation::new(
+            template(),
+            ArrivalProcess::Trace {
+                times: vec![0.0, 1e-9],
+            },
+            2,
+        )
+        .with_admission(AdmissionConfig::unlimited().with_kv_memory_bytes(one_seat_kv_cap()))
+        .with_classes(PrioritySpec::Trace {
+            classes: vec![RequestClass::new(2), RequestClass::new(0)],
+        })
+        .with_preemption(PreemptionPolicy::EvictAndRefill);
+        let preemptive = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
+        let plain = simulate(
+            SystemKind::hermes_base(),
+            &config(),
+            &sim.clone().with_preemption(PreemptionPolicy::None),
+        )
+        .unwrap();
+        assert_eq!(preemptive.report.preemptions, 0);
+        assert_eq!(preemptive.records, plain.records);
+    }
+
+    #[test]
+    fn priority_orders_the_ready_queue_with_fcfs_within_a_tier() {
+        // Three queued requests, one seat: the tier-0 request jumps the
+        // queue, and the two tier-1 requests keep their arrival order.
+        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 3)
+            .with_admission(AdmissionConfig::unlimited().with_max_batch(1))
+            .with_classes(PrioritySpec::Trace {
+                classes: vec![
+                    RequestClass::new(1),
+                    RequestClass::new(0),
+                    RequestClass::new(1),
+                ],
+            })
+            .with_scheduling(SchedulingPolicy::Priority);
+        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
+        let [a, b, c] = &outcome.records[..] else {
+            panic!("expected three records");
+        };
+        assert!(b.admitted < a.admitted, "tier 0 admitted first");
+        assert!(a.admitted < c.admitted, "FCFS within tier 1");
+    }
+
+    #[test]
+    fn edf_orders_by_absolute_deadline_with_best_effort_last() {
+        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 3)
+            .with_admission(AdmissionConfig::unlimited().with_max_batch(1))
+            .with_classes(PrioritySpec::Trace {
+                classes: vec![
+                    RequestClass::new(0).with_ttft_deadline(100.0),
+                    RequestClass::new(0).with_ttft_deadline(1.0),
+                    RequestClass::new(0),
+                ],
+            })
+            .with_scheduling(SchedulingPolicy::Edf);
+        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
+        let [loose, tight, best_effort] = &outcome.records[..] else {
+            panic!("expected three records");
+        };
+        assert!(tight.admitted < loose.admitted, "tightest deadline first");
+        assert!(loose.admitted < best_effort.admitted, "best effort last");
+    }
+
+    #[test]
+    fn slo_attainment_reflects_met_and_missed_deadlines() {
+        // Two deadline-carrying requests sharing one seat: the first meets
+        // its generous deadline, the second misses an impossible one.
+        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 2)
+            .with_admission(AdmissionConfig::unlimited().with_max_batch(1))
+            .with_classes(PrioritySpec::Trace {
+                classes: vec![
+                    RequestClass::new(0).with_ttft_deadline(1e9),
+                    RequestClass::new(0).with_ttft_deadline(1e-12),
+                ],
+            });
+        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
+        assert_eq!(outcome.records[0].met_ttft_deadline(), Some(true));
+        assert_eq!(outcome.records[1].met_ttft_deadline(), Some(false));
+        assert!((outcome.report.slo_attainment().unwrap() - 0.5).abs() < 1e-12);
+        let class = outcome.report.class(0).unwrap();
+        assert_eq!(class.deadline_requests, 2);
+        assert_eq!(class.deadline_met, 1);
+
+        // Class-free scenarios report no attainment at all.
+        let plain = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 2);
+        let outcome = simulate(SystemKind::hermes_base(), &config(), &plain).unwrap();
+        assert_eq!(outcome.report.slo_attainment(), None);
+        assert_eq!(outcome.report.per_class.len(), 1);
+        assert_eq!(outcome.report.preemptions, 0);
     }
 
     #[test]
