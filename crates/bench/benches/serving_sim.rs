@@ -1,0 +1,54 @@
+//! Simulator-throughput benches: simulated requests per wall-clock second
+//! on 10k-, 100k- and 1M-request Poisson traces through the event-heap
+//! serving simulator. The scenario (overloaded Poisson arrivals, batch cap,
+//! FCFS) is shared with `serving_load --bench-json`, which emits the same
+//! measurements as `BENCH_serving_sim.json`.
+//!
+//! Built with `--features reference`, the 10k trace is also run through the
+//! retained sort-based reference scheduler for a direct old-vs-new
+//! comparison (the reference is too slow to time at 100k and above).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hermes_bench::throughput::{bench_scenario, bench_system};
+use hermes_core::SystemConfig;
+use hermes_serve::simulate;
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let config = SystemConfig::paper_default();
+    let mut group = c.benchmark_group("serving_sim");
+    for (label, num_requests, samples) in [
+        ("poisson-10k", 10_000usize, 10usize),
+        ("poisson-100k", 100_000, 3),
+        ("poisson-1m", 1_000_000, 2),
+    ] {
+        let sim = bench_scenario(num_requests);
+        group.sample_size(samples);
+        group.bench_function(label, |b| {
+            b.iter(|| simulate(bench_system(), &config, &sim).expect("valid bench scenario"))
+        });
+    }
+    group.finish();
+}
+
+#[cfg(feature = "reference")]
+fn bench_reference_scheduler(c: &mut Criterion) {
+    use hermes_serve::reference::simulate_reference;
+    let config = SystemConfig::paper_default();
+    let mut group = c.benchmark_group("serving_sim_reference");
+    let sim = bench_scenario(10_000);
+    group.sample_size(2);
+    group.bench_function("poisson-10k", |b| {
+        b.iter(|| simulate_reference(bench_system(), &config, &sim).expect("valid bench scenario"))
+    });
+    group.finish();
+}
+
+#[cfg(not(feature = "reference"))]
+fn bench_reference_scheduler(_c: &mut Criterion) {}
+
+criterion_group!(
+    serving_sim,
+    bench_simulator_throughput,
+    bench_reference_scheduler
+);
+criterion_main!(serving_sim);

@@ -14,66 +14,21 @@
 //!
 //! Run with: `cargo run --release -p hermes-bench --bin serving_load`
 //!
-//! Pass `--json` to emit the whole sweep as machine-readable JSON (one
-//! object with a `results` array of `{section, system, arrival,
-//! offered_rps, report}` entries) instead of the tables.
+//! Flags:
+//! - `--json` emits the whole sweep as machine-readable JSON (one object
+//!   with a `results` array of `{section, system, arrival, offered_rps,
+//!   report}` entries) instead of the tables.
+//! - `--threads N` runs the grid on N worker threads (default 1). The
+//!   emitted rows are byte-identical at every thread count.
+//! - `--bench-json [PATH]` skips the sweep and instead measures simulator
+//!   throughput (simulated requests per wall-clock second on 10k- and
+//!   100k-request Poisson traces), writing `BENCH_serving_sim.json` (or
+//!   PATH). Built with `--features reference`, it also times the retained
+//!   sort-based scheduler and records the speedup.
 
-use serde::{Deserialize, Serialize};
-
-use hermes_core::{
-    ArrivalProcess, PrioritySpec, RequestClass, ServingReport, SystemConfig, SystemKind, Workload,
-};
-use hermes_model::ModelId;
-use hermes_serve::{
-    request_kv_bytes, simulate, AdmissionConfig, BatchingPolicy, PreemptionPolicy, PrefillPolicy,
-    SchedulingPolicy, ServingSimulation,
-};
-
-/// Hermes plus the four baselines of the Fig. 9 lineup that take an offered
-/// load (the TensorRT-LLM reference is covered by the closed-loop figures).
-fn systems() -> Vec<SystemKind> {
-    vec![
-        SystemKind::Accelerate,
-        SystemKind::FlexGen,
-        SystemKind::DejaVu,
-        SystemKind::hermes_base(),
-        SystemKind::hermes(),
-    ]
-}
-
-fn template() -> Workload {
-    let mut w = Workload::paper_default(ModelId::Opt30B);
-    w.prompt_len = 64;
-    w.gen_len = 32;
-    w
-}
-
-/// One simulated scenario of the sweep, tagged with the table it belongs to.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct SweepEntry {
-    /// Which sweep produced this entry (`load-sweep`, `batching-policy` or
-    /// `prefill-policy`).
-    section: String,
-    /// Display name of the simulated system.
-    system: String,
-    /// Display name of the arrival process.
-    arrival: String,
-    /// Offered load handed to the arrival spec (requests/s).
-    offered_rps: f64,
-    /// The aggregate serving report of the scenario.
-    report: ServingReport,
-}
-
-/// Everything the sweep produced, in emission order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct SweepOutput {
-    /// Model under test.
-    model: String,
-    /// Requests offered per scenario in the load sweep.
-    num_requests: usize,
-    /// Every simulated scenario.
-    results: Vec<SweepEntry>,
-}
+use hermes_bench::serving_sweep::{run_sweep, SweepEntry, SweepOutput};
+use hermes_bench::throughput;
+use hermes_core::ServingReport;
 
 fn row(report: &ServingReport) -> String {
     format!(
@@ -88,217 +43,146 @@ fn row(report: &ServingReport) -> String {
     )
 }
 
-fn main() {
-    let json = std::env::args().any(|a| a == "--json");
-    let config = SystemConfig::paper_default();
-    let num_requests = 24;
-    let admission = AdmissionConfig::unlimited().with_max_batch(8);
-    let loads = [0.05, 0.2, 0.8, 3.2];
-    let mut results: Vec<SweepEntry> = Vec::new();
+/// Print the human-readable tables from the sweep's entries, section by
+/// section (the entries arrive in emission order).
+fn print_tables(output: &SweepOutput) {
+    let by_section = |section: &str| -> Vec<&SweepEntry> {
+        output
+            .results
+            .iter()
+            .filter(|e| e.section == section)
+            .collect()
+    };
 
-    type ArrivalFactory = fn(f64) -> ArrivalProcess;
-    let arrivals: [(&str, ArrivalFactory); 2] = [
-        ("Poisson", |rate| ArrivalProcess::Poisson { rate }),
-        ("bursty (burst=6)", |rate| ArrivalProcess::Bursty {
-            rate,
-            burst: 6,
-        }),
-    ];
-    for (arrival_name, arrival_of) in arrivals {
-        if !json {
+    let mut last_arrival = String::new();
+    for entry in by_section("load-sweep") {
+        if entry.arrival != last_arrival {
             println!(
-                "\n# Serving load sweep — OPT-30B, {arrival_name} arrivals, continuous batching"
+                "\n# Serving load sweep — OPT-30B, {} arrivals, continuous batching",
+                entry.arrival
             );
             println!(
                 "| system | offered rps | goodput rps | tokens/s | TTFT p50 s | TTFT p95 s | \
                  TPOT p95 ms | TPOT p99 ms | queue mean s |"
             );
             println!("|---|---|---|---|---|---|---|---|---|");
+            last_arrival = entry.arrival.clone();
         }
-        for kind in systems() {
-            for &rate in &loads {
-                let sim = ServingSimulation::new(template(), arrival_of(rate), num_requests)
-                    .with_admission(admission);
-                match simulate(kind, &config, &sim) {
-                    Ok(outcome) => {
-                        if !json {
-                            println!(
-                                "| {} | {:>7.2} | {} |",
-                                kind.name(),
-                                rate,
-                                row(&outcome.report)
-                            );
-                        }
-                        results.push(SweepEntry {
-                            section: "load-sweep".to_string(),
-                            system: kind.name(),
-                            arrival: arrival_name.to_string(),
-                            offered_rps: rate,
-                            report: outcome.report,
-                        });
-                    }
-                    Err(e) => {
-                        if json {
-                            // Keep stdout valid JSON but leave a trace of the
-                            // dropped scenario so a shrunken `results` array
-                            // is explainable.
-                            eprintln!(
-                                "skipping {} at {rate} rps ({arrival_name}): {e}",
-                                kind.name()
-                            );
-                        } else {
-                            println!("| {} | {:>7.2} | N.P. ({e}) |", kind.name(), rate);
-                        }
-                    }
-                }
+        println!(
+            "| {} | {:>7.2} | {} |",
+            entry.system,
+            entry.offered_rps,
+            row(&entry.report)
+        );
+    }
+
+    println!("\n# Continuous vs. static batching — Hermes, Poisson 0.6 rps, 16 requests");
+    println!("| policy | goodput rps | tokens/s | TTFT p50 s | TTFT p95 s | TPOT p95 ms | TPOT p99 ms | queue mean s |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for entry in by_section("batching-policy") {
+        println!("| {} | {} |", entry.report.policy, row(&entry.report));
+    }
+
+    println!(
+        "\n# Stall-the-world vs. chunked prefill — Poisson 0.6 rps, 16 requests, \
+         continuous batching"
+    );
+    println!(
+        "| system | prefill | TPOT p50 ms | TPOT p95 ms | TPOT p99 ms | TTFT p95 s | \
+         tokens/s |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    for entry in by_section("prefill-policy") {
+        println!(
+            "| {} | {} | {:>8.1} | {:>8.1} | {:>8.1} | {:>7.2} | {:>8.2} |",
+            entry.system,
+            entry.report.prefill_policy,
+            entry.report.tpot.p50 * 1e3,
+            entry.report.tpot.p95 * 1e3,
+            entry.report.tpot.p99 * 1e3,
+            entry.report.ttft.p95,
+            entry.report.tokens_per_second(),
+        );
+    }
+
+    println!(
+        "\n# Scheduling under bursty overload — Hermes, bursty 1.0 rps (burst=8), \
+         16 requests, 2 KV seats"
+    );
+    println!(
+        "| scheduling | preemption | completed | evictions | hi TTFT p50 s | hi TTFT p95 s | \
+         lo TTFT p95 s | hi SLO | tokens/s |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for entry in by_section("scheduling-policy") {
+        let report = &entry.report;
+        let high = report.class(0).expect("tier 0 offered");
+        let low = report.class(2).expect("tier 2 offered");
+        println!(
+            "| {} | {} | {:>5}/16 | {:>5} | {:>8.2} | {:>8.2} | {:>8.2} | {:>5.2} | {:>7.2} |",
+            report.scheduling,
+            report.preemption_policy,
+            report.completed,
+            report.preemptions,
+            high.ttft.p50,
+            high.ttft.p95,
+            low.ttft.p95,
+            high.slo_attainment().unwrap_or(1.0),
+            report.tokens_per_second(),
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--threads takes a positive integer"))
+        .unwrap_or(1);
+
+    if let Some(i) = args.iter().position(|a| a == "--bench-json") {
+        let path = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .unwrap_or("BENCH_serving_sim.json");
+        let output = throughput::run_bench();
+        let serialized = serde_json::to_string_pretty(&output).expect("serializable bench output");
+        // Round-trip through the parser so a malformed emission can never
+        // be committed silently.
+        let parsed: throughput::BenchOutput =
+            serde_json::from_str(&serialized).expect("emitted bench JSON parses back");
+        assert_eq!(parsed, output);
+        std::fs::write(path, format!("{serialized}\n")).expect("writable bench output path");
+        for entry in &output.entries {
+            match entry.speedup_vs_reference {
+                Some(speedup) => eprintln!(
+                    "{}: {:.0} simulated requests/s ({:.2} s) — {speedup:.1}x vs reference",
+                    entry.trace, entry.requests_per_second, entry.seconds
+                ),
+                None => eprintln!(
+                    "{}: {:.0} simulated requests/s ({:.2} s)",
+                    entry.trace, entry.requests_per_second, entry.seconds
+                ),
             }
         }
+        eprintln!("wrote {path}");
+        return;
     }
 
-    if !json {
-        println!("\n# Continuous vs. static batching — Hermes, Poisson 0.6 rps, 16 requests");
-        println!("| policy | goodput rps | tokens/s | TTFT p50 s | TTFT p95 s | TPOT p95 ms | TPOT p99 ms | queue mean s |");
-        println!("|---|---|---|---|---|---|---|---|");
+    let result = run_sweep(threads);
+    for note in &result.skipped {
+        eprintln!("{note}");
     }
-    for policy in [BatchingPolicy::Continuous, BatchingPolicy::Static] {
-        let sim = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 0.6 }, 16)
-            .with_policy(policy);
-        let outcome = simulate(SystemKind::hermes(), &config, &sim).expect("valid scenario");
-        if !json {
-            println!("| {} | {} |", policy.name(), row(&outcome.report));
-        }
-        results.push(SweepEntry {
-            section: "batching-policy".to_string(),
-            system: SystemKind::hermes().name(),
-            arrival: "Poisson".to_string(),
-            offered_rps: 0.6,
-            report: outcome.report,
-        });
-    }
-
-    // Stall-the-world vs. chunked prefill: same offered work, but chunking
-    // bounds the prefill slice each in-flight decode token absorbs, so the
-    // TPOT tail collapses while the joiner's own TTFT pays for it.
-    if !json {
-        println!(
-            "\n# Stall-the-world vs. chunked prefill — Poisson 0.6 rps, 16 requests, \
-             continuous batching"
-        );
-        println!(
-            "| system | prefill | TPOT p50 ms | TPOT p95 ms | TPOT p99 ms | TTFT p95 s | \
-             tokens/s |"
-        );
-        println!("|---|---|---|---|---|---|---|");
-    }
-    for kind in [SystemKind::hermes_base(), SystemKind::hermes()] {
-        for prefill in [
-            PrefillPolicy::StallTheWorld,
-            PrefillPolicy::Chunked {
-                chunk_tokens: 8,
-                budget: 8,
-            },
-        ] {
-            let sim = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 0.6 }, 16)
-                .with_prefill(prefill);
-            let outcome = simulate(kind, &config, &sim).expect("valid scenario");
-            if !json {
-                println!(
-                    "| {} | {} | {:>8.1} | {:>8.1} | {:>8.1} | {:>7.2} | {:>8.2} |",
-                    kind.name(),
-                    prefill.name(),
-                    outcome.report.tpot.p50 * 1e3,
-                    outcome.report.tpot.p95 * 1e3,
-                    outcome.report.tpot.p99 * 1e3,
-                    outcome.report.ttft.p95,
-                    outcome.report.tokens_per_second(),
-                );
-            }
-            results.push(SweepEntry {
-                section: "prefill-policy".to_string(),
-                system: kind.name(),
-                arrival: "Poisson".to_string(),
-                offered_rps: 0.6,
-                report: outcome.report,
-            });
-        }
-    }
-
-    // FCFS vs priority vs EDF under bursty overload with a two-seat KV cap:
-    // interactive tier-0 requests (3 s TTFT deadline) interleaved with
-    // best-effort tier-2 bulk. Priority/EDF run with KV-pressure preemption
-    // (evict-and-refill); the high class's tail TTFT and SLO attainment are
-    // the point, the completion column shows nobody starves.
-    if !json {
-        println!(
-            "\n# Scheduling under bursty overload — Hermes, bursty 1.0 rps (burst=8), \
-             16 requests, 2 KV seats"
-        );
-        println!(
-            "| scheduling | preemption | completed | evictions | hi TTFT p50 s | hi TTFT p95 s | \
-             lo TTFT p95 s | hi SLO | tokens/s |"
-        );
-        println!("|---|---|---|---|---|---|---|---|---|");
-    }
-    let template_kv = template();
-    let kv_cap = request_kv_bytes(&template_kv, template_kv.prompt_len, template_kv.gen_len) * 2;
-    for (scheduling, preemption) in [
-        (SchedulingPolicy::Fcfs, PreemptionPolicy::None),
-        (SchedulingPolicy::Priority, PreemptionPolicy::EvictAndRefill),
-        (SchedulingPolicy::Edf, PreemptionPolicy::EvictAndRefill),
-    ] {
-        let sim = ServingSimulation::new(
-            template(),
-            ArrivalProcess::Bursty {
-                rate: 1.0,
-                burst: 8,
-            },
-            16,
-        )
-        .with_admission(AdmissionConfig::unlimited().with_kv_memory_bytes(kv_cap))
-        .with_classes(PrioritySpec::Cycle {
-            classes: vec![
-                RequestClass::new(0).with_ttft_deadline(3.0),
-                RequestClass::new(2),
-            ],
-        })
-        .with_scheduling(scheduling)
-        .with_preemption(preemption);
-        let outcome = simulate(SystemKind::hermes(), &config, &sim).expect("valid scenario");
-        if !json {
-            let report = &outcome.report;
-            let high = report.class(0).expect("tier 0 offered");
-            let low = report.class(2).expect("tier 2 offered");
-            println!(
-                "| {} | {} | {:>5}/16 | {:>5} | {:>8.2} | {:>8.2} | {:>8.2} | {:>5.2} | {:>7.2} |",
-                scheduling.name(),
-                preemption.name(),
-                report.completed,
-                report.preemptions,
-                high.ttft.p50,
-                high.ttft.p95,
-                low.ttft.p95,
-                high.slo_attainment().unwrap_or(1.0),
-                report.tokens_per_second(),
-            );
-        }
-        results.push(SweepEntry {
-            section: "scheduling-policy".to_string(),
-            system: SystemKind::hermes().name(),
-            arrival: "bursty (burst=8)".to_string(),
-            offered_rps: 1.0,
-            report: outcome.report,
-        });
-    }
-
     if json {
-        let output = SweepOutput {
-            model: "OPT-30B".to_string(),
-            num_requests,
-            results,
-        };
         println!(
             "{}",
-            serde_json::to_string_pretty(&output).expect("serializable sweep")
+            serde_json::to_string_pretty(&result.output).expect("serializable sweep")
         );
+    } else {
+        print_tables(&result.output);
     }
 }

@@ -1,0 +1,58 @@
+//! Validate a `BENCH_serving_sim.json` perf-trajectory file: it must parse
+//! back into the [`BenchOutput`] schema with the vendored `serde_json` and
+//! carry sane measurements for the tracked trace lengths.
+//!
+//! Run with: `cargo run -p hermes-bench --bin validate_bench_json -- PATH`
+//! (PATH defaults to `BENCH_serving_sim.json`). Exits non-zero on any
+//! schema or sanity violation, so CI can gate on it.
+
+use hermes_bench::throughput::BenchOutput;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serving_sim.json".to_string());
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let output: BenchOutput = serde_json::from_str(&raw)
+        .unwrap_or_else(|e| panic!("{path} does not parse as BenchOutput: {e}"));
+
+    assert_eq!(output.benchmark, "serving_sim", "unexpected benchmark name");
+    let lengths: Vec<usize> = output.entries.iter().map(|e| e.num_requests).collect();
+    assert!(
+        lengths.contains(&10_000) && lengths.contains(&100_000),
+        "the tracked 10k and 100k trace lengths must both be present, got {lengths:?}"
+    );
+    for entry in &output.entries {
+        assert!(
+            entry.seconds > 0.0 && entry.requests_per_second > 0.0,
+            "{}: non-positive measurement",
+            entry.trace
+        );
+        let expected = entry.num_requests as f64 / entry.seconds;
+        assert!(
+            (entry.requests_per_second - expected).abs() < 1e-6 * expected,
+            "{}: requests_per_second inconsistent with seconds",
+            entry.trace
+        );
+        if let (Some(reference), Some(speedup)) = (
+            entry.reference_requests_per_second,
+            entry.speedup_vs_reference,
+        ) {
+            assert!(
+                (speedup - entry.requests_per_second / reference).abs() < 1e-9 * speedup,
+                "{}: speedup inconsistent with the two rates",
+                entry.trace
+            );
+        }
+    }
+    println!(
+        "{path}: valid ({} entries, {})",
+        output.entries.len(),
+        output
+            .entries
+            .iter()
+            .map(|e| format!("{} {:.0} req/s", e.trace, e.requests_per_second))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

@@ -9,6 +9,10 @@
 //! is the reproduction target. See `EXPERIMENTS.md` at the repository root
 //! for the paper-vs-measured comparison.
 
+pub mod serving_sweep;
+pub mod sweep;
+pub mod throughput;
+
 use hermes_core::{try_run_system, InferenceReport, SystemConfig, SystemKind, Workload};
 use hermes_model::ModelId;
 

@@ -1,0 +1,83 @@
+//! A dependency-free parallel map for sweep grids, on `std::thread::scope`.
+//!
+//! Grid points are independent simulations, so the only coordination needed
+//! is handing out work items and collecting results. Workers pull the next
+//! unclaimed index from a shared atomic counter (work stealing without
+//! queues) and push `(index, result)` pairs into a mutex-guarded vector;
+//! the caller sorts by index, so the output order is the input order no
+//! matter how the OS schedules the workers — which is what makes the
+//! concurrent sweep byte-identical to the sequential one.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `items` on `threads` worker threads, preserving input
+/// order in the output. `threads == 1` (or one item) runs inline with no
+/// thread machinery at all, so the sequential path stays trivially
+/// deterministic. `f` must be `Sync` because every worker shares it.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, and propagates any panic from `f` (the
+/// scope joins every worker before returning).
+pub fn parallel_map<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    assert!(threads > 0, "parallel_map needs at least one thread");
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let n = items.len();
+    // Claimed via `next`; each slot is taken by exactly one worker.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("work slot claimed twice");
+                let out = f(item);
+                results.lock().expect("result sink poisoned").push((i, out));
+            });
+        }
+    });
+
+    let mut collected = results.into_inner().expect("result sink poisoned");
+    collected.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(collected.len(), n);
+    collected.into_iter().map(|(_, out)| out).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_across_thread_counts() {
+        let items: Vec<usize> = (0..97).collect();
+        let expected: Vec<usize> = items.iter().map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 128] {
+            let got = parallel_map(threads, items.clone(), |i| i * i);
+            assert_eq!(got, expected, "order broke at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn runs_with_more_threads_than_items() {
+        assert_eq!(parallel_map(16, vec![41], |i| i + 1), vec![42]);
+        assert_eq!(parallel_map(4, Vec::<i32>::new(), |i| i), Vec::<i32>::new());
+    }
+}

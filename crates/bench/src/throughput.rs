@@ -1,0 +1,139 @@
+//! The simulator-throughput benchmark scenario: how many *simulated*
+//! requests per wall-clock second the serving simulator sustains on large
+//! Poisson traces. Shared by the `serving_sim` criterion bench and the
+//! `serving_load --bench-json` path that emits `BENCH_serving_sim.json`.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use hermes_core::{ArrivalProcess, SystemConfig, SystemKind, Workload};
+use hermes_model::ModelId;
+use hermes_serve::{simulate, AdmissionConfig, ServingSimulation};
+
+/// Offered Poisson rate (simulated requests/s). Far above the scenario's
+/// service capacity, so the admission queue carries a deep backlog — the
+/// regime where the old per-boundary ready-queue re-sort was quadratic and
+/// the event-heap scheduler has to prove itself.
+pub const OFFERED_RPS: f64 = 500.0;
+
+/// Batch seats of the benchmark scenario.
+pub const MAX_BATCH: usize = 128;
+
+/// The benchmark workload: OPT-13B with short sequences, so wall-clock time
+/// goes to the scheduler hot loop rather than to the cost model.
+pub fn bench_template() -> Workload {
+    let mut w = Workload::paper_default(ModelId::Opt13B);
+    w.prompt_len = 64;
+    w.gen_len = 16;
+    w
+}
+
+/// The benchmark scenario at a given trace length: an overloaded Poisson
+/// trace through continuous batching with a batch cap and FCFS scheduling.
+pub fn bench_scenario(num_requests: usize) -> ServingSimulation {
+    ServingSimulation::new(
+        bench_template(),
+        ArrivalProcess::Poisson { rate: OFFERED_RPS },
+        num_requests,
+    )
+    .with_arrival_seed(42)
+    .with_admission(AdmissionConfig::unlimited().with_max_batch(MAX_BATCH))
+}
+
+/// The system the benchmark prices steps through.
+pub fn bench_system() -> SystemKind {
+    SystemKind::hermes_base()
+}
+
+/// One measured trace length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Trace label (e.g. `poisson-10k`).
+    pub trace: String,
+    /// Requests in the trace.
+    pub num_requests: usize,
+    /// Wall-clock seconds for one full simulation.
+    pub seconds: f64,
+    /// Simulated requests per wall-clock second.
+    pub requests_per_second: f64,
+    /// Same measurement through the retained sort-based reference
+    /// scheduler, when it was run (the `reference` feature).
+    pub reference_requests_per_second: Option<f64>,
+    /// `requests_per_second / reference_requests_per_second`, when the
+    /// reference was run.
+    pub speedup_vs_reference: Option<f64>,
+}
+
+/// The `BENCH_serving_sim.json` schema: the simulator-throughput perf
+/// trajectory entry point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchOutput {
+    /// Benchmark family name.
+    pub benchmark: String,
+    /// System priced by every trace.
+    pub system: String,
+    /// Offered Poisson rate (simulated requests/s).
+    pub offered_rps: f64,
+    /// Batch seats.
+    pub max_batch: usize,
+    /// One entry per measured trace length.
+    pub entries: Vec<BenchEntry>,
+}
+
+/// Time one full simulation of an `num_requests`-long trace, returning
+/// (wall seconds, simulated requests/s).
+pub fn measure(num_requests: usize) -> (f64, f64) {
+    let config = SystemConfig::paper_default();
+    let sim = bench_scenario(num_requests);
+    let start = Instant::now();
+    let outcome = simulate(bench_system(), &config, &sim).expect("benchmark scenario is valid");
+    let seconds = start.elapsed().as_secs_f64();
+    assert_eq!(outcome.report.completed, num_requests);
+    (seconds, num_requests as f64 / seconds)
+}
+
+/// Time the retained sort-based reference scheduler on the same trace.
+#[cfg(feature = "reference")]
+pub fn measure_reference(num_requests: usize) -> (f64, f64) {
+    let config = SystemConfig::paper_default();
+    let sim = bench_scenario(num_requests);
+    let start = Instant::now();
+    let outcome = hermes_serve::reference::simulate_reference(bench_system(), &config, &sim)
+        .expect("benchmark scenario is valid");
+    let seconds = start.elapsed().as_secs_f64();
+    assert_eq!(outcome.report.completed, num_requests);
+    (seconds, num_requests as f64 / seconds)
+}
+
+/// Run the tracked trace lengths (10k and 100k requests) and fold them into
+/// the `BENCH_serving_sim.json` schema. With the `reference` feature on,
+/// the sort-based reference scheduler is timed on the same traces and the
+/// speedup recorded alongside.
+pub fn run_bench() -> BenchOutput {
+    let entries = [(10_000usize, "poisson-10k"), (100_000, "poisson-100k")]
+        .into_iter()
+        .map(|(num_requests, trace)| {
+            let (seconds, rps) = measure(num_requests);
+            #[cfg(feature = "reference")]
+            let reference = Some(measure_reference(num_requests).1);
+            #[cfg(not(feature = "reference"))]
+            let reference = None;
+            BenchEntry {
+                trace: trace.to_string(),
+                num_requests,
+                seconds,
+                requests_per_second: rps,
+                reference_requests_per_second: reference,
+                speedup_vs_reference: reference.map(|r| rps / r),
+            }
+        })
+        .collect();
+    BenchOutput {
+        benchmark: "serving_sim".to_string(),
+        system: bench_system().name(),
+        offered_rps: OFFERED_RPS,
+        max_batch: MAX_BATCH,
+        entries,
+    }
+}

@@ -1,0 +1,24 @@
+//! Regression test for the parallel sweep harness: running the
+//! `serving_load` grid concurrently must produce byte-identical JSON to the
+//! sequential run — same seeds, same scenario results, same emission order
+//! of rows. Anything less would make `--threads` change published numbers.
+
+use hermes_bench::serving_sweep::run_sweep;
+
+#[test]
+fn concurrent_sweep_json_is_byte_identical_to_sequential() {
+    let sequential = run_sweep(1);
+    let concurrent = run_sweep(4);
+
+    let sequential_json =
+        serde_json::to_string_pretty(&sequential.output).expect("serializable sweep");
+    let concurrent_json =
+        serde_json::to_string_pretty(&concurrent.output).expect("serializable sweep");
+    assert_eq!(
+        sequential_json, concurrent_json,
+        "parallel sweep diverged from the sequential grid"
+    );
+    // Skip notes are part of the observable output too (stderr): same
+    // scenarios must be skipped in the same order.
+    assert_eq!(sequential.skipped, concurrent.skipped);
+}

@@ -155,38 +155,82 @@ pub fn run_session(session: &mut dyn Session) -> Result<InferenceReport, HermesE
 /// sequences join after their prefill, grow their context each step and
 /// leave when finished — so [`StepCostModel::decode_cost`] takes the
 /// composition explicitly instead of a batch size frozen at planning time.
+/// The batch is stored as its context-length *groups* — distinct context
+/// lengths with multiplicities, sorted by length — because that is the only
+/// view the cost models consume (sequences of equal context length share a
+/// kernel). Grouping once at construction keeps a hot serving loop from
+/// re-sorting the composition at every step, and schedulers that already
+/// maintain the groups incrementally can hand them over as-is through
+/// [`BatchState::from_groups`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BatchState {
-    context_lens: Vec<usize>,
+    size: usize,
+    groups: Vec<(usize, usize)>,
 }
 
 impl BatchState {
     /// A batch from the context lengths of its active sequences.
-    pub fn new(context_lens: Vec<usize>) -> Self {
-        BatchState { context_lens }
+    pub fn new(mut context_lens: Vec<usize>) -> Self {
+        context_lens.sort_unstable();
+        let mut groups: Vec<(usize, usize)> = Vec::new();
+        for len in &context_lens {
+            match groups.last_mut() {
+                Some((l, n)) if l == len => *n += 1,
+                _ => groups.push((*len, 1)),
+            }
+        }
+        BatchState {
+            size: context_lens.len(),
+            groups,
+        }
     }
 
     /// A batch of `batch` sequences that all share one context length — the
     /// shape of a closed-loop fixed-batch run at one decode step.
     pub fn uniform(batch: usize, context_len: usize) -> Self {
         BatchState {
-            context_lens: vec![context_len; batch],
+            size: batch,
+            groups: if batch > 0 {
+                vec![(context_len, batch)]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// A batch from pre-grouped context lengths: `(context_len, count)`
+    /// pairs that must be sorted by strictly increasing context length with
+    /// every count non-zero — the invariant [`BatchState::context_groups`]
+    /// guarantees. This is the allocation-light entry point for schedulers
+    /// that maintain the composition incrementally.
+    pub fn from_groups(groups: Vec<(usize, usize)>) -> Self {
+        debug_assert!(
+            groups.windows(2).all(|w| w[0].0 < w[1].0),
+            "groups must be sorted by strictly increasing context length"
+        );
+        debug_assert!(groups.iter().all(|&(_, n)| n > 0), "empty group");
+        BatchState {
+            size: groups.iter().map(|&(_, n)| n).sum(),
+            groups,
         }
     }
 
     /// Number of active sequences.
     pub fn size(&self) -> usize {
-        self.context_lens.len()
+        self.size
     }
 
     /// Whether the batch has no active sequences.
     pub fn is_empty(&self) -> bool {
-        self.context_lens.is_empty()
+        self.size == 0
     }
 
-    /// Context length of each active sequence.
-    pub fn context_lens(&self) -> &[usize] {
-        &self.context_lens
+    /// Context length of each active sequence, in ascending order.
+    pub fn context_lens(&self) -> Vec<usize> {
+        self.groups
+            .iter()
+            .flat_map(|&(len, n)| std::iter::repeat_n(len, n))
+            .collect()
     }
 
     /// Distinct context lengths with their multiplicities, sorted by
@@ -196,16 +240,7 @@ impl BatchState {
     /// kernel, so a uniform batch prices exactly like the closed-loop
     /// formulas while a mixed batch pays one kernel per context group.
     pub fn context_groups(&self) -> Vec<(usize, usize)> {
-        let mut sorted = self.context_lens.clone();
-        sorted.sort_unstable();
-        let mut groups: Vec<(usize, usize)> = Vec::new();
-        for len in sorted {
-            match groups.last_mut() {
-                Some((l, n)) if *l == len => *n += 1,
-                _ => groups.push((len, 1)),
-            }
-        }
-        groups
+        self.groups.clone()
     }
 }
 

@@ -1,0 +1,343 @@
+//! The retained sort-based reference scheduler: the pre-heap simulator loop,
+//! kept verbatim as a differential-testing oracle.
+//!
+//! [`simulate_reference`] re-sorts the whole ready queue at every token
+//! boundary, rebuilds the [`BatchState`] from a linear scan of the active
+//! sequences, and walks every active sequence per step — O(batch + queue
+//! log queue) per boundary. The production [`simulate`](crate::simulate)
+//! replaces all of that with indexed priority queues and incremental group
+//! accounting, and the `simulator_equivalence` differential suite asserts
+//! the two produce bitwise-identical [`ServingOutcome`]s across every
+//! policy combination. This module is compiled only under the `reference`
+//! cargo feature; it is not part of the production build.
+
+use hermes_core::{
+    BatchState, HermesError, LatencyBreakdown, PrefillChunk, SystemConfig, SystemKind,
+};
+
+use crate::arrival::sample_arrival_times;
+use crate::request::{RequestRecord, ServingRequest};
+use crate::scheduler::{
+    request_kv_bytes, BatchingPolicy, PreemptionPolicy, PrefillPolicy, SchedulingPolicy,
+};
+use crate::simulator::{
+    build_report, primary_rank, worst_case_bounds, ServingOutcome, ServingSimulation,
+    LENGTH_SEED_SALT,
+};
+
+/// A sequence currently holding a batch slot and generating tokens.
+struct ActiveSequence {
+    /// Index into the request/record vectors.
+    idx: usize,
+    /// Current context length (prompt + tokens generated so far).
+    context: usize,
+    /// Tokens still to generate.
+    remaining: usize,
+    /// KV bytes reserved by this sequence.
+    kv_bytes: u64,
+}
+
+/// A sequence admitted under chunked prefill whose prompt is still being
+/// processed.
+struct PrefillingSequence {
+    idx: usize,
+    target: usize,
+    done: usize,
+    started: bool,
+}
+
+/// Sort the ready queue: primary rank first, arrival order within a rank —
+/// the full per-boundary re-sort the heap-based scheduler replaced.
+fn sort_ready(ready: &mut [usize], scheduling: SchedulingPolicy, requests: &[ServingRequest]) {
+    ready.sort_by(|&a, &b| {
+        let ra = primary_rank(scheduling, &requests[a]);
+        let rb = primary_rank(scheduling, &requests[b]);
+        ra.total_cmp(&rb).then(a.cmp(&b))
+    });
+}
+
+/// Simulate `kind` on `config` under `sim` through the retained sort-based
+/// scheduler. Semantically identical to [`simulate`](crate::simulate) —
+/// the differential suite holds the two to bitwise-equal outcomes — but
+/// asymptotically slower, so only useful as an oracle.
+///
+/// # Errors
+///
+/// Exactly the errors of [`simulate`](crate::simulate).
+pub fn simulate_reference(
+    kind: SystemKind,
+    config: &SystemConfig,
+    sim: &ServingSimulation,
+) -> Result<ServingOutcome, HermesError> {
+    sim.admission.validate()?;
+    sim.prefill.validate()?;
+    let times = sample_arrival_times(&sim.arrival, sim.num_requests, sim.arrival_seed)?;
+    let requests = ServingRequest::sample(
+        &sim.template,
+        &times,
+        &sim.lengths,
+        &sim.classes,
+        sim.arrival_seed ^ LENGTH_SEED_SALT,
+    )?;
+    let engine = kind.engine(config);
+    let mut plan = engine.plan(&sim.template)?;
+    for bound in worst_case_bounds(&sim.template, &requests) {
+        engine.plan(&bound)?;
+    }
+
+    let kv_bytes_per_request: Vec<u64> = requests
+        .iter()
+        .map(|r| request_kv_bytes(&sim.template, r.prompt_len, r.gen_len))
+        .collect();
+    let mut records: Vec<RequestRecord> = requests
+        .iter()
+        .map(|r| RequestRecord {
+            id: r.id,
+            arrival: r.arrival,
+            admitted: 0.0,
+            first_token: 0.0,
+            completed: 0.0,
+            prompt_len: r.prompt_len,
+            gen_len: r.gen_len,
+            class: r.class,
+            preemptions: 0,
+        })
+        .collect();
+
+    let mut clock = 0.0f64;
+    let mut next_arrival = 0usize;
+    let mut ready: Vec<usize> = Vec::new();
+    let mut active: Vec<ActiveSequence> = Vec::new();
+    let mut prefilling: Vec<PrefillingSequence> = Vec::new();
+    let mut active_kv_bytes = 0u64;
+    let mut generated: Vec<usize> = vec![0; requests.len()];
+    let mut ever_admitted: Vec<bool> = vec![false; requests.len()];
+    let mut breakdown = LatencyBreakdown::default();
+    let mut imbalance_sum = 0.0;
+    let mut imbalance_samples = 0usize;
+    let mut generated_tokens = 0usize;
+    let mut completed = 0usize;
+
+    loop {
+        // 1. Pull every request that has arrived by now into the queue.
+        while next_arrival < requests.len() && requests[next_arrival].arrival <= clock {
+            ready.push(next_arrival);
+            next_arrival += 1;
+        }
+
+        // 2. Admit from the queue at this token boundary, in scheduling
+        // order; evict strictly lower-ranked active sequences when the
+        // best-ranked waiter does not fit and preemption is on.
+        let may_admit = match sim.policy {
+            BatchingPolicy::Continuous => true,
+            BatchingPolicy::Static => active.is_empty() && prefilling.is_empty(),
+        };
+        let mut admitted: Vec<usize> = Vec::new();
+        if may_admit {
+            sort_ready(&mut ready, sim.scheduling, &requests);
+            while let Some(&idx) = ready.first() {
+                let kv = kv_bytes_per_request[idx];
+                if sim.admission.admits(
+                    active.len() + prefilling.len() + admitted.len(),
+                    active_kv_bytes,
+                    kv,
+                ) {
+                    ready.remove(0);
+                    active_kv_bytes += kv;
+                    admitted.push(idx);
+                    continue;
+                }
+                if sim.preemption == PreemptionPolicy::EvictAndRefill {
+                    let rank = primary_rank(sim.scheduling, &requests[idx]);
+                    let mut victims: Vec<usize> = (0..active.len())
+                        .filter(|&pos| {
+                            primary_rank(sim.scheduling, &requests[active[pos].idx]) > rank
+                        })
+                        .collect();
+                    victims.sort_by(|&a, &b| {
+                        let ra = primary_rank(sim.scheduling, &requests[active[a].idx]);
+                        let rb = primary_rank(sim.scheduling, &requests[active[b].idx]);
+                        rb.total_cmp(&ra).then(active[b].idx.cmp(&active[a].idx))
+                    });
+                    let mut freed_kv = 0u64;
+                    let mut take = 0usize;
+                    let mut feasible = false;
+                    for &pos in &victims {
+                        freed_kv += active[pos].kv_bytes;
+                        take += 1;
+                        if sim.admission.admits(
+                            active.len() + prefilling.len() + admitted.len() - take,
+                            active_kv_bytes - freed_kv,
+                            kv,
+                        ) {
+                            feasible = true;
+                            break;
+                        }
+                    }
+                    if feasible {
+                        let mut evicted: Vec<usize> = victims.into_iter().take(take).collect();
+                        evicted.sort_unstable_by(|a, b| b.cmp(a));
+                        for pos in evicted {
+                            let victim = active.remove(pos);
+                            active_kv_bytes -= victim.kv_bytes;
+                            records[victim.idx].preemptions += 1;
+                            ready.push(victim.idx);
+                        }
+                        sort_ready(&mut ready, sim.scheduling, &requests);
+                        continue;
+                    }
+                }
+                break;
+            }
+        }
+
+        // 3. Hand the newly admitted requests to the prefill policy.
+        match sim.prefill {
+            PrefillPolicy::StallTheWorld => {
+                if !admitted.is_empty() {
+                    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+                    for &idx in &admitted {
+                        let p = requests[idx].prompt_len + generated[idx];
+                        match groups.iter_mut().find(|(len, _)| *len == p) {
+                            Some((_, members)) => members.push(idx),
+                            None => groups.push((p, vec![idx])),
+                        }
+                    }
+                    for (prefill_len, members) in groups {
+                        for &idx in &members {
+                            if !ever_admitted[idx] {
+                                records[idx].admitted = clock;
+                                ever_admitted[idx] = true;
+                            }
+                        }
+                        let cost = plan.cost.prefill_cost(prefill_len, members.len());
+                        breakdown.prefill += cost;
+                        clock += cost;
+                    }
+                    for idx in admitted {
+                        let request = &requests[idx];
+                        active.push(ActiveSequence {
+                            idx,
+                            context: request.prompt_len + generated[idx],
+                            remaining: request.gen_len - generated[idx],
+                            kv_bytes: kv_bytes_per_request[idx],
+                        });
+                    }
+                }
+            }
+            PrefillPolicy::Chunked { .. } => {
+                for idx in admitted {
+                    prefilling.push(PrefillingSequence {
+                        idx,
+                        target: requests[idx].prompt_len + generated[idx],
+                        done: 0,
+                        started: false,
+                    });
+                }
+            }
+        }
+
+        // 4. Schedule this boundary's prefill chunks.
+        let mut chunks: Vec<PrefillChunk> = Vec::new();
+        if let PrefillPolicy::Chunked {
+            chunk_tokens,
+            budget,
+        } = sim.prefill
+        {
+            let mut budget_left = budget;
+            for seq in prefilling.iter_mut() {
+                if budget_left == 0 {
+                    break;
+                }
+                let take = chunk_tokens.min(seq.target - seq.done).min(budget_left);
+                if !seq.started {
+                    if !ever_admitted[seq.idx] {
+                        records[seq.idx].admitted = clock;
+                        ever_admitted[seq.idx] = true;
+                    }
+                    seq.started = true;
+                }
+                chunks.push(PrefillChunk {
+                    prompt_len: seq.target,
+                    tokens: take,
+                });
+                seq.done += take;
+                budget_left -= take;
+            }
+        }
+
+        // 5. Nothing running and no prefill scheduled: jump or finish.
+        if active.is_empty() && chunks.is_empty() {
+            if !ready.is_empty() {
+                return Err(HermesError::InvalidConfig(format!(
+                    "admission caps can never admit request {} (max_batch {:?}, kv budget {:?})",
+                    ready[0], sim.admission.max_batch, sim.admission.kv_memory_bytes
+                )));
+            }
+            if next_arrival < requests.len() {
+                clock = clock.max(requests[next_arrival].arrival);
+                continue;
+            }
+            break;
+        }
+
+        // 6. One shared step over the current batch composition.
+        let batch = BatchState::new(active.iter().map(|a| a.context).collect());
+        let outcome = if chunks.is_empty() {
+            plan.cost.decode_cost(&batch)
+        } else {
+            plan.cost.chunked_step_cost(&chunks, &batch)
+        };
+        breakdown = breakdown.merged(&outcome.latency);
+        imbalance_sum += outcome.imbalance_sum;
+        imbalance_samples += outcome.imbalance_samples;
+        clock += outcome.latency.total();
+        generated_tokens += active.len();
+        for seq in &mut active {
+            if generated[seq.idx] == 0 {
+                records[seq.idx].first_token = clock;
+            }
+            seq.context += 1;
+            seq.remaining -= 1;
+            generated[seq.idx] += 1;
+            if seq.remaining == 0 {
+                records[seq.idx].completed = clock;
+                completed += 1;
+                active_kv_bytes -= seq.kv_bytes;
+            }
+        }
+        active.retain(|seq| seq.remaining > 0);
+
+        // 7. Prompts that completed this step join the decode batch at the
+        // next token boundary.
+        let mut i = 0;
+        while i < prefilling.len() {
+            if prefilling[i].done == prefilling[i].target {
+                let seq = prefilling.remove(i);
+                let request = &requests[seq.idx];
+                active.push(ActiveSequence {
+                    idx: seq.idx,
+                    context: seq.target,
+                    remaining: request.gen_len - generated[seq.idx],
+                    kv_bytes: kv_bytes_per_request[seq.idx],
+                });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    let report = build_report(
+        sim,
+        &plan.spec,
+        &times,
+        &records,
+        clock,
+        completed,
+        generated_tokens,
+        breakdown,
+        imbalance_sum,
+        imbalance_samples,
+    );
+    Ok(ServingOutcome { report, records })
+}

@@ -2,15 +2,20 @@
 //! admission, prefill (stall-the-world or chunked) and shared decode steps
 //! through a planned engine's [`StepCostModel`](hermes_core::StepCostModel).
 
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::ops::Bound;
+
 use serde::{Deserialize, Serialize};
 
 use hermes_core::{
     ArrivalProcess, BatchState, ClassReport, DistributionStats, HermesError, LatencyBreakdown,
-    LengthDistribution, PrefillChunk, PrioritySpec, ServingReport, SystemConfig, SystemKind,
-    Workload,
+    LengthDistribution, PrefillChunk, PrioritySpec, ServingReport, SessionSpec, SystemConfig,
+    SystemKind, Workload,
 };
 
 use crate::arrival::sample_arrival_times;
+use crate::queue::{Rank, ReadyQueue};
 use crate::request::{RequestRecord, ServingRequest};
 use crate::scheduler::{
     request_kv_bytes, AdmissionConfig, BatchingPolicy, PreemptionPolicy, PrefillPolicy,
@@ -20,7 +25,7 @@ use crate::scheduler::{
 /// Salt mixed into the arrival seed to derive the length-sampling stream, so
 /// one scenario seed governs both samplers without the draws being
 /// correlated.
-const LENGTH_SEED_SALT: u64 = 0x4c45_4e47_5448_2153; // "LENGTH!S"
+pub(crate) const LENGTH_SEED_SALT: u64 = 0x4c45_4e47_5448_2153; // "LENGTH!S"
 
 /// One open-loop serving scenario: which requests arrive when, how long they
 /// are, and how the scheduler batches and prefills them.
@@ -140,16 +145,167 @@ pub struct ServingOutcome {
     pub records: Vec<RequestRecord>,
 }
 
-/// A sequence currently holding a batch slot and generating tokens.
-struct ActiveSequence {
-    /// Index into the request/record vectors.
-    idx: usize,
-    /// Current context length (prompt + tokens generated so far).
-    context: usize,
-    /// Tokens still to generate.
-    remaining: usize,
+/// Bookkeeping for one sequence currently holding a batch slot, stored by
+/// request index in [`ActiveSet`].
+///
+/// The sequence's *current* context length is never stored: every active
+/// sequence grows by exactly one token per decode step, so `context =
+/// context_at_join + (step - join_step)`, and the `shift`
+/// (`context_at_join - join_step`) is the per-sequence invariant that makes
+/// the whole batch composition advance for free as the global step counter
+/// ticks.
+struct ActiveInfo {
+    /// Join generation, for invalidating stale finish-heap entries after an
+    /// eviction (a re-join pushes a fresh entry with a newer epoch).
+    epoch: u64,
+    /// Global step count when the sequence joined the decode batch.
+    join_step: u64,
+    /// `context_at_join - join_step`: the sequence's context at global step
+    /// `s` is `shift + s` for as long as it stays active.
+    shift: i64,
     /// KV bytes reserved by this sequence.
     kv_bytes: u64,
+    /// Scheduling rank, kept for O(log n) removal from the rank index.
+    rank: Rank,
+}
+
+/// The decode batch as indexed incremental state: O(log n) join/remove and
+/// O(distinct context lengths) per-step snapshots, replacing the per-step
+/// linear rebuild of the sort-based scheduler.
+///
+/// Three indexes share the per-request [`ActiveInfo`] slab:
+/// - `groups` counts sequences per context *shift*, so the batch
+///   composition for [`BatchState::from_groups`] falls out of an in-order
+///   walk without touching individual sequences (all contexts advance
+///   together with the step counter);
+/// - `by_rank` orders active sequences by scheduling rank for
+///   worst-ranked-first victim selection under preemption;
+/// - `finish` is the event heap of completion steps, validated lazily
+///   against each sequence's `epoch` so evictions need not search the heap.
+struct ActiveSet {
+    /// Per-request active-sequence state (`None` when not decoding).
+    info: Vec<Option<ActiveInfo>>,
+    /// Number of active sequences.
+    count: usize,
+    /// Sequences per context shift (see [`ActiveInfo::shift`]).
+    groups: BTreeMap<i64, usize>,
+    /// Active sequences ordered by (rank, request index).
+    by_rank: BTreeSet<(Rank, usize)>,
+    /// Completion events: (finish step, request index, join epoch).
+    finish: BinaryHeap<Reverse<(u64, usize, u64)>>,
+    /// Next join epoch.
+    next_epoch: u64,
+}
+
+impl ActiveSet {
+    fn new(num_requests: usize) -> Self {
+        ActiveSet {
+            info: (0..num_requests).map(|_| None).collect(),
+            count: 0,
+            groups: BTreeMap::new(),
+            by_rank: BTreeSet::new(),
+            finish: BinaryHeap::new(),
+            next_epoch: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.count
+    }
+
+    fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    fn contains(&self, idx: usize) -> bool {
+        self.info[idx].is_some()
+    }
+
+    /// Join the decode batch at global step `step` with `context` tokens of
+    /// context and `remaining` tokens still to generate.
+    fn join(
+        &mut self,
+        idx: usize,
+        context: usize,
+        remaining: usize,
+        kv_bytes: u64,
+        rank: f64,
+        step: u64,
+    ) {
+        debug_assert!(self.info[idx].is_none(), "request {idx} already active");
+        debug_assert!(
+            remaining > 0,
+            "request {idx} joined with nothing to generate"
+        );
+        let shift = context as i64 - step as i64;
+        let finish_step = step + remaining as u64;
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        *self.groups.entry(shift).or_insert(0) += 1;
+        self.by_rank.insert((Rank(rank), idx));
+        self.finish.push(Reverse((finish_step, idx, epoch)));
+        self.info[idx] = Some(ActiveInfo {
+            epoch,
+            join_step: step,
+            shift,
+            kv_bytes,
+            rank: Rank(rank),
+        });
+        self.count += 1;
+    }
+
+    /// Remove an active sequence (eviction or completion), returning its
+    /// bookkeeping. Its finish-heap entry is left behind and invalidated by
+    /// the epoch check in [`ActiveSet::drain_finished`].
+    fn remove(&mut self, idx: usize) -> ActiveInfo {
+        let info = self.info[idx].take().expect("request not active");
+        match self.groups.get_mut(&info.shift) {
+            Some(count) if *count > 1 => *count -= 1,
+            _ => {
+                self.groups.remove(&info.shift);
+            }
+        }
+        self.by_rank.remove(&(info.rank, idx));
+        self.count -= 1;
+        info
+    }
+
+    /// The current batch composition, assembled from the group index in
+    /// O(distinct context lengths).
+    fn batch_state(&self, step: u64) -> BatchState {
+        BatchState::from_groups(
+            self.groups
+                .iter()
+                .map(|(&shift, &count)| ((shift + step as i64) as usize, count))
+                .collect(),
+        )
+    }
+
+    /// Active sequences strictly outranked by `rank`, worst-ranked first
+    /// (latest arrival first within a rank) — the victim candidate order of
+    /// [`PreemptionPolicy::EvictAndRefill`].
+    fn victims_outranking(&self, rank: f64) -> impl Iterator<Item = usize> + '_ {
+        self.by_rank
+            .range((Bound::Excluded((Rank(rank), usize::MAX)), Bound::Unbounded))
+            .rev()
+            .map(|&(_, idx)| idx)
+    }
+
+    /// Pop every sequence whose last token was generated by global step
+    /// `step`, invoking `on_finish` with its bookkeeping. Stale entries of
+    /// evicted epochs are discarded.
+    fn drain_finished(&mut self, step: u64, mut on_finish: impl FnMut(usize, ActiveInfo)) {
+        while let Some(&Reverse((finish_step, idx, epoch))) = self.finish.peek() {
+            if finish_step > step {
+                break;
+            }
+            self.finish.pop();
+            if self.info[idx].as_ref().is_some_and(|i| i.epoch == epoch) {
+                let info = self.remove(idx);
+                on_finish(idx, info);
+            }
+        }
+    }
 }
 
 /// A sequence admitted under chunked prefill whose prompt is still being
@@ -176,7 +332,7 @@ struct PrefillingSequence {
 /// absolute deadline (EDF rank ignores the tier, so requests of one tier
 /// *can* evict each other when their deadlines differ), and under FCFS
 /// never at all.
-fn primary_rank(scheduling: SchedulingPolicy, request: &ServingRequest) -> f64 {
+pub(crate) fn primary_rank(scheduling: SchedulingPolicy, request: &ServingRequest) -> f64 {
     match scheduling {
         SchedulingPolicy::Fcfs => 0.0,
         SchedulingPolicy::Priority => f64::from(request.class.priority),
@@ -184,26 +340,33 @@ fn primary_rank(scheduling: SchedulingPolicy, request: &ServingRequest) -> f64 {
     }
 }
 
-/// Sort the ready queue: primary rank first, arrival order within a rank —
-/// so FCFS order is preserved inside each priority tier / deadline tie.
-fn sort_ready(ready: &mut [usize], scheduling: SchedulingPolicy, requests: &[ServingRequest]) {
-    ready.sort_by(|&a, &b| {
-        let ra = primary_rank(scheduling, &requests[a]);
-        let rb = primary_rank(scheduling, &requests[b]);
-        ra.total_cmp(&rb).then(a.cmp(&b))
-    });
-}
-
 /// The worst-case workloads the sampled requests imply, for up-front engine
 /// re-validation: the request with the largest prompt and the one with the
 /// largest total context (engine memory and validity checks can depend on
 /// either), deduplicated, whenever the sampled lengths exceed the template's
 /// respective values. Empty when the template plan already covers every
-/// request.
-fn worst_case_bounds(template: &Workload, requests: &[ServingRequest]) -> Vec<Workload> {
-    let max_prompt = requests.iter().max_by_key(|r| r.prompt_len);
-    let max_total = requests.iter().max_by_key(|r| r.prompt_len + r.gen_len);
-    let (Some(max_prompt), Some(max_total)) = (max_prompt, max_total) else {
+/// request. Both maxima fall out of one pass over the requests; ties keep
+/// the *last* maximum, matching `Iterator::max_by_key`.
+pub(crate) fn worst_case_bounds(template: &Workload, requests: &[ServingRequest]) -> Vec<Workload> {
+    let mut extremes: Option<(&ServingRequest, &ServingRequest)> = None;
+    for r in requests {
+        extremes = Some(match extremes {
+            None => (r, r),
+            Some((max_prompt, max_total)) => (
+                if r.prompt_len >= max_prompt.prompt_len {
+                    r
+                } else {
+                    max_prompt
+                },
+                if r.prompt_len + r.gen_len >= max_total.prompt_len + max_total.gen_len {
+                    r
+                } else {
+                    max_total
+                },
+            ),
+        });
+    }
+    let Some((max_prompt, max_total)) = extremes else {
         return Vec::new();
     };
     if max_prompt.prompt_len <= template.prompt_len
@@ -278,21 +441,29 @@ pub fn simulate(
         &sim.classes,
         sim.arrival_seed ^ LENGTH_SEED_SALT,
     )?;
-    let mut plan = kind.engine(config).plan(&sim.template)?;
+    let engine = kind.engine(config);
+    let mut plan = engine.plan(&sim.template)?;
 
     // The template plan only validated the template's lengths; sampled
     // per-request lengths can exceed them. Engine validity checks can depend
     // on the prompt length and on the total context independently, so both
     // the max-prompt and the max-total request are re-validated whenever
     // either exceeds the template's respective value — a request with a
-    // larger prompt but smaller total must not slip through.
+    // larger prompt but smaller total must not slip through. The engine is
+    // built once and re-used for the bound plans.
     for bound in worst_case_bounds(&sim.template, &requests) {
-        kind.engine(config).plan(&bound)?;
+        engine.plan(&bound)?;
     }
 
     let kv_bytes_per_request: Vec<u64> = requests
         .iter()
         .map(|r| request_kv_bytes(&sim.template, r.prompt_len, r.gen_len))
+        .collect();
+    // Ranks are immutable per request (see `crate::queue`), so they are
+    // computed once up front instead of per comparison.
+    let ranks: Vec<f64> = requests
+        .iter()
+        .map(|r| primary_rank(sim.scheduling, r))
         .collect();
     let mut records: Vec<RequestRecord> = requests
         .iter()
@@ -310,18 +481,26 @@ pub fn simulate(
         .collect();
 
     let mut clock = 0.0f64;
+    // Decode steps priced so far: the virtual event counter every
+    // [`ActiveSet`] invariant is keyed on.
+    let mut step: u64 = 0;
     let mut next_arrival = 0usize;
-    let mut ready: Vec<usize> = Vec::new();
-    let mut active: Vec<ActiveSequence> = Vec::new();
+    let mut ready = ReadyQueue::new();
+    let mut active = ActiveSet::new(requests.len());
     let mut prefilling: Vec<PrefillingSequence> = Vec::new();
     let mut active_kv_bytes = 0u64;
     // Tokens each request has generated so far; survives preemption, so a
     // resumed request re-prefills its progress (restart with recompute) and
-    // only decodes the remainder.
+    // only decodes the remainder. Updated lazily, when a sequence *leaves*
+    // the active set (finish or eviction) — while active its progress is
+    // implied by the step counter.
     let mut generated: Vec<usize> = vec![0; requests.len()];
     // Whether each request's first admission has been stamped (re-admissions
     // after a preemption keep the original queueing delay).
     let mut ever_admitted: Vec<bool> = vec![false; requests.len()];
+    // Joiners that have not yet generated their first token, to stamp
+    // `first_token` after the next priced step without walking the batch.
+    let mut pending_first_token: Vec<usize> = Vec::new();
     let mut breakdown = LatencyBreakdown::default();
     let mut imbalance_sum = 0.0;
     let mut imbalance_samples = 0usize;
@@ -331,7 +510,7 @@ pub fn simulate(
     loop {
         // 1. Pull every request that has arrived by now into the queue.
         while next_arrival < requests.len() && requests[next_arrival].arrival <= clock {
-            ready.push(next_arrival);
+            ready.push(ranks[next_arrival], next_arrival);
             next_arrival += 1;
         }
 
@@ -348,8 +527,7 @@ pub fn simulate(
         };
         let mut admitted: Vec<usize> = Vec::new();
         if may_admit {
-            sort_ready(&mut ready, sim.scheduling, &requests);
-            while let Some(&idx) = ready.first() {
+            while let Some(idx) = ready.peek() {
                 // `active_kv_bytes` already includes the requests admitted
                 // at this boundary, so the caps see the whole provisional
                 // batch.
@@ -359,36 +537,26 @@ pub fn simulate(
                     active_kv_bytes,
                     kv,
                 ) {
-                    ready.remove(0);
+                    ready.pop();
                     active_kv_bytes += kv;
                     admitted.push(idx);
                     continue;
                 }
                 if sim.preemption == PreemptionPolicy::EvictAndRefill {
-                    let rank = primary_rank(sim.scheduling, &requests[idx]);
                     // Victim candidates: active sequences strictly outranked
                     // by the blocked waiter, worst-ranked first (latest
-                    // arrival first within a rank). Sequences still
-                    // prefilling under chunked prefill are not evicted.
-                    let mut victims: Vec<usize> = (0..active.len())
-                        .filter(|&pos| {
-                            primary_rank(sim.scheduling, &requests[active[pos].idx]) > rank
-                        })
-                        .collect();
-                    victims.sort_by(|&a, &b| {
-                        let ra = primary_rank(sim.scheduling, &requests[active[a].idx]);
-                        let rb = primary_rank(sim.scheduling, &requests[active[b].idx]);
-                        rb.total_cmp(&ra).then(active[b].idx.cmp(&active[a].idx))
-                    });
-                    // The smallest prefix of victims that makes room, if any.
+                    // arrival first within a rank), straight off the rank
+                    // index. Sequences still prefilling under chunked
+                    // prefill are not evicted. Take the smallest prefix
+                    // that makes room, if any.
                     let mut freed_kv = 0u64;
-                    let mut take = 0usize;
+                    let mut victims: Vec<usize> = Vec::new();
                     let mut feasible = false;
-                    for &pos in &victims {
-                        freed_kv += active[pos].kv_bytes;
-                        take += 1;
+                    for victim in active.victims_outranking(ranks[idx]) {
+                        freed_kv += kv_bytes_per_request[victim];
+                        victims.push(victim);
                         if sim.admission.admits(
-                            active.len() + prefilling.len() + admitted.len() - take,
+                            active.len() + prefilling.len() + admitted.len() - victims.len(),
                             active_kv_bytes - freed_kv,
                             kv,
                         ) {
@@ -397,17 +565,15 @@ pub fn simulate(
                         }
                     }
                     if feasible {
-                        let mut evicted: Vec<usize> = victims.into_iter().take(take).collect();
-                        // Remove back-to-front so positions stay valid.
-                        evicted.sort_unstable_by(|a, b| b.cmp(a));
-                        for pos in evicted {
-                            let victim = active.remove(pos);
-                            active_kv_bytes -= victim.kv_bytes;
-                            records[victim.idx].preemptions += 1;
-                            ready.push(victim.idx);
+                        for victim in victims {
+                            let info = active.remove(victim);
+                            active_kv_bytes -= info.kv_bytes;
+                            generated[victim] += (step - info.join_step) as usize;
+                            records[victim].preemptions += 1;
+                            ready.push(ranks[victim], victim);
                         }
-                        sort_ready(&mut ready, sim.scheduling, &requests);
-                        // Retry the blocked waiter with the freed capacity.
+                        // Retry the blocked waiter with the freed capacity
+                        // (the victims it displaced cannot outrank it).
                         continue;
                     }
                 }
@@ -449,12 +615,17 @@ pub fn simulate(
                     }
                     for idx in admitted {
                         let request = &requests[idx];
-                        active.push(ActiveSequence {
+                        active.join(
                             idx,
-                            context: request.prompt_len + generated[idx],
-                            remaining: request.gen_len - generated[idx],
-                            kv_bytes: kv_bytes_per_request[idx],
-                        });
+                            request.prompt_len + generated[idx],
+                            request.gen_len - generated[idx],
+                            kv_bytes_per_request[idx],
+                            ranks[idx],
+                            step,
+                        );
+                        if generated[idx] == 0 {
+                            pending_first_token.push(idx);
+                        }
                     }
                 }
             }
@@ -506,12 +677,12 @@ pub fn simulate(
         // arrival or finish. (`prefilling` is necessarily empty here — any
         // prefilling sequence would have scheduled a chunk.)
         if active.is_empty() && chunks.is_empty() {
-            if !ready.is_empty() {
+            if let Some(head) = ready.peek() {
                 // The queue head could not be admitted into an idle system:
                 // the caps can never be satisfied.
                 return Err(HermesError::InvalidConfig(format!(
                     "admission caps can never admit request {} (max_batch {:?}, kv budget {:?})",
-                    ready[0], sim.admission.max_batch, sim.admission.kv_memory_bytes
+                    head, sim.admission.max_batch, sim.admission.kv_memory_bytes
                 )));
             }
             if next_arrival < requests.len() {
@@ -524,8 +695,10 @@ pub fn simulate(
         // 6. One shared step over the current batch composition, with any
         // scheduled prefill chunks piggybacked on it. The chunk-free path
         // prices through `decode_cost` directly, so stall-the-world
-        // reproduces the closed-loop costs bitwise.
-        let batch = BatchState::new(active.iter().map(|a| a.context).collect());
+        // reproduces the closed-loop costs bitwise. The composition comes
+        // straight off the active set's group index — O(distinct context
+        // lengths), not O(batch).
+        let batch = active.batch_state(step);
         let outcome = if chunks.is_empty() {
             plan.cost.decode_cost(&batch)
         } else {
@@ -536,20 +709,23 @@ pub fn simulate(
         imbalance_samples += outcome.imbalance_samples;
         clock += outcome.latency.total();
         generated_tokens += active.len();
-        for seq in &mut active {
-            if generated[seq.idx] == 0 {
-                records[seq.idx].first_token = clock;
-            }
-            seq.context += 1;
-            seq.remaining -= 1;
-            generated[seq.idx] += 1;
-            if seq.remaining == 0 {
-                records[seq.idx].completed = clock;
-                completed += 1;
-                active_kv_bytes -= seq.kv_bytes;
+        step += 1;
+        // First tokens land before completions so a single-token request
+        // gets `first_token == completed`, exactly as the per-sequence walk
+        // stamped them. A pending joiner evicted before its first step is
+        // simply dropped here (still unstamped) and re-queued on rejoin.
+        for &idx in &pending_first_token {
+            if active.contains(idx) {
+                records[idx].first_token = clock;
             }
         }
-        active.retain(|seq| seq.remaining > 0);
+        pending_first_token.clear();
+        active.drain_finished(step, |idx, info| {
+            records[idx].completed = clock;
+            completed += 1;
+            active_kv_bytes -= info.kv_bytes;
+            generated[idx] += (step - info.join_step) as usize;
+        });
 
         // 7. Prompts that completed this step join the decode batch at the
         // next token boundary.
@@ -558,18 +734,55 @@ pub fn simulate(
             if prefilling[i].done == prefilling[i].target {
                 let seq = prefilling.remove(i);
                 let request = &requests[seq.idx];
-                active.push(ActiveSequence {
-                    idx: seq.idx,
-                    context: seq.target,
-                    remaining: request.gen_len - generated[seq.idx],
-                    kv_bytes: kv_bytes_per_request[seq.idx],
-                });
+                active.join(
+                    seq.idx,
+                    seq.target,
+                    request.gen_len - generated[seq.idx],
+                    kv_bytes_per_request[seq.idx],
+                    ranks[seq.idx],
+                    step,
+                );
+                if generated[seq.idx] == 0 {
+                    pending_first_token.push(seq.idx);
+                }
             } else {
                 i += 1;
             }
         }
     }
 
+    let report = build_report(
+        sim,
+        &plan.spec,
+        &times,
+        &records,
+        clock,
+        completed,
+        generated_tokens,
+        breakdown,
+        imbalance_sum,
+        imbalance_samples,
+    );
+    Ok(ServingOutcome { report, records })
+}
+
+/// Fold the simulation's raw tallies and per-request records into the
+/// aggregate [`ServingReport`]. Shared by [`simulate`] and the sort-based
+/// reference oracle, so the two paths cannot drift in how metrics are
+/// derived from identical records.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_report(
+    sim: &ServingSimulation,
+    spec: &SessionSpec,
+    times: &[f64],
+    records: &[RequestRecord],
+    clock: f64,
+    completed: usize,
+    generated_tokens: usize,
+    breakdown: LatencyBreakdown,
+    imbalance_sum: f64,
+    imbalance_samples: usize,
+) -> ServingReport {
     let queue_delays: Vec<f64> = records.iter().map(RequestRecord::queue_delay).collect();
     let ttfts: Vec<f64> = records.iter().map(RequestRecord::ttft).collect();
     // Single-token requests have no inter-token gap; their degenerate 0.0
@@ -581,18 +794,18 @@ pub fn simulate(
         .map(RequestRecord::tpot)
         .collect();
     let e2es: Vec<f64> = records.iter().map(RequestRecord::e2e).collect();
-    let report = ServingReport {
-        system: plan.spec.system.clone(),
+    ServingReport {
+        system: spec.system.clone(),
         policy: sim.policy.name().to_string(),
         prefill_policy: sim.prefill.name().to_string(),
         scheduling: sim.scheduling.name().to_string(),
         preemption_policy: sim.preemption.name().to_string(),
-        num_requests: requests.len(),
+        num_requests: records.len(),
         completed,
         offered_rps: sim
             .arrival
             .offered_rps()
-            .unwrap_or_else(|| empirical_rps(&times)),
+            .unwrap_or_else(|| empirical_rps(times)),
         makespan: clock,
         generated_tokens,
         breakdown,
@@ -606,9 +819,8 @@ pub fn simulate(
             1.0
         },
         preemptions: records.iter().map(|r| r.preemptions).sum(),
-        per_class: fold_class_reports(&records),
-    };
-    Ok(ServingOutcome { report, records })
+        per_class: fold_class_reports(records),
+    }
 }
 
 /// Fold the per-request records into per-priority-tier reports, sorted by
@@ -1029,6 +1241,11 @@ mod tests {
         per_request * 3 / 2
     }
 
+    /// KV budget that fits exactly two template requests but not three.
+    fn two_seat_kv_cap() -> u64 {
+        request_kv_bytes(&template(), 32, 8) * 2
+    }
+
     #[test]
     fn priority_preemption_evicts_the_lower_tier_and_everyone_completes() {
         // Request 0 (tier 2) occupies the only KV seat; request 1 (tier 0)
@@ -1210,6 +1427,208 @@ mod tests {
         let outcome = simulate(SystemKind::hermes_base(), &config(), &plain).unwrap();
         assert_eq!(outcome.report.slo_attainment(), None);
         assert_eq!(outcome.report.per_class.len(), 1);
+        assert_eq!(outcome.report.preemptions, 0);
+    }
+
+    #[test]
+    fn equal_rank_ready_requests_keep_arrival_order() {
+        // Coverage audit before the heap rewrite: equal primary ranks must
+        // never reorder — admission is FCFS inside a priority tier and
+        // inside an equal EDF deadline, even through a one-seat bottleneck.
+        for (scheduling, classes) in [
+            (
+                SchedulingPolicy::Priority,
+                PrioritySpec::Trace {
+                    classes: vec![RequestClass::new(1); 4],
+                },
+            ),
+            (
+                SchedulingPolicy::Edf,
+                PrioritySpec::Trace {
+                    classes: vec![RequestClass::new(0).with_ttft_deadline(5.0); 4],
+                },
+            ),
+        ] {
+            let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 4)
+                .with_admission(AdmissionConfig::unlimited().with_max_batch(1))
+                .with_classes(classes)
+                .with_scheduling(scheduling);
+            let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
+            for pair in outcome.records.windows(2) {
+                assert!(
+                    pair[0].admitted < pair[1].admitted,
+                    "{}: equal ranks must admit in arrival order",
+                    scheduling.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_picks_the_latest_arrival_within_the_worst_tier() {
+        // Two equal-tier sequences hold both seats; a tier-0 waiter evicts
+        // exactly one victim. The tie-break inside the worst rank is
+        // latest-arrival-first, so request 1 — not request 0 — must pay.
+        let sim = ServingSimulation::new(
+            template(),
+            ArrivalProcess::Trace {
+                times: vec![0.0, 1e-9, 0.2],
+            },
+            3,
+        )
+        .with_admission(AdmissionConfig::unlimited().with_kv_memory_bytes(two_seat_kv_cap()))
+        .with_classes(PrioritySpec::Trace {
+            classes: vec![
+                RequestClass::new(2),
+                RequestClass::new(2),
+                RequestClass::new(0),
+            ],
+        })
+        .with_scheduling(SchedulingPolicy::Priority)
+        .with_preemption(PreemptionPolicy::EvictAndRefill);
+        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
+        assert_eq!(outcome.report.completed, 3);
+        assert_eq!(outcome.report.preemptions, 1);
+        assert_eq!(
+            outcome.records[0].preemptions, 0,
+            "earlier arrival within the tier must be spared"
+        );
+        assert_eq!(
+            outcome.records[1].preemptions, 1,
+            "latest arrival within the worst tier is evicted first"
+        );
+        assert_eq!(outcome.records[2].preemptions, 0);
+    }
+
+    #[test]
+    fn eviction_prefers_worse_tiers_over_later_arrivals() {
+        // A tier-2 sequence arrived *before* a tier-1 sequence; a tier-0
+        // waiter needs one seat. Rank dominates arrival order: the tier-2
+        // sequence is evicted even though it is the older one.
+        let sim = ServingSimulation::new(
+            template(),
+            ArrivalProcess::Trace {
+                times: vec![0.0, 1e-9, 0.2],
+            },
+            3,
+        )
+        .with_admission(AdmissionConfig::unlimited().with_kv_memory_bytes(two_seat_kv_cap()))
+        .with_classes(PrioritySpec::Trace {
+            classes: vec![
+                RequestClass::new(2),
+                RequestClass::new(1),
+                RequestClass::new(0),
+            ],
+        })
+        .with_scheduling(SchedulingPolicy::Priority)
+        .with_preemption(PreemptionPolicy::EvictAndRefill);
+        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
+        assert_eq!(outcome.report.preemptions, 1);
+        assert_eq!(outcome.records[0].preemptions, 1, "worst tier pays first");
+        assert_eq!(outcome.records[1].preemptions, 0);
+    }
+
+    #[test]
+    fn eviction_never_strikes_within_the_waiters_own_tier() {
+        // Both seats held by tier-1 sequences and a tier-1 waiter blocked:
+        // preemption compares primary ranks strictly, so nothing is evicted
+        // and the waiter queues until a seat frees naturally.
+        let sim = ServingSimulation::new(
+            template(),
+            ArrivalProcess::Trace {
+                times: vec![0.0, 1e-9, 2e-9],
+            },
+            3,
+        )
+        .with_admission(AdmissionConfig::unlimited().with_kv_memory_bytes(two_seat_kv_cap()))
+        .with_classes(PrioritySpec::Trace {
+            classes: vec![RequestClass::new(1); 3],
+        })
+        .with_scheduling(SchedulingPolicy::Priority)
+        .with_preemption(PreemptionPolicy::EvictAndRefill);
+        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
+        assert_eq!(outcome.report.preemptions, 0);
+        assert_eq!(outcome.report.completed, 3);
+        assert!(
+            outcome.records[2].queue_delay() > 0.0,
+            "the same-tier waiter queues instead of evicting"
+        );
+    }
+
+    #[test]
+    fn multi_victim_eviction_frees_exactly_enough_seats() {
+        // The waiter needs two seats' worth of KV while two single-seat
+        // sequences hold the pool: both are evicted (smallest sufficient
+        // victim prefix), the big request runs, and the victims resume.
+        let sim = ServingSimulation::new(
+            template(),
+            ArrivalProcess::Trace {
+                times: vec![0.0, 1e-9, 0.2],
+            },
+            3,
+        )
+        .with_lengths(LengthDistribution::Trace {
+            lengths: vec![
+                RequestLength {
+                    prompt_len: 32,
+                    gen_len: 8,
+                },
+                RequestLength {
+                    prompt_len: 32,
+                    gen_len: 8,
+                },
+                RequestLength {
+                    prompt_len: 64,
+                    gen_len: 16,
+                },
+            ],
+        })
+        .with_admission(
+            // 2.5 single seats: fits both small requests, or the double-
+            // sized one alone.
+            AdmissionConfig::unlimited().with_kv_memory_bytes(two_seat_kv_cap()),
+        )
+        .with_classes(PrioritySpec::Trace {
+            classes: vec![
+                RequestClass::new(2),
+                RequestClass::new(2),
+                RequestClass::new(0),
+            ],
+        })
+        .with_scheduling(SchedulingPolicy::Priority)
+        .with_preemption(PreemptionPolicy::EvictAndRefill);
+        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
+        assert_eq!(outcome.report.completed, 3);
+        assert_eq!(outcome.report.preemptions, 2, "both seat-holders evicted");
+        assert_eq!(outcome.records[0].preemptions, 1);
+        assert_eq!(outcome.records[1].preemptions, 1);
+        assert_eq!(outcome.report.generated_tokens, 8 + 8 + 16);
+        assert!(
+            outcome.records[2].completed < outcome.records[0].completed,
+            "the tier-0 request overtakes both victims"
+        );
+    }
+
+    #[test]
+    fn empty_ready_queue_boundaries_admit_mid_decode_arrivals() {
+        // The ready queue empties after the first admission, the system
+        // keeps decoding through empty-queue boundaries, and a mid-decode
+        // arrival is admitted at the next token boundary without disturbing
+        // the running sequence.
+        let sim = ServingSimulation::new(
+            template(),
+            ArrivalProcess::Trace {
+                times: vec![0.0, 1e-6],
+            },
+            2,
+        );
+        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
+        assert_eq!(outcome.report.completed, 2);
+        // The joiner was admitted while request 0 was mid-flight: strictly
+        // after its own arrival (a boundary had to come up) and strictly
+        // before request 0 completed.
+        assert!(outcome.records[1].admitted >= outcome.records[1].arrival);
+        assert!(outcome.records[1].admitted < outcome.records[0].completed);
         assert_eq!(outcome.report.preemptions, 0);
     }
 

@@ -1,0 +1,254 @@
+//! Differential tests of the heap-based simulator against the retained
+//! sort-based reference scheduler (`hermes_serve::reference`).
+//!
+//! The PR that introduced the event-heap hot loop (indexed ready queue,
+//! incremental batch accounting, lazy finish events) must not change
+//! semantics at all: for every scenario the production [`simulate`] and the
+//! reference oracle must produce **bitwise-identical** [`ServingOutcome`]s —
+//! every clock stamp, every percentile, every preemption count. Each check
+//! asserts both structural equality and equality of the serialized JSON, so
+//! even a field the `PartialEq` impl might one day skip cannot drift.
+//!
+//! Coverage: {Fcfs, Priority, Edf} × {None, EvictAndRefill} ×
+//! {StallTheWorld, Chunked} × {AllAtOnce, Poisson, Bursty} via six fixed
+//! scenarios plus proptest-driven random configurations.
+
+use proptest::prelude::*;
+
+use hermes::core::{
+    ArrivalProcess, LengthDistribution, PrioritySpec, RequestClass, SystemConfig, SystemKind,
+    Workload,
+};
+use hermes::model::ModelId;
+use hermes_serve::reference::simulate_reference;
+use hermes_serve::{
+    request_kv_bytes, simulate, AdmissionConfig, BatchingPolicy, PreemptionPolicy, PrefillPolicy,
+    SchedulingPolicy, ServingSimulation,
+};
+
+fn template() -> Workload {
+    let mut w = Workload::paper_default(ModelId::Opt13B);
+    w.prompt_len = 24;
+    w.gen_len = 6;
+    w
+}
+
+/// Interactive deadline-carrying tier-0 requests interleaved with
+/// best-effort tier-2 bulk — the class mix that exercises priority ranks,
+/// EDF deadlines and preemption victims all at once.
+fn mixed_classes() -> PrioritySpec {
+    PrioritySpec::Cycle {
+        classes: vec![
+            RequestClass::new(0).with_ttft_deadline(2.0),
+            RequestClass::new(2),
+        ],
+    }
+}
+
+/// Assert the production and reference schedulers produce bitwise-identical
+/// outcomes (or identical errors) for `sim` on every paper system.
+fn assert_equivalent(sim: &ServingSimulation) {
+    let config = SystemConfig::paper_default();
+    for kind in [SystemKind::hermes(), SystemKind::hermes_base()] {
+        let fast = simulate(kind, &config, sim);
+        let slow = simulate_reference(kind, &config, sim);
+        match (fast, slow) {
+            (Ok(fast), Ok(slow)) => {
+                assert_eq!(
+                    fast, slow,
+                    "heap and reference schedulers diverged on {kind:?}: {sim:?}"
+                );
+                let fast_json = serde_json::to_string(&fast).unwrap();
+                let slow_json = serde_json::to_string(&slow).unwrap();
+                assert_eq!(
+                    fast_json, slow_json,
+                    "serialized outcomes diverged on {kind:?}"
+                );
+            }
+            (Err(fast), Err(slow)) => {
+                assert_eq!(fast.to_string(), slow.to_string(), "errors diverged");
+            }
+            (fast, slow) => {
+                panic!("one scheduler failed where the other succeeded: {fast:?} vs {slow:?}");
+            }
+        }
+    }
+}
+
+/// KV budget that fits exactly `seats` worst-case requests of the uniform
+/// length range used below, so admission stays feasible but tight.
+fn tight_kv(seats: u64) -> AdmissionConfig {
+    AdmissionConfig::unlimited().with_kv_memory_bytes(request_kv_bytes(&template(), 40, 10) * seats)
+}
+
+fn uniform_lengths() -> LengthDistribution {
+    LengthDistribution::Uniform {
+        prompt_min: 8,
+        prompt_max: 40,
+        gen_min: 1,
+        gen_max: 10,
+    }
+}
+
+#[test]
+fn fcfs_stall_the_world_all_at_once() {
+    let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 12);
+    assert_equivalent(&sim);
+}
+
+#[test]
+fn fcfs_chunked_poisson_with_heterogeneous_lengths() {
+    let sim = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 1.5 }, 16)
+        .with_arrival_seed(7)
+        .with_lengths(uniform_lengths())
+        .with_prefill(PrefillPolicy::Chunked {
+            chunk_tokens: 8,
+            budget: 16,
+        });
+    assert_equivalent(&sim);
+}
+
+#[test]
+fn priority_eviction_stall_the_world_bursty() {
+    let sim = ServingSimulation::new(
+        template(),
+        ArrivalProcess::Bursty {
+            rate: 2.0,
+            burst: 3,
+        },
+        14,
+    )
+    .with_arrival_seed(21)
+    .with_admission(tight_kv(2))
+    .with_classes(mixed_classes())
+    .with_scheduling(SchedulingPolicy::Priority)
+    .with_preemption(PreemptionPolicy::EvictAndRefill);
+    assert_equivalent(&sim);
+}
+
+#[test]
+fn priority_eviction_chunked_poisson() {
+    let sim = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 2.5 }, 14)
+        .with_arrival_seed(3)
+        .with_admission(tight_kv(2))
+        .with_classes(mixed_classes())
+        .with_scheduling(SchedulingPolicy::Priority)
+        .with_preemption(PreemptionPolicy::EvictAndRefill)
+        .with_lengths(uniform_lengths())
+        .with_prefill(PrefillPolicy::Chunked {
+            chunk_tokens: 6,
+            budget: 12,
+        });
+    assert_equivalent(&sim);
+}
+
+#[test]
+fn edf_eviction_chunked_bursty() {
+    let sim = ServingSimulation::new(
+        template(),
+        ArrivalProcess::Bursty {
+            rate: 1.8,
+            burst: 4,
+        },
+        14,
+    )
+    .with_arrival_seed(11)
+    .with_admission(tight_kv(3))
+    .with_classes(mixed_classes())
+    .with_scheduling(SchedulingPolicy::Edf)
+    .with_preemption(PreemptionPolicy::EvictAndRefill)
+    .with_prefill(PrefillPolicy::Chunked {
+        chunk_tokens: 8,
+        budget: 8,
+    });
+    assert_equivalent(&sim);
+}
+
+#[test]
+fn edf_static_batching_poisson() {
+    let sim = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 0.8 }, 10)
+        .with_arrival_seed(5)
+        .with_policy(BatchingPolicy::Static)
+        .with_classes(mixed_classes())
+        .with_scheduling(SchedulingPolicy::Edf);
+    assert_equivalent(&sim);
+}
+
+#[test]
+fn max_batch_cap_with_priority_eviction() {
+    let sim = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 3.0 }, 12)
+        .with_arrival_seed(13)
+        .with_admission(AdmissionConfig::unlimited().with_max_batch(3))
+        .with_classes(mixed_classes())
+        .with_scheduling(SchedulingPolicy::Priority)
+        .with_preemption(PreemptionPolicy::EvictAndRefill);
+    assert_equivalent(&sim);
+}
+
+fn arrival_of(selector: usize, rate: f64) -> ArrivalProcess {
+    match selector {
+        0 => ArrivalProcess::AllAtOnce,
+        1 => ArrivalProcess::Poisson { rate },
+        _ => ArrivalProcess::Bursty { rate, burst: 3 },
+    }
+}
+
+fn scheduling_of(selector: usize) -> SchedulingPolicy {
+    match selector {
+        0 => SchedulingPolicy::Fcfs,
+        1 => SchedulingPolicy::Priority,
+        _ => SchedulingPolicy::Edf,
+    }
+}
+
+proptest! {
+    // Every case runs two full simulations per system; keep the budget
+    // moderate.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random scenarios across the whole policy grid: the heap-based and
+    /// sort-based schedulers must agree bitwise.
+    #[test]
+    fn heap_and_reference_schedulers_agree_bitwise(
+        arrival_sel in 0usize..3,
+        scheduling_sel in 0usize..3,
+        policy_sel in 0usize..2,
+        prefill_sel in 0usize..2,
+        preempt in 0usize..2,
+        chunk_tokens in 1usize..13,
+        budget in 1usize..25,
+        rate in 0.2f64..3.0,
+        num_requests in 1usize..10,
+        seed in 0u64..1_000,
+        seats in 2u64..5,
+        capped in 0usize..2,
+        heterogeneous in 0usize..2,
+    ) {
+        let mut sim = ServingSimulation::new(
+            template(),
+            arrival_of(arrival_sel, rate),
+            num_requests,
+        )
+        .with_arrival_seed(seed)
+        .with_classes(mixed_classes())
+        .with_scheduling(scheduling_of(scheduling_sel))
+        .with_prefill(if prefill_sel == 0 {
+            PrefillPolicy::StallTheWorld
+        } else {
+            PrefillPolicy::Chunked { chunk_tokens, budget }
+        });
+        if policy_sel == 1 {
+            sim = sim.with_policy(BatchingPolicy::Static);
+        }
+        if preempt == 1 {
+            sim = sim.with_preemption(PreemptionPolicy::EvictAndRefill);
+        }
+        if capped == 1 {
+            sim = sim.with_admission(tight_kv(seats));
+        }
+        if heterogeneous == 1 {
+            sim = sim.with_lengths(uniform_lengths());
+        }
+        assert_equivalent(&sim);
+    }
+}

@@ -7,6 +7,10 @@
 //! macros. Instead of upstream's statistical analysis it reports the median
 //! wall-clock time per iteration on stdout, which keeps `cargo bench` useful
 //! for coarse regression spotting without any external dependencies.
+//!
+//! Like upstream, `cargo bench -- --test` runs in *smoke mode*: every
+//! benchmark routine executes exactly once, untimed, so CI can prove the
+//! benches still run without paying for measurement iterations.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -47,14 +51,25 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// Whether the process was invoked in smoke mode (`cargo bench -- --test`).
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Runs the measured closure and accumulates per-iteration timings.
 pub struct Bencher {
     samples: Vec<Duration>,
     sample_size: usize,
+    smoke: bool,
 }
 
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Smoke mode: prove the routine runs, measure nothing.
+        if self.smoke {
+            black_box(routine());
+            return;
+        }
         // One warm-up call, then `sample_size` timed iterations.
         black_box(routine());
         for _ in 0..self.sample_size {
@@ -65,12 +80,16 @@ impl Bencher {
     }
 }
 
-fn report(group: Option<&str>, id: &str, samples: &mut [Duration]) {
+fn report(group: Option<&str>, id: &str, samples: &mut [Duration], smoke: bool) {
     let mut label = String::new();
     if let Some(group) = group {
         let _ = write!(label, "{group}/");
     }
     let _ = write!(label, "{id}");
+    if smoke {
+        println!("bench {label:<60} smoke ok (1 untimed iteration)");
+        return;
+    }
     if samples.is_empty() {
         println!("bench {label:<60} (no samples)");
         return;
@@ -89,6 +108,7 @@ fn report(group: Option<&str>, id: &str, samples: &mut [Duration]) {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    smoke: bool,
     _criterion: &'a mut Criterion,
 }
 
@@ -107,9 +127,10 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
+            smoke: self.smoke,
         };
         f(&mut bencher);
-        report(Some(&self.name), &id.id, &mut bencher.samples);
+        report(Some(&self.name), &id.id, &mut bencher.samples, self.smoke);
         self
     }
 
@@ -125,9 +146,10 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
+            smoke: self.smoke,
         };
         f(&mut bencher, input);
-        report(Some(&self.name), &id.id, &mut bencher.samples);
+        report(Some(&self.name), &id.id, &mut bencher.samples, self.smoke);
         self
     }
 
@@ -137,11 +159,15 @@ impl BenchmarkGroup<'_> {
 /// Top-level bench driver, one per `criterion_group!`.
 pub struct Criterion {
     sample_size: usize,
+    smoke: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { sample_size: 10 }
+        Self {
+            sample_size: 10,
+            smoke: smoke_mode(),
+        }
     }
 }
 
@@ -154,9 +180,11 @@ impl Criterion {
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.sample_size;
+        let smoke = self.smoke;
         BenchmarkGroup {
             name: name.into(),
             sample_size,
+            smoke,
             _criterion: self,
         }
     }
@@ -168,9 +196,10 @@ impl Criterion {
         let mut bencher = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
+            smoke: self.smoke,
         };
         f(&mut bencher);
-        report(None, id, &mut bencher.samples);
+        report(None, id, &mut bencher.samples, self.smoke);
         self
     }
 }

@@ -82,6 +82,9 @@ impl Default for ProptestConfig {
 pub use rand as __rand;
 
 pub mod prelude {
+    // Mirror upstream's `pub use crate as prop;` so `prop::collection::vec`
+    // works with just the prelude imported.
+    pub use crate as prop;
     pub use crate::strategy::Strategy;
     pub use crate::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, proptest};
