@@ -9,7 +9,8 @@
 //! p95 TPOT columns are the point of the chunked-prefill scheduler), and a
 //! fourth compares FCFS against priority and EDF scheduling with
 //! KV-pressure preemption under bursty overload (high-priority tail TTFT
-//! collapses while every class still completes). This is the
+//! collapses while every class still completes), including a priority row
+//! over the paged KV pool with swap-out preemption. This is the
 //! serving-scenario counterpart of the paper's closed-loop Figs. 9/11.
 //!
 //! Run with: `cargo run --release -p hermes-bench --bin serving_load`
@@ -22,8 +23,9 @@
 //!   emitted rows are byte-identical at every thread count.
 //! - `--bench-json [PATH]` skips the sweep and instead measures simulator
 //!   throughput (simulated requests per wall-clock second on 10k- and
-//!   100k-request Poisson traces), writing `BENCH_serving_sim.json` (or
-//!   PATH). Built with `--features reference`, it also times the retained
+//!   100k-request Poisson traces, plus 10k chunked-prefill, preemption and
+//!   paged-swap-out variants), writing `BENCH_serving_sim.json` (or PATH).
+//!   Built with `--features reference`, it also times the retained
 //!   sort-based scheduler and records the speedup.
 
 use hermes_bench::serving_sweep::{run_sweep, SweepEntry, SweepOutput};

@@ -22,6 +22,19 @@ fn main() {
         lengths.contains(&10_000) && lengths.contains(&100_000),
         "the tracked 10k and 100k trace lengths must both be present, got {lengths:?}"
     );
+    let traces: Vec<&str> = output.entries.iter().map(|e| e.trace.as_str()).collect();
+    for required in [
+        "poisson-10k",
+        "poisson-100k",
+        "chunked-10k",
+        "preempt-10k",
+        "swap-10k",
+    ] {
+        assert!(
+            traces.contains(&required),
+            "tracked trace {required} missing, got {traces:?}"
+        );
+    }
     for entry in &output.entries {
         assert!(
             entry.seconds > 0.0 && entry.requests_per_second > 0.0,

@@ -11,7 +11,7 @@ use hermes_core::{
 use hermes_model::ModelId;
 use hermes_serve::{
     request_kv_bytes, simulate, AdmissionConfig, BatchingPolicy, PreemptionPolicy, PrefillPolicy,
-    SchedulingPolicy, ServingSimulation,
+    SchedulingPolicy, ServingSimulation, DEFAULT_BLOCK_TOKENS,
 };
 
 use crate::sweep::parallel_map;
@@ -155,14 +155,29 @@ pub fn scenarios() -> Vec<Scenario> {
     // interactive tier-0 requests (3 s TTFT deadline) interleaved with
     // best-effort tier-2 bulk. Priority/EDF run with KV-pressure preemption
     // (evict-and-refill); the high class's tail TTFT and SLO attainment are
-    // the point, the completion column shows nobody starves.
+    // the point, the completion column shows nobody starves. The final row
+    // runs priority preemption over the paged KV pool with swap-out —
+    // victims page to the host/NDP swap tier instead of recomputing.
     let template_kv = template();
     let kv_cap = request_kv_bytes(&template_kv, template_kv.prompt_len, template_kv.gen_len) * 2;
-    for (scheduling, preemption) in [
-        (SchedulingPolicy::Fcfs, PreemptionPolicy::None),
-        (SchedulingPolicy::Priority, PreemptionPolicy::EvictAndRefill),
-        (SchedulingPolicy::Edf, PreemptionPolicy::EvictAndRefill),
+    for (scheduling, preemption, paged) in [
+        (SchedulingPolicy::Fcfs, PreemptionPolicy::None, false),
+        (
+            SchedulingPolicy::Priority,
+            PreemptionPolicy::EvictAndRefill,
+            false,
+        ),
+        (
+            SchedulingPolicy::Edf,
+            PreemptionPolicy::EvictAndRefill,
+            false,
+        ),
+        (SchedulingPolicy::Priority, PreemptionPolicy::SwapOut, true),
     ] {
+        let mut admission = AdmissionConfig::unlimited().with_kv_memory_bytes(kv_cap);
+        if paged {
+            admission = admission.with_paged_kv(DEFAULT_BLOCK_TOKENS);
+        }
         grid.push(Scenario {
             section: "scheduling-policy",
             kind: SystemKind::hermes(),
@@ -176,7 +191,7 @@ pub fn scenarios() -> Vec<Scenario> {
                 },
                 16,
             )
-            .with_admission(AdmissionConfig::unlimited().with_kv_memory_bytes(kv_cap))
+            .with_admission(admission)
             .with_classes(PrioritySpec::Cycle {
                 classes: vec![
                     RequestClass::new(0).with_ttft_deadline(3.0),
@@ -255,6 +270,7 @@ pub fn run_sweep(threads: usize) -> SweepResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hermes_serve::KvAccounting;
 
     #[test]
     fn grid_covers_every_section_in_emission_order() {
@@ -273,7 +289,20 @@ mod tests {
                 "scheduling-policy"
             ]
         );
-        // 2 arrivals × 5 systems × 4 loads + 2 + 4 + 3 policy rows.
-        assert_eq!(grid.len(), 2 * 5 * 4 + 2 + 4 + 3);
+        // 2 arrivals × 5 systems × 4 loads + 2 + 4 + 4 policy rows (FCFS,
+        // priority and EDF with evict-and-refill, priority with paged
+        // swap-out).
+        assert_eq!(grid.len(), 2 * 5 * 4 + 2 + 4 + 4);
+        // The swap-out row is present exactly once and runs over the paged
+        // pool.
+        let swap_rows: Vec<&Scenario> = grid
+            .iter()
+            .filter(|s| s.sim.preemption == PreemptionPolicy::SwapOut)
+            .collect();
+        assert_eq!(swap_rows.len(), 1);
+        assert!(matches!(
+            swap_rows[0].sim.admission.accounting,
+            KvAccounting::Paged { .. }
+        ));
     }
 }

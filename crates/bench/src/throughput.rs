@@ -1,15 +1,20 @@
 //! The simulator-throughput benchmark scenario: how many *simulated*
 //! requests per wall-clock second the serving simulator sustains on large
-//! Poisson traces. Shared by the `serving_sim` criterion bench and the
-//! `serving_load --bench-json` path that emits `BENCH_serving_sim.json`.
+//! Poisson traces — plain FCFS at two lengths, plus chunked-prefill,
+//! eviction-path and paged-swap-out variants. Shared by the `serving_sim`
+//! criterion bench and the `serving_load --bench-json` path that emits
+//! `BENCH_serving_sim.json`.
 
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use hermes_core::{ArrivalProcess, SystemConfig, SystemKind, Workload};
+use hermes_core::{ArrivalProcess, PrioritySpec, RequestClass, SystemConfig, SystemKind, Workload};
 use hermes_model::ModelId;
-use hermes_serve::{simulate, AdmissionConfig, ServingSimulation};
+use hermes_serve::{
+    request_kv_bytes, simulate, AdmissionConfig, PreemptionPolicy, PrefillPolicy, SchedulingPolicy,
+    ServingSimulation, DEFAULT_BLOCK_TOKENS,
+};
 
 /// Offered Poisson rate (simulated requests/s). Far above the scenario's
 /// service capacity, so the admission queue carries a deep backlog — the
@@ -44,6 +49,69 @@ pub fn bench_scenario(num_requests: usize) -> ServingSimulation {
 /// The system the benchmark prices steps through.
 pub fn bench_system() -> SystemKind {
     SystemKind::hermes_base()
+}
+
+/// The tracked bench traces: the two FCFS Poisson lengths plus 10k-request
+/// variants that keep the hot loop's other paths on the perf trajectory —
+/// chunked prefill, the eviction/readmission path (priority preemption
+/// under a KV cap) and the paged-pool swap-out path.
+pub fn bench_traces() -> Vec<(&'static str, usize, ServingSimulation)> {
+    // Interactive tier-0 / best-effort tier-2 mix for the preemption
+    // traces, under a KV budget of 32 worst-case reservations and a
+    // moderated rate so tier-0 arrivals keep interleaving with (and
+    // preempting) running tier-2 work for the whole trace.
+    let classes = PrioritySpec::Cycle {
+        classes: vec![RequestClass::new(0), RequestClass::new(2)],
+    };
+    let template = bench_template();
+    let kv_cap = request_kv_bytes(&template, template.prompt_len, template.gen_len) * 32;
+    let preempt_base = |num_requests: usize| {
+        ServingSimulation::new(
+            bench_template(),
+            ArrivalProcess::Poisson {
+                rate: OFFERED_RPS / 4.0,
+            },
+            num_requests,
+        )
+        .with_arrival_seed(42)
+        .with_classes(classes.clone())
+        .with_scheduling(SchedulingPolicy::Priority)
+    };
+    vec![
+        ("poisson-10k", 10_000, bench_scenario(10_000)),
+        ("poisson-100k", 100_000, bench_scenario(100_000)),
+        (
+            "chunked-10k",
+            10_000,
+            bench_scenario(10_000).with_prefill(PrefillPolicy::Chunked {
+                chunk_tokens: 16,
+                budget: 256,
+            }),
+        ),
+        (
+            "preempt-10k",
+            10_000,
+            preempt_base(10_000)
+                .with_admission(
+                    AdmissionConfig::unlimited()
+                        .with_max_batch(MAX_BATCH)
+                        .with_kv_memory_bytes(kv_cap),
+                )
+                .with_preemption(PreemptionPolicy::EvictAndRefill),
+        ),
+        (
+            "swap-10k",
+            10_000,
+            preempt_base(10_000)
+                .with_admission(
+                    AdmissionConfig::unlimited()
+                        .with_max_batch(MAX_BATCH)
+                        .with_kv_memory_bytes(kv_cap)
+                        .with_paged_kv(DEFAULT_BLOCK_TOKENS),
+                )
+                .with_preemption(PreemptionPolicy::SwapOut),
+        ),
+    ]
 }
 
 /// One measured trace length.
@@ -81,13 +149,12 @@ pub struct BenchOutput {
     pub entries: Vec<BenchEntry>,
 }
 
-/// Time one full simulation of an `num_requests`-long trace, returning
-/// (wall seconds, simulated requests/s).
-pub fn measure(num_requests: usize) -> (f64, f64) {
+/// Time one full simulation of `sim` (an `num_requests`-long trace),
+/// returning (wall seconds, simulated requests/s).
+pub fn measure(sim: &ServingSimulation, num_requests: usize) -> (f64, f64) {
     let config = SystemConfig::paper_default();
-    let sim = bench_scenario(num_requests);
     let start = Instant::now();
-    let outcome = simulate(bench_system(), &config, &sim).expect("benchmark scenario is valid");
+    let outcome = simulate(bench_system(), &config, sim).expect("benchmark scenario is valid");
     let seconds = start.elapsed().as_secs_f64();
     assert_eq!(outcome.report.completed, num_requests);
     (seconds, num_requests as f64 / seconds)
@@ -95,28 +162,27 @@ pub fn measure(num_requests: usize) -> (f64, f64) {
 
 /// Time the retained sort-based reference scheduler on the same trace.
 #[cfg(feature = "reference")]
-pub fn measure_reference(num_requests: usize) -> (f64, f64) {
+pub fn measure_reference(sim: &ServingSimulation, num_requests: usize) -> (f64, f64) {
     let config = SystemConfig::paper_default();
-    let sim = bench_scenario(num_requests);
     let start = Instant::now();
-    let outcome = hermes_serve::reference::simulate_reference(bench_system(), &config, &sim)
+    let outcome = hermes_serve::reference::simulate_reference(bench_system(), &config, sim)
         .expect("benchmark scenario is valid");
     let seconds = start.elapsed().as_secs_f64();
     assert_eq!(outcome.report.completed, num_requests);
     (seconds, num_requests as f64 / seconds)
 }
 
-/// Run the tracked trace lengths (10k and 100k requests) and fold them into
-/// the `BENCH_serving_sim.json` schema. With the `reference` feature on,
-/// the sort-based reference scheduler is timed on the same traces and the
+/// Run the tracked traces ([`bench_traces`]) and fold them into the
+/// `BENCH_serving_sim.json` schema. With the `reference` feature on, the
+/// sort-based reference scheduler is timed on the same traces and the
 /// speedup recorded alongside.
 pub fn run_bench() -> BenchOutput {
-    let entries = [(10_000usize, "poisson-10k"), (100_000, "poisson-100k")]
+    let entries = bench_traces()
         .into_iter()
-        .map(|(num_requests, trace)| {
-            let (seconds, rps) = measure(num_requests);
+        .map(|(trace, num_requests, sim)| {
+            let (seconds, rps) = measure(&sim, num_requests);
             #[cfg(feature = "reference")]
-            let reference = Some(measure_reference(num_requests).1);
+            let reference = Some(measure_reference(&sim, num_requests).1);
             #[cfg(not(feature = "reference"))]
             let reference = None;
             BenchEntry {

@@ -41,6 +41,10 @@ struct AccelerateCostModel {
 }
 
 impl StepCostModel for AccelerateCostModel {
+    fn swap_cost(&self, bytes: u64) -> f64 {
+        self.pcie_latency + bytes as f64 / self.bandwidth
+    }
+
     fn prefill_cost(&self, prompt_len: usize, batch: usize) -> f64 {
         // Prefill: stream the non-resident weights once and run the prompt.
         let prompt_flops = hermes_model::flops::model_flops_per_token(&self.cfg, prompt_len / 2)
@@ -137,6 +141,10 @@ struct FlexGenCostModel {
 }
 
 impl StepCostModel for FlexGenCostModel {
+    fn swap_cost(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth
+    }
+
     fn prefill_cost(&self, prompt_len: usize, batch: usize) -> f64 {
         let prompt_flops = hermes_model::flops::model_flops_per_token(&self.cfg, prompt_len / 2)
             * (prompt_len * batch) as u64;
@@ -240,6 +248,10 @@ struct DejaVuCostModel {
 }
 
 impl StepCostModel for DejaVuCostModel {
+    fn swap_cost(&self, bytes: u64) -> f64 {
+        self.pcie_latency + bytes as f64 / self.bandwidth
+    }
+
     fn prefill_cost(&self, prompt_len: usize, batch: usize) -> f64 {
         let prompt_flops = hermes_model::flops::model_flops_per_token(&self.cfg, prompt_len / 2)
             * (prompt_len * batch) as u64;
@@ -386,6 +398,10 @@ struct TensorRtCostModel {
 }
 
 impl StepCostModel for TensorRtCostModel {
+    fn swap_cost(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.interconnect_bandwidth
+    }
+
     fn prefill_cost(&self, prompt_len: usize, batch: usize) -> f64 {
         let prompt_flops = hermes_model::flops::model_flops_per_token(&self.cfg, prompt_len / 2)
             * (prompt_len * batch) as u64;

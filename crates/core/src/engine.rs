@@ -352,6 +352,19 @@ pub trait StepCostModel {
         }
         outcome
     }
+
+    /// Cost in seconds of paging `bytes` of KV cache between GPU HBM and the
+    /// swap tier (host DRAM / NDP-DIMM), in either direction.
+    ///
+    /// Used by the serving scheduler's swap-out preemption: a victim's held
+    /// KV pages move to the swap tier when it is preempted and move back
+    /// when it resumes, each leg priced by this hook. The default charges a
+    /// transfer over the reference PCIe link; engines whose KV path has its
+    /// own bandwidth terms (offloading baselines, the DIMM interconnect)
+    /// override it with those.
+    fn swap_cost(&self, bytes: u64) -> f64 {
+        hermes_gpu::PcieLink::default().transfer_time(bytes)
+    }
 }
 
 /// Static per-run metadata captured when the run is planned.

@@ -240,6 +240,10 @@ impl StepCostModel for SparseCostModel {
         )
     }
 
+    fn swap_cost(&self, bytes: u64) -> f64 {
+        self.pcie.transfer_time(bytes)
+    }
+
     fn decode_cost(&mut self, batch: &BatchState) -> StepOutcome {
         if batch.is_empty() {
             return StepOutcome::balanced(LatencyBreakdown::default());
@@ -432,6 +436,10 @@ impl StepCostModel for BaseCostModel {
             prompt_len,
             batch,
         )
+    }
+
+    fn swap_cost(&self, bytes: u64) -> f64 {
+        self.pcie.transfer_time(bytes)
     }
 
     fn decode_cost(&mut self, batch: &BatchState) -> StepOutcome {

@@ -81,8 +81,8 @@ pub use error::HermesError;
 pub use hermes::{HermesEngine, HermesOptions, HermesSystem, MappingPolicy, OnlineAdjustment};
 pub use planner::NeuronPlan;
 pub use report::{
-    ClassReport, DistributionStats, InferenceReport, LatencyBreakdown, ServingReport,
-    TokenLatencyStats,
+    ClassReport, DistributionStats, InferenceReport, KvPoolReport, LatencyBreakdown, ServingReport,
+    SwapReport, TokenLatencyStats,
 };
 pub use systems::{try_run_system, SystemKind};
 pub use workload::{

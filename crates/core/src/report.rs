@@ -187,6 +187,51 @@ impl ClassReport {
     }
 }
 
+/// Paged-KV pool statistics: how the block allocator behaved over one
+/// serving simulation (present only under paged KV accounting).
+///
+/// `fragmentation` is *internal* fragmentation — the fraction of allocated
+/// block capacity that held no token over the run (each sequence wastes at
+/// most one partial block, its last). Utilization is measured against the
+/// pool capacity and is `None` for an unbounded pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KvPoolReport {
+    /// Tokens per fixed-size KV block.
+    pub block_tokens: usize,
+    /// Bytes per block (block_tokens × per-token KV bytes of the model).
+    pub block_bytes: u64,
+    /// Pool capacity in blocks (`None` when the KV budget is unbounded).
+    pub capacity_blocks: Option<u64>,
+    /// Peak number of blocks held at any priced step.
+    pub peak_blocks: u64,
+    /// Mean number of blocks held across priced steps.
+    pub mean_blocks: f64,
+    /// Mean held blocks over capacity (`None` for an unbounded pool).
+    pub utilization: Option<f64>,
+    /// Peak held blocks over capacity (`None` for an unbounded pool).
+    pub peak_utilization: Option<f64>,
+    /// Fraction of allocated block capacity that held no token, averaged
+    /// over priced steps (0 when nothing was ever allocated).
+    pub fragmentation: f64,
+}
+
+/// Swap-tier traffic of the swap-out preemption policy (present only when
+/// the policy is swap-out; all-zero when no preemption fired).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwapReport {
+    /// Victim evictions that paged KV out to the swap tier.
+    pub swap_outs: usize,
+    /// Resumes that paged KV back in from the swap tier.
+    pub swap_ins: usize,
+    /// Total bytes paged out.
+    pub swapped_out_bytes: u64,
+    /// Total bytes paged back in.
+    pub swapped_in_bytes: u64,
+    /// Total machine seconds spent moving KV over the swap link (both
+    /// directions; also included in the communication breakdown).
+    pub seconds: f64,
+}
+
 /// The result of simulating one system under an open-loop request-level
 /// serving load (produced by the `hermes-serve` simulator).
 ///
@@ -206,7 +251,7 @@ pub struct ServingReport {
     /// report (fcfs, priority or edf).
     pub scheduling: String,
     /// Display name of the preemption policy that produced this report
-    /// (none or evict-and-refill).
+    /// (none, evict-and-refill or swap-out).
     pub preemption_policy: String,
     /// Requests offered to the simulator.
     pub num_requests: usize,
@@ -241,6 +286,10 @@ pub struct ServingReport {
     /// Per-priority-tier metrics, sorted by tier (most important first).
     /// A single entry for tier 0 when the scenario assigns no classes.
     pub per_class: Vec<ClassReport>,
+    /// Paged-KV pool statistics (`None` under reserve accounting).
+    pub kv: Option<KvPoolReport>,
+    /// Swap-tier traffic (`None` unless the preemption policy is swap-out).
+    pub swap: Option<SwapReport>,
 }
 
 impl ServingReport {
@@ -429,6 +478,8 @@ mod tests {
             dimm_imbalance: 1.0,
             preemptions: 0,
             per_class: Vec::new(),
+            kv: None,
+            swap: None,
         }
     }
 

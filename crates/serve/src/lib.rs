@@ -32,6 +32,39 @@
 //! with different deadlines *can* evict each other), and under FCFS never
 //! at all.
 //!
+//! KV memory is accounted in one of two modes ([`KvAccounting`]). The
+//! default, `Reserve`, charges each request its worst-case
+//! `prompt_len + gen_len` KV footprint up front at admission. `Paged`
+//! (enable with [`AdmissionConfig::with_paged_kv`]) carves the KV budget
+//! into fixed-size blocks of `block_tokens` tokens managed by a [`KvPool`]:
+//! each sequence holds a per-sequence page table of blocks covering its
+//! *current* context plus one write slot — the token it is about to decode
+//! — and grows by one block at a time as decode crosses block boundaries,
+//! so memory that `Reserve` would hold idle for unfinished generations is
+//! free to admit more requests. Freed blocks return to a free list and are
+//! reused; the report's [`KvPoolReport`](hermes_core::KvPoolReport) section
+//! tracks pool utilization (mean and peak) and internal fragmentation (the
+//! slack inside partially-filled tail blocks — bounded by one block per
+//! sequence, so small `block_tokens` waste less but grow more often). The
+//! write slot is also a liveness guarantee: a (re)admitted sequence can
+//! always decode at least one token before it needs to grow, so
+//! growth-eviction cycles terminate. When the pool is full, a growing
+//! sequence evicts the worst strictly-outranked active sequence, or
+//! self-evicts when nothing outranks it.
+//!
+//! [`PreemptionPolicy::SwapOut`] replaces restart-with-recompute with KV
+//! paging to a host-DRAM/NDP swap tier: an evicted victim's held KV bytes
+//! are written out (priced through
+//! [`StepCostModel::swap_cost`](hermes_core::StepCostModel::swap_cost),
+//! modelling the PCIe/DIMM link), and on re-admission the same bytes are
+//! read back and the sequence rejoins decode exactly where it stopped — no
+//! token is ever re-prefilled. The report's
+//! [`SwapReport`](hermes_core::SwapReport) section counts swap-outs/ins
+//! and bytes moved. SwapOut trades link bandwidth for recompute: under
+//! KV-pressure it protects victim-class end-to-end latency (the victims
+//! skip the re-prefill), while EvictAndRefill keeps the link free at the
+//! price of recomputing every evicted token.
+//!
 //! Admitted prompts are prefilled under a [`PrefillPolicy`]:
 //! [`PrefillPolicy::StallTheWorld`] prices each admitted prompt in one pass
 //! before the next decode step, so every in-flight sequence absorbs the full
@@ -113,6 +146,7 @@
 //! ```
 
 pub mod arrival;
+pub mod kv;
 pub mod queue;
 #[cfg(feature = "reference")]
 pub mod reference;
@@ -121,13 +155,14 @@ pub mod scheduler;
 pub mod simulator;
 
 pub use arrival::sample_arrival_times;
+pub use kv::KvPool;
 pub use queue::{Rank, ReadyQueue};
 #[cfg(feature = "reference")]
 pub use reference::simulate_reference;
 pub use request::{assign_request_classes, sample_request_lengths, RequestRecord, ServingRequest};
 pub use scheduler::{
-    request_kv_bytes, AdmissionConfig, BatchingPolicy, PreemptionPolicy, PrefillPolicy,
-    SchedulingPolicy,
+    request_kv_bytes, token_kv_bytes, AdmissionConfig, BatchingPolicy, KvAccounting,
+    PreemptionPolicy, PrefillPolicy, SchedulingPolicy, DEFAULT_BLOCK_TOKENS,
 };
 pub use simulator::{simulate, ServingOutcome, ServingSimulation};
 

@@ -10,6 +10,13 @@
 //! the two produce bitwise-identical [`ServingOutcome`]s across every
 //! policy combination. This module is compiled only under the `reference`
 //! cargo feature; it is not part of the production build.
+//!
+//! Paged KV accounting is mirrored here with deliberately naive counters
+//! (per-request held-block tallies instead of the production
+//! [`KvPool`](crate::KvPool) free-list allocator): simulated outcomes
+//! depend only on block *counts*, so the oracle stays independent of the
+//! allocator implementation while still pinning every admission decision,
+//! growth eviction and swap charge bitwise.
 
 use hermes_core::{
     BatchState, HermesError, LatencyBreakdown, PrefillChunk, SystemConfig, SystemKind,
@@ -18,11 +25,12 @@ use hermes_core::{
 use crate::arrival::sample_arrival_times;
 use crate::request::{RequestRecord, ServingRequest};
 use crate::scheduler::{
-    request_kv_bytes, BatchingPolicy, PreemptionPolicy, PrefillPolicy, SchedulingPolicy,
+    request_kv_bytes, token_kv_bytes, BatchingPolicy, KvAccounting, PreemptionPolicy,
+    PrefillPolicy, SchedulingPolicy,
 };
 use crate::simulator::{
-    build_report, primary_rank, worst_case_bounds, ServingOutcome, ServingSimulation,
-    LENGTH_SEED_SALT,
+    build_report, primary_rank, validate_paged_capacity, validate_paged_preemption,
+    worst_case_bounds, KvTallies, ServingOutcome, ServingSimulation, SwapTallies, LENGTH_SEED_SALT,
 };
 
 /// A sequence currently holding a batch slot and generating tokens.
@@ -33,7 +41,8 @@ struct ActiveSequence {
     context: usize,
     /// Tokens still to generate.
     remaining: usize,
-    /// KV bytes reserved by this sequence.
+    /// KV bytes reserved by this sequence (unused under paged accounting,
+    /// where the held-block tallies carry the charge instead).
     kv_bytes: u64,
 }
 
@@ -71,6 +80,7 @@ pub fn simulate_reference(
 ) -> Result<ServingOutcome, HermesError> {
     sim.admission.validate()?;
     sim.prefill.validate()?;
+    validate_paged_preemption(sim)?;
     let times = sample_arrival_times(&sim.arrival, sim.num_requests, sim.arrival_seed)?;
     let requests = ServingRequest::sample(
         &sim.template,
@@ -89,6 +99,23 @@ pub fn simulate_reference(
         .iter()
         .map(|r| request_kv_bytes(&sim.template, r.prompt_len, r.gen_len))
         .collect();
+    // Naive paged-accounting state: per-request held-block counts and a
+    // used/peak tally, deliberately not sharing the production KvPool.
+    let token_bytes = token_kv_bytes(&sim.template);
+    let paged = match sim.admission.accounting {
+        KvAccounting::Paged { block_tokens } => Some(block_tokens),
+        KvAccounting::Reserve => None,
+    };
+    let block_bytes = paged.map_or(0, |bt| bt as u64 * token_bytes);
+    let capacity_blocks = match paged {
+        Some(_) => sim.admission.kv_memory_bytes.map(|b| b / block_bytes),
+        None => None,
+    };
+    if let Some(bt) = paged {
+        validate_paged_capacity(bt, capacity_blocks, &requests, sim)?;
+    }
+    let blocks_for = |bt: usize, tokens: usize| tokens.div_ceil(bt) as u64;
+
     let mut records: Vec<RequestRecord> = requests
         .iter()
         .map(|r| RequestRecord {
@@ -117,6 +144,52 @@ pub fn simulate_reference(
     let mut imbalance_samples = 0usize;
     let mut generated_tokens = 0usize;
     let mut completed = 0usize;
+    let mut swapped: Vec<Option<u64>> = vec![None; requests.len()];
+    let mut swap = SwapTallies::default();
+    let mut blocks_held: Vec<u64> = vec![0; requests.len()];
+    let mut used_blocks = 0u64;
+    let mut peak_blocks = 0u64;
+    let mut kv_block_steps: u64 = 0;
+    let mut kv_used_token_steps: u64 = 0;
+    let mut kv_steps: u64 = 0;
+    let mut prefill_target_tokens: usize = 0;
+
+    // Shared eviction bookkeeping (admission scan and paged growth), the
+    // sort-based mirror of the heap loop's `evict!`: same charge order, so
+    // swap costs accumulate onto the clock bitwise-identically.
+    macro_rules! evict_ref {
+        ($victim_idx:expr) => {{
+            let victim_idx: usize = $victim_idx;
+            let pos = active
+                .iter()
+                .position(|a| a.idx == victim_idx)
+                .expect("victim is active");
+            let victim = active.remove(pos);
+            records[victim.idx].preemptions += 1;
+            let held_bytes = match paged {
+                Some(_) => {
+                    let freed = blocks_held[victim.idx];
+                    blocks_held[victim.idx] = 0;
+                    used_blocks -= freed;
+                    freed * block_bytes
+                }
+                None => {
+                    active_kv_bytes -= victim.kv_bytes;
+                    victim.context as u64 * token_bytes
+                }
+            };
+            if sim.preemption == PreemptionPolicy::SwapOut {
+                let cost = plan.cost.swap_cost(held_bytes);
+                clock += cost;
+                breakdown.communication += cost;
+                swap.seconds += cost;
+                swap.swap_outs += 1;
+                swap.swapped_out_bytes += held_bytes;
+                swapped[victim.idx] = Some(held_bytes);
+            }
+            ready.push(victim.idx);
+        }};
+    }
 
     loop {
         // 1. Pull every request that has arrived by now into the queue.
@@ -137,17 +210,34 @@ pub fn simulate_reference(
             sort_ready(&mut ready, sim.scheduling, &requests);
             while let Some(&idx) = ready.first() {
                 let kv = kv_bytes_per_request[idx];
-                if sim.admission.admits(
-                    active.len() + prefilling.len() + admitted.len(),
-                    active_kv_bytes,
-                    kv,
-                ) {
+                let seats = active.len() + prefilling.len() + admitted.len();
+                // Context blocks plus one write slot for the next decoded
+                // token, so an admitted sequence always makes progress
+                // before it can need to grow (the livelock guard the heap
+                // loop's admission documents).
+                let need_blocks =
+                    paged.map(|bt| blocks_for(bt, requests[idx].prompt_len + generated[idx] + 1));
+                let fits = match need_blocks {
+                    Some(need) => {
+                        sim.admission.admits(seats, 0, 0)
+                            && used_blocks + need <= capacity_blocks.unwrap_or(u64::MAX)
+                    }
+                    None => sim.admission.admits(seats, active_kv_bytes, kv),
+                };
+                if fits {
                     ready.remove(0);
-                    active_kv_bytes += kv;
+                    match need_blocks {
+                        Some(need) => {
+                            blocks_held[idx] += need;
+                            used_blocks += need;
+                            peak_blocks = peak_blocks.max(used_blocks);
+                        }
+                        None => active_kv_bytes += kv,
+                    }
                     admitted.push(idx);
                     continue;
                 }
-                if sim.preemption == PreemptionPolicy::EvictAndRefill {
+                if sim.preemption != PreemptionPolicy::None {
                     let rank = primary_rank(sim.scheduling, &requests[idx]);
                     let mut victims: Vec<usize> = (0..active.len())
                         .filter(|&pos| {
@@ -159,29 +249,50 @@ pub fn simulate_reference(
                         let rb = primary_rank(sim.scheduling, &requests[active[b].idx]);
                         rb.total_cmp(&ra).then(active[b].idx.cmp(&active[a].idx))
                     });
-                    let mut freed_kv = 0u64;
                     let mut take = 0usize;
                     let mut feasible = false;
-                    for &pos in &victims {
-                        freed_kv += active[pos].kv_bytes;
-                        take += 1;
-                        if sim.admission.admits(
-                            active.len() + prefilling.len() + admitted.len() - take,
-                            active_kv_bytes - freed_kv,
-                            kv,
-                        ) {
-                            feasible = true;
-                            break;
+                    match need_blocks {
+                        Some(need) => {
+                            let cap = capacity_blocks.unwrap_or(u64::MAX);
+                            let mut freed = 0u64;
+                            for &pos in &victims {
+                                freed += blocks_held[active[pos].idx];
+                                take += 1;
+                                if sim.admission.admits(seats - take, 0, 0)
+                                    && used_blocks - freed + need <= cap
+                                {
+                                    feasible = true;
+                                    break;
+                                }
+                            }
+                        }
+                        None => {
+                            let mut freed_kv = 0u64;
+                            for &pos in &victims {
+                                freed_kv += active[pos].kv_bytes;
+                                take += 1;
+                                if sim.admission.admits(
+                                    seats - take,
+                                    active_kv_bytes - freed_kv,
+                                    kv,
+                                ) {
+                                    feasible = true;
+                                    break;
+                                }
+                            }
                         }
                     }
                     if feasible {
-                        let mut evicted: Vec<usize> = victims.into_iter().take(take).collect();
-                        evicted.sort_unstable_by(|a, b| b.cmp(a));
-                        for pos in evicted {
-                            let victim = active.remove(pos);
-                            active_kv_bytes -= victim.kv_bytes;
-                            records[victim.idx].preemptions += 1;
-                            ready.push(victim.idx);
+                        // Evict in candidate (worst-ranked-first) order —
+                        // the order the heap loop charges swap costs in —
+                        // resolving each victim's position at removal time.
+                        let evicted: Vec<usize> = victims
+                            .into_iter()
+                            .take(take)
+                            .map(|pos| active[pos].idx)
+                            .collect();
+                        for victim_idx in evicted {
+                            evict_ref!(victim_idx);
                         }
                         sort_ready(&mut ready, sim.scheduling, &requests);
                         continue;
@@ -190,6 +301,32 @@ pub fn simulate_reference(
                 break;
             }
         }
+
+        // 2.5 Swapped-out victims among this boundary's admissions page
+        // their KV back in and rejoin the decode batch directly — no
+        // recompute, no prefill.
+        let admitted: Vec<usize> = admitted
+            .into_iter()
+            .filter(|&idx| {
+                let Some(bytes) = swapped[idx].take() else {
+                    return true;
+                };
+                let cost = plan.cost.swap_cost(bytes);
+                clock += cost;
+                breakdown.communication += cost;
+                swap.seconds += cost;
+                swap.swap_ins += 1;
+                swap.swapped_in_bytes += bytes;
+                let request = &requests[idx];
+                active.push(ActiveSequence {
+                    idx,
+                    context: request.prompt_len + generated[idx],
+                    remaining: request.gen_len - generated[idx],
+                    kv_bytes: kv_bytes_per_request[idx],
+                });
+                false
+            })
+            .collect();
 
         // 3. Hand the newly admitted requests to the prefill policy.
         match sim.prefill {
@@ -227,9 +364,11 @@ pub fn simulate_reference(
             }
             PrefillPolicy::Chunked { .. } => {
                 for idx in admitted {
+                    let target = requests[idx].prompt_len + generated[idx];
+                    prefill_target_tokens += target;
                     prefilling.push(PrefillingSequence {
                         idx,
-                        target: requests[idx].prompt_len + generated[idx],
+                        target,
                         done: 0,
                         started: false,
                     });
@@ -281,6 +420,58 @@ pub fn simulate_reference(
             break;
         }
 
+        // 5.5 Paged growth: sequences whose held blocks no longer cover
+        // their context plus this step's token take one more block before
+        // the step is priced, in scheduling-rank order, evicting the worst
+        // strictly lower-ranked victim (or themselves) when the pool is
+        // full.
+        if let Some(bt) = paged {
+            let mut growers: Vec<usize> = active
+                .iter()
+                .filter(|a| blocks_held[a.idx] < blocks_for(bt, a.context + 1))
+                .map(|a| a.idx)
+                .collect();
+            growers.sort_by(|&a, &b| {
+                let ra = primary_rank(sim.scheduling, &requests[a]);
+                let rb = primary_rank(sim.scheduling, &requests[b]);
+                ra.total_cmp(&rb).then(a.cmp(&b))
+            });
+            for grower in growers {
+                if !active.iter().any(|a| a.idx == grower) {
+                    continue;
+                }
+                if used_blocks < capacity_blocks.unwrap_or(u64::MAX) {
+                    blocks_held[grower] += 1;
+                    used_blocks += 1;
+                    peak_blocks = peak_blocks.max(used_blocks);
+                    continue;
+                }
+                let rank_g = primary_rank(sim.scheduling, &requests[grower]);
+                let victim = active
+                    .iter()
+                    .filter(|a| primary_rank(sim.scheduling, &requests[a.idx]) > rank_g)
+                    .max_by(|a, b| {
+                        let ra = primary_rank(sim.scheduling, &requests[a.idx]);
+                        let rb = primary_rank(sim.scheduling, &requests[b.idx]);
+                        ra.total_cmp(&rb).then(a.idx.cmp(&b.idx))
+                    })
+                    .map(|a| a.idx);
+                match victim {
+                    Some(victim_idx) => {
+                        evict_ref!(victim_idx);
+                        blocks_held[grower] += 1;
+                        used_blocks += 1;
+                        peak_blocks = peak_blocks.max(used_blocks);
+                    }
+                    None => evict_ref!(grower),
+                }
+            }
+            kv_steps += 1;
+            kv_block_steps += used_blocks;
+            let active_tokens: u64 = active.iter().map(|a| a.context as u64).sum();
+            kv_used_token_steps += active_tokens + prefill_target_tokens as u64;
+        }
+
         // 6. One shared step over the current batch composition.
         let batch = BatchState::new(active.iter().map(|a| a.context).collect());
         let outcome = if chunks.is_empty() {
@@ -303,7 +494,13 @@ pub fn simulate_reference(
             if seq.remaining == 0 {
                 records[seq.idx].completed = clock;
                 completed += 1;
-                active_kv_bytes -= seq.kv_bytes;
+                match paged {
+                    Some(_) => {
+                        used_blocks -= blocks_held[seq.idx];
+                        blocks_held[seq.idx] = 0;
+                    }
+                    None => active_kv_bytes -= seq.kv_bytes,
+                }
             }
         }
         active.retain(|seq| seq.remaining > 0);
@@ -314,6 +511,7 @@ pub fn simulate_reference(
         while i < prefilling.len() {
             if prefilling[i].done == prefilling[i].target {
                 let seq = prefilling.remove(i);
+                prefill_target_tokens -= seq.target;
                 let request = &requests[seq.idx];
                 active.push(ActiveSequence {
                     idx: seq.idx,
@@ -327,6 +525,15 @@ pub fn simulate_reference(
         }
     }
 
+    let kv_tallies = paged.map(|bt| KvTallies {
+        block_tokens: bt,
+        block_bytes,
+        capacity_blocks,
+        peak_blocks,
+        block_steps: kv_block_steps,
+        used_token_steps: kv_used_token_steps,
+        steps: kv_steps,
+    });
     let report = build_report(
         sim,
         &plan.spec,
@@ -338,6 +545,8 @@ pub fn simulate_reference(
         breakdown,
         imbalance_sum,
         imbalance_samples,
+        kv_tallies,
+        swap,
     );
     Ok(ServingOutcome { report, records })
 }

@@ -134,6 +134,16 @@ pub enum PreemptionPolicy {
     /// as decode work twice. Under [`SchedulingPolicy::Fcfs`] no request
     /// outranks another, so this policy never evicts.
     EvictAndRefill,
+    /// Like [`PreemptionPolicy::EvictAndRefill`] in *who* gets evicted
+    /// (strictly lower-ranked actives, worst-ranked first), but the victim's
+    /// KV cache is paged out to the swap tier (host DRAM / NDP-DIMM) instead
+    /// of being discarded. On resume the pages move back and decode
+    /// continues exactly where it stopped — no recompute, no re-prefill.
+    /// Each leg is priced through
+    /// [`StepCostModel::swap_cost`](hermes_core::StepCostModel::swap_cost)
+    /// on the victim's held KV bytes, so a swap costs two link transfers of
+    /// real state instead of a full prompt+generated re-prefill.
+    SwapOut,
 }
 
 impl PreemptionPolicy {
@@ -143,6 +153,44 @@ impl PreemptionPolicy {
         match self {
             PreemptionPolicy::None => "none",
             PreemptionPolicy::EvictAndRefill => "evict-and-refill",
+            PreemptionPolicy::SwapOut => "swap-out",
+        }
+    }
+}
+
+/// Default tokens per KV block under paged accounting — the common
+/// vLLM-style page size: small enough that a sequence wastes little of its
+/// last partial block, large enough that page-table churn stays cheap.
+pub const DEFAULT_BLOCK_TOKENS: usize = 16;
+
+/// How admission charges a request against the KV-memory budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum KvAccounting {
+    /// Reserve the request's full-context (prompt + generation) KV
+    /// footprint for its whole lifetime at admission — simple, but
+    /// worst-case: a request holds capacity it will not touch for hundreds
+    /// of decode steps (the static-preallocation anti-pattern).
+    #[default]
+    Reserve,
+    /// Paged accounting over a [`KvPool`](crate::KvPool): a request is
+    /// admitted when the blocks for its *current* context (prompt plus
+    /// tokens generated so far) fit, and grows one block at a time as
+    /// decoded tokens cross block boundaries. A sequence that runs out of
+    /// pool mid-decode preempts a lower-ranked victim (or itself, when none
+    /// exists) under the configured preemption policy, so a bounded paged
+    /// pool requires a preemption policy.
+    Paged {
+        /// Tokens per fixed-size block.
+        block_tokens: usize,
+    },
+}
+
+impl KvAccounting {
+    /// Display name used in reports and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KvAccounting::Reserve => "reserve",
+            KvAccounting::Paged { .. } => "paged",
         }
     }
 }
@@ -154,9 +202,14 @@ pub struct AdmissionConfig {
     /// Maximum number of concurrently running sequences.
     pub max_batch: Option<usize>,
     /// Budget in bytes for the KV caches of all concurrently running
-    /// sequences (each request reserves its full-context KV footprint on
-    /// admission).
+    /// sequences. Under [`KvAccounting::Reserve`] each request reserves its
+    /// full-context KV footprint on admission; under
+    /// [`KvAccounting::Paged`] the budget caps the block pool
+    /// (`kv_memory_bytes / block_bytes` blocks) and requests are charged
+    /// only for pages actually held.
     pub kv_memory_bytes: Option<u64>,
+    /// How requests are charged against the KV budget.
+    pub accounting: KvAccounting,
 }
 
 impl AdmissionConfig {
@@ -174,6 +227,13 @@ impl AdmissionConfig {
     /// Cap the KV-cache bytes of concurrently running sequences.
     pub fn with_kv_memory_bytes(mut self, bytes: u64) -> Self {
         self.kv_memory_bytes = Some(bytes);
+        self
+    }
+
+    /// Switch to paged KV accounting with `block_tokens` tokens per block
+    /// (see [`DEFAULT_BLOCK_TOKENS`] for the usual choice).
+    pub fn with_paged_kv(mut self, block_tokens: usize) -> Self {
+        self.accounting = KvAccounting::Paged { block_tokens };
         self
     }
 
@@ -195,6 +255,13 @@ impl AdmissionConfig {
             return Err(HermesError::InvalidConfig(
                 "admission kv_memory_bytes must be at least 1".into(),
             ));
+        }
+        if let KvAccounting::Paged { block_tokens } = self.accounting {
+            if block_tokens == 0 {
+                return Err(HermesError::InvalidConfig(
+                    "paged KV block_tokens must be at least 1".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -226,6 +293,13 @@ pub fn request_kv_bytes(template: &Workload, prompt_len: usize, gen_len: usize) 
         .kv_cache_bytes(prompt_len + gen_len, 1)
 }
 
+/// KV-cache bytes one token of context occupies — the unit paged
+/// accounting sizes its blocks in (`request_kv_bytes` is linear in the
+/// context length, so this is just the one-token footprint).
+pub fn token_kv_bytes(template: &Workload) -> u64 {
+    request_kv_bytes(template, 1, 0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +323,29 @@ mod tests {
         assert_eq!(SchedulingPolicy::Edf.name(), "edf");
         assert_eq!(PreemptionPolicy::None.name(), "none");
         assert_eq!(PreemptionPolicy::EvictAndRefill.name(), "evict-and-refill");
+        assert_eq!(PreemptionPolicy::SwapOut.name(), "swap-out");
+        assert_eq!(KvAccounting::Reserve.name(), "reserve");
+        assert_eq!(KvAccounting::Paged { block_tokens: 16 }.name(), "paged");
+    }
+
+    #[test]
+    fn paged_accounting_validates_block_size() {
+        assert!(matches!(
+            AdmissionConfig::unlimited().with_paged_kv(0).validate(),
+            Err(HermesError::InvalidConfig(_))
+        ));
+        AdmissionConfig::unlimited()
+            .with_paged_kv(DEFAULT_BLOCK_TOKENS)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn token_kv_bytes_is_the_linear_unit() {
+        let template = Workload::paper_default(ModelId::Opt13B);
+        let unit = token_kv_bytes(&template);
+        assert!(unit > 0);
+        assert_eq!(request_kv_bytes(&template, 64, 64), 128 * unit);
     }
 
     /// Regression: a zero KV budget could never admit anything but used to

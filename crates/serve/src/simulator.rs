@@ -9,17 +9,18 @@ use std::ops::Bound;
 use serde::{Deserialize, Serialize};
 
 use hermes_core::{
-    ArrivalProcess, BatchState, ClassReport, DistributionStats, HermesError, LatencyBreakdown,
-    LengthDistribution, PrefillChunk, PrioritySpec, ServingReport, SessionSpec, SystemConfig,
-    SystemKind, Workload,
+    ArrivalProcess, BatchState, ClassReport, DistributionStats, HermesError, KvPoolReport,
+    LatencyBreakdown, LengthDistribution, PrefillChunk, PrioritySpec, ServingReport, SessionSpec,
+    SwapReport, SystemConfig, SystemKind, Workload,
 };
 
 use crate::arrival::sample_arrival_times;
+use crate::kv::KvPool;
 use crate::queue::{Rank, ReadyQueue};
 use crate::request::{RequestRecord, ServingRequest};
 use crate::scheduler::{
-    request_kv_bytes, AdmissionConfig, BatchingPolicy, PreemptionPolicy, PrefillPolicy,
-    SchedulingPolicy,
+    request_kv_bytes, token_kv_bytes, AdmissionConfig, BatchingPolicy, KvAccounting,
+    PreemptionPolicy, PrefillPolicy, SchedulingPolicy,
 };
 
 /// Salt mixed into the arrival seed to derive the length-sampling stream, so
@@ -433,6 +434,7 @@ pub fn simulate(
 ) -> Result<ServingOutcome, HermesError> {
     sim.admission.validate()?;
     sim.prefill.validate()?;
+    validate_paged_preemption(sim)?;
     let times = sample_arrival_times(&sim.arrival, sim.num_requests, sim.arrival_seed)?;
     let requests = ServingRequest::sample(
         &sim.template,
@@ -459,6 +461,22 @@ pub fn simulate(
         .iter()
         .map(|r| request_kv_bytes(&sim.template, r.prompt_len, r.gen_len))
         .collect();
+    // Paged accounting: the block pool requests are charged against. Under
+    // reserve accounting this stays `None` and the byte-counter path below
+    // is untouched (bitwise-identical to the pre-paging simulator).
+    let token_bytes = token_kv_bytes(&sim.template);
+    let paged_block_tokens = match sim.admission.accounting {
+        KvAccounting::Paged { block_tokens } => Some(block_tokens),
+        KvAccounting::Reserve => None,
+    };
+    let mut pool: Option<KvPool> = paged_block_tokens.map(|bt| {
+        let block_bytes = bt as u64 * token_bytes;
+        let capacity = sim.admission.kv_memory_bytes.map(|b| b / block_bytes);
+        KvPool::new(bt, block_bytes, capacity, requests.len())
+    });
+    if let Some(pool) = &pool {
+        validate_paged_capacity(pool.block_tokens(), pool.capacity_blocks(), &requests, sim)?;
+    }
     // Ranks are immutable per request (see `crate::queue`), so they are
     // computed once up front instead of per comparison.
     let ranks: Vec<f64> = requests
@@ -506,6 +524,49 @@ pub fn simulate(
     let mut imbalance_samples = 0usize;
     let mut generated_tokens = 0usize;
     let mut completed = 0usize;
+    // Bytes each swapped-out victim is holding on the swap tier, awaiting
+    // the swap-in on resume (`None` while resident). Only SwapOut sets it.
+    let mut swapped: Vec<Option<u64>> = vec![None; requests.len()];
+    let mut swap = SwapTallies::default();
+    // Paged-pool usage, sampled once per priced step: held blocks and the
+    // context tokens actually stored in them (fragmentation is the gap).
+    let mut kv_block_steps: u64 = 0;
+    let mut kv_used_token_steps: u64 = 0;
+    let mut kv_steps: u64 = 0;
+    // Running sum of the prefill targets of chunk-prefilling sequences:
+    // their blocks are allocated for the whole target up front, and the
+    // whole target counts as stored (prefill fills blocks within steps).
+    let mut prefill_target_tokens: usize = 0;
+
+    // Shared eviction bookkeeping of the admission scan and the paged
+    // growth pass: release the victim's seat and KV, record its progress,
+    // and — under SwapOut — page its held KV out to the swap tier, priced
+    // through the engine's swap-cost hook.
+    macro_rules! evict {
+        ($victim:expr) => {{
+            let victim = $victim;
+            let info = active.remove(victim);
+            generated[victim] += (step - info.join_step) as usize;
+            records[victim].preemptions += 1;
+            let held_bytes = match pool.as_mut() {
+                Some(pool) => pool.release(victim) * pool.block_bytes(),
+                None => {
+                    active_kv_bytes -= info.kv_bytes;
+                    (requests[victim].prompt_len + generated[victim]) as u64 * token_bytes
+                }
+            };
+            if sim.preemption == PreemptionPolicy::SwapOut {
+                let cost = plan.cost.swap_cost(held_bytes);
+                clock += cost;
+                breakdown.communication += cost;
+                swap.seconds += cost;
+                swap.swap_outs += 1;
+                swap.swapped_out_bytes += held_bytes;
+                swapped[victim] = Some(held_bytes);
+            }
+            ready.push(ranks[victim], victim);
+        }};
+    }
 
     loop {
         // 1. Pull every request that has arrived by now into the queue.
@@ -528,49 +589,81 @@ pub fn simulate(
         let mut admitted: Vec<usize> = Vec::new();
         if may_admit {
             while let Some(idx) = ready.peek() {
-                // `active_kv_bytes` already includes the requests admitted
-                // at this boundary, so the caps see the whole provisional
-                // batch.
+                // `active_kv_bytes` (reserve) / the pool's held blocks
+                // (paged) already include the requests admitted at this
+                // boundary, so the caps see the whole provisional batch.
+                // Paged accounting charges only the blocks for the
+                // request's *current* context (prompt plus generated so
+                // far) plus one write slot for the next decoded token, not
+                // its worst-case footprint. The write slot guarantees an
+                // admitted sequence generates at least one token before it
+                // can need to grow — without it, a sequence rejoining with
+                // its context exactly at a block boundary would be a grower
+                // at its very next boundary and could self-evict in a
+                // zero-progress admit/evict livelock.
                 let kv = kv_bytes_per_request[idx];
-                if sim.admission.admits(
-                    active.len() + prefilling.len() + admitted.len(),
-                    active_kv_bytes,
-                    kv,
-                ) {
+                let seats = active.len() + prefilling.len() + admitted.len();
+                let need_blocks = pool
+                    .as_ref()
+                    .map(|p| p.blocks_for_tokens(requests[idx].prompt_len + generated[idx] + 1));
+                let fits = match (&pool, need_blocks) {
+                    (Some(pool), Some(need)) => {
+                        sim.admission.admits(seats, 0, 0) && pool.fits(need)
+                    }
+                    _ => sim.admission.admits(seats, active_kv_bytes, kv),
+                };
+                if fits {
                     ready.pop();
-                    active_kv_bytes += kv;
+                    match (pool.as_mut(), need_blocks) {
+                        (Some(pool), Some(need)) => pool.allocate(idx, need),
+                        _ => active_kv_bytes += kv,
+                    }
                     admitted.push(idx);
                     continue;
                 }
-                if sim.preemption == PreemptionPolicy::EvictAndRefill {
+                if sim.preemption != PreemptionPolicy::None {
                     // Victim candidates: active sequences strictly outranked
                     // by the blocked waiter, worst-ranked first (latest
                     // arrival first within a rank), straight off the rank
                     // index. Sequences still prefilling under chunked
                     // prefill are not evicted. Take the smallest prefix
                     // that makes room, if any.
-                    let mut freed_kv = 0u64;
                     let mut victims: Vec<usize> = Vec::new();
                     let mut feasible = false;
-                    for victim in active.victims_outranking(ranks[idx]) {
-                        freed_kv += kv_bytes_per_request[victim];
-                        victims.push(victim);
-                        if sim.admission.admits(
-                            active.len() + prefilling.len() + admitted.len() - victims.len(),
-                            active_kv_bytes - freed_kv,
-                            kv,
-                        ) {
-                            feasible = true;
-                            break;
+                    match (&pool, need_blocks) {
+                        (Some(pool), Some(need)) => {
+                            let cap = pool.capacity_blocks().unwrap_or(u64::MAX);
+                            let mut freed = 0u64;
+                            for victim in active.victims_outranking(ranks[idx]) {
+                                freed += pool.held(victim);
+                                victims.push(victim);
+                                if sim.admission.admits(seats - victims.len(), 0, 0)
+                                    && pool.used_blocks() - freed + need <= cap
+                                {
+                                    feasible = true;
+                                    break;
+                                }
+                            }
+                        }
+                        _ => {
+                            let mut freed_kv = 0u64;
+                            for victim in active.victims_outranking(ranks[idx]) {
+                                freed_kv += kv_bytes_per_request[victim];
+                                victims.push(victim);
+                                if sim.admission.admits(
+                                    seats - victims.len(),
+                                    active_kv_bytes - freed_kv,
+                                    kv,
+                                ) {
+                                    feasible = true;
+                                    break;
+                                }
+                            }
                         }
                     }
                     if feasible {
                         for victim in victims {
-                            let info = active.remove(victim);
-                            active_kv_bytes -= info.kv_bytes;
-                            generated[victim] += (step - info.join_step) as usize;
-                            records[victim].preemptions += 1;
-                            ready.push(ranks[victim], victim);
+                            evict!(victim);
                         }
                         // Retry the blocked waiter with the freed capacity
                         // (the victims it displaced cannot outrank it).
@@ -580,6 +673,39 @@ pub fn simulate(
                 break;
             }
         }
+
+        // 2.5 Swapped-out victims among this boundary's admissions resume
+        // by paging their KV back in — no recompute: they skip prefill and
+        // rejoin the decode batch right here, continuing where they
+        // stopped. The swap-in leg is priced like the swap-out was.
+        let admitted: Vec<usize> = admitted
+            .into_iter()
+            .filter(|&idx| {
+                let Some(bytes) = swapped[idx].take() else {
+                    return true;
+                };
+                let cost = plan.cost.swap_cost(bytes);
+                clock += cost;
+                breakdown.communication += cost;
+                swap.seconds += cost;
+                swap.swap_ins += 1;
+                swap.swapped_in_bytes += bytes;
+                let request = &requests[idx];
+                active.join(
+                    idx,
+                    request.prompt_len + generated[idx],
+                    request.gen_len - generated[idx],
+                    if pool.is_some() {
+                        0
+                    } else {
+                        kv_bytes_per_request[idx]
+                    },
+                    ranks[idx],
+                    step,
+                );
+                false
+            })
+            .collect();
 
         // 3. Hand the newly admitted requests to the prefill policy. A
         // request resumed after a preemption re-prefills its prompt *plus*
@@ -619,7 +745,11 @@ pub fn simulate(
                             idx,
                             request.prompt_len + generated[idx],
                             request.gen_len - generated[idx],
-                            kv_bytes_per_request[idx],
+                            if pool.is_some() {
+                                0
+                            } else {
+                                kv_bytes_per_request[idx]
+                            },
                             ranks[idx],
                             step,
                         );
@@ -631,9 +761,11 @@ pub fn simulate(
             }
             PrefillPolicy::Chunked { .. } => {
                 for idx in admitted {
+                    let target = requests[idx].prompt_len + generated[idx];
+                    prefill_target_tokens += target;
                     prefilling.push(PrefillingSequence {
                         idx,
-                        target: requests[idx].prompt_len + generated[idx],
+                        target,
                         done: 0,
                         started: false,
                     });
@@ -692,6 +824,61 @@ pub fn simulate(
             break;
         }
 
+        // 5.5 Paged growth: a sequence whose held blocks no longer cover
+        // its context plus the token this step decodes takes one more
+        // block. Admission granted every sequence a write slot, so a
+        // grower has always decoded at least one token since it was
+        // (re)admitted — growth evictions therefore always follow real
+        // progress and cannot livelock. Growers take their block in
+        // scheduling-rank order; when the pool is full, each evicts the
+        // worst strictly lower-ranked active victim — or itself, when none
+        // exists (it cannot demand capacity from equal- or better-ranked
+        // work).
+        if paged_block_tokens.is_some() {
+            let growers: Vec<usize> = active
+                .by_rank
+                .iter()
+                .map(|&(_, idx)| idx)
+                .filter(|&idx| {
+                    let p = pool.as_ref().expect("paged pool");
+                    let info = active.info[idx].as_ref().expect("rank index is active");
+                    let context = (info.shift + step as i64) as usize;
+                    p.held(idx) < p.blocks_for_tokens(context + 1)
+                })
+                .collect();
+            for grower in growers {
+                // An earlier grower may have evicted this one.
+                if !active.contains(grower) {
+                    continue;
+                }
+                if pool.as_ref().expect("paged pool").fits(1) {
+                    pool.as_mut().expect("paged pool").grow(grower);
+                    continue;
+                }
+                let victim = active.victims_outranking(ranks[grower]).next();
+                match victim {
+                    Some(victim) => {
+                        evict!(victim);
+                        pool.as_mut().expect("paged pool").grow(grower);
+                    }
+                    None => evict!(grower),
+                }
+            }
+            // Sample pool usage for the utilization/fragmentation stats:
+            // held blocks vs. the context tokens stored in them (active
+            // contexts before this step's token, plus the full targets of
+            // chunk-prefilling sequences, whose blocks are held up front).
+            let pool_ref = pool.as_ref().expect("paged pool");
+            kv_steps += 1;
+            kv_block_steps += pool_ref.used_blocks();
+            let active_tokens: u64 = active
+                .groups
+                .iter()
+                .map(|(&shift, &count)| (shift + step as i64) as u64 * count as u64)
+                .sum();
+            kv_used_token_steps += active_tokens + prefill_target_tokens as u64;
+        }
+
         // 6. One shared step over the current batch composition, with any
         // scheduled prefill chunks piggybacked on it. The chunk-free path
         // prices through `decode_cost` directly, so stall-the-world
@@ -723,7 +910,12 @@ pub fn simulate(
         active.drain_finished(step, |idx, info| {
             records[idx].completed = clock;
             completed += 1;
-            active_kv_bytes -= info.kv_bytes;
+            match pool.as_mut() {
+                Some(pool) => {
+                    pool.release(idx);
+                }
+                None => active_kv_bytes -= info.kv_bytes,
+            }
             generated[idx] += (step - info.join_step) as usize;
         });
 
@@ -733,12 +925,17 @@ pub fn simulate(
         while i < prefilling.len() {
             if prefilling[i].done == prefilling[i].target {
                 let seq = prefilling.remove(i);
+                prefill_target_tokens -= seq.target;
                 let request = &requests[seq.idx];
                 active.join(
                     seq.idx,
                     seq.target,
                     request.gen_len - generated[seq.idx],
-                    kv_bytes_per_request[seq.idx],
+                    if pool.is_some() {
+                        0
+                    } else {
+                        kv_bytes_per_request[seq.idx]
+                    },
                     ranks[seq.idx],
                     step,
                 );
@@ -751,6 +948,15 @@ pub fn simulate(
         }
     }
 
+    let kv_tallies = pool.as_ref().map(|pool| KvTallies {
+        block_tokens: pool.block_tokens(),
+        block_bytes: pool.block_bytes(),
+        capacity_blocks: pool.capacity_blocks(),
+        peak_blocks: pool.peak_blocks(),
+        block_steps: kv_block_steps,
+        used_token_steps: kv_used_token_steps,
+        steps: kv_steps,
+    });
     let report = build_report(
         sim,
         &plan.spec,
@@ -762,8 +968,78 @@ pub fn simulate(
         breakdown,
         imbalance_sum,
         imbalance_samples,
+        kv_tallies,
+        swap,
     );
     Ok(ServingOutcome { report, records })
+}
+
+/// Reject a bounded paged pool without a preemption policy: a sequence that
+/// cannot take its next block mid-decode must be able to evict (or at least
+/// self-evict); with [`PreemptionPolicy::None`] it would stall forever.
+pub(crate) fn validate_paged_preemption(sim: &ServingSimulation) -> Result<(), HermesError> {
+    if matches!(sim.admission.accounting, KvAccounting::Paged { .. })
+        && sim.admission.kv_memory_bytes.is_some()
+        && sim.preemption == PreemptionPolicy::None
+    {
+        return Err(HermesError::InvalidConfig(
+            "a bounded paged KV pool requires a preemption policy (mid-decode block growth \
+             must be able to evict); use EvictAndRefill or SwapOut, or lift kv_memory_bytes"
+                .into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Reject any request whose full-context page count exceeds the pool: it
+/// could never run to completion and would preempt forever.
+pub(crate) fn validate_paged_capacity(
+    block_tokens: usize,
+    capacity_blocks: Option<u64>,
+    requests: &[ServingRequest],
+    sim: &ServingSimulation,
+) -> Result<(), HermesError> {
+    let Some(cap) = capacity_blocks else {
+        return Ok(());
+    };
+    for (idx, r) in requests.iter().enumerate() {
+        let need = (r.prompt_len + r.gen_len).div_ceil(block_tokens) as u64;
+        if need > cap {
+            return Err(HermesError::InvalidConfig(format!(
+                "request {idx} needs {need} KV blocks at full context but the paged pool \
+                 holds {cap} (block_tokens {block_tokens}, kv budget {:?})",
+                sim.admission.kv_memory_bytes
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Raw paged-pool tallies one simulation loop accumulated, folded into the
+/// report's [`KvPoolReport`] by [`build_report`] — shared by the heap loop
+/// and the reference oracle so the derived statistics cannot drift.
+pub(crate) struct KvTallies {
+    pub block_tokens: usize,
+    pub block_bytes: u64,
+    pub capacity_blocks: Option<u64>,
+    pub peak_blocks: u64,
+    /// Σ held blocks over priced steps.
+    pub block_steps: u64,
+    /// Σ stored context tokens over priced steps.
+    pub used_token_steps: u64,
+    /// Priced steps sampled.
+    pub steps: u64,
+}
+
+/// Raw swap-tier tallies one simulation loop accumulated (all zero when no
+/// preemption fired), folded into the report's [`SwapReport`].
+#[derive(Default, Clone, Copy)]
+pub(crate) struct SwapTallies {
+    pub swap_outs: usize,
+    pub swap_ins: usize,
+    pub swapped_out_bytes: u64,
+    pub swapped_in_bytes: u64,
+    pub seconds: f64,
 }
 
 /// Fold the simulation's raw tallies and per-request records into the
@@ -782,6 +1058,8 @@ pub(crate) fn build_report(
     breakdown: LatencyBreakdown,
     imbalance_sum: f64,
     imbalance_samples: usize,
+    kv: Option<KvTallies>,
+    swap: SwapTallies,
 ) -> ServingReport {
     let queue_delays: Vec<f64> = records.iter().map(RequestRecord::queue_delay).collect();
     let ttfts: Vec<f64> = records.iter().map(RequestRecord::ttft).collect();
@@ -820,6 +1098,38 @@ pub(crate) fn build_report(
         },
         preemptions: records.iter().map(|r| r.preemptions).sum(),
         per_class: fold_class_reports(records),
+        kv: kv.map(|t| {
+            let mean_blocks = if t.steps > 0 {
+                t.block_steps as f64 / t.steps as f64
+            } else {
+                0.0
+            };
+            let ratio_of = |blocks: f64| {
+                t.capacity_blocks
+                    .map(|cap| if cap > 0 { blocks / cap as f64 } else { 0.0 })
+            };
+            KvPoolReport {
+                block_tokens: t.block_tokens,
+                block_bytes: t.block_bytes,
+                capacity_blocks: t.capacity_blocks,
+                peak_blocks: t.peak_blocks,
+                mean_blocks,
+                utilization: ratio_of(mean_blocks),
+                peak_utilization: ratio_of(t.peak_blocks as f64),
+                fragmentation: if t.block_steps > 0 {
+                    1.0 - t.used_token_steps as f64 / (t.block_steps * t.block_tokens as u64) as f64
+                } else {
+                    0.0
+                },
+            }
+        }),
+        swap: (sim.preemption == PreemptionPolicy::SwapOut).then_some(SwapReport {
+            swap_outs: swap.swap_outs,
+            swap_ins: swap.swap_ins,
+            swapped_out_bytes: swap.swapped_out_bytes,
+            swapped_in_bytes: swap.swapped_in_bytes,
+            seconds: swap.seconds,
+        }),
     }
 }
 
@@ -1644,5 +1954,178 @@ mod tests {
             simulate(SystemKind::hermes_base(), &config(), &sim),
             Err(HermesError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn unbounded_paged_accounting_reproduces_reserve_bitwise() {
+        // With no KV budget the paged pool never constrains admission, so
+        // switching the accounting mode must not move a single clock stamp
+        // — the pool only adds its usage report.
+        let base = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 2.0 }, 10)
+            .with_arrival_seed(17)
+            .with_admission(AdmissionConfig::unlimited().with_max_batch(3))
+            .with_lengths(LengthDistribution::Uniform {
+                prompt_min: 8,
+                prompt_max: 40,
+                gen_min: 1,
+                gen_max: 10,
+            })
+            .with_prefill(PrefillPolicy::Chunked {
+                chunk_tokens: 8,
+                budget: 16,
+            });
+        let reserve = simulate(SystemKind::hermes_base(), &config(), &base).unwrap();
+        let paged = simulate(
+            SystemKind::hermes_base(),
+            &config(),
+            &base.clone().with_admission(
+                AdmissionConfig::unlimited()
+                    .with_max_batch(3)
+                    .with_paged_kv(16),
+            ),
+        )
+        .unwrap();
+        assert_eq!(paged.records, reserve.records);
+        assert!(reserve.report.kv.is_none());
+        let kv = paged.report.kv.clone().expect("paged accounting reports");
+        assert_eq!(kv.block_tokens, 16);
+        assert_eq!(kv.capacity_blocks, None);
+        assert!(kv.peak_blocks > 0);
+        assert!((0.0..=1.0).contains(&kv.fragmentation), "{kv:?}");
+        let mut stripped = paged.report.clone();
+        stripped.kv = None;
+        assert_eq!(stripped, reserve.report);
+    }
+
+    #[test]
+    fn paged_admission_packs_more_requests_into_the_same_budget() {
+        // Six decode-heavy requests (prompt 8, gen 32) under a KV budget
+        // sized for two worst-case reservations. Reserve admission charges
+        // the full 40-token footprint up front and seats two; paged
+        // admission charges only the blocks the context actually needs
+        // (9 tokens at admission) and seats all six, so queueing delay
+        // collapses.
+        let mut w = template();
+        w.prompt_len = 8;
+        w.gen_len = 32;
+        let budget = request_kv_bytes(&w, 8, 32) * 2;
+        let base = ServingSimulation::new(w, ArrivalProcess::AllAtOnce, 6)
+            .with_preemption(PreemptionPolicy::EvictAndRefill);
+        let reserve = simulate(
+            SystemKind::hermes_base(),
+            &config(),
+            &base
+                .clone()
+                .with_admission(AdmissionConfig::unlimited().with_kv_memory_bytes(budget)),
+        )
+        .unwrap();
+        let paged = simulate(
+            SystemKind::hermes_base(),
+            &config(),
+            &base.clone().with_admission(
+                AdmissionConfig::unlimited()
+                    .with_kv_memory_bytes(budget)
+                    .with_paged_kv(4),
+            ),
+        )
+        .unwrap();
+        assert_eq!(reserve.report.completed, 6);
+        assert_eq!(paged.report.completed, 6);
+        assert!(
+            paged.report.queue_delay.mean < reserve.report.queue_delay.mean,
+            "paged queue delay {} vs reserve {}",
+            paged.report.queue_delay.mean,
+            reserve.report.queue_delay.mean
+        );
+        let kv = paged.report.kv.as_ref().expect("paged pool report");
+        assert!(kv.utilization.is_some() && kv.peak_utilization.is_some());
+        assert!(kv.peak_utilization.unwrap() <= 1.0 + 1e-12, "{kv:?}");
+    }
+
+    #[test]
+    fn swap_out_resumes_without_recompute() {
+        // Same single-seat preemption scenario as the EvictAndRefill
+        // lifecycle test: tier 0 evicts tier 2 mid-decode. Under SwapOut
+        // the victim's pages move to the swap tier and back instead of
+        // being recomputed, so the swap run does strictly less prefill
+        // work, pays for it in communication seconds, and still generates
+        // every token exactly once.
+        let sim = ServingSimulation::new(
+            template(),
+            ArrivalProcess::Trace {
+                times: vec![0.0, 1e-9],
+            },
+            2,
+        )
+        .with_admission(AdmissionConfig::unlimited().with_kv_memory_bytes(one_seat_kv_cap()))
+        .with_classes(PrioritySpec::Trace {
+            classes: vec![RequestClass::new(2), RequestClass::new(0)],
+        })
+        .with_scheduling(SchedulingPolicy::Priority)
+        .with_preemption(PreemptionPolicy::EvictAndRefill);
+        let evicted = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
+        let swapped = simulate(
+            SystemKind::hermes_base(),
+            &config(),
+            &sim.clone().with_preemption(PreemptionPolicy::SwapOut),
+        )
+        .unwrap();
+
+        assert_eq!(swapped.report.completed, 2);
+        assert_eq!(swapped.report.generated_tokens, 16);
+        assert_eq!(swapped.report.preemptions, 1);
+        assert_eq!(swapped.records[0].preemptions, 1);
+        assert_eq!(swapped.report.preemption_policy, "swap-out");
+        // No recompute: the swap run's prefill work is strictly below the
+        // evict-and-refill run's, which re-prefilled the victim.
+        assert!(
+            swapped.report.breakdown.prefill < evicted.report.breakdown.prefill,
+            "swap prefill {} vs evict {}",
+            swapped.report.breakdown.prefill,
+            evicted.report.breakdown.prefill
+        );
+        let swap = swapped.report.swap.clone().expect("swap tier report");
+        assert_eq!(swap.swap_outs, 1);
+        assert_eq!(swap.swap_ins, 1);
+        assert_eq!(swap.swapped_out_bytes, swap.swapped_in_bytes);
+        assert!(swap.swapped_out_bytes > 0);
+        assert!(swap.seconds > 0.0);
+        assert!(evicted.report.swap.is_none());
+    }
+
+    #[test]
+    fn bounded_paged_pool_without_preemption_is_rejected() {
+        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 2).with_admission(
+            AdmissionConfig::unlimited()
+                .with_kv_memory_bytes(two_seat_kv_cap())
+                .with_paged_kv(16),
+        );
+        match simulate(SystemKind::hermes_base(), &config(), &sim) {
+            Err(HermesError::InvalidConfig(msg)) => {
+                assert!(msg.contains("preemption"), "{msg}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_larger_than_the_paged_pool_is_rejected() {
+        // A pool of one worst-case seat minus a block cannot ever hold
+        // request 0 at full context; admitting it would guarantee an
+        // eviction livelock, so validation refuses up front.
+        let per_request = request_kv_bytes(&template(), 32, 8);
+        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 1)
+            .with_admission(
+                AdmissionConfig::unlimited()
+                    .with_kv_memory_bytes(per_request / 2)
+                    .with_paged_kv(16),
+            )
+            .with_preemption(PreemptionPolicy::SwapOut);
+        match simulate(SystemKind::hermes_base(), &config(), &sim) {
+            Err(HermesError::InvalidConfig(msg)) => {
+                assert!(msg.contains("KV blocks"), "{msg}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 }

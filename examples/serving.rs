@@ -1,8 +1,11 @@
 //! Serving simulation: offer an open-loop Poisson request stream with
 //! heterogeneous request lengths to Hermes, compare stall-the-world against
 //! chunked (piggybacked) prefill, print each request's lifecycle plus the
-//! aggregate serving metrics, and show priority scheduling with KV-pressure
-//! preemption protecting an interactive class under bursty overload.
+//! aggregate serving metrics, show priority scheduling with KV-pressure
+//! preemption protecting an interactive class under bursty overload, and
+//! compare restart-with-recompute eviction against paged swap-out
+//! preemption (victim KV pages to the host/NDP swap tier instead of being
+//! recomputed).
 //!
 //! Run with: `cargo run --release --example serving`
 
@@ -13,7 +16,7 @@ use hermes::core::{
 use hermes::model::ModelId;
 use hermes::serve::{
     request_kv_bytes, simulate, AdmissionConfig, PreemptionPolicy, PrefillPolicy, SchedulingPolicy,
-    ServingSimulation,
+    ServingSimulation, DEFAULT_BLOCK_TOKENS,
 };
 
 fn main() -> Result<(), hermes::core::HermesError> {
@@ -112,6 +115,7 @@ fn main() -> Result<(), hermes::core::HermesError> {
         SystemKind::hermes(),
         &config,
         &overload
+            .clone()
             .with_scheduling(SchedulingPolicy::Priority)
             .with_preemption(PreemptionPolicy::EvictAndRefill),
     )?;
@@ -127,6 +131,46 @@ fn main() -> Result<(), hermes::core::HermesError> {
             report.preemptions,
             high.ttft.p95,
             high.slo_attainment().unwrap_or(1.0) * 100.0
+        );
+    }
+
+    // Swap-out preemption over the paged KV pool: same overload, but the
+    // KV budget is carved into fixed-size blocks (admission charges pages
+    // actually held, not the worst case) and evicted victims page their KV
+    // to the host/NDP swap tier instead of restarting with recompute — on
+    // re-admission they pay the swap-in transfer and resume decoding
+    // exactly where they stopped.
+    let swapped = simulate(
+        SystemKind::hermes(),
+        &config,
+        &overload
+            .clone()
+            .with_admission(
+                AdmissionConfig::unlimited()
+                    .with_kv_memory_bytes(kv_cap)
+                    .with_paged_kv(DEFAULT_BLOCK_TOKENS),
+            )
+            .with_scheduling(SchedulingPolicy::Priority)
+            .with_preemption(PreemptionPolicy::SwapOut),
+    )?;
+    let report = &swapped.report;
+    let victims = report.class(2).expect("tier 2 offered");
+    let refill_victims = prioritized.report.class(2).expect("tier 2 offered");
+    println!("\nswap-out over the paged KV pool (vs evict-and-refill):");
+    println!(
+        "victim (tier-2) e2e p95 {:.2}s vs {:.2}s recomputed | evictions {}",
+        victims.e2e.p95, refill_victims.e2e.p95, report.preemptions,
+    );
+    if let (Some(kv), Some(swap)) = (&report.kv, &report.swap) {
+        println!(
+            "pool: {} blocks x {} tokens, peak utilization {:.0}%, fragmentation {:.0}% | \
+             swapped out {} times ({:.1} MiB each way)",
+            kv.capacity_blocks.expect("bounded pool"),
+            kv.block_tokens,
+            kv.peak_utilization.expect("bounded pool") * 100.0,
+            kv.fragmentation * 100.0,
+            swap.swap_outs,
+            swap.swapped_out_bytes as f64 / (1024.0 * 1024.0),
         );
     }
     Ok(())

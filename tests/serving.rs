@@ -9,7 +9,7 @@ use hermes::core::{
 use hermes::model::ModelId;
 use hermes::serve::{
     request_kv_bytes, simulate, AdmissionConfig, BatchingPolicy, LengthDistribution,
-    PreemptionPolicy, PrefillPolicy, SchedulingPolicy, ServingSimulation,
+    PreemptionPolicy, PrefillPolicy, SchedulingPolicy, ServingSimulation, DEFAULT_BLOCK_TOKENS,
 };
 
 fn quick(model: ModelId, batch: usize) -> Workload {
@@ -418,6 +418,96 @@ fn priority_preemption_cuts_high_class_tail_ttft_under_bursty_overload() {
     assert_eq!(priority.report.scheduling, "priority");
     assert_eq!(edf.report.scheduling, "edf");
     assert_eq!(fcfs.report.scheduling, "fcfs");
+}
+
+/// The headline claim of the paged-KV PR: on the same bursty-overload,
+/// KV-capped scenario as the priority-preemption test above, swap-out
+/// preemption strictly beats evict-and-refill on the *victim* class's tail
+/// end-to-end latency — paging a victim's KV to the host/NDP swap tier and
+/// back is priced as one PCIe transfer each way, while evict-and-refill
+/// recomputes the victim's whole context — without costing the high class
+/// its SLO.
+#[test]
+fn swap_out_beats_evict_and_refill_for_victims_under_bursty_overload() {
+    let config = SystemConfig::paper_default();
+    let mut w = quick(ModelId::Opt30B, 1);
+    w.gen_len = 16;
+    let classes = PrioritySpec::Cycle {
+        classes: vec![
+            RequestClass::new(0).with_ttft_deadline(3.0),
+            RequestClass::new(2),
+        ],
+    };
+    let kv_cap = request_kv_bytes(&w, w.prompt_len, w.gen_len) * 2;
+    let sim = ServingSimulation::new(
+        w,
+        ArrivalProcess::Bursty {
+            rate: 1.0,
+            burst: 8,
+        },
+        16,
+    )
+    .with_admission(
+        AdmissionConfig::unlimited()
+            .with_kv_memory_bytes(kv_cap)
+            .with_paged_kv(DEFAULT_BLOCK_TOKENS),
+    )
+    .with_classes(classes)
+    .with_scheduling(SchedulingPolicy::Priority);
+
+    let refill = simulate(
+        SystemKind::hermes(),
+        &config,
+        &sim.clone()
+            .with_preemption(PreemptionPolicy::EvictAndRefill),
+    )
+    .unwrap();
+    let swap = simulate(
+        SystemKind::hermes(),
+        &config,
+        &sim.clone().with_preemption(PreemptionPolicy::SwapOut),
+    )
+    .unwrap();
+
+    // Both runs complete everything and genuinely preempt.
+    for (outcome, name) in [(&refill, "evict-and-refill"), (&swap, "swap-out")] {
+        assert_eq!(outcome.report.completed, 16, "{name}");
+        assert!(
+            outcome.report.preemptions > 0,
+            "{name}: preemption never fired"
+        );
+        let kv = outcome.report.kv.as_ref().expect("paged pool report");
+        assert!(kv.peak_blocks > 0, "{name}");
+        assert!((0.0..=1.0).contains(&kv.fragmentation), "{name}: {kv:?}");
+        assert!(
+            kv.peak_utilization.unwrap() <= 1.0 + 1e-12,
+            "{name}: pool overcommitted: {kv:?}"
+        );
+    }
+
+    // The point of the PR: the preempted best-effort class's tail e2e
+    // strictly improves — swapped victims resume without recompute.
+    let refill_victims = refill.report.class(2).unwrap();
+    let swap_victims = swap.report.class(2).unwrap();
+    assert!(
+        swap_victims.e2e.p95 < refill_victims.e2e.p95,
+        "swap-out victim p95 e2e {:.3}s vs evict-and-refill {:.3}s",
+        swap_victims.e2e.p95,
+        refill_victims.e2e.p95
+    );
+    // And it costs the interactive class nothing: tier 0 keeps a perfect
+    // TTFT SLO under both policies.
+    assert_eq!(refill.report.class(0).unwrap().slo_attainment(), Some(1.0));
+    assert_eq!(swap.report.class(0).unwrap().slo_attainment(), Some(1.0));
+
+    // The swap tier is only reported under swap-out, and its traffic
+    // balances: everything paged out is paged back in by completion time.
+    assert!(refill.report.swap.is_none());
+    let tier = swap.report.swap.as_ref().expect("swap tier report");
+    assert_eq!(tier.swap_outs, tier.swap_ins);
+    assert_eq!(tier.swapped_out_bytes, tier.swapped_in_bytes);
+    assert!(tier.swap_outs > 0 && tier.seconds > 0.0);
+    assert_eq!(swap.report.preemption_policy, "swap-out");
 }
 
 /// Serving propagates engine validation: unsupported models and invalid

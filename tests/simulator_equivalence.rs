@@ -9,9 +9,10 @@
 //! asserts both structural equality and equality of the serialized JSON, so
 //! even a field the `PartialEq` impl might one day skip cannot drift.
 //!
-//! Coverage: {Fcfs, Priority, Edf} × {None, EvictAndRefill} ×
-//! {StallTheWorld, Chunked} × {AllAtOnce, Poisson, Bursty} via six fixed
-//! scenarios plus proptest-driven random configurations.
+//! Coverage: {Fcfs, Priority, Edf} × {None, EvictAndRefill, SwapOut} ×
+//! {StallTheWorld, Chunked} × {AllAtOnce, Poisson, Bursty} ×
+//! {Reserve, Paged} via the fixed scenarios below plus proptest-driven
+//! random configurations.
 
 use proptest::prelude::*;
 
@@ -175,6 +176,62 @@ fn edf_static_batching_poisson() {
 }
 
 #[test]
+fn priority_swap_out_paged_bursty() {
+    let sim = ServingSimulation::new(
+        template(),
+        ArrivalProcess::Bursty {
+            rate: 2.0,
+            burst: 3,
+        },
+        14,
+    )
+    .with_arrival_seed(21)
+    .with_admission(tight_kv(2).with_paged_kv(16))
+    .with_classes(mixed_classes())
+    .with_scheduling(SchedulingPolicy::Priority)
+    .with_preemption(PreemptionPolicy::SwapOut);
+    assert_equivalent(&sim);
+}
+
+#[test]
+fn priority_swap_out_paged_chunked_poisson() {
+    let sim = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 2.5 }, 14)
+        .with_arrival_seed(3)
+        .with_admission(tight_kv(2).with_paged_kv(8))
+        .with_classes(mixed_classes())
+        .with_scheduling(SchedulingPolicy::Priority)
+        .with_preemption(PreemptionPolicy::SwapOut)
+        .with_lengths(uniform_lengths())
+        .with_prefill(PrefillPolicy::Chunked {
+            chunk_tokens: 6,
+            budget: 12,
+        });
+    assert_equivalent(&sim);
+}
+
+#[test]
+fn edf_paged_eviction_chunked_bursty() {
+    let sim = ServingSimulation::new(
+        template(),
+        ArrivalProcess::Bursty {
+            rate: 1.8,
+            burst: 4,
+        },
+        14,
+    )
+    .with_arrival_seed(11)
+    .with_admission(tight_kv(3).with_paged_kv(4))
+    .with_classes(mixed_classes())
+    .with_scheduling(SchedulingPolicy::Edf)
+    .with_preemption(PreemptionPolicy::EvictAndRefill)
+    .with_prefill(PrefillPolicy::Chunked {
+        chunk_tokens: 8,
+        budget: 8,
+    });
+    assert_equivalent(&sim);
+}
+
+#[test]
 fn max_batch_cap_with_priority_eviction() {
     let sim = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 3.0 }, 12)
         .with_arrival_seed(13)
@@ -214,7 +271,7 @@ proptest! {
         scheduling_sel in 0usize..3,
         policy_sel in 0usize..2,
         prefill_sel in 0usize..2,
-        preempt in 0usize..2,
+        preempt in 0usize..3,
         chunk_tokens in 1usize..13,
         budget in 1usize..25,
         rate in 0.2f64..3.0,
@@ -223,6 +280,8 @@ proptest! {
         seats in 2u64..5,
         capped in 0usize..2,
         heterogeneous in 0usize..2,
+        paged in 0usize..2,
+        block_tokens in 1usize..9,
     ) {
         let mut sim = ServingSimulation::new(
             template(),
@@ -242,10 +301,20 @@ proptest! {
         }
         if preempt == 1 {
             sim = sim.with_preemption(PreemptionPolicy::EvictAndRefill);
+        } else if preempt == 2 {
+            sim = sim.with_preemption(PreemptionPolicy::SwapOut);
         }
-        if capped == 1 {
-            sim = sim.with_admission(tight_kv(seats));
+        let mut admission = if capped == 1 {
+            tight_kv(seats)
+        } else {
+            AdmissionConfig::unlimited()
+        };
+        if paged == 1 {
+            // Bounded + paged + no preemption is rejected up front; both
+            // schedulers must reject it with the identical error.
+            admission = admission.with_paged_kv(block_tokens);
         }
+        sim = sim.with_admission(admission);
         if heterogeneous == 1 {
             sim = sim.with_lengths(uniform_lengths());
         }
