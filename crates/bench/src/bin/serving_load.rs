@@ -10,8 +10,12 @@
 //! fourth compares FCFS against priority and EDF scheduling with
 //! KV-pressure preemption under bursty overload (high-priority tail TTFT
 //! collapses while every class still completes), including a priority row
-//! over the paged KV pool with swap-out preemption. This is the
-//! serving-scenario counterpart of the paper's closed-loop Figs. 9/11.
+//! over the paged KV pool with swap-out preemption, and a fifth compares a
+//! shared-system-prompt load cold (no cache) against warm (radix prefix
+//! cache over the paged pool, with and without prefix-affinity
+//! scheduling) — the hit rate, reused-vs-recomputed prefill tokens and
+//! hit/miss TTFT split are the point. This is the serving-scenario
+//! counterpart of the paper's closed-loop Figs. 9/11.
 //!
 //! Run with: `cargo run --release -p hermes-bench --bin serving_load`
 //!
@@ -132,6 +136,38 @@ fn print_tables(output: &SweepOutput) {
             high.slo_attainment().unwrap_or(1.0),
             report.tokens_per_second(),
         );
+    }
+
+    println!(
+        "\n# Shared prompts, cold vs. warm prefix cache — Hermes, Poisson 0.6 rps, \
+         16 requests, 2 shared 48-token prefixes"
+    );
+    println!(
+        "| scheduling | cache | hit rate | reused toks | recomputed toks | TTFT p50 s | \
+         hit TTFT p50 s | miss TTFT p50 s | tokens/s |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for entry in by_section("prefix-cache") {
+        let report = &entry.report;
+        match &report.prefix {
+            Some(prefix) => println!(
+                "| {} | warm | {:>5.2} | {:>6} | {:>6} | {:>8.2} | {:>8.2} | {:>8.2} | {:>7.2} |",
+                report.scheduling,
+                prefix.hit_rate,
+                prefix.reused_prefill_tokens,
+                prefix.recomputed_prefill_tokens,
+                report.ttft.p50,
+                prefix.ttft_hit.p50,
+                prefix.ttft_miss.p50,
+                report.tokens_per_second(),
+            ),
+            None => println!(
+                "| {} | cold |     - |      - |      - | {:>8.2} |        - |        - | {:>7.2} |",
+                report.scheduling,
+                report.ttft.p50,
+                report.tokens_per_second(),
+            ),
+        }
     }
 }
 

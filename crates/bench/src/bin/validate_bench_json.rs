@@ -27,6 +27,9 @@ fn main() {
         "poisson-10k",
         "poisson-100k",
         "chunked-10k",
+        "chunked-100k",
+        "prefix-hot-10k",
+        "prefix-cold-10k",
         "preempt-10k",
         "swap-10k",
     ] {

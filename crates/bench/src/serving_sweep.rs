@@ -11,7 +11,7 @@ use hermes_core::{
 use hermes_model::ModelId;
 use hermes_serve::{
     request_kv_bytes, simulate, AdmissionConfig, BatchingPolicy, PreemptionPolicy, PrefillPolicy,
-    SchedulingPolicy, ServingSimulation, DEFAULT_BLOCK_TOKENS,
+    PrefixCacheMode, PromptSpec, SchedulingPolicy, ServingSimulation, DEFAULT_BLOCK_TOKENS,
 };
 
 use crate::sweep::parallel_map;
@@ -204,6 +204,39 @@ pub fn scenarios() -> Vec<Scenario> {
         });
     }
 
+    // Shared-system-prompt load, cold vs warm: every request of a group
+    // opens with the same 48-token prefix. The cold row recomputes that
+    // prefill per request; the warm rows keep it resident in the radix
+    // prefix cache over the paged pool and map it copy-free, and the last
+    // row additionally co-batches same-prefix requests with
+    // prefix-affinity scheduling. The hit-rate and TTFT-split columns of
+    // the report's prefix section are the point.
+    for (cache, scheduling) in [
+        (PrefixCacheMode::Disabled, SchedulingPolicy::Fcfs),
+        (PrefixCacheMode::Lru, SchedulingPolicy::Fcfs),
+        (PrefixCacheMode::Lru, SchedulingPolicy::PrefixAffinity),
+    ] {
+        grid.push(Scenario {
+            section: "prefix-cache",
+            kind: SystemKind::hermes(),
+            arrival: "Poisson".to_string(),
+            offered_rps: 0.6,
+            sim: ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 0.6 }, 16)
+                .with_admission(
+                    AdmissionConfig::unlimited()
+                        .with_max_batch(8)
+                        .with_paged_kv(DEFAULT_BLOCK_TOKENS),
+                )
+                .with_prompts(PromptSpec::SharedGroups {
+                    groups: 2,
+                    prefix_len: 48,
+                })
+                .with_prefix_cache(cache)
+                .with_scheduling(scheduling),
+            required: true,
+        });
+    }
+
     grid
 }
 
@@ -286,13 +319,14 @@ mod tests {
                 "load-sweep",
                 "batching-policy",
                 "prefill-policy",
-                "scheduling-policy"
+                "scheduling-policy",
+                "prefix-cache"
             ]
         );
         // 2 arrivals × 5 systems × 4 loads + 2 + 4 + 4 policy rows (FCFS,
         // priority and EDF with evict-and-refill, priority with paged
-        // swap-out).
-        assert_eq!(grid.len(), 2 * 5 * 4 + 2 + 4 + 4);
+        // swap-out) + 3 prefix-cache rows (cold, warm, warm + affinity).
+        assert_eq!(grid.len(), 2 * 5 * 4 + 2 + 4 + 4 + 3);
         // The swap-out row is present exactly once and runs over the paged
         // pool.
         let swap_rows: Vec<&Scenario> = grid

@@ -12,8 +12,8 @@ use serde::{Deserialize, Serialize};
 use hermes_core::{ArrivalProcess, PrioritySpec, RequestClass, SystemConfig, SystemKind, Workload};
 use hermes_model::ModelId;
 use hermes_serve::{
-    request_kv_bytes, simulate, AdmissionConfig, PreemptionPolicy, PrefillPolicy, SchedulingPolicy,
-    ServingSimulation, DEFAULT_BLOCK_TOKENS,
+    request_kv_bytes, simulate, AdmissionConfig, PreemptionPolicy, PrefillPolicy, PrefixCacheMode,
+    PromptSpec, SchedulingPolicy, ServingSimulation, DEFAULT_BLOCK_TOKENS,
 };
 
 /// Offered Poisson rate (simulated requests/s). Far above the scenario's
@@ -53,8 +53,11 @@ pub fn bench_system() -> SystemKind {
 
 /// The tracked bench traces: the two FCFS Poisson lengths plus 10k-request
 /// variants that keep the hot loop's other paths on the perf trajectory —
-/// chunked prefill, the eviction/readmission path (priority preemption
-/// under a KV cap) and the paged-pool swap-out path.
+/// chunked prefill (at both lengths, since its per-boundary bookkeeping
+/// scales differently from plain decode), the eviction/readmission path
+/// (priority preemption under a KV cap), the paged-pool swap-out path, and
+/// the prefix-cache path both hot (shared system prompts, high hit rate)
+/// and cold (unique prompts, pure lookup overhead).
 pub fn bench_traces() -> Vec<(&'static str, usize, ServingSimulation)> {
     // Interactive tier-0 / best-effort tier-2 mix for the preemption
     // traces, under a KV budget of 32 worst-case reservations and a
@@ -87,6 +90,40 @@ pub fn bench_traces() -> Vec<(&'static str, usize, ServingSimulation)> {
                 chunk_tokens: 16,
                 budget: 256,
             }),
+        ),
+        (
+            "chunked-100k",
+            100_000,
+            bench_scenario(100_000).with_prefill(PrefillPolicy::Chunked {
+                chunk_tokens: 16,
+                budget: 256,
+            }),
+        ),
+        (
+            "prefix-hot-10k",
+            10_000,
+            bench_scenario(10_000)
+                .with_admission(
+                    AdmissionConfig::unlimited()
+                        .with_max_batch(MAX_BATCH)
+                        .with_paged_kv(DEFAULT_BLOCK_TOKENS),
+                )
+                .with_prompts(PromptSpec::SharedGroups {
+                    groups: 4,
+                    prefix_len: 48,
+                })
+                .with_prefix_cache(PrefixCacheMode::Lru),
+        ),
+        (
+            "prefix-cold-10k",
+            10_000,
+            bench_scenario(10_000)
+                .with_admission(
+                    AdmissionConfig::unlimited()
+                        .with_max_batch(MAX_BATCH)
+                        .with_paged_kv(DEFAULT_BLOCK_TOKENS),
+                )
+                .with_prefix_cache(PrefixCacheMode::Lru),
         ),
         (
             "preempt-10k",

@@ -71,7 +71,7 @@ impl StepCostModel for AccelerateCostModel {
         let fc_flops = 2 * fc_bytes / self.cfg.dtype_bytes;
         latency.fc +=
             self.cfg.num_layers as f64 * self.kernel.kernel_time(fc_bytes, fc_flops * b as u64);
-        for (kv_len, count) in batch.context_groups() {
+        for &(kv_len, count) in batch.context_groups() {
             latency.attention += self.cfg.num_layers as f64
                 * self.kernel.attention_time(
                     self.shape.attention_kv_bytes(kv_len),
@@ -166,7 +166,7 @@ impl StepCostModel for FlexGenCostModel {
         let fc_flops = 2 * fc_bytes / self.cfg.dtype_bytes;
         let mut compute =
             self.cfg.num_layers as f64 * self.kernel.kernel_time(fc_bytes, fc_flops * b as u64);
-        for (kv_len, count) in batch.context_groups() {
+        for &(kv_len, count) in batch.context_groups() {
             compute += self.cfg.num_layers as f64
                 * self.kernel.attention_time(
                     self.shape.attention_kv_bytes(kv_len),
@@ -274,7 +274,19 @@ impl StepCostModel for DejaVuCostModel {
             ),
             ..Default::default()
         };
-        let context_groups = batch.context_groups();
+        // The attention pass is layer-invariant (all layers share one
+        // shape), so its kernels are priced once and charged per layer.
+        let attn_step: f64 = batch
+            .context_groups()
+            .iter()
+            .map(|&(kv_len, count)| {
+                self.kernel.attention_time(
+                    self.shape.attention_kv_bytes(kv_len),
+                    self.shape.attention_flops(kv_len),
+                    count,
+                )
+            })
+            .sum();
         for (layer, full_layer) in self.full.iter().enumerate() {
             for (bi, block) in Block::ALL.into_iter().enumerate() {
                 let ba = token.block(layer, block);
@@ -291,13 +303,7 @@ impl StepCostModel for DejaVuCostModel {
                     (active * b as f64 * neuron_flops as f64) as u64,
                 );
             }
-            for &(kv_len, count) in &context_groups {
-                latency.attention += self.kernel.attention_time(
-                    self.shape.attention_kv_bytes(kv_len),
-                    self.shape.attention_flops(kv_len),
-                    count,
-                );
-            }
+            latency.attention += attn_step;
             latency.others += self.kernel.kernel_time(
                 self.shape.projection_bytes(),
                 self.shape.projection_flops() * b as u64,
@@ -425,7 +431,7 @@ impl StepCostModel for TensorRtCostModel {
                 fc_bytes / self.num_gpus as u64,
                 fc_flops * b as u64 / self.num_gpus as u64,
             );
-        for (kv_len, count) in batch.context_groups() {
+        for &(kv_len, count) in batch.context_groups() {
             latency.attention += self.cfg.num_layers as f64
                 * self.kernel.attention_time(
                     self.shape.attention_kv_bytes(kv_len) / self.num_gpus as u64,

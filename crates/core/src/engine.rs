@@ -239,8 +239,11 @@ impl BatchState {
     /// Cost models batch the sequences of equal context length into one
     /// kernel, so a uniform batch prices exactly like the closed-loop
     /// formulas while a mixed batch pays one kernel per context group.
-    pub fn context_groups(&self) -> Vec<(usize, usize)> {
-        self.groups.clone()
+    /// Borrowed, because the serving loop prices a batch every token
+    /// boundary and cloning the composition there dominated the chunked
+    /// hot path.
+    pub fn context_groups(&self) -> &[(usize, usize)] {
+        &self.groups
     }
 }
 

@@ -249,7 +249,34 @@ impl StepCostModel for SparseCostModel {
             return StepOutcome::balanced(LatencyBreakdown::default());
         }
         let b = batch.size();
-        let context_groups = batch.context_groups();
+        // The attention pass is layer-invariant (all layers share one
+        // shape), so its kernels are priced once and charged per layer.
+        let attn_step: f64 = batch
+            .context_groups()
+            .iter()
+            .map(|&(kv_len, count)| {
+                let kv_bytes = self.shape.attention_kv_bytes(kv_len);
+                let attn_flops = self.shape.attention_flops(kv_len);
+                match self.options.cold_executor {
+                    ColdExecutor::NdpDimm => {
+                        // KV cache sharded across the DIMMs.
+                        self.dimm.attention_time(
+                            kv_bytes / self.num_dimms as u64,
+                            attn_flops / self.num_dimms as u64,
+                            count,
+                        )
+                    }
+                    // In the PowerInfer-style host configuration the KV
+                    // cache lives in host DRAM (the GPU memory is reserved
+                    // for hot neurons), so attention streams it through the
+                    // host CPU.
+                    ColdExecutor::HostCpu => {
+                        self.host_cpu
+                            .gemv_time(kv_bytes * count as u64, attn_flops, count)
+                    }
+                }
+            })
+            .sum();
         let token = self.activity.next_token();
         let cfg = &self.cfg;
         let sync = self.sync_time(b);
@@ -322,29 +349,8 @@ impl StepCostModel for SparseCostModel {
             latency.fc += fc_time;
 
             // ---- Attention over the KV cache: one kernel per group of
-            // sequences sharing a context length. ----
-            for &(kv_len, count) in &context_groups {
-                let kv_bytes = self.shape.attention_kv_bytes(kv_len);
-                let attn_flops = self.shape.attention_flops(kv_len);
-                latency.attention += match self.options.cold_executor {
-                    ColdExecutor::NdpDimm => {
-                        // KV cache sharded across the DIMMs.
-                        self.dimm.attention_time(
-                            kv_bytes / self.num_dimms as u64,
-                            attn_flops / self.num_dimms as u64,
-                            count,
-                        )
-                    }
-                    // In the PowerInfer-style host configuration the KV
-                    // cache lives in host DRAM (the GPU memory is reserved
-                    // for hot neurons), so attention streams it through the
-                    // host CPU.
-                    ColdExecutor::HostCpu => {
-                        self.host_cpu
-                            .gemv_time(kv_bytes * count as u64, attn_flops, count)
-                    }
-                };
-            }
+            // sequences sharing a context length, priced once above. ----
+            latency.attention += attn_step;
 
             // ---- Dense projection on the GPU; migrations hide under it.
             let proj_time = self.kernel.kernel_time(
@@ -447,37 +453,48 @@ impl StepCostModel for BaseCostModel {
             return StepOutcome::balanced(LatencyBreakdown::default());
         }
         let b = batch.size();
-        let context_groups = batch.context_groups();
         let sync = self
             .pcie
             .transfer_time((self.cfg.hidden_size * b) as u64 * self.cfg.dtype_bytes);
         let mut latency = LatencyBreakdown::default();
-        for layer in 0..self.cfg.num_layers {
-            let fc_bytes = self.shape.sparse_block_bytes(Block::Attention)
-                + self.shape.sparse_block_bytes(Block::Mlp);
-            let fc_flops = 2 * fc_bytes / self.cfg.dtype_bytes;
-            if layer < self.resident_layers {
-                // GPU computes the whole FC of this layer.
-                latency.fc += self.kernel.kernel_time(fc_bytes, fc_flops * b as u64) + 2.0 * sync;
-            } else {
-                // The DIMMs stream and compute the full FC, split evenly.
-                latency.fc += self.dimm.gemv_time(
-                    fc_bytes / self.num_dimms as u64,
-                    fc_flops / self.num_dimms as u64,
-                    b,
-                );
-            }
-            for &(kv_len, count) in &context_groups {
-                latency.attention += self.dimm.attention_time(
+        // Every per-layer term is layer-invariant (all layers share one
+        // shape), so each kernel is priced once and charged per layer —
+        // pricing kernels inside the layer loop dominated the serving hot
+        // path at O(layers * context groups) per step.
+        let fc_bytes = self.shape.sparse_block_bytes(Block::Attention)
+            + self.shape.sparse_block_bytes(Block::Mlp);
+        let fc_flops = 2 * fc_bytes / self.cfg.dtype_bytes;
+        // GPU computes the whole FC of a resident layer; the DIMMs stream
+        // and compute the full FC of the rest, split evenly.
+        let fc_gpu = self.kernel.kernel_time(fc_bytes, fc_flops * b as u64) + 2.0 * sync;
+        let fc_dimm = self.dimm.gemv_time(
+            fc_bytes / self.num_dimms as u64,
+            fc_flops / self.num_dimms as u64,
+            b,
+        );
+        let attn_step: f64 = batch
+            .context_groups()
+            .iter()
+            .map(|&(kv_len, count)| {
+                self.dimm.attention_time(
                     self.shape.attention_kv_bytes(kv_len) / self.num_dimms as u64,
                     self.shape.attention_flops(kv_len) / self.num_dimms as u64,
                     count,
-                );
-            }
-            latency.others += self.kernel.kernel_time(
-                self.shape.projection_bytes(),
-                self.shape.projection_flops() * b as u64,
-            ) + sync;
+                )
+            })
+            .sum();
+        let others_step = self.kernel.kernel_time(
+            self.shape.projection_bytes(),
+            self.shape.projection_flops() * b as u64,
+        ) + sync;
+        for layer in 0..self.cfg.num_layers {
+            latency.fc += if layer < self.resident_layers {
+                fc_gpu
+            } else {
+                fc_dimm
+            };
+            latency.attention += attn_step;
+            latency.others += others_step;
         }
         StepOutcome::balanced(latency)
     }

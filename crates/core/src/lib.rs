@@ -81,10 +81,11 @@ pub use error::HermesError;
 pub use hermes::{HermesEngine, HermesOptions, HermesSystem, MappingPolicy, OnlineAdjustment};
 pub use planner::NeuronPlan;
 pub use report::{
-    ClassReport, DistributionStats, InferenceReport, KvPoolReport, LatencyBreakdown, ServingReport,
-    SwapReport, TokenLatencyStats,
+    ClassReport, DistributionStats, InferenceReport, KvPoolReport, LatencyBreakdown,
+    PrefixCacheReport, ServingReport, SwapReport, TokenLatencyStats,
 };
 pub use systems::{try_run_system, SystemKind};
 pub use workload::{
-    ArrivalProcess, LengthDistribution, PrioritySpec, RequestClass, RequestLength, Workload,
+    ArrivalProcess, LengthDistribution, PrioritySpec, PromptSpec, RequestClass, RequestLength,
+    Workload,
 };

@@ -232,6 +232,43 @@ pub struct SwapReport {
     pub seconds: f64,
 }
 
+/// Prefix-cache statistics of a serving run (present only when the prefix
+/// cache is enabled).
+///
+/// A lookup is one cache consultation at a request admission (re-admissions
+/// after an evict-and-refill preemption look up again; swap-in resumes do
+/// not re-prefill and therefore do not look up). Reused tokens were served
+/// from cached KV blocks and skipped prefill entirely; recomputed tokens
+/// went through prefill (the unmatched suffix, plus — after a preemption —
+/// the restart-with-recompute re-prefill).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrefixCacheReport {
+    /// Cache consultations (one per admission of a prefix-carrying request).
+    pub lookups: usize,
+    /// Lookups that matched at least one cached block.
+    pub hits: usize,
+    /// `hits / lookups` (0 when no lookups).
+    pub hit_rate: f64,
+    /// Prefill tokens skipped because their KV was served from the cache.
+    pub reused_prefill_tokens: usize,
+    /// Prefill tokens actually computed.
+    pub recomputed_prefill_tokens: usize,
+    /// Prefix insertions into the radix tree.
+    pub insertions: usize,
+    /// Cached blocks resident at the end of the run.
+    pub resident_blocks: u64,
+    /// Prefix tokens stored in the resident blocks at the end of the run.
+    pub resident_tokens: u64,
+    /// Cached blocks returned to the pool under pressure over the run.
+    pub evicted_blocks: u64,
+    /// TTFT distribution of completed requests whose first admission hit
+    /// the cache.
+    pub ttft_hit: DistributionStats,
+    /// TTFT distribution of completed requests whose first admission missed
+    /// (including requests that declared no prefix).
+    pub ttft_miss: DistributionStats,
+}
+
 /// The result of simulating one system under an open-loop request-level
 /// serving load (produced by the `hermes-serve` simulator).
 ///
@@ -290,6 +327,8 @@ pub struct ServingReport {
     pub kv: Option<KvPoolReport>,
     /// Swap-tier traffic (`None` unless the preemption policy is swap-out).
     pub swap: Option<SwapReport>,
+    /// Prefix-cache statistics (`None` unless the prefix cache is enabled).
+    pub prefix: Option<PrefixCacheReport>,
 }
 
 impl ServingReport {
@@ -480,6 +519,7 @@ mod tests {
             per_class: Vec::new(),
             kv: None,
             swap: None,
+            prefix: None,
         }
     }
 

@@ -399,6 +399,66 @@ impl ArrivalProcess {
     }
 }
 
+/// Which prompt-token prefixes the requests of a serving scenario share —
+/// the workload-side declaration a prefix cache and prefix-affinity
+/// scheduling act on.
+///
+/// Like [`LengthDistribution`] and [`PrioritySpec`], the spec is pure data:
+/// the `hermes-serve` crate samples it into concrete per-request prefix
+/// token ids with a seeded generator, so equal seeds always produce equal
+/// prefix assignments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PromptSpec {
+    /// Every prompt is unique: no request declares any shared prefix, so a
+    /// prefix cache can never hit across requests.
+    Unique,
+    /// Requests draw one of `groups` shared-prefix groups uniformly; every
+    /// request of a group starts with the same `prefix_len` prompt tokens
+    /// (the shared-system-prompt / shared-RAG-context shape). A prefix
+    /// longer than a request's sampled prompt is clamped to the prompt.
+    SharedGroups {
+        /// Number of distinct shared prefixes.
+        groups: usize,
+        /// Length in tokens of each shared prefix.
+        prefix_len: usize,
+    },
+    /// Explicit per-request prefix token ids, in arrival order — e.g.
+    /// replayed from a production trace alongside [`ArrivalProcess::Trace`].
+    /// Requests sharing leading token ids share that prefix; an empty
+    /// prefix declares no sharing.
+    Trace {
+        /// Prefix token ids of each request, in arrival order.
+        prefixes: Vec<Vec<u64>>,
+    },
+}
+
+impl PromptSpec {
+    /// Validate the prompt spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HermesError::InvalidWorkload`] naming the first invalid
+    /// field.
+    pub fn validate(&self) -> Result<(), HermesError> {
+        match self {
+            PromptSpec::Unique | PromptSpec::Trace { .. } => Ok(()),
+            PromptSpec::SharedGroups { groups, prefix_len } => {
+                if *groups == 0 {
+                    return Err(HermesError::InvalidWorkload(
+                        "shared-prefix group count must be at least 1".into(),
+                    ));
+                }
+                if *prefix_len == 0 {
+                    return Err(HermesError::InvalidWorkload(
+                        "shared prefix length must be at least 1".into(),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -556,6 +616,37 @@ mod tests {
             },
             PrioritySpec::Trace {
                 classes: vec![RequestClass::new(1).with_ttft_deadline(0.0)],
+            },
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(HermesError::InvalidWorkload(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn prompt_specs_validate() {
+        PromptSpec::Unique.validate().unwrap();
+        PromptSpec::SharedGroups {
+            groups: 2,
+            prefix_len: 48,
+        }
+        .validate()
+        .unwrap();
+        PromptSpec::Trace {
+            prefixes: vec![vec![1, 2, 3], vec![], vec![1, 2]],
+        }
+        .validate()
+        .unwrap();
+        for bad in [
+            PromptSpec::SharedGroups {
+                groups: 0,
+                prefix_len: 48,
+            },
+            PromptSpec::SharedGroups {
+                groups: 2,
+                prefix_len: 0,
             },
         ] {
             assert!(

@@ -146,6 +146,39 @@ impl KvPool {
         self.used_blocks -= freed;
         freed
     }
+
+    /// Take ownership of `blocks` blocks outside any request slot and
+    /// return their ids.
+    ///
+    /// The prefix cache holds resident prefixes this way: the blocks count
+    /// against `used_blocks` (and the high-water mark) like any page-table
+    /// block, but belong to the cache rather than to a sequence. The caller
+    /// must have checked [`KvPool::fits`].
+    pub fn acquire_blocks(&mut self, blocks: u64) -> Vec<u64> {
+        debug_assert!(self.fits(blocks), "allocation past pool capacity");
+        let mut ids = Vec::with_capacity(blocks as usize);
+        for _ in 0..blocks {
+            let block = self.free.pop().unwrap_or_else(|| {
+                let minted = self.next_block;
+                self.next_block += 1;
+                minted
+            });
+            ids.push(block);
+        }
+        self.used_blocks += blocks;
+        self.peak_blocks = self.peak_blocks.max(self.used_blocks);
+        ids
+    }
+
+    /// Return blocks previously taken with [`KvPool::acquire_blocks`] to
+    /// the free list.
+    pub fn surrender_blocks(&mut self, ids: &[u64]) {
+        self.used_blocks -= ids.len() as u64;
+        // Reverse for the same LIFO-stability reason as `release`.
+        for &block in ids.iter().rev() {
+            self.free.push(block);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +219,22 @@ mod tests {
         assert!(!pool.fits(1));
         let unbounded = KvPool::new(4, 64, None, 1);
         assert!(unbounded.fits(u64::MAX / 2));
+    }
+
+    #[test]
+    fn acquired_blocks_round_trip_through_the_free_list() {
+        let mut pool = KvPool::new(4, 64, Some(4), 1);
+        let ids = pool.acquire_blocks(3);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(pool.used_blocks(), 3);
+        assert!(pool.fits(1));
+        assert!(!pool.fits(2));
+        pool.surrender_blocks(&ids);
+        assert_eq!(pool.used_blocks(), 0);
+        // Surrendered blocks are reused before minting fresh ids.
+        pool.allocate(0, 2);
+        assert!(pool.tables[0].iter().all(|&b| b < 3));
+        assert_eq!(pool.peak_blocks(), 3);
     }
 
     #[test]

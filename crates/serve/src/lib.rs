@@ -65,6 +65,25 @@
 //! skip the re-prefill), while EvictAndRefill keeps the link free at the
 //! price of recomputing every evicted token.
 //!
+//! A radix **prefix cache** ([`PrefixCacheMode`], requires paged
+//! accounting) adds KV reuse *across* requests: prompts declare a shared
+//! leading token run ([`PromptSpec`]: unique, sampled shared-prefix groups,
+//! or explicit per-request token traces), and the cache keeps the blocks
+//! of completed prefixes resident in the same [`KvPool`] the sequences
+//! allocate from, organised as a radix tree whose nodes own block-aligned
+//! edges. An admission whose prefix matches cached content maps the
+//! matched blocks copy-free — charging prefill only for the unmatched
+//! suffix — and pins the matched path with a per-request lease for as long
+//! as it runs; referenced nodes are never evicted, while unreferenced ones
+//! are reclaimed least-popular-first (fewest hits, then least recently
+//! used) only under capacity pressure, before any sequence would be
+//! preempted for space. [`SchedulingPolicy::PrefixAffinity`] complements
+//! the cache by ranking the ready queue so same-prefix requests are
+//! admitted adjacently and co-batched while their prefix is warm. The
+//! report's [`PrefixCacheReport`](hermes_core::PrefixCacheReport) section
+//! tracks hit rate, reused vs recomputed prefill tokens, residency and a
+//! TTFT split by hit/miss.
+//!
 //! Admitted prompts are prefilled under a [`PrefillPolicy`]:
 //! [`PrefillPolicy::StallTheWorld`] prices each admitted prompt in one pass
 //! before the next decode step, so every in-flight sequence absorbs the full
@@ -147,6 +166,9 @@
 
 pub mod arrival;
 pub mod kv;
+pub(crate) mod prefix;
+#[cfg(test)]
+mod prefix_props;
 pub mod queue;
 #[cfg(feature = "reference")]
 pub mod reference;
@@ -159,15 +181,18 @@ pub use kv::KvPool;
 pub use queue::{Rank, ReadyQueue};
 #[cfg(feature = "reference")]
 pub use reference::simulate_reference;
-pub use request::{assign_request_classes, sample_request_lengths, RequestRecord, ServingRequest};
+pub use request::{
+    assign_request_classes, sample_request_lengths, sample_request_prefixes, RequestRecord,
+    ServingRequest,
+};
 pub use scheduler::{
     request_kv_bytes, token_kv_bytes, AdmissionConfig, BatchingPolicy, KvAccounting,
-    PreemptionPolicy, PrefillPolicy, SchedulingPolicy, DEFAULT_BLOCK_TOKENS,
+    PreemptionPolicy, PrefillPolicy, PrefixCacheMode, SchedulingPolicy, DEFAULT_BLOCK_TOKENS,
 };
 pub use simulator::{simulate, ServingOutcome, ServingSimulation};
 
 // Re-export the workload specs so downstream users need not name
 // hermes-core for the common case.
 pub use hermes_core::{
-    ArrivalProcess, LengthDistribution, PrioritySpec, RequestClass, RequestLength,
+    ArrivalProcess, LengthDistribution, PrioritySpec, PromptSpec, RequestClass, RequestLength,
 };

@@ -16,21 +16,27 @@
 //! [`KvPool`](crate::KvPool) free-list allocator): simulated outcomes
 //! depend only on block *counts*, so the oracle stays independent of the
 //! allocator implementation while still pinning every admission decision,
-//! growth eviction and swap charge bitwise.
+//! growth eviction and swap charge bitwise. The prefix cache itself
+//! ([`PrefixCache`]) *is* shared with the production loop — its radix
+//! structure and eviction order are part of the semantics under test — but
+//! its blocks are charged against the naive counters here, with placeholder
+//! block ids (the simulation depends only on counts, never on identities).
 
 use hermes_core::{
     BatchState, HermesError, LatencyBreakdown, PrefillChunk, SystemConfig, SystemKind,
 };
 
 use crate::arrival::sample_arrival_times;
+use crate::prefix::{PrefixCache, PrefixLease};
 use crate::request::{RequestRecord, ServingRequest};
 use crate::scheduler::{
     request_kv_bytes, token_kv_bytes, BatchingPolicy, KvAccounting, PreemptionPolicy,
-    PrefillPolicy, SchedulingPolicy,
+    PrefillPolicy, PrefixCacheMode,
 };
 use crate::simulator::{
-    build_report, primary_rank, validate_paged_capacity, validate_paged_preemption,
-    worst_case_bounds, KvTallies, ServingOutcome, ServingSimulation, SwapTallies, LENGTH_SEED_SALT,
+    build_report, request_ranks, validate_paged_capacity, validate_paged_preemption,
+    validate_prefix_cache, worst_case_bounds, KvTallies, PrefixTallies, ServingOutcome,
+    ServingSimulation, SwapTallies, LENGTH_SEED_SALT, PREFIX_SEED_SALT,
 };
 
 /// A sequence currently holding a batch slot and generating tokens.
@@ -57,12 +63,8 @@ struct PrefillingSequence {
 
 /// Sort the ready queue: primary rank first, arrival order within a rank —
 /// the full per-boundary re-sort the heap-based scheduler replaced.
-fn sort_ready(ready: &mut [usize], scheduling: SchedulingPolicy, requests: &[ServingRequest]) {
-    ready.sort_by(|&a, &b| {
-        let ra = primary_rank(scheduling, &requests[a]);
-        let rb = primary_rank(scheduling, &requests[b]);
-        ra.total_cmp(&rb).then(a.cmp(&b))
-    });
+fn sort_ready(ready: &mut [usize], ranks: &[f64]) {
+    ready.sort_by(|&a, &b| ranks[a].total_cmp(&ranks[b]).then(a.cmp(&b)));
 }
 
 /// Simulate `kind` on `config` under `sim` through the retained sort-based
@@ -81,13 +83,16 @@ pub fn simulate_reference(
     sim.admission.validate()?;
     sim.prefill.validate()?;
     validate_paged_preemption(sim)?;
+    validate_prefix_cache(sim)?;
     let times = sample_arrival_times(&sim.arrival, sim.num_requests, sim.arrival_seed)?;
     let requests = ServingRequest::sample(
         &sim.template,
         &times,
         &sim.lengths,
         &sim.classes,
+        &sim.prompts,
         sim.arrival_seed ^ LENGTH_SEED_SALT,
+        sim.arrival_seed ^ PREFIX_SEED_SALT,
     )?;
     let engine = kind.engine(config);
     let mut plan = engine.plan(&sim.template)?;
@@ -115,6 +120,16 @@ pub fn simulate_reference(
         validate_paged_capacity(bt, capacity_blocks, &requests, sim)?;
     }
     let blocks_for = |bt: usize, tokens: usize| tokens.div_ceil(bt) as u64;
+    // The production radix cache, charged against the naive counters with
+    // placeholder block ids: its structure and eviction order are the
+    // semantics under test, block identities never influence an outcome.
+    let mut cache: Option<PrefixCache> = match sim.prefix_cache {
+        PrefixCacheMode::Disabled => None,
+        PrefixCacheMode::Lru => Some(PrefixCache::new(
+            paged.expect("prefix cache validated to require paged accounting"),
+        )),
+    };
+    let ranks: Vec<f64> = request_ranks(sim.scheduling, &requests);
 
     let mut records: Vec<RequestRecord> = requests
         .iter()
@@ -128,6 +143,7 @@ pub fn simulate_reference(
             gen_len: r.gen_len,
             class: r.class,
             preemptions: 0,
+            reused_prefix_tokens: 0,
         })
         .collect();
 
@@ -153,6 +169,15 @@ pub fn simulate_reference(
     let mut kv_used_token_steps: u64 = 0;
     let mut kv_steps: u64 = 0;
     let mut prefill_target_tokens: usize = 0;
+    // Prefix-cache bookkeeping, mirroring the heap loop: the covered run
+    // each request stores in cache blocks (capacity), the reused part of
+    // it whose prefill is skipped (an inserter covers its inserted run but
+    // still computes it), the lease pinning the path, and the prefill
+    // tokens actually recomputed (the reused-token complement).
+    let mut covered: Vec<usize> = vec![0; requests.len()];
+    let mut reused: Vec<usize> = vec![0; requests.len()];
+    let mut lease: Vec<Option<PrefixLease>> = vec![None; requests.len()];
+    let mut recomputed_prefill_tokens: usize = 0;
 
     // Shared eviction bookkeeping (admission scan and paged growth), the
     // sort-based mirror of the heap loop's `evict!`: same charge order, so
@@ -179,6 +204,8 @@ pub fn simulate_reference(
                 }
             };
             if sim.preemption == PreemptionPolicy::SwapOut {
+                // Only the victim's own pages travel; its covered prefix
+                // stays resident, pinned by the lease it keeps.
                 let cost = plan.cost.swap_cost(held_bytes);
                 clock += cost;
                 breakdown.communication += cost;
@@ -186,6 +213,13 @@ pub fn simulate_reference(
                 swap.swap_outs += 1;
                 swap.swapped_out_bytes += held_bytes;
                 swapped[victim.idx] = Some(held_bytes);
+            } else {
+                // Restart-with-recompute drops the victim's cache claim.
+                if let (Some(cache), Some(l)) = (cache.as_mut(), lease[victim.idx].take()) {
+                    cache.release(l);
+                }
+                covered[victim.idx] = 0;
+                reused[victim.idx] = 0;
             }
             ready.push(victim.idx);
         }};
@@ -207,10 +241,131 @@ pub fn simulate_reference(
         };
         let mut admitted: Vec<usize> = Vec::new();
         if may_admit {
-            sort_ready(&mut ready, sim.scheduling, &requests);
+            sort_ready(&mut ready, &ranks);
             while let Some(&idx) = ready.first() {
                 let kv = kv_bytes_per_request[idx];
                 let seats = active.len() + prefilling.len() + admitted.len();
+                if sim.prefix_cache != PrefixCacheMode::Disabled {
+                    // Cache-aware paged admission, mirroring the heap
+                    // loop's protocol on the naive counters: the matched
+                    // run maps copy-free, the insertable remainder's blocks
+                    // are funded by this request, unpinned cache blocks off
+                    // the matched path count as reclaimable capacity, and a
+                    // resuming swap-out victim keeps the lease it never
+                    // released.
+                    let request = &requests[idx];
+                    let ctx1 = request.prompt_len + generated[idx] + 1;
+                    let bt = paged.expect("cache requires paged accounting");
+                    let resumed = swapped[idx].is_some();
+                    let c = cache.as_ref().expect("cache mode");
+                    let cap = capacity_blocks.unwrap_or(u64::MAX);
+                    let (lookup_len, cplan) = if resumed {
+                        (0, c.plan(&[]))
+                    } else {
+                        let cacheable = c.cacheable(request.prefix.len());
+                        (cacheable, c.plan(&request.prefix[..cacheable]))
+                    };
+                    let do_insert = !resumed && cplan.can_insert && cplan.matched < lookup_len;
+                    let target_covered = if resumed {
+                        covered[idx]
+                    } else if do_insert {
+                        lookup_len
+                    } else {
+                        cplan.matched
+                    };
+                    let insert_blocks = if do_insert {
+                        ((lookup_len - cplan.matched) / bt) as u64
+                    } else {
+                        0
+                    };
+                    let own = blocks_for(bt, ctx1 - target_covered);
+                    let extra = own + insert_blocks;
+                    if sim.admission.admits(seats, 0, 0)
+                        && used_blocks + extra <= cap.saturating_add(cplan.freeable_blocks)
+                    {
+                        ready.remove(0);
+                        if !resumed {
+                            let (l, matched) = cache
+                                .as_mut()
+                                .expect("cache mode")
+                                .acquire(&request.prefix[..lookup_len]);
+                            debug_assert_eq!(matched, cplan.matched, "plan and acquire must agree");
+                            lease[idx] = Some(l);
+                            // Only the *matched* run skips prefill; an
+                            // inserted run is cache-resident but this
+                            // request still computes it.
+                            reused[idx] = matched;
+                            if !ever_admitted[idx] {
+                                records[idx].reused_prefix_tokens = matched;
+                            }
+                        }
+                        let shortfall = (used_blocks + extra).saturating_sub(cap);
+                        if shortfall > 0 {
+                            let freed = cache.as_mut().expect("cache mode").evict_for(shortfall);
+                            used_blocks -= freed.len() as u64;
+                        }
+                        if do_insert {
+                            used_blocks += insert_blocks;
+                            peak_blocks = peak_blocks.max(used_blocks);
+                            cache.as_mut().expect("cache mode").insert(
+                                lease[idx].expect("lease acquired above"),
+                                &request.prefix[cplan.matched..lookup_len],
+                                vec![0; insert_blocks as usize],
+                            );
+                        }
+                        blocks_held[idx] += own;
+                        used_blocks += own;
+                        peak_blocks = peak_blocks.max(used_blocks);
+                        covered[idx] = target_covered;
+                        admitted.push(idx);
+                        continue;
+                    }
+                    if sim.preemption != PreemptionPolicy::None {
+                        // Victim coverage is conservatively unreclaimable —
+                        // only the victims' own pages and the unpinned
+                        // cache blocks count, exactly as in the heap loop.
+                        let rank = ranks[idx];
+                        let mut victims: Vec<usize> = (0..active.len())
+                            .filter(|&pos| ranks[active[pos].idx] > rank)
+                            .collect();
+                        victims.sort_by(|&a, &b| {
+                            let ra = ranks[active[a].idx];
+                            let rb = ranks[active[b].idx];
+                            rb.total_cmp(&ra).then(active[b].idx.cmp(&active[a].idx))
+                        });
+                        let mut take = 0usize;
+                        let mut freed = 0u64;
+                        let mut feasible = false;
+                        for &pos in &victims {
+                            freed += blocks_held[active[pos].idx];
+                            take += 1;
+                            if sim.admission.admits(seats - take, 0, 0)
+                                && used_blocks + extra
+                                    <= cap
+                                        .saturating_add(cplan.freeable_blocks)
+                                        .saturating_add(freed)
+                            {
+                                feasible = true;
+                                break;
+                            }
+                        }
+                        if feasible {
+                            let evicted: Vec<usize> = victims
+                                .into_iter()
+                                .take(take)
+                                .map(|pos| active[pos].idx)
+                                .collect();
+                            for victim_idx in evicted {
+                                evict_ref!(victim_idx);
+                            }
+                            sort_ready(&mut ready, &ranks);
+                            // Retry: the released leases and pages are
+                            // re-planned from scratch.
+                            continue;
+                        }
+                    }
+                    break;
+                }
                 // Context blocks plus one write slot for the next decoded
                 // token, so an admitted sequence always makes progress
                 // before it can need to grow (the livelock guard the heap
@@ -238,15 +393,13 @@ pub fn simulate_reference(
                     continue;
                 }
                 if sim.preemption != PreemptionPolicy::None {
-                    let rank = primary_rank(sim.scheduling, &requests[idx]);
+                    let rank = ranks[idx];
                     let mut victims: Vec<usize> = (0..active.len())
-                        .filter(|&pos| {
-                            primary_rank(sim.scheduling, &requests[active[pos].idx]) > rank
-                        })
+                        .filter(|&pos| ranks[active[pos].idx] > rank)
                         .collect();
                     victims.sort_by(|&a, &b| {
-                        let ra = primary_rank(sim.scheduling, &requests[active[a].idx]);
-                        let rb = primary_rank(sim.scheduling, &requests[active[b].idx]);
+                        let ra = ranks[active[a].idx];
+                        let rb = ranks[active[b].idx];
                         rb.total_cmp(&ra).then(active[b].idx.cmp(&active[a].idx))
                     });
                     let mut take = 0usize;
@@ -294,7 +447,7 @@ pub fn simulate_reference(
                         for victim_idx in evicted {
                             evict_ref!(victim_idx);
                         }
-                        sort_ready(&mut ready, sim.scheduling, &requests);
+                        sort_ready(&mut ready, &ranks);
                         continue;
                     }
                 }
@@ -334,7 +487,7 @@ pub fn simulate_reference(
                 if !admitted.is_empty() {
                     let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
                     for &idx in &admitted {
-                        let p = requests[idx].prompt_len + generated[idx];
+                        let p = requests[idx].prompt_len + generated[idx] - reused[idx];
                         match groups.iter_mut().find(|(len, _)| *len == p) {
                             Some((_, members)) => members.push(idx),
                             None => groups.push((p, vec![idx])),
@@ -347,9 +500,12 @@ pub fn simulate_reference(
                                 ever_admitted[idx] = true;
                             }
                         }
-                        let cost = plan.cost.prefill_cost(prefill_len, members.len());
-                        breakdown.prefill += cost;
-                        clock += cost;
+                        recomputed_prefill_tokens += prefill_len * members.len();
+                        if prefill_len > 0 {
+                            let cost = plan.cost.prefill_cost(prefill_len, members.len());
+                            breakdown.prefill += cost;
+                            clock += cost;
+                        }
                     }
                     for idx in admitted {
                         let request = &requests[idx];
@@ -364,7 +520,24 @@ pub fn simulate_reference(
             }
             PrefillPolicy::Chunked { .. } => {
                 for idx in admitted {
-                    let target = requests[idx].prompt_len + generated[idx];
+                    let target = requests[idx].prompt_len + generated[idx] - reused[idx];
+                    recomputed_prefill_tokens += target;
+                    if target == 0 {
+                        // Fully covered: nothing to prefill, join the
+                        // decode batch at this very boundary.
+                        if !ever_admitted[idx] {
+                            records[idx].admitted = clock;
+                            ever_admitted[idx] = true;
+                        }
+                        let request = &requests[idx];
+                        active.push(ActiveSequence {
+                            idx,
+                            context: request.prompt_len + generated[idx],
+                            remaining: request.gen_len - generated[idx],
+                            kv_bytes: kv_bytes_per_request[idx],
+                        });
+                        continue;
+                    }
                     prefill_target_tokens += target;
                     prefilling.push(PrefillingSequence {
                         idx,
@@ -428,32 +601,42 @@ pub fn simulate_reference(
         if let Some(bt) = paged {
             let mut growers: Vec<usize> = active
                 .iter()
-                .filter(|a| blocks_held[a.idx] < blocks_for(bt, a.context + 1))
+                .filter(|a| blocks_held[a.idx] < blocks_for(bt, a.context + 1 - covered[a.idx]))
                 .map(|a| a.idx)
                 .collect();
-            growers.sort_by(|&a, &b| {
-                let ra = primary_rank(sim.scheduling, &requests[a]);
-                let rb = primary_rank(sim.scheduling, &requests[b]);
-                ra.total_cmp(&rb).then(a.cmp(&b))
-            });
+            growers.sort_by(|&a, &b| ranks[a].total_cmp(&ranks[b]).then(a.cmp(&b)));
             for grower in growers {
                 if !active.iter().any(|a| a.idx == grower) {
                     continue;
                 }
-                if used_blocks < capacity_blocks.unwrap_or(u64::MAX) {
+                let cap = capacity_blocks.unwrap_or(u64::MAX);
+                if used_blocks < cap {
                     blocks_held[grower] += 1;
                     used_blocks += 1;
                     peak_blocks = peak_blocks.max(used_blocks);
                     continue;
                 }
-                let rank_g = primary_rank(sim.scheduling, &requests[grower]);
+                // Unpinned cache blocks are reclaimed before any sequence
+                // is preempted for a grower's block.
+                if let Some(cache) = cache.as_mut() {
+                    let shortfall = (used_blocks + 1).saturating_sub(cap);
+                    let freed = cache.evict_for(shortfall);
+                    used_blocks -= freed.len() as u64;
+                    if used_blocks < cap {
+                        blocks_held[grower] += 1;
+                        used_blocks += 1;
+                        peak_blocks = peak_blocks.max(used_blocks);
+                        continue;
+                    }
+                }
+                let rank_g = ranks[grower];
                 let victim = active
                     .iter()
-                    .filter(|a| primary_rank(sim.scheduling, &requests[a.idx]) > rank_g)
+                    .filter(|a| ranks[a.idx] > rank_g)
                     .max_by(|a, b| {
-                        let ra = primary_rank(sim.scheduling, &requests[a.idx]);
-                        let rb = primary_rank(sim.scheduling, &requests[b.idx]);
-                        ra.total_cmp(&rb).then(a.idx.cmp(&b.idx))
+                        ranks[a.idx]
+                            .total_cmp(&ranks[b.idx])
+                            .then(a.idx.cmp(&b.idx))
                     })
                     .map(|a| a.idx);
                 match victim {
@@ -469,7 +652,10 @@ pub fn simulate_reference(
             kv_steps += 1;
             kv_block_steps += used_blocks;
             let active_tokens: u64 = active.iter().map(|a| a.context as u64).sum();
-            kv_used_token_steps += active_tokens + prefill_target_tokens as u64;
+            let covered_tokens: u64 = active.iter().map(|a| covered[a.idx] as u64).sum();
+            kv_used_token_steps += active_tokens - covered_tokens
+                + prefill_target_tokens as u64
+                + cache.as_ref().map_or(0, |c| c.resident_tokens());
         }
 
         // 6. One shared step over the current batch composition.
@@ -501,6 +687,11 @@ pub fn simulate_reference(
                     }
                     None => active_kv_bytes -= seq.kv_bytes,
                 }
+                // The covered run outlives the request: releasing the
+                // lease leaves the prefix resident for later arrivals.
+                if let (Some(cache), Some(l)) = (cache.as_mut(), lease[seq.idx].take()) {
+                    cache.release(l);
+                }
             }
         }
         active.retain(|seq| seq.remaining > 0);
@@ -515,7 +706,7 @@ pub fn simulate_reference(
                 let request = &requests[seq.idx];
                 active.push(ActiveSequence {
                     idx: seq.idx,
-                    context: seq.target,
+                    context: seq.target + reused[seq.idx],
                     remaining: request.gen_len - generated[seq.idx],
                     kv_bytes: kv_bytes_per_request[seq.idx],
                 });
@@ -534,6 +725,12 @@ pub fn simulate_reference(
         used_token_steps: kv_used_token_steps,
         steps: kv_steps,
     });
+    let prefix_tallies = cache.as_ref().map(|cache| PrefixTallies {
+        stats: cache.stats(),
+        resident_blocks: cache.resident_blocks(),
+        resident_tokens: cache.resident_tokens(),
+        recomputed_prefill_tokens,
+    });
     let report = build_report(
         sim,
         &plan.spec,
@@ -547,6 +744,7 @@ pub fn simulate_reference(
         imbalance_samples,
         kv_tallies,
         swap,
+        prefix_tallies,
     );
     Ok(ServingOutcome { report, records })
 }

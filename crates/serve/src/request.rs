@@ -6,7 +6,8 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use hermes_core::{
-    HermesError, LengthDistribution, PrioritySpec, RequestClass, RequestLength, Workload,
+    HermesError, LengthDistribution, PrioritySpec, PromptSpec, RequestClass, RequestLength,
+    Workload,
 };
 
 /// One request offered to the serving simulator.
@@ -22,39 +23,51 @@ pub struct ServingRequest {
     pub gen_len: usize,
     /// Scheduling class: priority tier and optional TTFT deadline.
     pub class: RequestClass,
+    /// Leading prompt token ids shared with other requests (empty for a
+    /// unique prompt). Only this run is eligible for prefix-cache reuse;
+    /// the rest of the prompt is treated as distinct per request.
+    pub prefix: Vec<u64>,
 }
 
 impl ServingRequest {
     /// Build one request per arrival time with per-request lengths sampled
     /// from `lengths` (seeded, deterministic — equal inputs always produce
-    /// identical requests) and classes assigned by `classes` (deterministic
-    /// by construction).
+    /// identical requests), classes assigned by `classes` (deterministic by
+    /// construction), and shared-prefix runs sampled from `prompts` with
+    /// `prefix_seed`.
     ///
     /// # Errors
     ///
-    /// Returns [`HermesError::InvalidWorkload`] when the length or priority
-    /// spec fails validation, or a trace spec supplies a different number of
-    /// entries than there are arrivals.
+    /// Returns [`HermesError::InvalidWorkload`] when the length, priority,
+    /// or prompt spec fails validation, a trace spec supplies a different
+    /// number of entries than there are arrivals, or a traced prefix is
+    /// longer than its request's prompt.
     pub fn sample(
         template: &Workload,
         arrival_times: &[f64],
         lengths: &LengthDistribution,
         classes: &PrioritySpec,
+        prompts: &PromptSpec,
         seed: u64,
+        prefix_seed: u64,
     ) -> Result<Vec<ServingRequest>, HermesError> {
         let lengths = sample_request_lengths(lengths, template, arrival_times.len(), seed)?;
         let classes = assign_request_classes(classes, arrival_times.len())?;
+        let prefixes = sample_request_prefixes(prompts, &lengths, prefix_seed)?;
         Ok(arrival_times
             .iter()
-            .zip(lengths.into_iter().zip(classes))
+            .zip(lengths.into_iter().zip(classes.into_iter().zip(prefixes)))
             .enumerate()
-            .map(|(id, (&arrival, (length, class)))| ServingRequest {
-                id,
-                arrival,
-                prompt_len: length.prompt_len,
-                gen_len: length.gen_len,
-                class,
-            })
+            .map(
+                |(id, (&arrival, (length, (class, prefix))))| ServingRequest {
+                    id,
+                    arrival,
+                    prompt_len: length.prompt_len,
+                    gen_len: length.gen_len,
+                    class,
+                    prefix,
+                },
+            )
             .collect())
     }
 
@@ -147,6 +160,64 @@ pub fn sample_request_lengths(
     }
 }
 
+/// Sample one shared-prefix token run per request from a [`PromptSpec`].
+/// Deterministic: equal `(spec, lengths, seed)` always produce identical
+/// prefixes.
+///
+/// [`PromptSpec::SharedGroups`] draws each request's group uniformly with a
+/// seeded generator and synthesizes the group's token ids; a prefix longer
+/// than its request's prompt is clamped to the prompt, so shorter prompts
+/// still share their whole leading run with the group. [`PromptSpec::Trace`]
+/// prefixes are taken verbatim and must fit inside their prompts.
+///
+/// # Errors
+///
+/// Returns [`HermesError::InvalidWorkload`] when the spec fails
+/// [`PromptSpec::validate`], a trace supplies a different number of prefixes
+/// than there are requests, or a traced prefix is longer than its prompt.
+pub fn sample_request_prefixes(
+    spec: &PromptSpec,
+    lengths: &[RequestLength],
+    seed: u64,
+) -> Result<Vec<Vec<u64>>, HermesError> {
+    spec.validate()?;
+    match spec {
+        PromptSpec::Unique => Ok(vec![Vec::new(); lengths.len()]),
+        PromptSpec::SharedGroups { groups, prefix_len } => {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            Ok(lengths
+                .iter()
+                .map(|length| {
+                    let group = rng.gen_range(0..*groups) as u64;
+                    let len = (*prefix_len).min(length.prompt_len);
+                    // Token ids unique to the group, so distinct groups
+                    // never alias in the radix tree.
+                    (0..len as u64).map(|p| (group << 32) | p).collect()
+                })
+                .collect())
+        }
+        PromptSpec::Trace { prefixes } => {
+            if prefixes.len() != lengths.len() {
+                return Err(HermesError::InvalidWorkload(format!(
+                    "prompt trace supplies {} prefixes but {} requests were asked for",
+                    prefixes.len(),
+                    lengths.len()
+                )));
+            }
+            for (i, (prefix, length)) in prefixes.iter().zip(lengths).enumerate() {
+                if prefix.len() > length.prompt_len {
+                    return Err(HermesError::InvalidWorkload(format!(
+                        "prompt trace prefix {i} has {} tokens but the prompt is only {} tokens",
+                        prefix.len(),
+                        length.prompt_len
+                    )));
+                }
+            }
+            Ok(prefixes.clone())
+        }
+    }
+}
+
 /// The lifecycle timestamps of one completed request (all in seconds of
 /// virtual time since simulation start).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -170,6 +241,10 @@ pub struct RequestRecord {
     /// How many times the request was evicted from the batch (0 when it ran
     /// uninterrupted).
     pub preemptions: usize,
+    /// Prompt tokens served from the prefix cache at the request's first
+    /// admission (0 on a miss or with the cache disabled). A non-zero value
+    /// marks the request a cache hit for the TTFT hit/miss split.
+    pub reused_prefix_tokens: usize,
 }
 
 impl RequestRecord {
@@ -221,6 +296,8 @@ mod tests {
             &[0.0, 1.5],
             &LengthDistribution::Fixed,
             &PrioritySpec::Fixed,
+            &PromptSpec::Unique,
+            0,
             0,
         )
         .unwrap();
@@ -273,6 +350,8 @@ mod tests {
             &PrioritySpec::Cycle {
                 classes: vec![RequestClass::new(0).with_ttft_deadline(2.0)],
             },
+            &PromptSpec::Unique,
+            0,
             0,
         )
         .unwrap();
@@ -340,6 +419,8 @@ mod tests {
                 ],
             },
             &PrioritySpec::Fixed,
+            &PromptSpec::Unique,
+            0,
             0,
         )
         .unwrap();
@@ -361,6 +442,7 @@ mod tests {
             gen_len: 10,
             class: RequestClass::default(),
             preemptions: 0,
+            reused_prefix_tokens: 0,
         };
         assert!((record.queue_delay() - 2.0).abs() < 1e-12);
         assert!((record.ttft() - 3.0).abs() < 1e-12);

@@ -104,6 +104,14 @@ pub enum SchedulingPolicy {
     /// (`arrival + ttft_deadline`); best-effort requests (no deadline) sort
     /// after every deadline-carrying one, in arrival order.
     Edf,
+    /// Prefix-affinity co-batching: requests sharing a declared prompt
+    /// prefix (see [`PromptSpec`](hermes_core::PromptSpec)) are ranked by
+    /// the arrival of the *first* request of their prefix group, so
+    /// same-prefix ready requests are admitted together at a boundary —
+    /// maximising prefix-cache reuse while the shared KV is hot. Requests
+    /// declaring no prefix keep plain arrival order relative to group
+    /// leaders.
+    PrefixAffinity,
 }
 
 impl SchedulingPolicy {
@@ -114,6 +122,35 @@ impl SchedulingPolicy {
             SchedulingPolicy::Fcfs => "fcfs",
             SchedulingPolicy::Priority => "priority",
             SchedulingPolicy::Edf => "edf",
+            SchedulingPolicy::PrefixAffinity => "prefix-affinity",
+        }
+    }
+}
+
+/// Whether the serving scheduler keeps completed prompts' prefix KV blocks
+/// resident for reuse by later requests declaring the same prefix.
+///
+/// The cache operates over the paged KV pool (it owns block ranges), so
+/// enabling it requires [`KvAccounting::Paged`]; the simulator rejects it
+/// under reserve accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrefixCacheMode {
+    /// No caching: every admission prefills its full prompt (the behaviour
+    /// of PR 3–7).
+    Disabled,
+    /// Radix-tree prefix cache with least-popular / least-recently-used
+    /// eviction: cached blocks stay resident after their sequences complete
+    /// and are returned to the pool only under allocation pressure; blocks
+    /// referenced by live sequences are never evicted.
+    Lru,
+}
+
+impl PrefixCacheMode {
+    /// Display name used in reports and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PrefixCacheMode::Disabled => "disabled",
+            PrefixCacheMode::Lru => "lru",
         }
     }
 }
@@ -321,6 +358,9 @@ mod tests {
         assert_eq!(SchedulingPolicy::Fcfs.name(), "fcfs");
         assert_eq!(SchedulingPolicy::Priority.name(), "priority");
         assert_eq!(SchedulingPolicy::Edf.name(), "edf");
+        assert_eq!(SchedulingPolicy::PrefixAffinity.name(), "prefix-affinity");
+        assert_eq!(PrefixCacheMode::Disabled.name(), "disabled");
+        assert_eq!(PrefixCacheMode::Lru.name(), "lru");
         assert_eq!(PreemptionPolicy::None.name(), "none");
         assert_eq!(PreemptionPolicy::EvictAndRefill.name(), "evict-and-refill");
         assert_eq!(PreemptionPolicy::SwapOut.name(), "swap-out");

@@ -10,23 +10,28 @@ use serde::{Deserialize, Serialize};
 
 use hermes_core::{
     ArrivalProcess, BatchState, ClassReport, DistributionStats, HermesError, KvPoolReport,
-    LatencyBreakdown, LengthDistribution, PrefillChunk, PrioritySpec, ServingReport, SessionSpec,
-    SwapReport, SystemConfig, SystemKind, Workload,
+    LatencyBreakdown, LengthDistribution, PrefillChunk, PrefixCacheReport, PrioritySpec,
+    PromptSpec, ServingReport, SessionSpec, SwapReport, SystemConfig, SystemKind, Workload,
 };
 
 use crate::arrival::sample_arrival_times;
 use crate::kv::KvPool;
+use crate::prefix::{PrefixCache, PrefixLease, PrefixStats};
 use crate::queue::{Rank, ReadyQueue};
 use crate::request::{RequestRecord, ServingRequest};
 use crate::scheduler::{
     request_kv_bytes, token_kv_bytes, AdmissionConfig, BatchingPolicy, KvAccounting,
-    PreemptionPolicy, PrefillPolicy, SchedulingPolicy,
+    PreemptionPolicy, PrefillPolicy, PrefixCacheMode, SchedulingPolicy,
 };
 
 /// Salt mixed into the arrival seed to derive the length-sampling stream, so
 /// one scenario seed governs both samplers without the draws being
 /// correlated.
 pub(crate) const LENGTH_SEED_SALT: u64 = 0x4c45_4e47_5448_2153; // "LENGTH!S"
+
+/// Salt mixed into the arrival seed to derive the shared-prefix sampling
+/// stream, independent of both the arrival and the length draws.
+pub(crate) const PREFIX_SEED_SALT: u64 = 0x5052_4546_4958_2153; // "PREFIX!S"
 
 /// One open-loop serving scenario: which requests arrive when, how long they
 /// are, and how the scheduler batches and prefills them.
@@ -65,6 +70,11 @@ pub struct ServingSimulation {
     /// Whether a blocked high-ranked request may evict lower-ranked active
     /// sequences.
     pub preemption: PreemptionPolicy,
+    /// How shared prompt prefixes are assigned across requests.
+    pub prompts: PromptSpec,
+    /// Whether cached prompt prefixes are kept resident in the paged pool
+    /// and reused across requests.
+    pub prefix_cache: PrefixCacheMode,
 }
 
 impl ServingSimulation {
@@ -84,6 +94,8 @@ impl ServingSimulation {
             classes: PrioritySpec::Fixed,
             scheduling: SchedulingPolicy::Fcfs,
             preemption: PreemptionPolicy::None,
+            prompts: PromptSpec::Unique,
+            prefix_cache: PrefixCacheMode::Disabled,
         }
     }
 
@@ -132,6 +144,18 @@ impl ServingSimulation {
     /// Same scenario with a different preemption policy.
     pub fn with_preemption(mut self, preemption: PreemptionPolicy) -> Self {
         self.preemption = preemption;
+        self
+    }
+
+    /// Same scenario with a different shared-prefix assignment.
+    pub fn with_prompts(mut self, prompts: PromptSpec) -> Self {
+        self.prompts = prompts;
+        self
+    }
+
+    /// Same scenario with a different prefix-cache mode.
+    pub fn with_prefix_cache(mut self, prefix_cache: PrefixCacheMode) -> Self {
+        self.prefix_cache = prefix_cache;
         self
     }
 }
@@ -338,7 +362,57 @@ pub(crate) fn primary_rank(scheduling: SchedulingPolicy, request: &ServingReques
         SchedulingPolicy::Fcfs => 0.0,
         SchedulingPolicy::Priority => f64::from(request.class.priority),
         SchedulingPolicy::Edf => request.absolute_deadline().unwrap_or(f64::INFINITY),
+        // Affinity ranks depend on *other* requests' prefixes; they are
+        // assigned by `request_ranks`, which never delegates here.
+        SchedulingPolicy::PrefixAffinity => 0.0,
     }
+}
+
+/// The scheduling rank of every request at once. Per-request policies
+/// delegate to [`primary_rank`]; [`SchedulingPolicy::PrefixAffinity`] ranks
+/// each request by the arrival index of the *first* request sharing its
+/// prefix, so same-prefix requests sit adjacently in the ready queue (the
+/// tie-break is arrival order) and are co-batched whenever capacity admits
+/// more than one — a warm prefix is then reused while its lease still pins
+/// it. Prefix-less requests keep their own arrival slot relative to the
+/// group leaders.
+pub(crate) fn request_ranks(scheduling: SchedulingPolicy, requests: &[ServingRequest]) -> Vec<f64> {
+    match scheduling {
+        SchedulingPolicy::PrefixAffinity => {
+            let mut leaders: std::collections::HashMap<&[u64], usize> =
+                std::collections::HashMap::new();
+            requests
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    if r.prefix.is_empty() {
+                        i as f64
+                    } else {
+                        *leaders.entry(r.prefix.as_slice()).or_insert(i) as f64
+                    }
+                })
+                .collect()
+        }
+        _ => requests
+            .iter()
+            .map(|r| primary_rank(scheduling, r))
+            .collect(),
+    }
+}
+
+/// Reject a prefix cache under reserve accounting: cached prefixes live in
+/// paged-pool blocks, which only exist under [`KvAccounting::Paged`].
+pub(crate) fn validate_prefix_cache(sim: &ServingSimulation) -> Result<(), HermesError> {
+    if sim.prefix_cache != PrefixCacheMode::Disabled
+        && !matches!(sim.admission.accounting, KvAccounting::Paged { .. })
+    {
+        return Err(HermesError::InvalidConfig(
+            "the prefix cache stores reused prefixes in paged KV blocks; enable \
+             KvAccounting::Paged or disable the cache"
+                .into(),
+        ));
+    }
+    Ok(())
 }
 
 /// The worst-case workloads the sampled requests imply, for up-front engine
@@ -435,13 +509,16 @@ pub fn simulate(
     sim.admission.validate()?;
     sim.prefill.validate()?;
     validate_paged_preemption(sim)?;
+    validate_prefix_cache(sim)?;
     let times = sample_arrival_times(&sim.arrival, sim.num_requests, sim.arrival_seed)?;
     let requests = ServingRequest::sample(
         &sim.template,
         &times,
         &sim.lengths,
         &sim.classes,
+        &sim.prompts,
         sim.arrival_seed ^ LENGTH_SEED_SALT,
+        sim.arrival_seed ^ PREFIX_SEED_SALT,
     )?;
     let engine = kind.engine(config);
     let mut plan = engine.plan(&sim.template)?;
@@ -477,12 +554,19 @@ pub fn simulate(
     if let Some(pool) = &pool {
         validate_paged_capacity(pool.block_tokens(), pool.capacity_blocks(), &requests, sim)?;
     }
+    // The radix cache of resident prompt prefixes, sharing the paged pool's
+    // blocks with the active sequences. `None` leaves every cache-aware
+    // formula below at its covered-nothing value, bitwise-identical to the
+    // cache-less simulator.
+    let mut cache: Option<PrefixCache> = match sim.prefix_cache {
+        PrefixCacheMode::Disabled => None,
+        PrefixCacheMode::Lru => Some(PrefixCache::new(
+            paged_block_tokens.expect("prefix cache validated to require paged accounting"),
+        )),
+    };
     // Ranks are immutable per request (see `crate::queue`), so they are
     // computed once up front instead of per comparison.
-    let ranks: Vec<f64> = requests
-        .iter()
-        .map(|r| primary_rank(sim.scheduling, r))
-        .collect();
+    let ranks: Vec<f64> = request_ranks(sim.scheduling, &requests);
     let mut records: Vec<RequestRecord> = requests
         .iter()
         .map(|r| RequestRecord {
@@ -495,6 +579,7 @@ pub fn simulate(
             gen_len: r.gen_len,
             class: r.class,
             preemptions: 0,
+            reused_prefix_tokens: 0,
         })
         .collect();
 
@@ -537,6 +622,28 @@ pub fn simulate(
     // their blocks are allocated for the whole target up front, and the
     // whole target counts as stored (prefill fills blocks within steps).
     let mut prefill_target_tokens: usize = 0;
+    // Prefix-cache bookkeeping (all zero / `None` with the cache disabled).
+    // `covered[idx]` is the leading context run request `idx` stores in
+    // cache blocks instead of its own pages (capacity accounting);
+    // `reused[idx]` is the part of that run whose KV already existed at
+    // admission and whose prefill is therefore skipped. They differ only
+    // for an inserting request, which funds and fills cache blocks for its
+    // unmatched cacheable run: that run is cache-resident (covered) but
+    // the request still computes it (not reused). `lease[idx]` pins the
+    // request's cached path while it is in flight (kept across a swap-out,
+    // released on completion or an evict-and-refill preemption).
+    let mut covered: Vec<usize> = vec![0; requests.len()];
+    let mut reused: Vec<usize> = vec![0; requests.len()];
+    let mut lease: Vec<Option<PrefixLease>> = vec![None; requests.len()];
+    // Σ covered tokens over *active* (decoding) sequences, maintained at
+    // join/remove so the per-step KV sample does not rescan the batch.
+    let mut active_covered_tokens: u64 = 0;
+    // Prefill tokens actually recomputed (charged to the cost model), the
+    // complement of the cache's reused-token tally.
+    let mut recomputed_prefill_tokens: usize = 0;
+    // This boundary's prefill chunks, hoisted out of the loop so the hot
+    // path reuses one allocation.
+    let mut chunks: Vec<PrefillChunk> = Vec::new();
 
     // Shared eviction bookkeeping of the admission scan and the paged
     // growth pass: release the victim's seat and KV, record its progress,
@@ -548,6 +655,7 @@ pub fn simulate(
             let info = active.remove(victim);
             generated[victim] += (step - info.join_step) as usize;
             records[victim].preemptions += 1;
+            active_covered_tokens -= covered[victim] as u64;
             let held_bytes = match pool.as_mut() {
                 Some(pool) => pool.release(victim) * pool.block_bytes(),
                 None => {
@@ -556,6 +664,9 @@ pub fn simulate(
                 }
             };
             if sim.preemption == PreemptionPolicy::SwapOut {
+                // Only the victim's own pages travel to the swap tier; its
+                // covered prefix stays resident in the cache, pinned by the
+                // lease it keeps until completion.
                 let cost = plan.cost.swap_cost(held_bytes);
                 clock += cost;
                 breakdown.communication += cost;
@@ -563,6 +674,14 @@ pub fn simulate(
                 swap.swap_outs += 1;
                 swap.swapped_out_bytes += held_bytes;
                 swapped[victim] = Some(held_bytes);
+            } else {
+                // Restart-with-recompute drops the victim's cache claim;
+                // its re-admission consults the cache afresh.
+                if let (Some(cache), Some(l)) = (cache.as_mut(), lease[victim].take()) {
+                    cache.release(l);
+                }
+                covered[victim] = 0;
+                reused[victim] = 0;
             }
             ready.push(ranks[victim], victim);
         }};
@@ -603,6 +722,117 @@ pub fn simulate(
                 // zero-progress admit/evict livelock.
                 let kv = kv_bytes_per_request[idx];
                 let seats = active.len() + prefilling.len() + admitted.len();
+                if sim.prefix_cache != PrefixCacheMode::Disabled {
+                    // Cache-aware paged admission. A fresh admission (or an
+                    // evict-and-refill re-admission, whose claim was
+                    // dropped) consults the cache: its matched run maps the
+                    // resident blocks copy-free, and — when the unmatched
+                    // cacheable remainder is insertable — the request also
+                    // funds the blocks that will cache it for later
+                    // requests. A resuming swap-out victim keeps the lease
+                    // it never released and only needs pages for its
+                    // uncovered remainder. Unpinned cache blocks off the
+                    // matched path count as reclaimable capacity: they are
+                    // evicted before an admission is declared infeasible.
+                    let request = &requests[idx];
+                    let ctx1 = request.prompt_len + generated[idx] + 1;
+                    let bt = paged_block_tokens.expect("cache requires paged accounting");
+                    let resumed = swapped[idx].is_some();
+                    let c = cache.as_ref().expect("cache mode");
+                    let p = pool.as_ref().expect("cache requires a paged pool");
+                    let cap = p.capacity_blocks().unwrap_or(u64::MAX);
+                    let (lookup_len, plan) = if resumed {
+                        (0, c.plan(&[]))
+                    } else {
+                        let cacheable = c.cacheable(request.prefix.len());
+                        (cacheable, c.plan(&request.prefix[..cacheable]))
+                    };
+                    let do_insert = !resumed && plan.can_insert && plan.matched < lookup_len;
+                    let target_covered = if resumed {
+                        covered[idx]
+                    } else if do_insert {
+                        lookup_len
+                    } else {
+                        plan.matched
+                    };
+                    let insert_blocks = if do_insert {
+                        ((lookup_len - plan.matched) / bt) as u64
+                    } else {
+                        0
+                    };
+                    let own = p.blocks_for_tokens(ctx1 - target_covered);
+                    let extra = own + insert_blocks;
+                    if sim.admission.admits(seats, 0, 0)
+                        && p.used_blocks() + extra <= cap.saturating_add(plan.freeable_blocks)
+                    {
+                        ready.pop();
+                        if !resumed {
+                            let (l, matched) = cache
+                                .as_mut()
+                                .expect("cache mode")
+                                .acquire(&request.prefix[..lookup_len]);
+                            debug_assert_eq!(matched, plan.matched, "plan and acquire must agree");
+                            lease[idx] = Some(l);
+                            // Only the *matched* run skips prefill; an
+                            // inserted run is cache-resident but this
+                            // request still computes it (into the cache's
+                            // blocks).
+                            reused[idx] = matched;
+                            if !ever_admitted[idx] {
+                                records[idx].reused_prefix_tokens = matched;
+                            }
+                        }
+                        let pool_mut = pool.as_mut().expect("cache requires a paged pool");
+                        let shortfall = (pool_mut.used_blocks() + extra).saturating_sub(cap);
+                        if shortfall > 0 {
+                            let freed = cache.as_mut().expect("cache mode").evict_for(shortfall);
+                            pool_mut.surrender_blocks(&freed);
+                        }
+                        if do_insert {
+                            let ids = pool_mut.acquire_blocks(insert_blocks);
+                            cache.as_mut().expect("cache mode").insert(
+                                lease[idx].expect("lease acquired above"),
+                                &request.prefix[plan.matched..lookup_len],
+                                ids,
+                            );
+                        }
+                        pool_mut.allocate(idx, own);
+                        covered[idx] = target_covered;
+                        admitted.push(idx);
+                        continue;
+                    }
+                    if sim.preemption != PreemptionPolicy::None {
+                        // Victim coverage is conservatively treated as
+                        // unreclaimable — another in-flight lease may pin
+                        // the same nodes — so only the victims' own pages
+                        // and the already-unpinned cache blocks count.
+                        let mut victims: Vec<usize> = Vec::new();
+                        let mut freed = 0u64;
+                        let mut feasible = false;
+                        for victim in active.victims_outranking(ranks[idx]) {
+                            freed += p.held(victim);
+                            victims.push(victim);
+                            if sim.admission.admits(seats - victims.len(), 0, 0)
+                                && p.used_blocks() + extra
+                                    <= cap
+                                        .saturating_add(plan.freeable_blocks)
+                                        .saturating_add(freed)
+                            {
+                                feasible = true;
+                                break;
+                            }
+                        }
+                        if feasible {
+                            for victim in victims {
+                                evict!(victim);
+                            }
+                            // Retry: the released leases and pages are
+                            // re-planned from scratch.
+                            continue;
+                        }
+                    }
+                    break;
+                }
                 let need_blocks = pool
                     .as_ref()
                     .map(|p| p.blocks_for_tokens(requests[idx].prompt_len + generated[idx] + 1));
@@ -691,6 +921,7 @@ pub fn simulate(
                 swap.swap_ins += 1;
                 swap.swapped_in_bytes += bytes;
                 let request = &requests[idx];
+                active_covered_tokens += covered[idx] as u64;
                 active.join(
                     idx,
                     request.prompt_len + generated[idx],
@@ -710,17 +941,20 @@ pub fn simulate(
         // 3. Hand the newly admitted requests to the prefill policy. A
         // request resumed after a preemption re-prefills its prompt *plus*
         // the tokens it already generated (restart with recompute), so its
-        // effective prefill length is `prompt_len + generated`.
+        // effective prefill length is `prompt_len + generated` — minus the
+        // reused run it maps from the prefix cache, whose KV already
+        // existed at admission and is never recomputed.
         match sim.prefill {
             PrefillPolicy::StallTheWorld => {
                 // Prefill whole prompts now, one pass per effective prefill
                 // length (requests sharing a length are prefilled together,
                 // so an all-at-once batch pays exactly the closed-loop
-                // prefill).
+                // prefill). A fully-covered request prefills nothing and
+                // charges nothing.
                 if !admitted.is_empty() {
                     let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
                     for &idx in &admitted {
-                        let p = requests[idx].prompt_len + generated[idx];
+                        let p = requests[idx].prompt_len + generated[idx] - reused[idx];
                         match groups.iter_mut().find(|(len, _)| *len == p) {
                             Some((_, members)) => members.push(idx),
                             None => groups.push((p, vec![idx])),
@@ -735,12 +969,16 @@ pub fn simulate(
                                 ever_admitted[idx] = true;
                             }
                         }
-                        let cost = plan.cost.prefill_cost(prefill_len, members.len());
-                        breakdown.prefill += cost;
-                        clock += cost;
+                        recomputed_prefill_tokens += prefill_len * members.len();
+                        if prefill_len > 0 {
+                            let cost = plan.cost.prefill_cost(prefill_len, members.len());
+                            breakdown.prefill += cost;
+                            clock += cost;
+                        }
                     }
                     for idx in admitted {
                         let request = &requests[idx];
+                        active_covered_tokens += covered[idx] as u64;
                         active.join(
                             idx,
                             request.prompt_len + generated[idx],
@@ -761,7 +999,30 @@ pub fn simulate(
             }
             PrefillPolicy::Chunked { .. } => {
                 for idx in admitted {
-                    let target = requests[idx].prompt_len + generated[idx];
+                    let target = requests[idx].prompt_len + generated[idx] - reused[idx];
+                    recomputed_prefill_tokens += target;
+                    if target == 0 {
+                        // Fully covered: nothing to prefill, join the decode
+                        // batch at this very boundary.
+                        if !ever_admitted[idx] {
+                            records[idx].admitted = clock;
+                            ever_admitted[idx] = true;
+                        }
+                        let request = &requests[idx];
+                        active_covered_tokens += covered[idx] as u64;
+                        active.join(
+                            idx,
+                            request.prompt_len + generated[idx],
+                            request.gen_len - generated[idx],
+                            0,
+                            ranks[idx],
+                            step,
+                        );
+                        if generated[idx] == 0 {
+                            pending_first_token.push(idx);
+                        }
+                        continue;
+                    }
                     prefill_target_tokens += target;
                     prefilling.push(PrefillingSequence {
                         idx,
@@ -776,8 +1037,11 @@ pub fn simulate(
         // 4. Schedule this boundary's prefill chunks (FCFS across the
         // requests still prefilling, up to the policy's token budget).
         // Always empty under stall-the-world, which never populates
-        // `prefilling`.
-        let mut chunks: Vec<PrefillChunk> = Vec::new();
+        // `prefilling`. The buffer is reused across boundaries; every
+        // scheduled chunk is non-empty, so `chunks.len()` is also the
+        // number of leading `prefilling` entries touched this boundary —
+        // the only ones step 7 has to rescan for completion.
+        chunks.clear();
         if let PrefillPolicy::Chunked {
             chunk_tokens,
             budget,
@@ -843,7 +1107,7 @@ pub fn simulate(
                     let p = pool.as_ref().expect("paged pool");
                     let info = active.info[idx].as_ref().expect("rank index is active");
                     let context = (info.shift + step as i64) as usize;
-                    p.held(idx) < p.blocks_for_tokens(context + 1)
+                    p.held(idx) < p.blocks_for_tokens(context + 1 - covered[idx])
                 })
                 .collect();
             for grower in growers {
@@ -854,6 +1118,19 @@ pub fn simulate(
                 if pool.as_ref().expect("paged pool").fits(1) {
                     pool.as_mut().expect("paged pool").grow(grower);
                     continue;
+                }
+                // Unpinned cache blocks are reclaimed before any sequence
+                // is preempted for a grower's block.
+                if let Some(cache) = cache.as_mut() {
+                    let p = pool.as_mut().expect("paged pool");
+                    let cap = p.capacity_blocks().unwrap_or(u64::MAX);
+                    let shortfall = (p.used_blocks() + 1).saturating_sub(cap);
+                    let freed = cache.evict_for(shortfall);
+                    p.surrender_blocks(&freed);
+                    if p.fits(1) {
+                        p.grow(grower);
+                        continue;
+                    }
                 }
                 let victim = active.victims_outranking(ranks[grower]).next();
                 match victim {
@@ -868,6 +1145,9 @@ pub fn simulate(
             // held blocks vs. the context tokens stored in them (active
             // contexts before this step's token, plus the full targets of
             // chunk-prefilling sequences, whose blocks are held up front).
+            // Covered runs are stored once, in the cache's resident blocks,
+            // so they are subtracted from the active contexts and counted
+            // through the cache instead.
             let pool_ref = pool.as_ref().expect("paged pool");
             kv_steps += 1;
             kv_block_steps += pool_ref.used_blocks();
@@ -876,7 +1156,9 @@ pub fn simulate(
                 .iter()
                 .map(|(&shift, &count)| (shift + step as i64) as u64 * count as u64)
                 .sum();
-            kv_used_token_steps += active_tokens + prefill_target_tokens as u64;
+            kv_used_token_steps += active_tokens - active_covered_tokens
+                + prefill_target_tokens as u64
+                + cache.as_ref().map_or(0, |c| c.resident_tokens());
         }
 
         // 6. One shared step over the current batch composition, with any
@@ -917,19 +1199,32 @@ pub fn simulate(
                 None => active_kv_bytes -= info.kv_bytes,
             }
             generated[idx] += (step - info.join_step) as usize;
+            // The covered run outlives the request: releasing the lease
+            // leaves the prefix resident for later arrivals, reclaimable
+            // only under pressure.
+            active_covered_tokens -= covered[idx] as u64;
+            if let (Some(cache), Some(l)) = (cache.as_mut(), lease[idx].take()) {
+                cache.release(l);
+            }
         });
 
         // 7. Prompts that completed this step join the decode batch at the
-        // next token boundary.
+        // next token boundary. Only the sequences that received a chunk
+        // this boundary — the first `chunks.len()` entries, since chunks
+        // are handed out FCFS from the front — can have newly completed,
+        // so the scan stops there instead of walking the whole set.
         let mut i = 0;
-        while i < prefilling.len() {
+        let mut touched = chunks.len().min(prefilling.len());
+        while i < touched {
             if prefilling[i].done == prefilling[i].target {
+                touched -= 1;
                 let seq = prefilling.remove(i);
                 prefill_target_tokens -= seq.target;
                 let request = &requests[seq.idx];
+                active_covered_tokens += covered[seq.idx] as u64;
                 active.join(
                     seq.idx,
-                    seq.target,
+                    seq.target + reused[seq.idx],
                     request.gen_len - generated[seq.idx],
                     if pool.is_some() {
                         0
@@ -957,6 +1252,12 @@ pub fn simulate(
         used_token_steps: kv_used_token_steps,
         steps: kv_steps,
     });
+    let prefix_tallies = cache.as_ref().map(|cache| PrefixTallies {
+        stats: cache.stats(),
+        resident_blocks: cache.resident_blocks(),
+        resident_tokens: cache.resident_tokens(),
+        recomputed_prefill_tokens,
+    });
     let report = build_report(
         sim,
         &plan.spec,
@@ -970,6 +1271,7 @@ pub fn simulate(
         imbalance_samples,
         kv_tallies,
         swap,
+        prefix_tallies,
     );
     Ok(ServingOutcome { report, records })
 }
@@ -1031,6 +1333,18 @@ pub(crate) struct KvTallies {
     pub steps: u64,
 }
 
+/// Raw prefix-cache tallies one simulation loop accumulated, folded into
+/// the report's [`PrefixCacheReport`] by [`build_report`] — shared by the
+/// heap loop and the reference oracle so the derived statistics cannot
+/// drift.
+pub(crate) struct PrefixTallies {
+    pub stats: PrefixStats,
+    pub resident_blocks: u64,
+    pub resident_tokens: u64,
+    /// Prefill tokens actually charged to the cost model.
+    pub recomputed_prefill_tokens: usize,
+}
+
 /// Raw swap-tier tallies one simulation loop accumulated (all zero when no
 /// preemption fired), folded into the report's [`SwapReport`].
 #[derive(Default, Clone, Copy)]
@@ -1060,6 +1374,7 @@ pub(crate) fn build_report(
     imbalance_samples: usize,
     kv: Option<KvTallies>,
     swap: SwapTallies,
+    prefix: Option<PrefixTallies>,
 ) -> ServingReport {
     let queue_delays: Vec<f64> = records.iter().map(RequestRecord::queue_delay).collect();
     let ttfts: Vec<f64> = records.iter().map(RequestRecord::ttft).collect();
@@ -1130,6 +1445,35 @@ pub(crate) fn build_report(
             swapped_in_bytes: swap.swapped_in_bytes,
             seconds: swap.seconds,
         }),
+        prefix: prefix.map(|t| {
+            let ttft_hit: Vec<f64> = records
+                .iter()
+                .filter(|r| r.reused_prefix_tokens > 0)
+                .map(RequestRecord::ttft)
+                .collect();
+            let ttft_miss: Vec<f64> = records
+                .iter()
+                .filter(|r| r.reused_prefix_tokens == 0)
+                .map(RequestRecord::ttft)
+                .collect();
+            PrefixCacheReport {
+                lookups: t.stats.lookups,
+                hits: t.stats.hits,
+                hit_rate: if t.stats.lookups > 0 {
+                    t.stats.hits as f64 / t.stats.lookups as f64
+                } else {
+                    0.0
+                },
+                reused_prefill_tokens: t.stats.reused_tokens,
+                recomputed_prefill_tokens: t.recomputed_prefill_tokens,
+                insertions: t.stats.insertions,
+                resident_blocks: t.resident_blocks,
+                resident_tokens: t.resident_tokens,
+                evicted_blocks: t.stats.evicted_blocks,
+                ttft_hit: DistributionStats::from_samples(&ttft_hit),
+                ttft_miss: DistributionStats::from_samples(&ttft_miss),
+            }
+        }),
     }
 }
 
@@ -1193,6 +1537,7 @@ mod tests {
             prompt_len,
             gen_len,
             class: RequestClass::default(),
+            prefix: Vec::new(),
         }
     }
 

@@ -11,12 +11,15 @@ use hermes_serve::{ReadyQueue, ServingRequest};
 
 /// The rank semantics under test, restated independently of the library:
 /// FCFS ranks everyone equally, priority ranks by tier, EDF by absolute
-/// deadline with best-effort requests last.
+/// deadline with best-effort requests last. Prefix affinity ranks by the
+/// arrival index of the earliest same-prefix request — for the
+/// empty-prefix requests generated here, each request's own index.
 fn model_rank(scheduling: SchedulingPolicy, request: &ServingRequest) -> f64 {
     match scheduling {
         SchedulingPolicy::Fcfs => 0.0,
         SchedulingPolicy::Priority => f64::from(request.class.priority),
         SchedulingPolicy::Edf => request.absolute_deadline().unwrap_or(f64::INFINITY),
+        SchedulingPolicy::PrefixAffinity => request.id as f64,
     }
 }
 
@@ -42,6 +45,7 @@ fn request_of(idx: usize, tier: u8, deadline: Option<f64>, arrival: f64) -> Serv
         prompt_len: 16,
         gen_len: 4,
         class,
+        prefix: Vec::new(),
     }
 }
 
@@ -49,7 +53,8 @@ fn scheduling_of(selector: usize) -> SchedulingPolicy {
     match selector {
         0 => SchedulingPolicy::Fcfs,
         1 => SchedulingPolicy::Priority,
-        _ => SchedulingPolicy::Edf,
+        2 => SchedulingPolicy::Edf,
+        _ => SchedulingPolicy::PrefixAffinity,
     }
 }
 
@@ -61,7 +66,7 @@ proptest! {
     /// ascending within a rank.
     #[test]
     fn drain_order_matches_sort_based_model(
-        scheduling_sel in 0usize..3,
+        scheduling_sel in 0usize..4,
         tiers in prop::collection::vec(0u8..4, 1..24),
         deadline_sel in prop::collection::vec(0usize..3, 1..24),
     ) {
@@ -104,7 +109,7 @@ proptest! {
     /// mutation.
     #[test]
     fn requeue_after_eviction_matches_sort_based_model(
-        scheduling_sel in 0usize..3,
+        scheduling_sel in 0usize..4,
         tiers in prop::collection::vec(0u8..4, 4..20),
         ops in prop::collection::vec(0usize..3, 1..40),
     ) {

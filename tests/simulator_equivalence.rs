@@ -9,22 +9,23 @@
 //! asserts both structural equality and equality of the serialized JSON, so
 //! even a field the `PartialEq` impl might one day skip cannot drift.
 //!
-//! Coverage: {Fcfs, Priority, Edf} × {None, EvictAndRefill, SwapOut} ×
-//! {StallTheWorld, Chunked} × {AllAtOnce, Poisson, Bursty} ×
-//! {Reserve, Paged} via the fixed scenarios below plus proptest-driven
-//! random configurations.
+//! Coverage: {Fcfs, Priority, Edf, PrefixAffinity} × {None, EvictAndRefill,
+//! SwapOut} × {StallTheWorld, Chunked} × {AllAtOnce, Poisson, Bursty} ×
+//! {Reserve, Paged} × {Unique, SharedGroups prompts} × {Disabled, Lru
+//! prefix cache} via the fixed scenarios below plus proptest-driven random
+//! configurations.
 
 use proptest::prelude::*;
 
 use hermes::core::{
-    ArrivalProcess, LengthDistribution, PrioritySpec, RequestClass, SystemConfig, SystemKind,
-    Workload,
+    ArrivalProcess, LengthDistribution, PrioritySpec, PromptSpec, RequestClass, SystemConfig,
+    SystemKind, Workload,
 };
 use hermes::model::ModelId;
 use hermes_serve::reference::simulate_reference;
 use hermes_serve::{
     request_kv_bytes, simulate, AdmissionConfig, BatchingPolicy, PreemptionPolicy, PrefillPolicy,
-    SchedulingPolicy, ServingSimulation,
+    PrefixCacheMode, SchedulingPolicy, ServingSimulation,
 };
 
 fn template() -> Workload {
@@ -232,6 +233,99 @@ fn edf_paged_eviction_chunked_bursty() {
 }
 
 #[test]
+fn prefix_cache_shared_groups_poisson() {
+    let sim = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 1.5 }, 16)
+        .with_arrival_seed(7)
+        .with_admission(AdmissionConfig::unlimited().with_paged_kv(8))
+        .with_prompts(PromptSpec::SharedGroups {
+            groups: 2,
+            prefix_len: 16,
+        })
+        .with_prefix_cache(PrefixCacheMode::Lru);
+    assert_equivalent(&sim);
+}
+
+#[test]
+fn prefix_cache_affinity_chunked_heterogeneous() {
+    let sim = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 2.0 }, 16)
+        .with_arrival_seed(19)
+        .with_admission(AdmissionConfig::unlimited().with_paged_kv(4))
+        .with_lengths(uniform_lengths())
+        .with_prompts(PromptSpec::SharedGroups {
+            groups: 3,
+            prefix_len: 12,
+        })
+        .with_prefix_cache(PrefixCacheMode::Lru)
+        .with_scheduling(SchedulingPolicy::PrefixAffinity)
+        .with_prefill(PrefillPolicy::Chunked {
+            chunk_tokens: 8,
+            budget: 16,
+        });
+    assert_equivalent(&sim);
+}
+
+#[test]
+fn prefix_cache_tight_pool_swap_out_bursty() {
+    // A bounded paged pool under bursty overload: admission must evict
+    // cached prefixes and swap out victims while the cache keeps leases on
+    // the survivors — the hardest ordering to keep bitwise-aligned.
+    let sim = ServingSimulation::new(
+        template(),
+        ArrivalProcess::Bursty {
+            rate: 2.0,
+            burst: 3,
+        },
+        14,
+    )
+    .with_arrival_seed(21)
+    .with_admission(tight_kv(2).with_paged_kv(16))
+    .with_classes(mixed_classes())
+    .with_prompts(PromptSpec::SharedGroups {
+        groups: 2,
+        prefix_len: 16,
+    })
+    .with_prefix_cache(PrefixCacheMode::Lru)
+    .with_scheduling(SchedulingPolicy::Priority)
+    .with_preemption(PreemptionPolicy::SwapOut);
+    assert_equivalent(&sim);
+}
+
+#[test]
+fn prefix_cache_tight_pool_evict_and_refill_chunked() {
+    let sim = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 2.5 }, 14)
+        .with_arrival_seed(3)
+        .with_admission(tight_kv(2).with_paged_kv(8))
+        .with_classes(mixed_classes())
+        .with_lengths(uniform_lengths())
+        .with_prompts(PromptSpec::SharedGroups {
+            groups: 2,
+            prefix_len: 10,
+        })
+        .with_prefix_cache(PrefixCacheMode::Lru)
+        .with_scheduling(SchedulingPolicy::PrefixAffinity)
+        .with_preemption(PreemptionPolicy::EvictAndRefill)
+        .with_prefill(PrefillPolicy::Chunked {
+            chunk_tokens: 6,
+            budget: 12,
+        });
+    assert_equivalent(&sim);
+}
+
+#[test]
+fn prefix_affinity_without_cache() {
+    // Prefix-affinity scheduling is legal without a cache (it only reorders
+    // the ready queue); both loops must rank identically.
+    let sim = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 1.0 }, 12)
+        .with_arrival_seed(5)
+        .with_prompts(PromptSpec::SharedGroups {
+            groups: 2,
+            prefix_len: 16,
+        })
+        .with_scheduling(SchedulingPolicy::PrefixAffinity);
+    assert_equivalent(&sim);
+}
+
+#[test]
 fn max_batch_cap_with_priority_eviction() {
     let sim = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 3.0 }, 12)
         .with_arrival_seed(13)
@@ -254,7 +348,8 @@ fn scheduling_of(selector: usize) -> SchedulingPolicy {
     match selector {
         0 => SchedulingPolicy::Fcfs,
         1 => SchedulingPolicy::Priority,
-        _ => SchedulingPolicy::Edf,
+        2 => SchedulingPolicy::Edf,
+        _ => SchedulingPolicy::PrefixAffinity,
     }
 }
 
@@ -268,7 +363,7 @@ proptest! {
     #[test]
     fn heap_and_reference_schedulers_agree_bitwise(
         arrival_sel in 0usize..3,
-        scheduling_sel in 0usize..3,
+        scheduling_sel in 0usize..4,
         policy_sel in 0usize..2,
         prefill_sel in 0usize..2,
         preempt in 0usize..3,
@@ -282,6 +377,9 @@ proptest! {
         heterogeneous in 0usize..2,
         paged in 0usize..2,
         block_tokens in 1usize..9,
+        prompt_sel in 0usize..3,
+        prefix_len in 1usize..20,
+        cached in 0usize..2,
     ) {
         let mut sim = ServingSimulation::new(
             template(),
@@ -317,6 +415,18 @@ proptest! {
         sim = sim.with_admission(admission);
         if heterogeneous == 1 {
             sim = sim.with_lengths(uniform_lengths());
+        }
+        if prompt_sel > 0 {
+            sim = sim.with_prompts(PromptSpec::SharedGroups {
+                groups: prompt_sel,
+                prefix_len,
+            });
+        }
+        if cached == 1 && paged == 1 {
+            // The cache requires paged accounting; cached == 1 without it
+            // would be rejected identically by both loops but would waste
+            // the case on a validation error.
+            sim = sim.with_prefix_cache(PrefixCacheMode::Lru);
         }
         assert_equivalent(&sim);
     }
