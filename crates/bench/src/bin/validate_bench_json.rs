@@ -32,6 +32,8 @@ fn main() {
         "prefix-cold-10k",
         "preempt-10k",
         "swap-10k",
+        "cluster-rr-10k",
+        "cluster-kv-10k",
     ] {
         assert!(
             traces.contains(&required),

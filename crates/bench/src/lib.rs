@@ -9,6 +9,7 @@
 //! is the reproduction target. See `EXPERIMENTS.md` at the repository root
 //! for the paper-vs-measured comparison.
 
+pub mod cluster_sweep;
 pub mod serving_sweep;
 pub mod sweep;
 pub mod throughput;

@@ -12,8 +12,9 @@ use serde::{Deserialize, Serialize};
 use hermes_core::{ArrivalProcess, PrioritySpec, RequestClass, SystemConfig, SystemKind, Workload};
 use hermes_model::ModelId;
 use hermes_serve::{
-    request_kv_bytes, simulate, AdmissionConfig, PreemptionPolicy, PrefillPolicy, PrefixCacheMode,
-    PromptSpec, SchedulingPolicy, ServingSimulation, DEFAULT_BLOCK_TOKENS,
+    request_kv_bytes, simulate, simulate_cluster, AdmissionConfig, ClusterSimulation,
+    PreemptionPolicy, PrefillPolicy, PrefixCacheMode, PromptSpec, RoutingPolicy, SchedulingPolicy,
+    ServingSimulation, DEFAULT_BLOCK_TOKENS,
 };
 
 /// Offered Poisson rate (simulated requests/s). Far above the scenario's
@@ -51,14 +52,63 @@ pub fn bench_system() -> SystemKind {
     SystemKind::hermes_base()
 }
 
+/// Fleet size of the cluster bench traces.
+pub const CLUSTER_REPLICAS: usize = 4;
+
+/// One tracked trace: either a single-replica simulation or a multi-replica
+/// cluster scenario (the cluster driver's per-arrival routing and
+/// multi-clock advance have their own hot-loop costs worth trending).
+#[derive(Debug, Clone)]
+pub enum BenchSim {
+    /// A single-replica `simulate` trace.
+    Single(ServingSimulation),
+    /// A multi-replica `simulate_cluster` trace.
+    Cluster(ClusterSimulation),
+}
+
+/// The round-robin cluster bench trace: the benchmark scenario fanned over
+/// a [`CLUSTER_REPLICAS`]-replica homogeneous fleet by the cheapest router.
+pub fn cluster_rr_scenario(num_requests: usize) -> ClusterSimulation {
+    ClusterSimulation::uniform(
+        bench_scenario(num_requests),
+        bench_system(),
+        &SystemConfig::paper_default(),
+        CLUSTER_REPLICAS,
+        RoutingPolicy::RoundRobin,
+    )
+}
+
+/// The KV-pressure cluster bench trace: same fleet, but every replica has a
+/// bounded KV budget (32 worst-case reservations) so the router's pressure
+/// probe — the most expensive routing signal — is exercised on every
+/// arrival.
+pub fn cluster_kv_scenario(num_requests: usize) -> ClusterSimulation {
+    let template = bench_template();
+    let kv_cap = request_kv_bytes(&template, template.prompt_len, template.gen_len) * 32;
+    let scenario = bench_scenario(num_requests).with_admission(
+        AdmissionConfig::unlimited()
+            .with_max_batch(MAX_BATCH)
+            .with_kv_memory_bytes(kv_cap),
+    );
+    ClusterSimulation::uniform(
+        scenario,
+        bench_system(),
+        &SystemConfig::paper_default(),
+        CLUSTER_REPLICAS,
+        RoutingPolicy::KvPressure,
+    )
+}
+
 /// The tracked bench traces: the two FCFS Poisson lengths plus 10k-request
 /// variants that keep the hot loop's other paths on the perf trajectory —
 /// chunked prefill (at both lengths, since its per-boundary bookkeeping
 /// scales differently from plain decode), the eviction/readmission path
 /// (priority preemption under a KV cap), the paged-pool swap-out path, and
 /// the prefix-cache path both hot (shared system prompts, high hit rate)
-/// and cold (unique prompts, pure lookup overhead).
-pub fn bench_traces() -> Vec<(&'static str, usize, ServingSimulation)> {
+/// and cold (unique prompts, pure lookup overhead) — plus the cluster
+/// driver over a [`CLUSTER_REPLICAS`]-replica fleet under round-robin and
+/// KV-pressure routing.
+pub fn bench_traces() -> Vec<(&'static str, usize, BenchSim)> {
     // Interactive tier-0 / best-effort tier-2 mix for the preemption
     // traces, under a KV budget of 32 worst-case reservations and a
     // moderated rate so tier-0 arrivals keep interleaving with (and
@@ -81,72 +131,100 @@ pub fn bench_traces() -> Vec<(&'static str, usize, ServingSimulation)> {
         .with_scheduling(SchedulingPolicy::Priority)
     };
     vec![
-        ("poisson-10k", 10_000, bench_scenario(10_000)),
-        ("poisson-100k", 100_000, bench_scenario(100_000)),
+        (
+            "poisson-10k",
+            10_000,
+            BenchSim::Single(bench_scenario(10_000)),
+        ),
+        (
+            "poisson-100k",
+            100_000,
+            BenchSim::Single(bench_scenario(100_000)),
+        ),
         (
             "chunked-10k",
             10_000,
-            bench_scenario(10_000).with_prefill(PrefillPolicy::Chunked {
+            BenchSim::Single(bench_scenario(10_000).with_prefill(PrefillPolicy::Chunked {
                 chunk_tokens: 16,
                 budget: 256,
-            }),
+            })),
         ),
         (
             "chunked-100k",
             100_000,
-            bench_scenario(100_000).with_prefill(PrefillPolicy::Chunked {
-                chunk_tokens: 16,
-                budget: 256,
-            }),
+            BenchSim::Single(
+                bench_scenario(100_000).with_prefill(PrefillPolicy::Chunked {
+                    chunk_tokens: 16,
+                    budget: 256,
+                }),
+            ),
         ),
         (
             "prefix-hot-10k",
             10_000,
-            bench_scenario(10_000)
-                .with_admission(
-                    AdmissionConfig::unlimited()
-                        .with_max_batch(MAX_BATCH)
-                        .with_paged_kv(DEFAULT_BLOCK_TOKENS),
-                )
-                .with_prompts(PromptSpec::SharedGroups {
-                    groups: 4,
-                    prefix_len: 48,
-                })
-                .with_prefix_cache(PrefixCacheMode::Lru),
+            BenchSim::Single(
+                bench_scenario(10_000)
+                    .with_admission(
+                        AdmissionConfig::unlimited()
+                            .with_max_batch(MAX_BATCH)
+                            .with_paged_kv(DEFAULT_BLOCK_TOKENS),
+                    )
+                    .with_prompts(PromptSpec::SharedGroups {
+                        groups: 4,
+                        prefix_len: 48,
+                    })
+                    .with_prefix_cache(PrefixCacheMode::Lru),
+            ),
         ),
         (
             "prefix-cold-10k",
             10_000,
-            bench_scenario(10_000)
-                .with_admission(
-                    AdmissionConfig::unlimited()
-                        .with_max_batch(MAX_BATCH)
-                        .with_paged_kv(DEFAULT_BLOCK_TOKENS),
-                )
-                .with_prefix_cache(PrefixCacheMode::Lru),
+            BenchSim::Single(
+                bench_scenario(10_000)
+                    .with_admission(
+                        AdmissionConfig::unlimited()
+                            .with_max_batch(MAX_BATCH)
+                            .with_paged_kv(DEFAULT_BLOCK_TOKENS),
+                    )
+                    .with_prefix_cache(PrefixCacheMode::Lru),
+            ),
         ),
         (
             "preempt-10k",
             10_000,
-            preempt_base(10_000)
-                .with_admission(
-                    AdmissionConfig::unlimited()
-                        .with_max_batch(MAX_BATCH)
-                        .with_kv_memory_bytes(kv_cap),
-                )
-                .with_preemption(PreemptionPolicy::EvictAndRefill),
+            BenchSim::Single(
+                preempt_base(10_000)
+                    .with_admission(
+                        AdmissionConfig::unlimited()
+                            .with_max_batch(MAX_BATCH)
+                            .with_kv_memory_bytes(kv_cap),
+                    )
+                    .with_preemption(PreemptionPolicy::EvictAndRefill),
+            ),
         ),
         (
             "swap-10k",
             10_000,
-            preempt_base(10_000)
-                .with_admission(
-                    AdmissionConfig::unlimited()
-                        .with_max_batch(MAX_BATCH)
-                        .with_kv_memory_bytes(kv_cap)
-                        .with_paged_kv(DEFAULT_BLOCK_TOKENS),
-                )
-                .with_preemption(PreemptionPolicy::SwapOut),
+            BenchSim::Single(
+                preempt_base(10_000)
+                    .with_admission(
+                        AdmissionConfig::unlimited()
+                            .with_max_batch(MAX_BATCH)
+                            .with_kv_memory_bytes(kv_cap)
+                            .with_paged_kv(DEFAULT_BLOCK_TOKENS),
+                    )
+                    .with_preemption(PreemptionPolicy::SwapOut),
+            ),
+        ),
+        (
+            "cluster-rr-10k",
+            10_000,
+            BenchSim::Cluster(cluster_rr_scenario(10_000)),
+        ),
+        (
+            "cluster-kv-10k",
+            10_000,
+            BenchSim::Cluster(cluster_kv_scenario(10_000)),
         ),
     ]
 }
@@ -197,6 +275,16 @@ pub fn measure(sim: &ServingSimulation, num_requests: usize) -> (f64, f64) {
     (seconds, num_requests as f64 / seconds)
 }
 
+/// Time one full cluster simulation of `cluster` (an `num_requests`-long
+/// fleet-wide trace), returning (wall seconds, simulated requests/s).
+pub fn measure_cluster(cluster: &ClusterSimulation, num_requests: usize) -> (f64, f64) {
+    let start = Instant::now();
+    let outcome = simulate_cluster(cluster).expect("benchmark scenario is valid");
+    let seconds = start.elapsed().as_secs_f64();
+    assert_eq!(outcome.report.completed, num_requests);
+    (seconds, num_requests as f64 / seconds)
+}
+
 /// Time the retained sort-based reference scheduler on the same trace.
 #[cfg(feature = "reference")]
 pub fn measure_reference(sim: &ServingSimulation, num_requests: usize) -> (f64, f64) {
@@ -217,11 +305,22 @@ pub fn run_bench() -> BenchOutput {
     let entries = bench_traces()
         .into_iter()
         .map(|(trace, num_requests, sim)| {
-            let (seconds, rps) = measure(&sim, num_requests);
-            #[cfg(feature = "reference")]
-            let reference = Some(measure_reference(&sim, num_requests).1);
-            #[cfg(not(feature = "reference"))]
-            let reference = None;
+            let (seconds, rps, reference) = match &sim {
+                BenchSim::Single(sim) => {
+                    let (seconds, rps) = measure(sim, num_requests);
+                    #[cfg(feature = "reference")]
+                    let reference = Some(measure_reference(sim, num_requests).1);
+                    #[cfg(not(feature = "reference"))]
+                    let reference = None;
+                    (seconds, rps, reference)
+                }
+                // The sort-based reference oracle predates the cluster
+                // driver; cluster traces trend the production path only.
+                BenchSim::Cluster(cluster) => {
+                    let (seconds, rps) = measure_cluster(cluster, num_requests);
+                    (seconds, rps, None)
+                }
+            };
             BenchEntry {
                 trace: trace.to_string(),
                 num_requests,

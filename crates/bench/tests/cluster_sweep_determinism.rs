@@ -1,0 +1,19 @@
+//! Regression test for the cluster sweep harness: running the fleet grid
+//! concurrently must produce byte-identical JSON to the sequential run —
+//! same sampled requests, same routing decisions, same emission order.
+//! Anything less would make `--threads` change published numbers.
+
+use hermes_bench::cluster_sweep::run_sweep;
+
+#[test]
+fn concurrent_cluster_sweep_json_is_byte_identical_to_sequential() {
+    let sequential = run_sweep(1);
+    let concurrent = run_sweep(4);
+
+    let sequential_json = serde_json::to_string_pretty(&sequential).expect("serializable sweep");
+    let concurrent_json = serde_json::to_string_pretty(&concurrent).expect("serializable sweep");
+    assert_eq!(
+        sequential_json, concurrent_json,
+        "parallel cluster sweep diverged from the sequential grid"
+    );
+}

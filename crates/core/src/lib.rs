@@ -81,8 +81,8 @@ pub use error::HermesError;
 pub use hermes::{HermesEngine, HermesOptions, HermesSystem, MappingPolicy, OnlineAdjustment};
 pub use planner::NeuronPlan;
 pub use report::{
-    ClassReport, DistributionStats, InferenceReport, KvPoolReport, LatencyBreakdown,
-    PrefixCacheReport, ServingReport, SwapReport, TokenLatencyStats,
+    ClassReport, ClusterReport, DistributionStats, InferenceReport, KvPoolReport, LatencyBreakdown,
+    PrefixCacheReport, ReplicaReport, ServingReport, SwapReport, TokenLatencyStats,
 };
 pub use systems::{try_run_system, SystemKind};
 pub use workload::{

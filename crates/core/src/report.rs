@@ -116,6 +116,62 @@ impl TokenLatencyStats {
             tpot_p99: percentile(&sorted, 99.0),
         }
     }
+
+    /// Merge per-part summaries into one fleet-wide summary without access
+    /// to the underlying samples, weighting each part by its sample count.
+    ///
+    /// Means merge exactly (weighted average); percentiles use the
+    /// weighted-nearest-rank approximation of
+    /// [`DistributionStats::merged`], which is exact when every part holds a
+    /// single sample. Zero-weight parts are ignored; all-zero for an empty
+    /// or all-zero-weight input.
+    pub fn merged(parts: &[(TokenLatencyStats, usize)]) -> Self {
+        let total: usize = parts.iter().map(|&(_, n)| n).sum();
+        if total == 0 {
+            return TokenLatencyStats::default();
+        }
+        let weighted_mean = |value: fn(&TokenLatencyStats) -> f64| -> f64 {
+            parts.iter().map(|(s, n)| value(s) * *n as f64).sum::<f64>() / total as f64
+        };
+        TokenLatencyStats {
+            ttft: weighted_mean(|s| s.ttft),
+            tpot_mean: weighted_mean(|s| s.tpot_mean),
+            tpot_p50: weighted_percentile(parts, 50.0, |s| s.tpot_p50),
+            tpot_p95: weighted_percentile(parts, 95.0, |s| s.tpot_p95),
+            tpot_p99: weighted_percentile(parts, 99.0, |s| s.tpot_p99),
+        }
+    }
+}
+
+/// Weighted nearest-rank selection over one summary field of several parts:
+/// every sample of a part is collapsed to the part's own value of the
+/// percentile being merged, and the nearest-rank percentile `p` is taken
+/// over that weighted multiset (sort parts by the field, accumulate weight,
+/// stop at rank `ceil(p/100 · total)`). This is the percentile-merging
+/// primitive of [`DistributionStats::merged`] /
+/// [`TokenLatencyStats::merged`] — exact for single-sample parts, a
+/// documented approximation otherwise.
+fn weighted_percentile<S>(parts: &[(S, usize)], p: f64, field: impl Fn(&S) -> f64) -> f64 {
+    let total: usize = parts.iter().map(|&(_, n)| n).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut values: Vec<(f64, usize)> = parts
+        .iter()
+        .filter(|&&(_, n)| n > 0)
+        .map(|(s, n)| (field(s), *n))
+        .collect();
+    values.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let target = ((p / 100.0) * total as f64).ceil() as usize;
+    let target = target.clamp(1, total);
+    let mut seen = 0usize;
+    for (value, weight) in &values {
+        seen += weight;
+        if seen >= target {
+            return *value;
+        }
+    }
+    values.last().map_or(0.0, |&(v, _)| v)
 }
 
 /// Summary statistics of one per-request metric (seconds), nearest-rank
@@ -148,6 +204,35 @@ impl DistributionStats {
             p95: percentile(&sorted, 95.0),
             p99: percentile(&sorted, 99.0),
             max: sorted[sorted.len() - 1],
+        }
+    }
+
+    /// Merge per-part summaries into one fleet-wide summary without access
+    /// to the underlying samples, weighting each part by its sample count.
+    ///
+    /// The mean merges exactly (weighted average) and the max is the max of
+    /// the parts. Each percentile is the weighted nearest-rank selection
+    /// over the parts' own values of that percentile (see
+    /// [`TokenLatencyStats::merged`]) — exact when every part summarises a
+    /// single sample, an approximation otherwise (the true percentile of
+    /// the pooled samples is not recoverable from summaries alone).
+    /// Zero-weight parts are ignored; all-zero for an empty or
+    /// all-zero-weight input.
+    pub fn merged(parts: &[(DistributionStats, usize)]) -> Self {
+        let total: usize = parts.iter().map(|&(_, n)| n).sum();
+        if total == 0 {
+            return DistributionStats::default();
+        }
+        DistributionStats {
+            mean: parts.iter().map(|(s, n)| s.mean * *n as f64).sum::<f64>() / total as f64,
+            p50: weighted_percentile(parts, 50.0, |s| s.p50),
+            p95: weighted_percentile(parts, 95.0, |s| s.p95),
+            p99: weighted_percentile(parts, 99.0, |s| s.p99),
+            max: parts
+                .iter()
+                .filter(|&&(_, n)| n > 0)
+                .map(|&(s, _)| s.max)
+                .fold(0.0, f64::max),
         }
     }
 }
@@ -369,6 +454,153 @@ impl ServingReport {
     }
 }
 
+/// One replica's slice of a cluster simulation: its own [`ServingReport`]
+/// plus the router-side counters (how much traffic the policy sent it, and
+/// how much it handed back through drain/fail re-dispatch).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaReport {
+    /// Display label of the replica (system name plus replica index).
+    pub label: String,
+    /// Requests the routing policy dispatched to this replica (including
+    /// re-dispatched ones).
+    pub routed: usize,
+    /// In-flight requests this replica handed back to the router when it
+    /// was drained or failed.
+    pub redispatched: usize,
+    /// The replica's own serving metrics, folded over the requests it
+    /// completed.
+    pub report: ServingReport,
+}
+
+/// The result of simulating a fleet of replicas behind a router (produced
+/// by the `hermes-serve` cluster simulator): per-replica [`ServingReport`]s
+/// plus fleet-wide merged latency distributions, the load-imbalance
+/// coefficient and the routing counters.
+///
+/// Fleet-wide distributions are merged from the per-replica summaries via
+/// [`DistributionStats::merged`], weighted by each replica's completed
+/// request count — a documented approximation (the per-request samples are
+/// not pooled); exact fleet statistics can always be recomputed from the
+/// cluster outcome's request records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Display name of the routing policy.
+    pub routing: String,
+    /// Number of replicas in the fleet.
+    pub num_replicas: usize,
+    /// Requests offered to the fleet.
+    pub num_requests: usize,
+    /// Requests that ran to completion (across every replica).
+    pub completed: usize,
+    /// Virtual time at which the last replica finished (seconds).
+    pub makespan: f64,
+    /// Total tokens generated across the fleet.
+    pub generated_tokens: usize,
+    /// Requests handed back to the router by drained/failed replicas and
+    /// dispatched again.
+    pub redispatches: usize,
+    /// Fleet-wide per-request queueing delay (merged summaries).
+    pub queue_delay: DistributionStats,
+    /// Fleet-wide per-request time to first token (merged summaries).
+    pub ttft: DistributionStats,
+    /// Fleet-wide per-request time per output token (merged summaries).
+    pub tpot: DistributionStats,
+    /// Fleet-wide per-request end-to-end latency (merged summaries).
+    pub e2e: DistributionStats,
+    /// Coefficient of variation (std-dev / mean) of per-replica generated
+    /// tokens: 0.0 for a perfectly balanced fleet, growing as load skews.
+    pub load_imbalance: f64,
+    /// Per-replica reports, in replica order.
+    pub replicas: Vec<ReplicaReport>,
+}
+
+impl ClusterReport {
+    /// Fold per-replica reports into the fleet-wide view: merged latency
+    /// summaries (weighted by completed requests), summed counters, the
+    /// makespan of the slowest replica and the load-imbalance coefficient
+    /// over per-replica generated tokens.
+    pub fn from_replicas(routing: String, replicas: Vec<ReplicaReport>) -> Self {
+        let weighted = |field: fn(&ServingReport) -> DistributionStats| -> DistributionStats {
+            DistributionStats::merged(
+                &replicas
+                    .iter()
+                    .map(|r| (field(&r.report), r.report.completed))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let tokens: Vec<f64> = replicas
+            .iter()
+            .map(|r| r.report.generated_tokens as f64)
+            .collect();
+        let mean = tokens.iter().sum::<f64>() / tokens.len().max(1) as f64;
+        let load_imbalance = if mean > 0.0 && tokens.len() > 1 {
+            let variance =
+                tokens.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / tokens.len() as f64;
+            variance.sqrt() / mean
+        } else {
+            0.0
+        };
+        ClusterReport {
+            routing,
+            num_replicas: replicas.len(),
+            num_requests: replicas.iter().map(|r| r.report.num_requests).sum(),
+            completed: replicas.iter().map(|r| r.report.completed).sum(),
+            makespan: replicas
+                .iter()
+                .map(|r| r.report.makespan)
+                .fold(0.0, f64::max),
+            generated_tokens: replicas.iter().map(|r| r.report.generated_tokens).sum(),
+            redispatches: replicas.iter().map(|r| r.redispatched).sum(),
+            queue_delay: weighted(|r| r.queue_delay),
+            ttft: weighted(|r| r.ttft),
+            tpot: weighted(|r| r.tpot),
+            e2e: weighted(|r| r.e2e),
+            load_imbalance,
+            replicas,
+        }
+    }
+
+    /// Fraction of deadline-carrying requests across the whole fleet whose
+    /// TTFT met the deadline, or `None` when no request carries one.
+    pub fn slo_attainment(&self) -> Option<f64> {
+        let offered: usize = self
+            .replicas
+            .iter()
+            .flat_map(|r| r.report.per_class.iter())
+            .map(|c| c.deadline_requests)
+            .sum();
+        if offered > 0 {
+            let met: usize = self
+                .replicas
+                .iter()
+                .flat_map(|r| r.report.per_class.iter())
+                .map(|c| c.deadline_met)
+                .sum();
+            Some(met as f64 / offered as f64)
+        } else {
+            None
+        }
+    }
+
+    /// Completed requests per second of fleet virtual time (goodput).
+    pub fn goodput_rps(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.completed as f64 / self.makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Generated tokens per second of fleet virtual time.
+    pub fn tokens_per_second(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.generated_tokens as f64 / self.makespan
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The result of simulating one system on one workload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InferenceReport {
@@ -546,6 +778,114 @@ mod tests {
         assert!((report.class(0).unwrap().slo_attainment().unwrap() - 0.75).abs() < 1e-12);
         assert_eq!(report.class(2).unwrap().slo_attainment(), None);
         assert!(report.class(7).is_none());
+    }
+
+    #[test]
+    fn merged_distribution_stats_are_exact_for_singleton_parts() {
+        // Every part holds one sample, so its summary collapses to that
+        // sample and the merge must equal from_samples over the pool.
+        let samples: Vec<f64> = (1..=40).map(|i| i as f64).collect();
+        let parts: Vec<(DistributionStats, usize)> = samples
+            .iter()
+            .map(|&s| (DistributionStats::from_samples(&[s]), 1))
+            .collect();
+        assert_eq!(
+            DistributionStats::merged(&parts),
+            DistributionStats::from_samples(&samples)
+        );
+        // Zero-weight parts are ignored entirely.
+        let mut with_empty = parts.clone();
+        with_empty.push((DistributionStats::from_samples(&[1e9]), 0));
+        assert_eq!(
+            DistributionStats::merged(&with_empty),
+            DistributionStats::from_samples(&samples)
+        );
+        assert_eq!(DistributionStats::merged(&[]), DistributionStats::default());
+    }
+
+    #[test]
+    fn merged_distribution_stats_weight_parts_by_sample_count() {
+        let slow = DistributionStats::from_samples(&[4.0, 4.0, 4.0]);
+        let fast = DistributionStats::from_samples(&[1.0]);
+        let merged = DistributionStats::merged(&[(slow, 3), (fast, 1)]);
+        assert!((merged.mean - (3.0 * 4.0 + 1.0) / 4.0).abs() < 1e-12);
+        // Rank ceil(0.5*4)=2 lands inside the slow part once sorted
+        // ascending: [fast(1), slow(3)] accumulates 1 then 4.
+        assert_eq!(merged.p50, 4.0);
+        assert_eq!(merged.p95, 4.0);
+        assert_eq!(merged.max, 4.0);
+    }
+
+    #[test]
+    fn merged_token_latency_stats_weight_means_and_percentiles() {
+        let a = TokenLatencyStats::from_decode_latencies(1.0, &[0.5]);
+        let b = TokenLatencyStats::from_decode_latencies(3.0, &[1.5]);
+        let merged = TokenLatencyStats::merged(&[(a, 1), (b, 3)]);
+        assert!((merged.ttft - (1.5 + 3.0 * 4.5) / 4.0).abs() < 1e-12);
+        assert!((merged.tpot_mean - (0.5 + 3.0 * 1.5) / 4.0).abs() < 1e-12);
+        assert_eq!(merged.tpot_p50, 1.5);
+        assert_eq!(merged.tpot_p99, 1.5);
+        assert_eq!(TokenLatencyStats::merged(&[]), TokenLatencyStats::default());
+    }
+
+    fn replica_report(label: &str, completed: usize, tokens: usize, ttft: f64) -> ReplicaReport {
+        let mut report = serving_report();
+        report.num_requests = completed;
+        report.completed = completed;
+        report.generated_tokens = tokens;
+        report.makespan = ttft * 10.0;
+        report.ttft = DistributionStats::from_samples(&vec![ttft; completed.max(1)]);
+        report.per_class = vec![class_report(0, completed, completed / 2)];
+        ReplicaReport {
+            label: label.to_string(),
+            routed: completed,
+            redispatched: 1,
+            report,
+        }
+    }
+
+    #[test]
+    fn cluster_report_folds_replicas() {
+        let fleet = ClusterReport::from_replicas(
+            "kv-pressure".to_string(),
+            vec![
+                replica_report("gpu-0", 6, 600, 1.0),
+                replica_report("ndp-1", 2, 200, 5.0),
+            ],
+        );
+        assert_eq!(fleet.num_replicas, 2);
+        assert_eq!(fleet.num_requests, 8);
+        assert_eq!(fleet.completed, 8);
+        assert_eq!(fleet.generated_tokens, 800);
+        assert_eq!(fleet.redispatches, 2);
+        assert!((fleet.makespan - 50.0).abs() < 1e-12);
+        // Weighted mean TTFT: (6*1.0 + 2*5.0) / 8.
+        assert!((fleet.ttft.mean - 2.0).abs() < 1e-12);
+        // p95 rank ceil(0.95*8)=8 lands in the slow replica.
+        assert_eq!(fleet.ttft.p95, 5.0);
+        // CV over per-replica generated tokens {600, 200}: mean 400,
+        // std 200.
+        assert!((fleet.load_imbalance - 0.5).abs() < 1e-12);
+        assert!((fleet.slo_attainment().unwrap() - 0.5).abs() < 1e-12);
+        assert!((fleet.goodput_rps() - 8.0 / 50.0).abs() < 1e-12);
+        assert!((fleet.tokens_per_second() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_report_of_balanced_singleton_fleet_has_zero_imbalance() {
+        let fleet = ClusterReport::from_replicas(
+            "round-robin".to_string(),
+            vec![replica_report("solo", 4, 400, 1.0)],
+        );
+        assert_eq!(fleet.load_imbalance, 0.0);
+        let even = ClusterReport::from_replicas(
+            "round-robin".to_string(),
+            vec![
+                replica_report("a", 4, 400, 1.0),
+                replica_report("b", 4, 400, 1.0),
+            ],
+        );
+        assert_eq!(even.load_imbalance, 0.0);
     }
 
     #[test]

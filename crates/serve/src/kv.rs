@@ -66,6 +66,16 @@ impl KvPool {
         }
     }
 
+    /// Grow the pool to cover `slots` request slots (new slots get empty
+    /// page tables; existing tables are untouched). Lets a resumable
+    /// replica accept injected requests over its lifetime instead of sizing
+    /// every table up front.
+    pub fn ensure_slots(&mut self, slots: usize) {
+        if self.tables.len() < slots {
+            self.tables.resize_with(slots, Vec::new);
+        }
+    }
+
     /// Tokens per block.
     pub fn block_tokens(&self) -> usize {
         self.block_tokens

@@ -138,6 +138,30 @@
 //! oracle: the `simulator_equivalence` suite holds the two to
 //! bitwise-identical outcomes across every policy combination.
 //!
+//! # Cluster serving
+//!
+//! The loop body itself lives in [`ReplicaSim`], a resumable state machine
+//! over one machine's scheduling state: callers [`inject`](ReplicaSim::inject)
+//! requests, [`advance_to`](ReplicaSim::advance_to) a virtual time (the
+//! replica processes exactly the token boundaries due by then, jumping idle
+//! gaps without overshooting), and [`simulate`] is a thin single-replica
+//! driver over it. [`ClusterSimulation`] advances N replicas on one shared
+//! clock: each [`ReplicaSpec`] is its own machine — system kind, hardware
+//! config and scheduler knobs, so a fleet can mix TensorRT GPU boxes with
+//! Hermes NDP boxes — requests are sampled once from a fleet-wide scenario
+//! and dispatched at arrival time by a [`RoutingPolicy`] (round-robin,
+//! least-outstanding, KV-pressure or prefix-affinity), and scripted
+//! [`ReplicaEvent`]s drain, fail and recover replicas mid-run, with the
+//! work they hand back re-dispatched deterministically in request-id order
+//! (restart with recompute; records keep their original arrival stamps, so
+//! fleet latency percentiles charge failover to the requests it delayed).
+//! [`simulate_cluster`] folds the fleet into a
+//! [`ClusterReport`](hermes_core::ClusterReport): per-replica
+//! [`ServingReport`](hermes_core::ServingReport)s plus merged fleet-wide
+//! latency distributions, routing counters, SLO attainment and a
+//! load-imbalance coefficient. The driver is deterministic end to end, and
+//! a one-replica cluster reproduces [`simulate`] bitwise.
+//!
 //! # Example: Poisson load on Hermes
 //!
 //! ```
@@ -165,6 +189,7 @@
 //! ```
 
 pub mod arrival;
+pub mod cluster;
 pub mod kv;
 pub(crate) mod prefix;
 #[cfg(test)]
@@ -172,15 +197,22 @@ mod prefix_props;
 pub mod queue;
 #[cfg(feature = "reference")]
 pub mod reference;
+pub mod replica;
 pub mod request;
 pub mod scheduler;
 pub mod simulator;
+pub(crate) mod tallies;
 
 pub use arrival::sample_arrival_times;
+pub use cluster::{
+    simulate_cluster, ClusterOutcome, ClusterSimulation, ClusterSimulator, ReplicaEvent,
+    ReplicaSpec, RoutingPolicy,
+};
 pub use kv::KvPool;
 pub use queue::{Rank, ReadyQueue};
 #[cfg(feature = "reference")]
 pub use reference::simulate_reference;
+pub use replica::{BoundaryOutcome, ReplicaSim};
 pub use request::{
     assign_request_classes, sample_request_lengths, sample_request_prefixes, RequestRecord,
     ServingRequest,

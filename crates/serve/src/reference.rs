@@ -34,10 +34,10 @@ use crate::scheduler::{
     PrefillPolicy, PrefixCacheMode,
 };
 use crate::simulator::{
-    build_report, request_ranks, validate_paged_capacity, validate_paged_preemption,
-    validate_prefix_cache, worst_case_bounds, KvTallies, PrefixTallies, ServingOutcome,
-    ServingSimulation, SwapTallies, LENGTH_SEED_SALT, PREFIX_SEED_SALT,
+    request_ranks, validate_paged_capacity, worst_case_bounds, ServingOutcome, ServingSimulation,
+    LENGTH_SEED_SALT, PREFIX_SEED_SALT,
 };
+use crate::tallies::{build_report, KvTallies, PrefixTallies, SwapTallies};
 
 /// A sequence currently holding a batch slot and generating tokens.
 struct ActiveSequence {
@@ -80,10 +80,7 @@ pub fn simulate_reference(
     config: &SystemConfig,
     sim: &ServingSimulation,
 ) -> Result<ServingOutcome, HermesError> {
-    sim.admission.validate()?;
-    sim.prefill.validate()?;
-    validate_paged_preemption(sim)?;
-    validate_prefix_cache(sim)?;
+    sim.validate()?;
     let times = sample_arrival_times(&sim.arrival, sim.num_requests, sim.arrival_seed)?;
     let requests = ServingRequest::sample(
         &sim.template,

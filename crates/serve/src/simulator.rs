@@ -1,27 +1,26 @@
-//! The discrete-event serving simulator: a virtual clock driving arrivals,
-//! admission, prefill (stall-the-world or chunked) and shared decode steps
-//! through a planned engine's [`StepCostModel`](hermes_core::StepCostModel).
-
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
-use std::ops::Bound;
+//! The discrete-event serving simulator: scenario description, validation,
+//! and the single-replica driver.
+//!
+//! The actual event loop lives in [`crate::replica`] as the resumable
+//! [`ReplicaSim`] state machine; [`simulate`] samples a scenario's arrivals
+//! and requests, injects them into one replica and drives it to completion.
+//! The multi-replica cluster driver in [`crate::cluster`] reuses the same
+//! core, so one machine's behaviour is identical whether it serves alone or
+//! inside a fleet.
 
 use serde::{Deserialize, Serialize};
 
 use hermes_core::{
-    ArrivalProcess, BatchState, ClassReport, DistributionStats, HermesError, KvPoolReport,
-    LatencyBreakdown, LengthDistribution, PrefillChunk, PrefixCacheReport, PrioritySpec,
-    PromptSpec, ServingReport, SessionSpec, SwapReport, SystemConfig, SystemKind, Workload,
+    ArrivalProcess, HermesError, LengthDistribution, PrioritySpec, PromptSpec, ServingReport,
+    SystemConfig, SystemKind, Workload,
 };
 
 use crate::arrival::sample_arrival_times;
-use crate::kv::KvPool;
-use crate::prefix::{PrefixCache, PrefixLease, PrefixStats};
-use crate::queue::{Rank, ReadyQueue};
+use crate::replica::ReplicaSim;
 use crate::request::{RequestRecord, ServingRequest};
 use crate::scheduler::{
-    request_kv_bytes, token_kv_bytes, AdmissionConfig, BatchingPolicy, KvAccounting,
-    PreemptionPolicy, PrefillPolicy, PrefixCacheMode, SchedulingPolicy,
+    AdmissionConfig, BatchingPolicy, KvAccounting, PreemptionPolicy, PrefillPolicy,
+    PrefixCacheMode, SchedulingPolicy,
 };
 
 /// Salt mixed into the arrival seed to derive the length-sampling stream, so
@@ -158,6 +157,23 @@ impl ServingSimulation {
         self.prefix_cache = prefix_cache;
         self
     }
+
+    /// Validate the scenario's policy combination up front: admission caps,
+    /// the prefill policy's internal consistency, bounded-paged-pool
+    /// preemption and the cache-requires-paged constraint. Shared by every
+    /// entry point — [`simulate`], [`ReplicaSim::new`] and the cluster
+    /// driver — so a misconfigured replica fails with
+    /// [`HermesError::InvalidConfig`] before any sampling or planning runs.
+    ///
+    /// # Errors
+    ///
+    /// [`HermesError::InvalidConfig`] describing the contradictory knobs.
+    pub fn validate(&self) -> Result<(), HermesError> {
+        self.admission.validate()?;
+        self.prefill.validate()?;
+        validate_paged_preemption(self)?;
+        validate_prefix_cache(self)
+    }
 }
 
 /// Everything one simulation produced: the aggregate report plus the
@@ -168,186 +184,6 @@ pub struct ServingOutcome {
     pub report: ServingReport,
     /// Lifecycle timestamps of every request, in arrival order.
     pub records: Vec<RequestRecord>,
-}
-
-/// Bookkeeping for one sequence currently holding a batch slot, stored by
-/// request index in [`ActiveSet`].
-///
-/// The sequence's *current* context length is never stored: every active
-/// sequence grows by exactly one token per decode step, so `context =
-/// context_at_join + (step - join_step)`, and the `shift`
-/// (`context_at_join - join_step`) is the per-sequence invariant that makes
-/// the whole batch composition advance for free as the global step counter
-/// ticks.
-struct ActiveInfo {
-    /// Join generation, for invalidating stale finish-heap entries after an
-    /// eviction (a re-join pushes a fresh entry with a newer epoch).
-    epoch: u64,
-    /// Global step count when the sequence joined the decode batch.
-    join_step: u64,
-    /// `context_at_join - join_step`: the sequence's context at global step
-    /// `s` is `shift + s` for as long as it stays active.
-    shift: i64,
-    /// KV bytes reserved by this sequence.
-    kv_bytes: u64,
-    /// Scheduling rank, kept for O(log n) removal from the rank index.
-    rank: Rank,
-}
-
-/// The decode batch as indexed incremental state: O(log n) join/remove and
-/// O(distinct context lengths) per-step snapshots, replacing the per-step
-/// linear rebuild of the sort-based scheduler.
-///
-/// Three indexes share the per-request [`ActiveInfo`] slab:
-/// - `groups` counts sequences per context *shift*, so the batch
-///   composition for [`BatchState::from_groups`] falls out of an in-order
-///   walk without touching individual sequences (all contexts advance
-///   together with the step counter);
-/// - `by_rank` orders active sequences by scheduling rank for
-///   worst-ranked-first victim selection under preemption;
-/// - `finish` is the event heap of completion steps, validated lazily
-///   against each sequence's `epoch` so evictions need not search the heap.
-struct ActiveSet {
-    /// Per-request active-sequence state (`None` when not decoding).
-    info: Vec<Option<ActiveInfo>>,
-    /// Number of active sequences.
-    count: usize,
-    /// Sequences per context shift (see [`ActiveInfo::shift`]).
-    groups: BTreeMap<i64, usize>,
-    /// Active sequences ordered by (rank, request index).
-    by_rank: BTreeSet<(Rank, usize)>,
-    /// Completion events: (finish step, request index, join epoch).
-    finish: BinaryHeap<Reverse<(u64, usize, u64)>>,
-    /// Next join epoch.
-    next_epoch: u64,
-}
-
-impl ActiveSet {
-    fn new(num_requests: usize) -> Self {
-        ActiveSet {
-            info: (0..num_requests).map(|_| None).collect(),
-            count: 0,
-            groups: BTreeMap::new(),
-            by_rank: BTreeSet::new(),
-            finish: BinaryHeap::new(),
-            next_epoch: 0,
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.count
-    }
-
-    fn is_empty(&self) -> bool {
-        self.count == 0
-    }
-
-    fn contains(&self, idx: usize) -> bool {
-        self.info[idx].is_some()
-    }
-
-    /// Join the decode batch at global step `step` with `context` tokens of
-    /// context and `remaining` tokens still to generate.
-    fn join(
-        &mut self,
-        idx: usize,
-        context: usize,
-        remaining: usize,
-        kv_bytes: u64,
-        rank: f64,
-        step: u64,
-    ) {
-        debug_assert!(self.info[idx].is_none(), "request {idx} already active");
-        debug_assert!(
-            remaining > 0,
-            "request {idx} joined with nothing to generate"
-        );
-        let shift = context as i64 - step as i64;
-        let finish_step = step + remaining as u64;
-        let epoch = self.next_epoch;
-        self.next_epoch += 1;
-        *self.groups.entry(shift).or_insert(0) += 1;
-        self.by_rank.insert((Rank(rank), idx));
-        self.finish.push(Reverse((finish_step, idx, epoch)));
-        self.info[idx] = Some(ActiveInfo {
-            epoch,
-            join_step: step,
-            shift,
-            kv_bytes,
-            rank: Rank(rank),
-        });
-        self.count += 1;
-    }
-
-    /// Remove an active sequence (eviction or completion), returning its
-    /// bookkeeping. Its finish-heap entry is left behind and invalidated by
-    /// the epoch check in [`ActiveSet::drain_finished`].
-    fn remove(&mut self, idx: usize) -> ActiveInfo {
-        let info = self.info[idx].take().expect("request not active");
-        match self.groups.get_mut(&info.shift) {
-            Some(count) if *count > 1 => *count -= 1,
-            _ => {
-                self.groups.remove(&info.shift);
-            }
-        }
-        self.by_rank.remove(&(info.rank, idx));
-        self.count -= 1;
-        info
-    }
-
-    /// The current batch composition, assembled from the group index in
-    /// O(distinct context lengths).
-    fn batch_state(&self, step: u64) -> BatchState {
-        BatchState::from_groups(
-            self.groups
-                .iter()
-                .map(|(&shift, &count)| ((shift + step as i64) as usize, count))
-                .collect(),
-        )
-    }
-
-    /// Active sequences strictly outranked by `rank`, worst-ranked first
-    /// (latest arrival first within a rank) — the victim candidate order of
-    /// [`PreemptionPolicy::EvictAndRefill`].
-    fn victims_outranking(&self, rank: f64) -> impl Iterator<Item = usize> + '_ {
-        self.by_rank
-            .range((Bound::Excluded((Rank(rank), usize::MAX)), Bound::Unbounded))
-            .rev()
-            .map(|&(_, idx)| idx)
-    }
-
-    /// Pop every sequence whose last token was generated by global step
-    /// `step`, invoking `on_finish` with its bookkeeping. Stale entries of
-    /// evicted epochs are discarded.
-    fn drain_finished(&mut self, step: u64, mut on_finish: impl FnMut(usize, ActiveInfo)) {
-        while let Some(&Reverse((finish_step, idx, epoch))) = self.finish.peek() {
-            if finish_step > step {
-                break;
-            }
-            self.finish.pop();
-            if self.info[idx].as_ref().is_some_and(|i| i.epoch == epoch) {
-                let info = self.remove(idx);
-                on_finish(idx, info);
-            }
-        }
-    }
-}
-
-/// A sequence admitted under chunked prefill whose prompt is still being
-/// processed. It holds its KV reservation but does not join the decode batch
-/// until the prompt completes.
-struct PrefillingSequence {
-    /// Index into the request/record vectors.
-    idx: usize,
-    /// Prefill tokens to process before the sequence may decode: the prompt,
-    /// plus — after a preemption — the tokens already generated, which
-    /// restart-with-recompute re-prefills.
-    target: usize,
-    /// Prefill tokens processed so far.
-    done: usize,
-    /// Whether the first chunk has been scheduled (admission is stamped when
-    /// it is).
-    started: bool,
 }
 
 /// The primary scheduling rank of a request under a policy (lower ranks are
@@ -465,16 +301,6 @@ pub(crate) fn worst_case_bounds(template: &Workload, requests: &[ServingRequest]
         .collect()
 }
 
-/// The empirical offered rate of a sampled arrival trace: requests per
-/// second over the span from the first to the last arrival (0 when the span
-/// is empty, e.g. all-at-once).
-fn empirical_rps(times: &[f64]) -> f64 {
-    match (times.first(), times.last()) {
-        (Some(&first), Some(&last)) if last > first => (times.len() - 1) as f64 / (last - first),
-        _ => 0.0,
-    }
-}
-
 /// Simulate `kind` on `config` under an open-loop serving scenario.
 ///
 /// The simulation is a deterministic discrete-event loop over a virtual
@@ -495,6 +321,10 @@ fn empirical_rps(times: &[f64]) -> f64 {
 /// admission queue is drained, so queue delay includes waiting behind other
 /// groups prefilled at the same boundary.
 ///
+/// The loop itself lives in [`ReplicaSim`]: this driver samples the
+/// scenario, injects every request into one replica and runs it dry, so the
+/// single-replica and cluster paths share one machine model.
+///
 /// # Errors
 ///
 /// Propagates validation errors from the engine, the arrival spec, the
@@ -506,10 +336,7 @@ pub fn simulate(
     config: &SystemConfig,
     sim: &ServingSimulation,
 ) -> Result<ServingOutcome, HermesError> {
-    sim.admission.validate()?;
-    sim.prefill.validate()?;
-    validate_paged_preemption(sim)?;
-    validate_prefix_cache(sim)?;
+    sim.validate()?;
     let times = sample_arrival_times(&sim.arrival, sim.num_requests, sim.arrival_seed)?;
     let requests = ServingRequest::sample(
         &sim.template,
@@ -520,760 +347,16 @@ pub fn simulate(
         sim.arrival_seed ^ LENGTH_SEED_SALT,
         sim.arrival_seed ^ PREFIX_SEED_SALT,
     )?;
-    let engine = kind.engine(config);
-    let mut plan = engine.plan(&sim.template)?;
-
-    // The template plan only validated the template's lengths; sampled
-    // per-request lengths can exceed them. Engine validity checks can depend
-    // on the prompt length and on the total context independently, so both
-    // the max-prompt and the max-total request are re-validated whenever
-    // either exceeds the template's respective value — a request with a
-    // larger prompt but smaller total must not slip through. The engine is
-    // built once and re-used for the bound plans.
-    for bound in worst_case_bounds(&sim.template, &requests) {
-        engine.plan(&bound)?;
-    }
-
-    let kv_bytes_per_request: Vec<u64> = requests
-        .iter()
-        .map(|r| request_kv_bytes(&sim.template, r.prompt_len, r.gen_len))
-        .collect();
-    // Paged accounting: the block pool requests are charged against. Under
-    // reserve accounting this stays `None` and the byte-counter path below
-    // is untouched (bitwise-identical to the pre-paging simulator).
-    let token_bytes = token_kv_bytes(&sim.template);
-    let paged_block_tokens = match sim.admission.accounting {
-        KvAccounting::Paged { block_tokens } => Some(block_tokens),
-        KvAccounting::Reserve => None,
-    };
-    let mut pool: Option<KvPool> = paged_block_tokens.map(|bt| {
-        let block_bytes = bt as u64 * token_bytes;
-        let capacity = sim.admission.kv_memory_bytes.map(|b| b / block_bytes);
-        KvPool::new(bt, block_bytes, capacity, requests.len())
-    });
-    if let Some(pool) = &pool {
-        validate_paged_capacity(pool.block_tokens(), pool.capacity_blocks(), &requests, sim)?;
-    }
-    // The radix cache of resident prompt prefixes, sharing the paged pool's
-    // blocks with the active sequences. `None` leaves every cache-aware
-    // formula below at its covered-nothing value, bitwise-identical to the
-    // cache-less simulator.
-    let mut cache: Option<PrefixCache> = match sim.prefix_cache {
-        PrefixCacheMode::Disabled => None,
-        PrefixCacheMode::Lru => Some(PrefixCache::new(
-            paged_block_tokens.expect("prefix cache validated to require paged accounting"),
-        )),
-    };
+    let mut replica = ReplicaSim::new(kind, config, sim.clone())?;
+    replica.validate_requests(&requests)?;
     // Ranks are immutable per request (see `crate::queue`), so they are
     // computed once up front instead of per comparison.
-    let ranks: Vec<f64> = request_ranks(sim.scheduling, &requests);
-    let mut records: Vec<RequestRecord> = requests
-        .iter()
-        .map(|r| RequestRecord {
-            id: r.id,
-            arrival: r.arrival,
-            admitted: 0.0,
-            first_token: 0.0,
-            completed: 0.0,
-            prompt_len: r.prompt_len,
-            gen_len: r.gen_len,
-            class: r.class,
-            preemptions: 0,
-            reused_prefix_tokens: 0,
-        })
-        .collect();
-
-    let mut clock = 0.0f64;
-    // Decode steps priced so far: the virtual event counter every
-    // [`ActiveSet`] invariant is keyed on.
-    let mut step: u64 = 0;
-    let mut next_arrival = 0usize;
-    let mut ready = ReadyQueue::new();
-    let mut active = ActiveSet::new(requests.len());
-    let mut prefilling: Vec<PrefillingSequence> = Vec::new();
-    let mut active_kv_bytes = 0u64;
-    // Tokens each request has generated so far; survives preemption, so a
-    // resumed request re-prefills its progress (restart with recompute) and
-    // only decodes the remainder. Updated lazily, when a sequence *leaves*
-    // the active set (finish or eviction) — while active its progress is
-    // implied by the step counter.
-    let mut generated: Vec<usize> = vec![0; requests.len()];
-    // Whether each request's first admission has been stamped (re-admissions
-    // after a preemption keep the original queueing delay).
-    let mut ever_admitted: Vec<bool> = vec![false; requests.len()];
-    // Joiners that have not yet generated their first token, to stamp
-    // `first_token` after the next priced step without walking the batch.
-    let mut pending_first_token: Vec<usize> = Vec::new();
-    let mut breakdown = LatencyBreakdown::default();
-    let mut imbalance_sum = 0.0;
-    let mut imbalance_samples = 0usize;
-    let mut generated_tokens = 0usize;
-    let mut completed = 0usize;
-    // Bytes each swapped-out victim is holding on the swap tier, awaiting
-    // the swap-in on resume (`None` while resident). Only SwapOut sets it.
-    let mut swapped: Vec<Option<u64>> = vec![None; requests.len()];
-    let mut swap = SwapTallies::default();
-    // Paged-pool usage, sampled once per priced step: held blocks and the
-    // context tokens actually stored in them (fragmentation is the gap).
-    let mut kv_block_steps: u64 = 0;
-    let mut kv_used_token_steps: u64 = 0;
-    let mut kv_steps: u64 = 0;
-    // Running sum of the prefill targets of chunk-prefilling sequences:
-    // their blocks are allocated for the whole target up front, and the
-    // whole target counts as stored (prefill fills blocks within steps).
-    let mut prefill_target_tokens: usize = 0;
-    // Prefix-cache bookkeeping (all zero / `None` with the cache disabled).
-    // `covered[idx]` is the leading context run request `idx` stores in
-    // cache blocks instead of its own pages (capacity accounting);
-    // `reused[idx]` is the part of that run whose KV already existed at
-    // admission and whose prefill is therefore skipped. They differ only
-    // for an inserting request, which funds and fills cache blocks for its
-    // unmatched cacheable run: that run is cache-resident (covered) but
-    // the request still computes it (not reused). `lease[idx]` pins the
-    // request's cached path while it is in flight (kept across a swap-out,
-    // released on completion or an evict-and-refill preemption).
-    let mut covered: Vec<usize> = vec![0; requests.len()];
-    let mut reused: Vec<usize> = vec![0; requests.len()];
-    let mut lease: Vec<Option<PrefixLease>> = vec![None; requests.len()];
-    // Σ covered tokens over *active* (decoding) sequences, maintained at
-    // join/remove so the per-step KV sample does not rescan the batch.
-    let mut active_covered_tokens: u64 = 0;
-    // Prefill tokens actually recomputed (charged to the cost model), the
-    // complement of the cache's reused-token tally.
-    let mut recomputed_prefill_tokens: usize = 0;
-    // This boundary's prefill chunks, hoisted out of the loop so the hot
-    // path reuses one allocation.
-    let mut chunks: Vec<PrefillChunk> = Vec::new();
-
-    // Shared eviction bookkeeping of the admission scan and the paged
-    // growth pass: release the victim's seat and KV, record its progress,
-    // and — under SwapOut — page its held KV out to the swap tier, priced
-    // through the engine's swap-cost hook.
-    macro_rules! evict {
-        ($victim:expr) => {{
-            let victim = $victim;
-            let info = active.remove(victim);
-            generated[victim] += (step - info.join_step) as usize;
-            records[victim].preemptions += 1;
-            active_covered_tokens -= covered[victim] as u64;
-            let held_bytes = match pool.as_mut() {
-                Some(pool) => pool.release(victim) * pool.block_bytes(),
-                None => {
-                    active_kv_bytes -= info.kv_bytes;
-                    (requests[victim].prompt_len + generated[victim]) as u64 * token_bytes
-                }
-            };
-            if sim.preemption == PreemptionPolicy::SwapOut {
-                // Only the victim's own pages travel to the swap tier; its
-                // covered prefix stays resident in the cache, pinned by the
-                // lease it keeps until completion.
-                let cost = plan.cost.swap_cost(held_bytes);
-                clock += cost;
-                breakdown.communication += cost;
-                swap.seconds += cost;
-                swap.swap_outs += 1;
-                swap.swapped_out_bytes += held_bytes;
-                swapped[victim] = Some(held_bytes);
-            } else {
-                // Restart-with-recompute drops the victim's cache claim;
-                // its re-admission consults the cache afresh.
-                if let (Some(cache), Some(l)) = (cache.as_mut(), lease[victim].take()) {
-                    cache.release(l);
-                }
-                covered[victim] = 0;
-                reused[victim] = 0;
-            }
-            ready.push(ranks[victim], victim);
-        }};
+    let ranks = request_ranks(sim.scheduling, &requests);
+    for (request, rank) in requests.into_iter().zip(ranks) {
+        replica.inject(request, rank);
     }
-
-    loop {
-        // 1. Pull every request that has arrived by now into the queue.
-        while next_arrival < requests.len() && requests[next_arrival].arrival <= clock {
-            ready.push(ranks[next_arrival], next_arrival);
-            next_arrival += 1;
-        }
-
-        // 2. Admit from the queue at this token boundary, in scheduling
-        // order (FCFS / priority / EDF — arrival order within a rank).
-        // Admission reserves the request's KV budget and batch slot; the
-        // `admitted` timestamp is stamped later, when its prefill work
-        // actually starts. When the best-ranked waiter does not fit and
-        // preemption is on, strictly lower-ranked active sequences are
-        // evicted (worst-ranked first) until it does.
-        let may_admit = match sim.policy {
-            BatchingPolicy::Continuous => true,
-            BatchingPolicy::Static => active.is_empty() && prefilling.is_empty(),
-        };
-        let mut admitted: Vec<usize> = Vec::new();
-        if may_admit {
-            while let Some(idx) = ready.peek() {
-                // `active_kv_bytes` (reserve) / the pool's held blocks
-                // (paged) already include the requests admitted at this
-                // boundary, so the caps see the whole provisional batch.
-                // Paged accounting charges only the blocks for the
-                // request's *current* context (prompt plus generated so
-                // far) plus one write slot for the next decoded token, not
-                // its worst-case footprint. The write slot guarantees an
-                // admitted sequence generates at least one token before it
-                // can need to grow — without it, a sequence rejoining with
-                // its context exactly at a block boundary would be a grower
-                // at its very next boundary and could self-evict in a
-                // zero-progress admit/evict livelock.
-                let kv = kv_bytes_per_request[idx];
-                let seats = active.len() + prefilling.len() + admitted.len();
-                if sim.prefix_cache != PrefixCacheMode::Disabled {
-                    // Cache-aware paged admission. A fresh admission (or an
-                    // evict-and-refill re-admission, whose claim was
-                    // dropped) consults the cache: its matched run maps the
-                    // resident blocks copy-free, and — when the unmatched
-                    // cacheable remainder is insertable — the request also
-                    // funds the blocks that will cache it for later
-                    // requests. A resuming swap-out victim keeps the lease
-                    // it never released and only needs pages for its
-                    // uncovered remainder. Unpinned cache blocks off the
-                    // matched path count as reclaimable capacity: they are
-                    // evicted before an admission is declared infeasible.
-                    let request = &requests[idx];
-                    let ctx1 = request.prompt_len + generated[idx] + 1;
-                    let bt = paged_block_tokens.expect("cache requires paged accounting");
-                    let resumed = swapped[idx].is_some();
-                    let c = cache.as_ref().expect("cache mode");
-                    let p = pool.as_ref().expect("cache requires a paged pool");
-                    let cap = p.capacity_blocks().unwrap_or(u64::MAX);
-                    let (lookup_len, plan) = if resumed {
-                        (0, c.plan(&[]))
-                    } else {
-                        let cacheable = c.cacheable(request.prefix.len());
-                        (cacheable, c.plan(&request.prefix[..cacheable]))
-                    };
-                    let do_insert = !resumed && plan.can_insert && plan.matched < lookup_len;
-                    let target_covered = if resumed {
-                        covered[idx]
-                    } else if do_insert {
-                        lookup_len
-                    } else {
-                        plan.matched
-                    };
-                    let insert_blocks = if do_insert {
-                        ((lookup_len - plan.matched) / bt) as u64
-                    } else {
-                        0
-                    };
-                    let own = p.blocks_for_tokens(ctx1 - target_covered);
-                    let extra = own + insert_blocks;
-                    if sim.admission.admits(seats, 0, 0)
-                        && p.used_blocks() + extra <= cap.saturating_add(plan.freeable_blocks)
-                    {
-                        ready.pop();
-                        if !resumed {
-                            let (l, matched) = cache
-                                .as_mut()
-                                .expect("cache mode")
-                                .acquire(&request.prefix[..lookup_len]);
-                            debug_assert_eq!(matched, plan.matched, "plan and acquire must agree");
-                            lease[idx] = Some(l);
-                            // Only the *matched* run skips prefill; an
-                            // inserted run is cache-resident but this
-                            // request still computes it (into the cache's
-                            // blocks).
-                            reused[idx] = matched;
-                            if !ever_admitted[idx] {
-                                records[idx].reused_prefix_tokens = matched;
-                            }
-                        }
-                        let pool_mut = pool.as_mut().expect("cache requires a paged pool");
-                        let shortfall = (pool_mut.used_blocks() + extra).saturating_sub(cap);
-                        if shortfall > 0 {
-                            let freed = cache.as_mut().expect("cache mode").evict_for(shortfall);
-                            pool_mut.surrender_blocks(&freed);
-                        }
-                        if do_insert {
-                            let ids = pool_mut.acquire_blocks(insert_blocks);
-                            cache.as_mut().expect("cache mode").insert(
-                                lease[idx].expect("lease acquired above"),
-                                &request.prefix[plan.matched..lookup_len],
-                                ids,
-                            );
-                        }
-                        pool_mut.allocate(idx, own);
-                        covered[idx] = target_covered;
-                        admitted.push(idx);
-                        continue;
-                    }
-                    if sim.preemption != PreemptionPolicy::None {
-                        // Victim coverage is conservatively treated as
-                        // unreclaimable — another in-flight lease may pin
-                        // the same nodes — so only the victims' own pages
-                        // and the already-unpinned cache blocks count.
-                        let mut victims: Vec<usize> = Vec::new();
-                        let mut freed = 0u64;
-                        let mut feasible = false;
-                        for victim in active.victims_outranking(ranks[idx]) {
-                            freed += p.held(victim);
-                            victims.push(victim);
-                            if sim.admission.admits(seats - victims.len(), 0, 0)
-                                && p.used_blocks() + extra
-                                    <= cap
-                                        .saturating_add(plan.freeable_blocks)
-                                        .saturating_add(freed)
-                            {
-                                feasible = true;
-                                break;
-                            }
-                        }
-                        if feasible {
-                            for victim in victims {
-                                evict!(victim);
-                            }
-                            // Retry: the released leases and pages are
-                            // re-planned from scratch.
-                            continue;
-                        }
-                    }
-                    break;
-                }
-                let need_blocks = pool
-                    .as_ref()
-                    .map(|p| p.blocks_for_tokens(requests[idx].prompt_len + generated[idx] + 1));
-                let fits = match (&pool, need_blocks) {
-                    (Some(pool), Some(need)) => {
-                        sim.admission.admits(seats, 0, 0) && pool.fits(need)
-                    }
-                    _ => sim.admission.admits(seats, active_kv_bytes, kv),
-                };
-                if fits {
-                    ready.pop();
-                    match (pool.as_mut(), need_blocks) {
-                        (Some(pool), Some(need)) => pool.allocate(idx, need),
-                        _ => active_kv_bytes += kv,
-                    }
-                    admitted.push(idx);
-                    continue;
-                }
-                if sim.preemption != PreemptionPolicy::None {
-                    // Victim candidates: active sequences strictly outranked
-                    // by the blocked waiter, worst-ranked first (latest
-                    // arrival first within a rank), straight off the rank
-                    // index. Sequences still prefilling under chunked
-                    // prefill are not evicted. Take the smallest prefix
-                    // that makes room, if any.
-                    let mut victims: Vec<usize> = Vec::new();
-                    let mut feasible = false;
-                    match (&pool, need_blocks) {
-                        (Some(pool), Some(need)) => {
-                            let cap = pool.capacity_blocks().unwrap_or(u64::MAX);
-                            let mut freed = 0u64;
-                            for victim in active.victims_outranking(ranks[idx]) {
-                                freed += pool.held(victim);
-                                victims.push(victim);
-                                if sim.admission.admits(seats - victims.len(), 0, 0)
-                                    && pool.used_blocks() - freed + need <= cap
-                                {
-                                    feasible = true;
-                                    break;
-                                }
-                            }
-                        }
-                        _ => {
-                            let mut freed_kv = 0u64;
-                            for victim in active.victims_outranking(ranks[idx]) {
-                                freed_kv += kv_bytes_per_request[victim];
-                                victims.push(victim);
-                                if sim.admission.admits(
-                                    seats - victims.len(),
-                                    active_kv_bytes - freed_kv,
-                                    kv,
-                                ) {
-                                    feasible = true;
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                    if feasible {
-                        for victim in victims {
-                            evict!(victim);
-                        }
-                        // Retry the blocked waiter with the freed capacity
-                        // (the victims it displaced cannot outrank it).
-                        continue;
-                    }
-                }
-                break;
-            }
-        }
-
-        // 2.5 Swapped-out victims among this boundary's admissions resume
-        // by paging their KV back in — no recompute: they skip prefill and
-        // rejoin the decode batch right here, continuing where they
-        // stopped. The swap-in leg is priced like the swap-out was.
-        let admitted: Vec<usize> = admitted
-            .into_iter()
-            .filter(|&idx| {
-                let Some(bytes) = swapped[idx].take() else {
-                    return true;
-                };
-                let cost = plan.cost.swap_cost(bytes);
-                clock += cost;
-                breakdown.communication += cost;
-                swap.seconds += cost;
-                swap.swap_ins += 1;
-                swap.swapped_in_bytes += bytes;
-                let request = &requests[idx];
-                active_covered_tokens += covered[idx] as u64;
-                active.join(
-                    idx,
-                    request.prompt_len + generated[idx],
-                    request.gen_len - generated[idx],
-                    if pool.is_some() {
-                        0
-                    } else {
-                        kv_bytes_per_request[idx]
-                    },
-                    ranks[idx],
-                    step,
-                );
-                false
-            })
-            .collect();
-
-        // 3. Hand the newly admitted requests to the prefill policy. A
-        // request resumed after a preemption re-prefills its prompt *plus*
-        // the tokens it already generated (restart with recompute), so its
-        // effective prefill length is `prompt_len + generated` — minus the
-        // reused run it maps from the prefix cache, whose KV already
-        // existed at admission and is never recomputed.
-        match sim.prefill {
-            PrefillPolicy::StallTheWorld => {
-                // Prefill whole prompts now, one pass per effective prefill
-                // length (requests sharing a length are prefilled together,
-                // so an all-at-once batch pays exactly the closed-loop
-                // prefill). A fully-covered request prefills nothing and
-                // charges nothing.
-                if !admitted.is_empty() {
-                    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
-                    for &idx in &admitted {
-                        let p = requests[idx].prompt_len + generated[idx] - reused[idx];
-                        match groups.iter_mut().find(|(len, _)| *len == p) {
-                            Some((_, members)) => members.push(idx),
-                            None => groups.push((p, vec![idx])),
-                        }
-                    }
-                    for (prefill_len, members) in groups {
-                        // This group's prefill starts now, after every
-                        // earlier group's pass has elapsed.
-                        for &idx in &members {
-                            if !ever_admitted[idx] {
-                                records[idx].admitted = clock;
-                                ever_admitted[idx] = true;
-                            }
-                        }
-                        recomputed_prefill_tokens += prefill_len * members.len();
-                        if prefill_len > 0 {
-                            let cost = plan.cost.prefill_cost(prefill_len, members.len());
-                            breakdown.prefill += cost;
-                            clock += cost;
-                        }
-                    }
-                    for idx in admitted {
-                        let request = &requests[idx];
-                        active_covered_tokens += covered[idx] as u64;
-                        active.join(
-                            idx,
-                            request.prompt_len + generated[idx],
-                            request.gen_len - generated[idx],
-                            if pool.is_some() {
-                                0
-                            } else {
-                                kv_bytes_per_request[idx]
-                            },
-                            ranks[idx],
-                            step,
-                        );
-                        if generated[idx] == 0 {
-                            pending_first_token.push(idx);
-                        }
-                    }
-                }
-            }
-            PrefillPolicy::Chunked { .. } => {
-                for idx in admitted {
-                    let target = requests[idx].prompt_len + generated[idx] - reused[idx];
-                    recomputed_prefill_tokens += target;
-                    if target == 0 {
-                        // Fully covered: nothing to prefill, join the decode
-                        // batch at this very boundary.
-                        if !ever_admitted[idx] {
-                            records[idx].admitted = clock;
-                            ever_admitted[idx] = true;
-                        }
-                        let request = &requests[idx];
-                        active_covered_tokens += covered[idx] as u64;
-                        active.join(
-                            idx,
-                            request.prompt_len + generated[idx],
-                            request.gen_len - generated[idx],
-                            0,
-                            ranks[idx],
-                            step,
-                        );
-                        if generated[idx] == 0 {
-                            pending_first_token.push(idx);
-                        }
-                        continue;
-                    }
-                    prefill_target_tokens += target;
-                    prefilling.push(PrefillingSequence {
-                        idx,
-                        target,
-                        done: 0,
-                        started: false,
-                    });
-                }
-            }
-        }
-
-        // 4. Schedule this boundary's prefill chunks (FCFS across the
-        // requests still prefilling, up to the policy's token budget).
-        // Always empty under stall-the-world, which never populates
-        // `prefilling`. The buffer is reused across boundaries; every
-        // scheduled chunk is non-empty, so `chunks.len()` is also the
-        // number of leading `prefilling` entries touched this boundary —
-        // the only ones step 7 has to rescan for completion.
-        chunks.clear();
-        if let PrefillPolicy::Chunked {
-            chunk_tokens,
-            budget,
-        } = sim.prefill
-        {
-            let mut budget_left = budget;
-            for seq in prefilling.iter_mut() {
-                if budget_left == 0 {
-                    break;
-                }
-                let take = chunk_tokens.min(seq.target - seq.done).min(budget_left);
-                if !seq.started {
-                    if !ever_admitted[seq.idx] {
-                        records[seq.idx].admitted = clock;
-                        ever_admitted[seq.idx] = true;
-                    }
-                    seq.started = true;
-                }
-                chunks.push(PrefillChunk {
-                    prompt_len: seq.target,
-                    tokens: take,
-                });
-                seq.done += take;
-                budget_left -= take;
-            }
-        }
-
-        // 5. Nothing running and no prefill scheduled: jump to the next
-        // arrival or finish. (`prefilling` is necessarily empty here — any
-        // prefilling sequence would have scheduled a chunk.)
-        if active.is_empty() && chunks.is_empty() {
-            if let Some(head) = ready.peek() {
-                // The queue head could not be admitted into an idle system:
-                // the caps can never be satisfied.
-                return Err(HermesError::InvalidConfig(format!(
-                    "admission caps can never admit request {} (max_batch {:?}, kv budget {:?})",
-                    head, sim.admission.max_batch, sim.admission.kv_memory_bytes
-                )));
-            }
-            if next_arrival < requests.len() {
-                clock = clock.max(requests[next_arrival].arrival);
-                continue;
-            }
-            break;
-        }
-
-        // 5.5 Paged growth: a sequence whose held blocks no longer cover
-        // its context plus the token this step decodes takes one more
-        // block. Admission granted every sequence a write slot, so a
-        // grower has always decoded at least one token since it was
-        // (re)admitted — growth evictions therefore always follow real
-        // progress and cannot livelock. Growers take their block in
-        // scheduling-rank order; when the pool is full, each evicts the
-        // worst strictly lower-ranked active victim — or itself, when none
-        // exists (it cannot demand capacity from equal- or better-ranked
-        // work).
-        if paged_block_tokens.is_some() {
-            let growers: Vec<usize> = active
-                .by_rank
-                .iter()
-                .map(|&(_, idx)| idx)
-                .filter(|&idx| {
-                    let p = pool.as_ref().expect("paged pool");
-                    let info = active.info[idx].as_ref().expect("rank index is active");
-                    let context = (info.shift + step as i64) as usize;
-                    p.held(idx) < p.blocks_for_tokens(context + 1 - covered[idx])
-                })
-                .collect();
-            for grower in growers {
-                // An earlier grower may have evicted this one.
-                if !active.contains(grower) {
-                    continue;
-                }
-                if pool.as_ref().expect("paged pool").fits(1) {
-                    pool.as_mut().expect("paged pool").grow(grower);
-                    continue;
-                }
-                // Unpinned cache blocks are reclaimed before any sequence
-                // is preempted for a grower's block.
-                if let Some(cache) = cache.as_mut() {
-                    let p = pool.as_mut().expect("paged pool");
-                    let cap = p.capacity_blocks().unwrap_or(u64::MAX);
-                    let shortfall = (p.used_blocks() + 1).saturating_sub(cap);
-                    let freed = cache.evict_for(shortfall);
-                    p.surrender_blocks(&freed);
-                    if p.fits(1) {
-                        p.grow(grower);
-                        continue;
-                    }
-                }
-                let victim = active.victims_outranking(ranks[grower]).next();
-                match victim {
-                    Some(victim) => {
-                        evict!(victim);
-                        pool.as_mut().expect("paged pool").grow(grower);
-                    }
-                    None => evict!(grower),
-                }
-            }
-            // Sample pool usage for the utilization/fragmentation stats:
-            // held blocks vs. the context tokens stored in them (active
-            // contexts before this step's token, plus the full targets of
-            // chunk-prefilling sequences, whose blocks are held up front).
-            // Covered runs are stored once, in the cache's resident blocks,
-            // so they are subtracted from the active contexts and counted
-            // through the cache instead.
-            let pool_ref = pool.as_ref().expect("paged pool");
-            kv_steps += 1;
-            kv_block_steps += pool_ref.used_blocks();
-            let active_tokens: u64 = active
-                .groups
-                .iter()
-                .map(|(&shift, &count)| (shift + step as i64) as u64 * count as u64)
-                .sum();
-            kv_used_token_steps += active_tokens - active_covered_tokens
-                + prefill_target_tokens as u64
-                + cache.as_ref().map_or(0, |c| c.resident_tokens());
-        }
-
-        // 6. One shared step over the current batch composition, with any
-        // scheduled prefill chunks piggybacked on it. The chunk-free path
-        // prices through `decode_cost` directly, so stall-the-world
-        // reproduces the closed-loop costs bitwise. The composition comes
-        // straight off the active set's group index — O(distinct context
-        // lengths), not O(batch).
-        let batch = active.batch_state(step);
-        let outcome = if chunks.is_empty() {
-            plan.cost.decode_cost(&batch)
-        } else {
-            plan.cost.chunked_step_cost(&chunks, &batch)
-        };
-        breakdown = breakdown.merged(&outcome.latency);
-        imbalance_sum += outcome.imbalance_sum;
-        imbalance_samples += outcome.imbalance_samples;
-        clock += outcome.latency.total();
-        generated_tokens += active.len();
-        step += 1;
-        // First tokens land before completions so a single-token request
-        // gets `first_token == completed`, exactly as the per-sequence walk
-        // stamped them. A pending joiner evicted before its first step is
-        // simply dropped here (still unstamped) and re-queued on rejoin.
-        for &idx in &pending_first_token {
-            if active.contains(idx) {
-                records[idx].first_token = clock;
-            }
-        }
-        pending_first_token.clear();
-        active.drain_finished(step, |idx, info| {
-            records[idx].completed = clock;
-            completed += 1;
-            match pool.as_mut() {
-                Some(pool) => {
-                    pool.release(idx);
-                }
-                None => active_kv_bytes -= info.kv_bytes,
-            }
-            generated[idx] += (step - info.join_step) as usize;
-            // The covered run outlives the request: releasing the lease
-            // leaves the prefix resident for later arrivals, reclaimable
-            // only under pressure.
-            active_covered_tokens -= covered[idx] as u64;
-            if let (Some(cache), Some(l)) = (cache.as_mut(), lease[idx].take()) {
-                cache.release(l);
-            }
-        });
-
-        // 7. Prompts that completed this step join the decode batch at the
-        // next token boundary. Only the sequences that received a chunk
-        // this boundary — the first `chunks.len()` entries, since chunks
-        // are handed out FCFS from the front — can have newly completed,
-        // so the scan stops there instead of walking the whole set.
-        let mut i = 0;
-        let mut touched = chunks.len().min(prefilling.len());
-        while i < touched {
-            if prefilling[i].done == prefilling[i].target {
-                touched -= 1;
-                let seq = prefilling.remove(i);
-                prefill_target_tokens -= seq.target;
-                let request = &requests[seq.idx];
-                active_covered_tokens += covered[seq.idx] as u64;
-                active.join(
-                    seq.idx,
-                    seq.target + reused[seq.idx],
-                    request.gen_len - generated[seq.idx],
-                    if pool.is_some() {
-                        0
-                    } else {
-                        kv_bytes_per_request[seq.idx]
-                    },
-                    ranks[seq.idx],
-                    step,
-                );
-                if generated[seq.idx] == 0 {
-                    pending_first_token.push(seq.idx);
-                }
-            } else {
-                i += 1;
-            }
-        }
-    }
-
-    let kv_tallies = pool.as_ref().map(|pool| KvTallies {
-        block_tokens: pool.block_tokens(),
-        block_bytes: pool.block_bytes(),
-        capacity_blocks: pool.capacity_blocks(),
-        peak_blocks: pool.peak_blocks(),
-        block_steps: kv_block_steps,
-        used_token_steps: kv_used_token_steps,
-        steps: kv_steps,
-    });
-    let prefix_tallies = cache.as_ref().map(|cache| PrefixTallies {
-        stats: cache.stats(),
-        resident_blocks: cache.resident_blocks(),
-        resident_tokens: cache.resident_tokens(),
-        recomputed_prefill_tokens,
-    });
-    let report = build_report(
-        sim,
-        &plan.spec,
-        &times,
-        &records,
-        clock,
-        completed,
-        generated_tokens,
-        breakdown,
-        imbalance_sum,
-        imbalance_samples,
-        kv_tallies,
-        swap,
-        prefix_tallies,
-    );
-    Ok(ServingOutcome { report, records })
+    replica.run_to_completion()?;
+    Ok(replica.into_outcome())
 }
 
 /// Reject a bounded paged pool without a preemption policy: a sequence that
@@ -1317,1160 +400,6 @@ pub(crate) fn validate_paged_capacity(
     Ok(())
 }
 
-/// Raw paged-pool tallies one simulation loop accumulated, folded into the
-/// report's [`KvPoolReport`] by [`build_report`] — shared by the heap loop
-/// and the reference oracle so the derived statistics cannot drift.
-pub(crate) struct KvTallies {
-    pub block_tokens: usize,
-    pub block_bytes: u64,
-    pub capacity_blocks: Option<u64>,
-    pub peak_blocks: u64,
-    /// Σ held blocks over priced steps.
-    pub block_steps: u64,
-    /// Σ stored context tokens over priced steps.
-    pub used_token_steps: u64,
-    /// Priced steps sampled.
-    pub steps: u64,
-}
-
-/// Raw prefix-cache tallies one simulation loop accumulated, folded into
-/// the report's [`PrefixCacheReport`] by [`build_report`] — shared by the
-/// heap loop and the reference oracle so the derived statistics cannot
-/// drift.
-pub(crate) struct PrefixTallies {
-    pub stats: PrefixStats,
-    pub resident_blocks: u64,
-    pub resident_tokens: u64,
-    /// Prefill tokens actually charged to the cost model.
-    pub recomputed_prefill_tokens: usize,
-}
-
-/// Raw swap-tier tallies one simulation loop accumulated (all zero when no
-/// preemption fired), folded into the report's [`SwapReport`].
-#[derive(Default, Clone, Copy)]
-pub(crate) struct SwapTallies {
-    pub swap_outs: usize,
-    pub swap_ins: usize,
-    pub swapped_out_bytes: u64,
-    pub swapped_in_bytes: u64,
-    pub seconds: f64,
-}
-
-/// Fold the simulation's raw tallies and per-request records into the
-/// aggregate [`ServingReport`]. Shared by [`simulate`] and the sort-based
-/// reference oracle, so the two paths cannot drift in how metrics are
-/// derived from identical records.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn build_report(
-    sim: &ServingSimulation,
-    spec: &SessionSpec,
-    times: &[f64],
-    records: &[RequestRecord],
-    clock: f64,
-    completed: usize,
-    generated_tokens: usize,
-    breakdown: LatencyBreakdown,
-    imbalance_sum: f64,
-    imbalance_samples: usize,
-    kv: Option<KvTallies>,
-    swap: SwapTallies,
-    prefix: Option<PrefixTallies>,
-) -> ServingReport {
-    let queue_delays: Vec<f64> = records.iter().map(RequestRecord::queue_delay).collect();
-    let ttfts: Vec<f64> = records.iter().map(RequestRecord::ttft).collect();
-    // Single-token requests have no inter-token gap; their degenerate 0.0
-    // "TPOT" would drag the percentiles toward zero, so they are excluded
-    // from the TPOT sample set (but kept in TTFT/e2e).
-    let tpots: Vec<f64> = records
-        .iter()
-        .filter(|r| r.gen_len > 1)
-        .map(RequestRecord::tpot)
-        .collect();
-    let e2es: Vec<f64> = records.iter().map(RequestRecord::e2e).collect();
-    ServingReport {
-        system: spec.system.clone(),
-        policy: sim.policy.name().to_string(),
-        prefill_policy: sim.prefill.name().to_string(),
-        scheduling: sim.scheduling.name().to_string(),
-        preemption_policy: sim.preemption.name().to_string(),
-        num_requests: records.len(),
-        completed,
-        offered_rps: sim
-            .arrival
-            .offered_rps()
-            .unwrap_or_else(|| empirical_rps(times)),
-        makespan: clock,
-        generated_tokens,
-        breakdown,
-        queue_delay: DistributionStats::from_samples(&queue_delays),
-        ttft: DistributionStats::from_samples(&ttfts),
-        tpot: DistributionStats::from_samples(&tpots),
-        e2e: DistributionStats::from_samples(&e2es),
-        dimm_imbalance: if imbalance_samples > 0 {
-            imbalance_sum / imbalance_samples as f64
-        } else {
-            1.0
-        },
-        preemptions: records.iter().map(|r| r.preemptions).sum(),
-        per_class: fold_class_reports(records),
-        kv: kv.map(|t| {
-            let mean_blocks = if t.steps > 0 {
-                t.block_steps as f64 / t.steps as f64
-            } else {
-                0.0
-            };
-            let ratio_of = |blocks: f64| {
-                t.capacity_blocks
-                    .map(|cap| if cap > 0 { blocks / cap as f64 } else { 0.0 })
-            };
-            KvPoolReport {
-                block_tokens: t.block_tokens,
-                block_bytes: t.block_bytes,
-                capacity_blocks: t.capacity_blocks,
-                peak_blocks: t.peak_blocks,
-                mean_blocks,
-                utilization: ratio_of(mean_blocks),
-                peak_utilization: ratio_of(t.peak_blocks as f64),
-                fragmentation: if t.block_steps > 0 {
-                    1.0 - t.used_token_steps as f64 / (t.block_steps * t.block_tokens as u64) as f64
-                } else {
-                    0.0
-                },
-            }
-        }),
-        swap: (sim.preemption == PreemptionPolicy::SwapOut).then_some(SwapReport {
-            swap_outs: swap.swap_outs,
-            swap_ins: swap.swap_ins,
-            swapped_out_bytes: swap.swapped_out_bytes,
-            swapped_in_bytes: swap.swapped_in_bytes,
-            seconds: swap.seconds,
-        }),
-        prefix: prefix.map(|t| {
-            let ttft_hit: Vec<f64> = records
-                .iter()
-                .filter(|r| r.reused_prefix_tokens > 0)
-                .map(RequestRecord::ttft)
-                .collect();
-            let ttft_miss: Vec<f64> = records
-                .iter()
-                .filter(|r| r.reused_prefix_tokens == 0)
-                .map(RequestRecord::ttft)
-                .collect();
-            PrefixCacheReport {
-                lookups: t.stats.lookups,
-                hits: t.stats.hits,
-                hit_rate: if t.stats.lookups > 0 {
-                    t.stats.hits as f64 / t.stats.lookups as f64
-                } else {
-                    0.0
-                },
-                reused_prefill_tokens: t.stats.reused_tokens,
-                recomputed_prefill_tokens: t.recomputed_prefill_tokens,
-                insertions: t.stats.insertions,
-                resident_blocks: t.resident_blocks,
-                resident_tokens: t.resident_tokens,
-                evicted_blocks: t.stats.evicted_blocks,
-                ttft_hit: DistributionStats::from_samples(&ttft_hit),
-                ttft_miss: DistributionStats::from_samples(&ttft_miss),
-            }
-        }),
-    }
-}
-
-/// Fold the per-request records into per-priority-tier reports, sorted by
-/// tier (most important first).
-fn fold_class_reports(records: &[RequestRecord]) -> Vec<ClassReport> {
-    let mut tiers: Vec<u8> = records.iter().map(|r| r.class.priority).collect();
-    tiers.sort_unstable();
-    tiers.dedup();
-    tiers
-        .into_iter()
-        .map(|tier| {
-            let members: Vec<&RequestRecord> = records
-                .iter()
-                .filter(|r| r.class.priority == tier)
-                .collect();
-            let queue_delays: Vec<f64> = members.iter().map(|r| r.queue_delay()).collect();
-            let ttfts: Vec<f64> = members.iter().map(|r| r.ttft()).collect();
-            let e2es: Vec<f64> = members.iter().map(|r| r.e2e()).collect();
-            ClassReport {
-                priority: tier,
-                num_requests: members.len(),
-                preemptions: members.iter().map(|r| r.preemptions).sum(),
-                queue_delay: DistributionStats::from_samples(&queue_delays),
-                ttft: DistributionStats::from_samples(&ttfts),
-                e2e: DistributionStats::from_samples(&e2es),
-                deadline_requests: members
-                    .iter()
-                    .filter(|r| r.class.ttft_deadline.is_some())
-                    .count(),
-                deadline_met: members
-                    .iter()
-                    .filter(|r| r.met_ttft_deadline() == Some(true))
-                    .count(),
-            }
-        })
-        .collect()
-}
-
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use hermes_core::{RequestClass, RequestLength};
-    use hermes_model::ModelId;
-
-    fn template() -> Workload {
-        let mut w = Workload::paper_default(ModelId::Opt13B);
-        w.prompt_len = 32;
-        w.gen_len = 8;
-        w
-    }
-
-    fn config() -> SystemConfig {
-        SystemConfig::paper_default()
-    }
-
-    fn request(id: usize, arrival: f64, prompt_len: usize, gen_len: usize) -> ServingRequest {
-        ServingRequest {
-            id,
-            arrival,
-            prompt_len,
-            gen_len,
-            class: RequestClass::default(),
-            prefix: Vec::new(),
-        }
-    }
-
-    /// Regression for the re-validation hole: a sampled request with a
-    /// larger prompt but *smaller total* than the template (e.g. template
-    /// 128+128, request 200+8) was never re-validated, because the old code
-    /// only re-planned the request maximizing `prompt_len + gen_len` and
-    /// only when that sum exceeded the template's. The max-prompt request
-    /// must now produce a re-validation bound of its own.
-    #[test]
-    fn worst_case_bounds_cover_larger_prompt_with_smaller_total() {
-        let template = Workload::paper_default(ModelId::Opt13B); // 128 + 128
-        let requests = vec![request(0, 0.0, 200, 8)];
-        let bounds = worst_case_bounds(&template, &requests);
-        assert_eq!(bounds.len(), 1, "max-prompt request must be re-validated");
-        assert_eq!(bounds[0].prompt_len, 200);
-        assert_eq!(bounds[0].gen_len, 8);
-    }
-
-    #[test]
-    fn worst_case_bounds_cover_both_extremes_and_dedupe() {
-        let template = Workload::paper_default(ModelId::Opt13B); // 128 + 128
-                                                                 // Distinct max-prompt (200+8) and max-total (100+200) requests:
-                                                                 // both must be re-validated.
-        let requests = vec![
-            request(0, 0.0, 200, 8),
-            request(1, 0.0, 100, 200),
-            request(2, 0.0, 64, 64),
-        ];
-        let mut pairs: Vec<(usize, usize)> = worst_case_bounds(&template, &requests)
-            .iter()
-            .map(|b| (b.prompt_len, b.gen_len))
-            .collect();
-        pairs.sort_unstable();
-        assert_eq!(pairs, vec![(100, 200), (200, 8)]);
-
-        // One request embodying both extremes yields a single bound.
-        let one = vec![request(0, 0.0, 300, 300)];
-        assert_eq!(worst_case_bounds(&template, &one).len(), 1);
-
-        // Requests within the template need no re-validation at all.
-        let covered = vec![request(0, 0.0, 64, 64), request(1, 0.0, 128, 128)];
-        assert!(worst_case_bounds(&template, &covered).is_empty());
-        assert!(worst_case_bounds(&template, &[]).is_empty());
-    }
-
-    #[test]
-    fn all_at_once_continuous_and_static_agree_without_caps() {
-        // With every request present at time zero and no caps, both
-        // policies admit everything immediately and run the same batch.
-        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 4);
-        let continuous = simulate(SystemKind::hermes(), &config(), &sim).unwrap();
-        let static_ = simulate(
-            SystemKind::hermes(),
-            &config(),
-            &sim.clone().with_policy(BatchingPolicy::Static),
-        )
-        .unwrap();
-        assert_eq!(continuous.records, static_.records);
-        assert!((continuous.report.makespan - static_.report.makespan).abs() < 1e-12);
-    }
-
-    #[test]
-    fn max_batch_cap_limits_concurrency() {
-        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 6)
-            .with_admission(AdmissionConfig::unlimited().with_max_batch(2));
-        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
-        // FCFS: requests finish in waves of two; later waves queue longer.
-        let records = &outcome.records;
-        assert!(records[0].queue_delay() < 1e-12);
-        assert!(records[2].queue_delay() > 0.0);
-        assert!(records[4].queue_delay() > records[2].queue_delay());
-        assert_eq!(outcome.report.completed, 6);
-    }
-
-    #[test]
-    fn impossible_caps_are_reported() {
-        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 2)
-            .with_admission(AdmissionConfig::unlimited().with_kv_memory_bytes(1));
-        assert!(matches!(
-            simulate(SystemKind::hermes_base(), &config(), &sim),
-            Err(HermesError::InvalidConfig(_))
-        ));
-    }
-
-    #[test]
-    fn empty_simulations_finish_at_time_zero() {
-        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 0);
-        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
-        assert_eq!(outcome.report.makespan, 0.0);
-        assert_eq!(outcome.report.generated_tokens, 0);
-        assert!(outcome.records.is_empty());
-    }
-
-    #[test]
-    fn idle_gaps_jump_the_clock_to_the_next_arrival() {
-        let sim = ServingSimulation::new(
-            template(),
-            ArrivalProcess::Trace {
-                times: vec![0.0, 1000.0],
-            },
-            2,
-        );
-        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
-        // The second request starts fresh after a long idle gap, so its
-        // queueing delay is zero and the makespan exceeds the gap.
-        assert!(outcome.records[1].queue_delay() < 1e-9);
-        assert!(outcome.report.makespan > 1000.0);
-    }
-
-    #[test]
-    fn chunked_prefill_reproduces_total_work_and_generates_everything() {
-        // Chunk sizes that do and do not divide the prompt length, budgets
-        // above and below the chunk size: every variant completes all
-        // requests and generates every token.
-        let sim = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 0.5 }, 6);
-        for (chunk_tokens, budget) in [(8, 16), (5, 5), (7, 3), (64, 64)] {
-            let outcome = simulate(
-                SystemKind::hermes_base(),
-                &config(),
-                &sim.clone().with_prefill(PrefillPolicy::Chunked {
-                    chunk_tokens,
-                    budget,
-                }),
-            )
-            .unwrap();
-            assert_eq!(outcome.report.completed, 6, "chunk {chunk_tokens}");
-            assert_eq!(
-                outcome.report.generated_tokens,
-                6 * 8,
-                "chunk {chunk_tokens}"
-            );
-            for r in &outcome.records {
-                assert!(r.arrival <= r.admitted, "chunk {chunk_tokens}");
-                assert!(r.admitted < r.first_token, "chunk {chunk_tokens}");
-                assert!(r.first_token <= r.completed, "chunk {chunk_tokens}");
-            }
-        }
-    }
-
-    #[test]
-    fn chunked_prefill_amortizes_to_the_stalled_prefill_total() {
-        // One request, chunked into 8-token slices: the default cost
-        // composition pro-rates the one-shot prefill cost over the chunks,
-        // so the total prefill seconds match stall-the-world exactly.
-        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 1);
-        let stalled = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
-        let chunked = simulate(
-            SystemKind::hermes_base(),
-            &config(),
-            &sim.clone().with_prefill(PrefillPolicy::Chunked {
-                chunk_tokens: 8,
-                budget: 8,
-            }),
-        )
-        .unwrap();
-        assert!(
-            (chunked.report.breakdown.prefill - stalled.report.breakdown.prefill).abs() < 1e-9,
-            "chunked prefill total {} vs stalled {}",
-            chunked.report.breakdown.prefill,
-            stalled.report.breakdown.prefill
-        );
-        // The lone request's own TTFT is delayed by chunking (its prompt
-        // spreads over several boundaries), never improved.
-        assert!(chunked.records[0].ttft() >= stalled.records[0].ttft() - 1e-12);
-    }
-
-    #[test]
-    fn lockstep_chunked_groups_amortize_to_the_stalled_group_total() {
-        // Four same-length prompts admitted at one boundary: stall-the-world
-        // prefills them as one batched group. With a budget wide enough for
-        // all four to advance each boundary, their co-scheduled chunks share
-        // a batched pass per step and the total prefill matches exactly.
-        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 4);
-        let stalled = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
-        let chunked = simulate(
-            SystemKind::hermes_base(),
-            &config(),
-            &sim.clone().with_prefill(PrefillPolicy::Chunked {
-                chunk_tokens: 8,
-                budget: 32,
-            }),
-        )
-        .unwrap();
-        assert!(
-            (chunked.report.breakdown.prefill - stalled.report.breakdown.prefill).abs() < 1e-9,
-            "lockstep chunked prefill total {} vs stalled group total {}",
-            chunked.report.breakdown.prefill,
-            stalled.report.breakdown.prefill
-        );
-        assert_eq!(chunked.report.completed, 4);
-    }
-
-    #[test]
-    fn heterogeneous_lengths_thread_into_records_and_kv_accounting() {
-        let lengths = vec![
-            RequestLength {
-                prompt_len: 16,
-                gen_len: 4,
-            },
-            RequestLength {
-                prompt_len: 48,
-                gen_len: 12,
-            },
-            RequestLength {
-                prompt_len: 16,
-                gen_len: 1,
-            },
-        ];
-        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 3).with_lengths(
-            LengthDistribution::Trace {
-                lengths: lengths.clone(),
-            },
-        );
-        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
-        assert_eq!(outcome.report.generated_tokens, 4 + 12 + 1);
-        for (r, l) in outcome.records.iter().zip(&lengths) {
-            assert_eq!(r.prompt_len, l.prompt_len);
-            assert_eq!(r.gen_len, l.gen_len);
-        }
-        // The longer request decodes more tokens, so it finishes last.
-        assert!(outcome.records[1].completed > outcome.records[0].completed);
-    }
-
-    #[test]
-    fn same_boundary_groups_stamp_admission_when_their_prefill_starts() {
-        // Two prompt-length groups admitted at the same boundary: the second
-        // group's prefill only starts after the first group's pass, and its
-        // queue delay must say so.
-        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 2).with_lengths(
-            LengthDistribution::Trace {
-                lengths: vec![
-                    RequestLength {
-                        prompt_len: 16,
-                        gen_len: 4,
-                    },
-                    RequestLength {
-                        prompt_len: 48,
-                        gen_len: 4,
-                    },
-                ],
-            },
-        );
-        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
-        let [first, second] = &outcome.records[..] else {
-            panic!("expected two records");
-        };
-        assert!(first.queue_delay() < 1e-12);
-        assert!(
-            second.admitted > first.admitted,
-            "second group admitted at {} but first at {}",
-            second.admitted,
-            first.admitted
-        );
-        // The gap is exactly the first group's prefill pass.
-        assert!(second.queue_delay() > 0.0);
-    }
-
-    #[test]
-    fn single_token_requests_are_excluded_from_tpot() {
-        let single = LengthDistribution::Trace {
-            lengths: vec![
-                RequestLength {
-                    prompt_len: 32,
-                    gen_len: 1,
-                };
-                3
-            ],
-        };
-        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 3)
-            .with_lengths(single.clone());
-        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
-        // All requests are single-token: the TPOT sample set is empty, not
-        // a pile of zeros.
-        assert_eq!(outcome.report.tpot, DistributionStats::default());
-        assert!(outcome.report.ttft.mean > 0.0);
-        assert!(outcome.report.e2e.mean > 0.0);
-
-        // Mixing in multi-token requests: the TPOT percentiles reflect only
-        // them (no zero samples dragging the median down).
-        let mixed = LengthDistribution::Trace {
-            lengths: vec![
-                RequestLength {
-                    prompt_len: 32,
-                    gen_len: 1,
-                },
-                RequestLength {
-                    prompt_len: 32,
-                    gen_len: 8,
-                },
-                RequestLength {
-                    prompt_len: 32,
-                    gen_len: 1,
-                },
-            ],
-        };
-        let outcome = simulate(
-            SystemKind::hermes_base(),
-            &config(),
-            &ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 3).with_lengths(mixed),
-        )
-        .unwrap();
-        assert!(
-            outcome.report.tpot.p50 > 0.0,
-            "p50 TPOT {} polluted by single-token zeros",
-            outcome.report.tpot.p50
-        );
-        assert!(outcome.report.tpot.p50 <= outcome.report.tpot.max);
-    }
-
-    #[test]
-    fn offered_rps_is_empirical_for_traces_and_spec_for_poisson() {
-        let trace = ServingSimulation::new(
-            template(),
-            ArrivalProcess::Trace {
-                times: vec![0.0, 1.0, 2.0, 3.0, 4.0],
-            },
-            5,
-        );
-        let outcome = simulate(SystemKind::hermes_base(), &config(), &trace).unwrap();
-        // 5 arrivals over a 4-second span: 1 request/s.
-        assert!((outcome.report.offered_rps - 1.0).abs() < 1e-12);
-
-        let poisson = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 2.5 }, 4);
-        let outcome = simulate(SystemKind::hermes_base(), &config(), &poisson).unwrap();
-        assert_eq!(outcome.report.offered_rps, 2.5);
-
-        // All-at-once has no arrival span; the empirical rate stays zero.
-        let all = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 4);
-        let outcome = simulate(SystemKind::hermes_base(), &config(), &all).unwrap();
-        assert_eq!(outcome.report.offered_rps, 0.0);
-    }
-
-    #[test]
-    fn oversized_sampled_lengths_fail_memory_validation() {
-        // The template fits, but the sampled request's KV footprint cannot:
-        // the simulator must propagate the engine's memory check instead of
-        // silently producing a report.
-        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 1).with_lengths(
-            LengthDistribution::Trace {
-                lengths: vec![RequestLength {
-                    prompt_len: 500_000_000,
-                    gen_len: 8,
-                }],
-            },
-        );
-        assert!(matches!(
-            simulate(SystemKind::hermes_base(), &config(), &sim),
-            Err(HermesError::InsufficientMemory { .. })
-        ));
-    }
-
-    /// KV budget that fits one template request but not two.
-    fn one_seat_kv_cap() -> u64 {
-        let per_request = request_kv_bytes(&template(), 32, 8);
-        per_request * 3 / 2
-    }
-
-    /// KV budget that fits exactly two template requests but not three.
-    fn two_seat_kv_cap() -> u64 {
-        request_kv_bytes(&template(), 32, 8) * 2
-    }
-
-    #[test]
-    fn priority_preemption_evicts_the_lower_tier_and_everyone_completes() {
-        // Request 0 (tier 2) occupies the only KV seat; request 1 (tier 0)
-        // arrives mid-run, evicts it, runs to completion, then request 0
-        // resumes with recompute. Both prefill policies must agree on the
-        // lifecycle accounting.
-        for prefill in [
-            PrefillPolicy::StallTheWorld,
-            PrefillPolicy::Chunked {
-                chunk_tokens: 8,
-                budget: 8,
-            },
-        ] {
-            let sim = ServingSimulation::new(
-                template(),
-                ArrivalProcess::Trace {
-                    times: vec![0.0, 1e-9],
-                },
-                2,
-            )
-            .with_admission(AdmissionConfig::unlimited().with_kv_memory_bytes(one_seat_kv_cap()))
-            .with_classes(PrioritySpec::Trace {
-                classes: vec![RequestClass::new(2), RequestClass::new(0)],
-            })
-            .with_scheduling(SchedulingPolicy::Priority)
-            .with_preemption(PreemptionPolicy::EvictAndRefill)
-            .with_prefill(prefill);
-            let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
-            let name = prefill.name();
-
-            assert_eq!(outcome.report.completed, 2, "{name}");
-            assert_eq!(
-                outcome.report.generated_tokens, 16,
-                "{name}: every token generated once"
-            );
-            assert_eq!(outcome.report.preemptions, 1, "{name}");
-            assert_eq!(outcome.records[0].preemptions, 1, "{name}");
-            assert_eq!(outcome.records[1].preemptions, 0, "{name}");
-            // The high-priority request overtakes: it completes first even
-            // though the low-priority one started first.
-            assert!(
-                outcome.records[1].completed < outcome.records[0].completed,
-                "{name}: high class completed {} vs low {}",
-                outcome.records[1].completed,
-                outcome.records[0].completed
-            );
-            // Lifecycle stays ordered through the eviction.
-            for r in &outcome.records {
-                assert!(r.arrival <= r.admitted, "{name}");
-                assert!(r.admitted < r.first_token, "{name}");
-                assert!(r.first_token <= r.completed, "{name}");
-            }
-            // Per-class accounting: the preemption is charged to tier 2.
-            assert_eq!(outcome.report.class(0).unwrap().preemptions, 0, "{name}");
-            assert_eq!(outcome.report.class(2).unwrap().preemptions, 1, "{name}");
-            assert_eq!(outcome.report.scheduling, "priority", "{name}");
-            assert_eq!(
-                outcome.report.preemption_policy, "evict-and-refill",
-                "{name}"
-            );
-
-            // Restart-with-recompute is paid in prefill seconds: the same
-            // scenario without preemption does strictly less prefill work.
-            let unpreempted = simulate(
-                SystemKind::hermes_base(),
-                &config(),
-                &sim.clone().with_preemption(PreemptionPolicy::None),
-            )
-            .unwrap();
-            assert_eq!(unpreempted.report.preemptions, 0, "{name}");
-            assert!(
-                outcome.report.breakdown.prefill > unpreempted.report.breakdown.prefill,
-                "{name}: preemptive prefill {} vs unpreempted {}",
-                outcome.report.breakdown.prefill,
-                unpreempted.report.breakdown.prefill
-            );
-            // The point of evicting: the high-priority request's TTFT
-            // strictly improves over waiting for the seat.
-            assert!(
-                outcome.records[1].ttft() < unpreempted.records[1].ttft(),
-                "{name}: preemptive TTFT {} vs unpreempted {}",
-                outcome.records[1].ttft(),
-                unpreempted.records[1].ttft()
-            );
-        }
-    }
-
-    #[test]
-    fn fcfs_never_preempts_even_with_eviction_enabled() {
-        // Under FCFS no request outranks another, so EvictAndRefill is
-        // bitwise inert.
-        let sim = ServingSimulation::new(
-            template(),
-            ArrivalProcess::Trace {
-                times: vec![0.0, 1e-9],
-            },
-            2,
-        )
-        .with_admission(AdmissionConfig::unlimited().with_kv_memory_bytes(one_seat_kv_cap()))
-        .with_classes(PrioritySpec::Trace {
-            classes: vec![RequestClass::new(2), RequestClass::new(0)],
-        })
-        .with_preemption(PreemptionPolicy::EvictAndRefill);
-        let preemptive = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
-        let plain = simulate(
-            SystemKind::hermes_base(),
-            &config(),
-            &sim.clone().with_preemption(PreemptionPolicy::None),
-        )
-        .unwrap();
-        assert_eq!(preemptive.report.preemptions, 0);
-        assert_eq!(preemptive.records, plain.records);
-    }
-
-    #[test]
-    fn priority_orders_the_ready_queue_with_fcfs_within_a_tier() {
-        // Three queued requests, one seat: the tier-0 request jumps the
-        // queue, and the two tier-1 requests keep their arrival order.
-        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 3)
-            .with_admission(AdmissionConfig::unlimited().with_max_batch(1))
-            .with_classes(PrioritySpec::Trace {
-                classes: vec![
-                    RequestClass::new(1),
-                    RequestClass::new(0),
-                    RequestClass::new(1),
-                ],
-            })
-            .with_scheduling(SchedulingPolicy::Priority);
-        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
-        let [a, b, c] = &outcome.records[..] else {
-            panic!("expected three records");
-        };
-        assert!(b.admitted < a.admitted, "tier 0 admitted first");
-        assert!(a.admitted < c.admitted, "FCFS within tier 1");
-    }
-
-    #[test]
-    fn edf_orders_by_absolute_deadline_with_best_effort_last() {
-        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 3)
-            .with_admission(AdmissionConfig::unlimited().with_max_batch(1))
-            .with_classes(PrioritySpec::Trace {
-                classes: vec![
-                    RequestClass::new(0).with_ttft_deadline(100.0),
-                    RequestClass::new(0).with_ttft_deadline(1.0),
-                    RequestClass::new(0),
-                ],
-            })
-            .with_scheduling(SchedulingPolicy::Edf);
-        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
-        let [loose, tight, best_effort] = &outcome.records[..] else {
-            panic!("expected three records");
-        };
-        assert!(tight.admitted < loose.admitted, "tightest deadline first");
-        assert!(loose.admitted < best_effort.admitted, "best effort last");
-    }
-
-    #[test]
-    fn slo_attainment_reflects_met_and_missed_deadlines() {
-        // Two deadline-carrying requests sharing one seat: the first meets
-        // its generous deadline, the second misses an impossible one.
-        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 2)
-            .with_admission(AdmissionConfig::unlimited().with_max_batch(1))
-            .with_classes(PrioritySpec::Trace {
-                classes: vec![
-                    RequestClass::new(0).with_ttft_deadline(1e9),
-                    RequestClass::new(0).with_ttft_deadline(1e-12),
-                ],
-            });
-        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
-        assert_eq!(outcome.records[0].met_ttft_deadline(), Some(true));
-        assert_eq!(outcome.records[1].met_ttft_deadline(), Some(false));
-        assert!((outcome.report.slo_attainment().unwrap() - 0.5).abs() < 1e-12);
-        let class = outcome.report.class(0).unwrap();
-        assert_eq!(class.deadline_requests, 2);
-        assert_eq!(class.deadline_met, 1);
-
-        // Class-free scenarios report no attainment at all.
-        let plain = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 2);
-        let outcome = simulate(SystemKind::hermes_base(), &config(), &plain).unwrap();
-        assert_eq!(outcome.report.slo_attainment(), None);
-        assert_eq!(outcome.report.per_class.len(), 1);
-        assert_eq!(outcome.report.preemptions, 0);
-    }
-
-    #[test]
-    fn equal_rank_ready_requests_keep_arrival_order() {
-        // Coverage audit before the heap rewrite: equal primary ranks must
-        // never reorder — admission is FCFS inside a priority tier and
-        // inside an equal EDF deadline, even through a one-seat bottleneck.
-        for (scheduling, classes) in [
-            (
-                SchedulingPolicy::Priority,
-                PrioritySpec::Trace {
-                    classes: vec![RequestClass::new(1); 4],
-                },
-            ),
-            (
-                SchedulingPolicy::Edf,
-                PrioritySpec::Trace {
-                    classes: vec![RequestClass::new(0).with_ttft_deadline(5.0); 4],
-                },
-            ),
-        ] {
-            let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 4)
-                .with_admission(AdmissionConfig::unlimited().with_max_batch(1))
-                .with_classes(classes)
-                .with_scheduling(scheduling);
-            let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
-            for pair in outcome.records.windows(2) {
-                assert!(
-                    pair[0].admitted < pair[1].admitted,
-                    "{}: equal ranks must admit in arrival order",
-                    scheduling.name()
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn eviction_picks_the_latest_arrival_within_the_worst_tier() {
-        // Two equal-tier sequences hold both seats; a tier-0 waiter evicts
-        // exactly one victim. The tie-break inside the worst rank is
-        // latest-arrival-first, so request 1 — not request 0 — must pay.
-        let sim = ServingSimulation::new(
-            template(),
-            ArrivalProcess::Trace {
-                times: vec![0.0, 1e-9, 0.2],
-            },
-            3,
-        )
-        .with_admission(AdmissionConfig::unlimited().with_kv_memory_bytes(two_seat_kv_cap()))
-        .with_classes(PrioritySpec::Trace {
-            classes: vec![
-                RequestClass::new(2),
-                RequestClass::new(2),
-                RequestClass::new(0),
-            ],
-        })
-        .with_scheduling(SchedulingPolicy::Priority)
-        .with_preemption(PreemptionPolicy::EvictAndRefill);
-        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
-        assert_eq!(outcome.report.completed, 3);
-        assert_eq!(outcome.report.preemptions, 1);
-        assert_eq!(
-            outcome.records[0].preemptions, 0,
-            "earlier arrival within the tier must be spared"
-        );
-        assert_eq!(
-            outcome.records[1].preemptions, 1,
-            "latest arrival within the worst tier is evicted first"
-        );
-        assert_eq!(outcome.records[2].preemptions, 0);
-    }
-
-    #[test]
-    fn eviction_prefers_worse_tiers_over_later_arrivals() {
-        // A tier-2 sequence arrived *before* a tier-1 sequence; a tier-0
-        // waiter needs one seat. Rank dominates arrival order: the tier-2
-        // sequence is evicted even though it is the older one.
-        let sim = ServingSimulation::new(
-            template(),
-            ArrivalProcess::Trace {
-                times: vec![0.0, 1e-9, 0.2],
-            },
-            3,
-        )
-        .with_admission(AdmissionConfig::unlimited().with_kv_memory_bytes(two_seat_kv_cap()))
-        .with_classes(PrioritySpec::Trace {
-            classes: vec![
-                RequestClass::new(2),
-                RequestClass::new(1),
-                RequestClass::new(0),
-            ],
-        })
-        .with_scheduling(SchedulingPolicy::Priority)
-        .with_preemption(PreemptionPolicy::EvictAndRefill);
-        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
-        assert_eq!(outcome.report.preemptions, 1);
-        assert_eq!(outcome.records[0].preemptions, 1, "worst tier pays first");
-        assert_eq!(outcome.records[1].preemptions, 0);
-    }
-
-    #[test]
-    fn eviction_never_strikes_within_the_waiters_own_tier() {
-        // Both seats held by tier-1 sequences and a tier-1 waiter blocked:
-        // preemption compares primary ranks strictly, so nothing is evicted
-        // and the waiter queues until a seat frees naturally.
-        let sim = ServingSimulation::new(
-            template(),
-            ArrivalProcess::Trace {
-                times: vec![0.0, 1e-9, 2e-9],
-            },
-            3,
-        )
-        .with_admission(AdmissionConfig::unlimited().with_kv_memory_bytes(two_seat_kv_cap()))
-        .with_classes(PrioritySpec::Trace {
-            classes: vec![RequestClass::new(1); 3],
-        })
-        .with_scheduling(SchedulingPolicy::Priority)
-        .with_preemption(PreemptionPolicy::EvictAndRefill);
-        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
-        assert_eq!(outcome.report.preemptions, 0);
-        assert_eq!(outcome.report.completed, 3);
-        assert!(
-            outcome.records[2].queue_delay() > 0.0,
-            "the same-tier waiter queues instead of evicting"
-        );
-    }
-
-    #[test]
-    fn multi_victim_eviction_frees_exactly_enough_seats() {
-        // The waiter needs two seats' worth of KV while two single-seat
-        // sequences hold the pool: both are evicted (smallest sufficient
-        // victim prefix), the big request runs, and the victims resume.
-        let sim = ServingSimulation::new(
-            template(),
-            ArrivalProcess::Trace {
-                times: vec![0.0, 1e-9, 0.2],
-            },
-            3,
-        )
-        .with_lengths(LengthDistribution::Trace {
-            lengths: vec![
-                RequestLength {
-                    prompt_len: 32,
-                    gen_len: 8,
-                },
-                RequestLength {
-                    prompt_len: 32,
-                    gen_len: 8,
-                },
-                RequestLength {
-                    prompt_len: 64,
-                    gen_len: 16,
-                },
-            ],
-        })
-        .with_admission(
-            // 2.5 single seats: fits both small requests, or the double-
-            // sized one alone.
-            AdmissionConfig::unlimited().with_kv_memory_bytes(two_seat_kv_cap()),
-        )
-        .with_classes(PrioritySpec::Trace {
-            classes: vec![
-                RequestClass::new(2),
-                RequestClass::new(2),
-                RequestClass::new(0),
-            ],
-        })
-        .with_scheduling(SchedulingPolicy::Priority)
-        .with_preemption(PreemptionPolicy::EvictAndRefill);
-        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
-        assert_eq!(outcome.report.completed, 3);
-        assert_eq!(outcome.report.preemptions, 2, "both seat-holders evicted");
-        assert_eq!(outcome.records[0].preemptions, 1);
-        assert_eq!(outcome.records[1].preemptions, 1);
-        assert_eq!(outcome.report.generated_tokens, 8 + 8 + 16);
-        assert!(
-            outcome.records[2].completed < outcome.records[0].completed,
-            "the tier-0 request overtakes both victims"
-        );
-    }
-
-    #[test]
-    fn empty_ready_queue_boundaries_admit_mid_decode_arrivals() {
-        // The ready queue empties after the first admission, the system
-        // keeps decoding through empty-queue boundaries, and a mid-decode
-        // arrival is admitted at the next token boundary without disturbing
-        // the running sequence.
-        let sim = ServingSimulation::new(
-            template(),
-            ArrivalProcess::Trace {
-                times: vec![0.0, 1e-6],
-            },
-            2,
-        );
-        let outcome = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
-        assert_eq!(outcome.report.completed, 2);
-        // The joiner was admitted while request 0 was mid-flight: strictly
-        // after its own arrival (a boundary had to come up) and strictly
-        // before request 0 completed.
-        assert!(outcome.records[1].admitted >= outcome.records[1].arrival);
-        assert!(outcome.records[1].admitted < outcome.records[0].completed);
-        assert_eq!(outcome.report.preemptions, 0);
-    }
-
-    #[test]
-    fn invalid_prefill_policies_are_rejected() {
-        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 1).with_prefill(
-            PrefillPolicy::Chunked {
-                chunk_tokens: 0,
-                budget: 4,
-            },
-        );
-        assert!(matches!(
-            simulate(SystemKind::hermes_base(), &config(), &sim),
-            Err(HermesError::InvalidConfig(_))
-        ));
-    }
-
-    #[test]
-    fn unbounded_paged_accounting_reproduces_reserve_bitwise() {
-        // With no KV budget the paged pool never constrains admission, so
-        // switching the accounting mode must not move a single clock stamp
-        // — the pool only adds its usage report.
-        let base = ServingSimulation::new(template(), ArrivalProcess::Poisson { rate: 2.0 }, 10)
-            .with_arrival_seed(17)
-            .with_admission(AdmissionConfig::unlimited().with_max_batch(3))
-            .with_lengths(LengthDistribution::Uniform {
-                prompt_min: 8,
-                prompt_max: 40,
-                gen_min: 1,
-                gen_max: 10,
-            })
-            .with_prefill(PrefillPolicy::Chunked {
-                chunk_tokens: 8,
-                budget: 16,
-            });
-        let reserve = simulate(SystemKind::hermes_base(), &config(), &base).unwrap();
-        let paged = simulate(
-            SystemKind::hermes_base(),
-            &config(),
-            &base.clone().with_admission(
-                AdmissionConfig::unlimited()
-                    .with_max_batch(3)
-                    .with_paged_kv(16),
-            ),
-        )
-        .unwrap();
-        assert_eq!(paged.records, reserve.records);
-        assert!(reserve.report.kv.is_none());
-        let kv = paged.report.kv.clone().expect("paged accounting reports");
-        assert_eq!(kv.block_tokens, 16);
-        assert_eq!(kv.capacity_blocks, None);
-        assert!(kv.peak_blocks > 0);
-        assert!((0.0..=1.0).contains(&kv.fragmentation), "{kv:?}");
-        let mut stripped = paged.report.clone();
-        stripped.kv = None;
-        assert_eq!(stripped, reserve.report);
-    }
-
-    #[test]
-    fn paged_admission_packs_more_requests_into_the_same_budget() {
-        // Six decode-heavy requests (prompt 8, gen 32) under a KV budget
-        // sized for two worst-case reservations. Reserve admission charges
-        // the full 40-token footprint up front and seats two; paged
-        // admission charges only the blocks the context actually needs
-        // (9 tokens at admission) and seats all six, so queueing delay
-        // collapses.
-        let mut w = template();
-        w.prompt_len = 8;
-        w.gen_len = 32;
-        let budget = request_kv_bytes(&w, 8, 32) * 2;
-        let base = ServingSimulation::new(w, ArrivalProcess::AllAtOnce, 6)
-            .with_preemption(PreemptionPolicy::EvictAndRefill);
-        let reserve = simulate(
-            SystemKind::hermes_base(),
-            &config(),
-            &base
-                .clone()
-                .with_admission(AdmissionConfig::unlimited().with_kv_memory_bytes(budget)),
-        )
-        .unwrap();
-        let paged = simulate(
-            SystemKind::hermes_base(),
-            &config(),
-            &base.clone().with_admission(
-                AdmissionConfig::unlimited()
-                    .with_kv_memory_bytes(budget)
-                    .with_paged_kv(4),
-            ),
-        )
-        .unwrap();
-        assert_eq!(reserve.report.completed, 6);
-        assert_eq!(paged.report.completed, 6);
-        assert!(
-            paged.report.queue_delay.mean < reserve.report.queue_delay.mean,
-            "paged queue delay {} vs reserve {}",
-            paged.report.queue_delay.mean,
-            reserve.report.queue_delay.mean
-        );
-        let kv = paged.report.kv.as_ref().expect("paged pool report");
-        assert!(kv.utilization.is_some() && kv.peak_utilization.is_some());
-        assert!(kv.peak_utilization.unwrap() <= 1.0 + 1e-12, "{kv:?}");
-    }
-
-    #[test]
-    fn swap_out_resumes_without_recompute() {
-        // Same single-seat preemption scenario as the EvictAndRefill
-        // lifecycle test: tier 0 evicts tier 2 mid-decode. Under SwapOut
-        // the victim's pages move to the swap tier and back instead of
-        // being recomputed, so the swap run does strictly less prefill
-        // work, pays for it in communication seconds, and still generates
-        // every token exactly once.
-        let sim = ServingSimulation::new(
-            template(),
-            ArrivalProcess::Trace {
-                times: vec![0.0, 1e-9],
-            },
-            2,
-        )
-        .with_admission(AdmissionConfig::unlimited().with_kv_memory_bytes(one_seat_kv_cap()))
-        .with_classes(PrioritySpec::Trace {
-            classes: vec![RequestClass::new(2), RequestClass::new(0)],
-        })
-        .with_scheduling(SchedulingPolicy::Priority)
-        .with_preemption(PreemptionPolicy::EvictAndRefill);
-        let evicted = simulate(SystemKind::hermes_base(), &config(), &sim).unwrap();
-        let swapped = simulate(
-            SystemKind::hermes_base(),
-            &config(),
-            &sim.clone().with_preemption(PreemptionPolicy::SwapOut),
-        )
-        .unwrap();
-
-        assert_eq!(swapped.report.completed, 2);
-        assert_eq!(swapped.report.generated_tokens, 16);
-        assert_eq!(swapped.report.preemptions, 1);
-        assert_eq!(swapped.records[0].preemptions, 1);
-        assert_eq!(swapped.report.preemption_policy, "swap-out");
-        // No recompute: the swap run's prefill work is strictly below the
-        // evict-and-refill run's, which re-prefilled the victim.
-        assert!(
-            swapped.report.breakdown.prefill < evicted.report.breakdown.prefill,
-            "swap prefill {} vs evict {}",
-            swapped.report.breakdown.prefill,
-            evicted.report.breakdown.prefill
-        );
-        let swap = swapped.report.swap.clone().expect("swap tier report");
-        assert_eq!(swap.swap_outs, 1);
-        assert_eq!(swap.swap_ins, 1);
-        assert_eq!(swap.swapped_out_bytes, swap.swapped_in_bytes);
-        assert!(swap.swapped_out_bytes > 0);
-        assert!(swap.seconds > 0.0);
-        assert!(evicted.report.swap.is_none());
-    }
-
-    #[test]
-    fn bounded_paged_pool_without_preemption_is_rejected() {
-        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 2).with_admission(
-            AdmissionConfig::unlimited()
-                .with_kv_memory_bytes(two_seat_kv_cap())
-                .with_paged_kv(16),
-        );
-        match simulate(SystemKind::hermes_base(), &config(), &sim) {
-            Err(HermesError::InvalidConfig(msg)) => {
-                assert!(msg.contains("preemption"), "{msg}");
-            }
-            other => panic!("expected InvalidConfig, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn request_larger_than_the_paged_pool_is_rejected() {
-        // A pool of one worst-case seat minus a block cannot ever hold
-        // request 0 at full context; admitting it would guarantee an
-        // eviction livelock, so validation refuses up front.
-        let per_request = request_kv_bytes(&template(), 32, 8);
-        let sim = ServingSimulation::new(template(), ArrivalProcess::AllAtOnce, 1)
-            .with_admission(
-                AdmissionConfig::unlimited()
-                    .with_kv_memory_bytes(per_request / 2)
-                    .with_paged_kv(16),
-            )
-            .with_preemption(PreemptionPolicy::SwapOut);
-        match simulate(SystemKind::hermes_base(), &config(), &sim) {
-            Err(HermesError::InvalidConfig(msg)) => {
-                assert!(msg.contains("KV blocks"), "{msg}");
-            }
-            other => panic!("expected InvalidConfig, got {other:?}"),
-        }
-    }
-}
+#[path = "simulator_tests.rs"]
+mod tests;
