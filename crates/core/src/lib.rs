@@ -62,6 +62,7 @@
 //! step-wise and one-shot execution agree by construction.
 
 pub mod baselines;
+pub mod cast;
 pub mod config;
 pub mod engine;
 pub mod error;

@@ -4,6 +4,9 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::cast::{
+    f64_from_usize, nearest_rank_index, nearest_rank_weight, u64_from_usize, usize_from_u64,
+};
 use crate::workload::Workload;
 
 /// Where the end-to-end time of a run goes, in seconds.
@@ -88,10 +91,8 @@ pub struct TokenLatencyStats {
 fn sorted_with_percentile(samples: &[f64]) -> (Vec<f64>, impl Fn(&[f64], f64) -> f64) {
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let percentile = |sorted: &[f64], p: f64| -> f64 {
-        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-        sorted[rank.clamp(1, sorted.len()) - 1]
-    };
+    let percentile =
+        |sorted: &[f64], p: f64| -> f64 { sorted[nearest_rank_index(p, sorted.len())] };
     (sorted, percentile)
 }
 
@@ -100,6 +101,7 @@ impl TokenLatencyStats {
     /// in generation order) into summary statistics. Percentiles use the
     /// nearest-rank definition. With no decode tokens the TPOT statistics
     /// are zero and TTFT is the prefill cost alone.
+    #[must_use]
     pub fn from_decode_latencies(prefill_seconds: f64, latencies: &[f64]) -> Self {
         if latencies.is_empty() {
             return TokenLatencyStats {
@@ -110,7 +112,7 @@ impl TokenLatencyStats {
         let (sorted, percentile) = sorted_with_percentile(latencies);
         TokenLatencyStats {
             ttft: prefill_seconds + latencies[0],
-            tpot_mean: latencies.iter().sum::<f64>() / latencies.len() as f64,
+            tpot_mean: latencies.iter().sum::<f64>() / f64_from_usize(latencies.len()),
             tpot_p50: percentile(&sorted, 50.0),
             tpot_p95: percentile(&sorted, 95.0),
             tpot_p99: percentile(&sorted, 99.0),
@@ -125,13 +127,18 @@ impl TokenLatencyStats {
     /// [`DistributionStats::merged`], which is exact when every part holds a
     /// single sample. Zero-weight parts are ignored; all-zero for an empty
     /// or all-zero-weight input.
+    #[must_use]
     pub fn merged(parts: &[(TokenLatencyStats, usize)]) -> Self {
         let total: usize = parts.iter().map(|&(_, n)| n).sum();
         if total == 0 {
             return TokenLatencyStats::default();
         }
         let weighted_mean = |value: fn(&TokenLatencyStats) -> f64| -> f64 {
-            parts.iter().map(|(s, n)| value(s) * *n as f64).sum::<f64>() / total as f64
+            parts
+                .iter()
+                .map(|(s, n)| value(s) * f64_from_usize(*n))
+                .sum::<f64>()
+                / f64_from_usize(total)
         };
         TokenLatencyStats {
             ttft: weighted_mean(|s| s.ttft),
@@ -162,8 +169,7 @@ fn weighted_percentile<S>(parts: &[(S, usize)], p: f64, field: impl Fn(&S) -> f6
         .map(|(s, n)| (field(s), *n))
         .collect();
     values.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let target = ((p / 100.0) * total as f64).ceil() as usize;
-    let target = target.clamp(1, total);
+    let target = usize_from_u64(nearest_rank_weight(p, u64_from_usize(total)));
     let mut seen = 0usize;
     for (value, weight) in &values {
         seen += weight;
@@ -193,13 +199,14 @@ pub struct DistributionStats {
 impl DistributionStats {
     /// Fold samples into summary statistics (nearest-rank percentiles).
     /// All-zero for an empty sample set.
+    #[must_use]
     pub fn from_samples(samples: &[f64]) -> Self {
         if samples.is_empty() {
             return DistributionStats::default();
         }
         let (sorted, percentile) = sorted_with_percentile(samples);
         DistributionStats {
-            mean: samples.iter().sum::<f64>() / samples.len() as f64,
+            mean: samples.iter().sum::<f64>() / f64_from_usize(samples.len()),
             p50: percentile(&sorted, 50.0),
             p95: percentile(&sorted, 95.0),
             p99: percentile(&sorted, 99.0),
@@ -218,13 +225,21 @@ impl DistributionStats {
     /// the pooled samples is not recoverable from summaries alone).
     /// Zero-weight parts are ignored; all-zero for an empty or
     /// all-zero-weight input.
+    #[must_use]
     pub fn merged(parts: &[(DistributionStats, usize)]) -> Self {
         let total: usize = parts.iter().map(|&(_, n)| n).sum();
         if total == 0 {
             return DistributionStats::default();
         }
         DistributionStats {
-            mean: parts.iter().map(|(s, n)| s.mean * *n as f64).sum::<f64>() / total as f64,
+            // The mean folds left-to-right in part (replica) order — a
+            // deterministic order pinned by a unit test below; do not
+            // replace with a tree or parallel reduction.
+            mean: parts
+                .iter()
+                .map(|(s, n)| s.mean * f64_from_usize(*n))
+                .sum::<f64>()
+                / f64_from_usize(total),
             p50: weighted_percentile(parts, 50.0, |s| s.p50),
             p95: weighted_percentile(parts, 95.0, |s| s.p95),
             p99: weighted_percentile(parts, 99.0, |s| s.p99),
@@ -265,7 +280,7 @@ impl ClassReport {
     /// deadline (`None` when no request of the tier carries one).
     pub fn slo_attainment(&self) -> Option<f64> {
         if self.deadline_requests > 0 {
-            Some(self.deadline_met as f64 / self.deadline_requests as f64)
+            Some(f64_from_usize(self.deadline_met) / f64_from_usize(self.deadline_requests))
         } else {
             None
         }
@@ -280,6 +295,7 @@ impl ClassReport {
 /// most one partial block, its last). Utilization is measured against the
 /// pool capacity and is `None` for an unbounded pool.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[must_use]
 pub struct KvPoolReport {
     /// Tokens per fixed-size KV block.
     pub block_tokens: usize,
@@ -303,6 +319,7 @@ pub struct KvPoolReport {
 /// Swap-tier traffic of the swap-out preemption policy (present only when
 /// the policy is swap-out; all-zero when no preemption fired).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[must_use]
 pub struct SwapReport {
     /// Victim evictions that paged KV out to the swap tier.
     pub swap_outs: usize,
@@ -327,6 +344,7 @@ pub struct SwapReport {
 /// went through prefill (the unmatched suffix, plus — after a preemption —
 /// the restart-with-recompute re-prefill).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[must_use]
 pub struct PrefixCacheReport {
     /// Cache consultations (one per admission of a prefix-carrying request).
     pub lookups: usize,
@@ -361,6 +379,7 @@ pub struct PrefixCacheReport {
 /// queueing delay runs until the request is admitted into the batch, TTFT
 /// until its first generated token, and end-to-end latency until its last.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[must_use]
 pub struct ServingReport {
     /// Name of the simulated system (as used in the paper's figures).
     pub system: String,
@@ -423,7 +442,7 @@ impl ServingReport {
         let offered: usize = self.per_class.iter().map(|c| c.deadline_requests).sum();
         if offered > 0 {
             let met: usize = self.per_class.iter().map(|c| c.deadline_met).sum();
-            Some(met as f64 / offered as f64)
+            Some(f64_from_usize(met) / f64_from_usize(offered))
         } else {
             None
         }
@@ -438,7 +457,7 @@ impl ServingReport {
     /// Completed requests per second of virtual time (goodput).
     pub fn goodput_rps(&self) -> f64 {
         if self.makespan > 0.0 {
-            self.completed as f64 / self.makespan
+            f64_from_usize(self.completed) / self.makespan
         } else {
             0.0
         }
@@ -447,7 +466,7 @@ impl ServingReport {
     /// Generated tokens per second of virtual time.
     pub fn tokens_per_second(&self) -> f64 {
         if self.makespan > 0.0 {
-            self.generated_tokens as f64 / self.makespan
+            f64_from_usize(self.generated_tokens) / self.makespan
         } else {
             0.0
         }
@@ -483,6 +502,7 @@ pub struct ReplicaReport {
 /// not pooled); exact fleet statistics can always be recomputed from the
 /// cluster outcome's request records.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[must_use]
 pub struct ClusterReport {
     /// Display name of the routing policy.
     pub routing: String,
@@ -530,12 +550,12 @@ impl ClusterReport {
         };
         let tokens: Vec<f64> = replicas
             .iter()
-            .map(|r| r.report.generated_tokens as f64)
+            .map(|r| f64_from_usize(r.report.generated_tokens))
             .collect();
-        let mean = tokens.iter().sum::<f64>() / tokens.len().max(1) as f64;
+        let mean = tokens.iter().sum::<f64>() / f64_from_usize(tokens.len().max(1));
         let load_imbalance = if mean > 0.0 && tokens.len() > 1 {
-            let variance =
-                tokens.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / tokens.len() as f64;
+            let variance = tokens.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>()
+                / f64_from_usize(tokens.len());
             variance.sqrt() / mean
         } else {
             0.0
@@ -576,7 +596,7 @@ impl ClusterReport {
                 .flat_map(|r| r.report.per_class.iter())
                 .map(|c| c.deadline_met)
                 .sum();
-            Some(met as f64 / offered as f64)
+            Some(f64_from_usize(met) / f64_from_usize(offered))
         } else {
             None
         }
@@ -585,7 +605,7 @@ impl ClusterReport {
     /// Completed requests per second of fleet virtual time (goodput).
     pub fn goodput_rps(&self) -> f64 {
         if self.makespan > 0.0 {
-            self.completed as f64 / self.makespan
+            f64_from_usize(self.completed) / self.makespan
         } else {
             0.0
         }
@@ -594,7 +614,7 @@ impl ClusterReport {
     /// Generated tokens per second of fleet virtual time.
     pub fn tokens_per_second(&self) -> f64 {
         if self.makespan > 0.0 {
-            self.generated_tokens as f64 / self.makespan
+            f64_from_usize(self.generated_tokens) / self.makespan
         } else {
             0.0
         }
@@ -603,6 +623,7 @@ impl ClusterReport {
 
 /// The result of simulating one system on one workload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[must_use]
 pub struct InferenceReport {
     /// Name of the simulated system (as used in the paper's figures).
     pub system: String,
@@ -628,18 +649,18 @@ impl InferenceReport {
     /// runtime including the prompting phase. This is the metric reported in
     /// Figs. 9–11 and 14–17.
     pub fn tokens_per_second(&self) -> f64 {
-        self.workload.total_generated_tokens() as f64 / self.breakdown.total()
+        f64_from_usize(self.workload.total_generated_tokens()) / self.breakdown.total()
     }
 
     /// Decode-only throughput (excluding the prompting phase).
     pub fn decode_tokens_per_second(&self) -> f64 {
-        self.workload.total_generated_tokens() as f64 / self.breakdown.decode_total()
+        f64_from_usize(self.workload.total_generated_tokens()) / self.breakdown.decode_total()
     }
 
     /// Average per-token decode latency in milliseconds (the unit of
     /// Fig. 12).
     pub fn decode_latency_ms_per_token(&self) -> f64 {
-        self.breakdown.decode_total() * 1e3 / self.workload.gen_len as f64
+        self.breakdown.decode_total() * 1e3 / f64_from_usize(self.workload.gen_len)
     }
 }
 
@@ -814,6 +835,72 @@ mod tests {
         assert_eq!(merged.p50, 4.0);
         assert_eq!(merged.p95, 4.0);
         assert_eq!(merged.max, 4.0);
+    }
+
+    /// Sorted-input oracle for the weighted-percentile merge path: expand
+    /// every part into `weight` copies of its value, sort, and take the
+    /// plain nearest-rank percentile of that pooled multiset.
+    fn expanded_percentile_oracle(values: &[(f64, usize)], p: f64) -> f64 {
+        let mut pool: Vec<f64> = values
+            .iter()
+            .flat_map(|&(v, n)| std::iter::repeat_n(v, n))
+            .collect();
+        pool.sort_by(|a, b| a.total_cmp(b));
+        pool[nearest_rank_index(p, pool.len())]
+    }
+
+    #[test]
+    fn merged_weighted_percentiles_match_sorted_input_oracle() {
+        // Deliberately unsorted, unequal-weight parts: the merge must agree
+        // with the oracle that pools and sorts the weighted samples — this
+        // pins the accumulation order of the weighted-rank walk (sort by
+        // total_cmp, then accumulate weight in ascending value order).
+        let raw = [(4.0, 3usize), (1.0, 5), (9.0, 2), (2.5, 7), (6.0, 1)];
+        let parts: Vec<(DistributionStats, usize)> = raw
+            .iter()
+            .map(|&(v, n)| (DistributionStats::from_samples(&[v]), n))
+            .collect();
+        let merged = DistributionStats::merged(&parts);
+        for (field, p) in [(merged.p50, 50.0), (merged.p95, 95.0), (merged.p99, 99.0)] {
+            assert_eq!(field, expanded_percentile_oracle(&raw, p));
+        }
+    }
+
+    #[test]
+    fn merged_percentiles_are_invariant_to_part_order() {
+        // weighted_percentile sorts internally (total_cmp), so permuting the
+        // parts must not change any percentile or the max.
+        let forward = [(0.25, 2usize), (8.0, 1), (3.0, 4), (1.5, 3)];
+        let backward: Vec<_> = forward.iter().rev().copied().collect();
+        let as_parts = |raw: &[(f64, usize)]| -> Vec<(DistributionStats, usize)> {
+            raw.iter()
+                .map(|&(v, n)| (DistributionStats::from_samples(&[v]), n))
+                .collect()
+        };
+        let a = DistributionStats::merged(&as_parts(&forward));
+        let b = DistributionStats::merged(&as_parts(&backward));
+        assert_eq!(a.p50, b.p50);
+        assert_eq!(a.p95, b.p95);
+        assert_eq!(a.p99, b.p99);
+        assert_eq!(a.max, b.max);
+    }
+
+    #[test]
+    fn merged_mean_folds_left_to_right_in_part_order() {
+        // The mean path accumulates in part (replica) order. Pin that exact
+        // fold so a refactor to a tree/parallel reduction — which rounds
+        // differently and would break byte-identical cluster reports —
+        // fails this test.
+        let parts: Vec<(DistributionStats, usize)> = [0.1, 0.2, 0.3, 1e16, 0.4]
+            .iter()
+            .map(|&v| (DistributionStats::from_samples(&[v]), 1))
+            .collect();
+        let merged = DistributionStats::merged(&parts);
+        let mut acc = 0.0f64;
+        for (s, n) in &parts {
+            acc += s.mean * f64_from_usize(*n);
+        }
+        assert_eq!(merged.mean.to_bits(), (acc / 5.0).to_bits());
     }
 
     #[test]

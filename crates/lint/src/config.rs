@@ -1,0 +1,244 @@
+//! `lint.toml`: per-rule path scoping for the workspace.
+//!
+//! The config file is parsed by a small hand-rolled TOML-subset reader
+//! (tables, string / boolean / string-array values, `#` comments — exactly
+//! what `lint.toml` needs), because this crate is dependency-free by design.
+//!
+//! Scoping model: every rule carries `include` / `exclude` path-prefix
+//! lists (relative to the workspace root, `/`-separated). A file is in
+//! scope when its path starts with an `include` entry and no `exclude`
+//! entry. On top of that:
+//!
+//! - `skip_tests = true` exempts `#[cfg(test)] mod … { … }` regions, files
+//!   listed in `[workspace] test_files` (modules declared
+//!   `#[cfg(test)] mod …;`), and anything under a `tests/` directory.
+//! - `library_only = true` additionally exempts binaries (`src/bin/`,
+//!   `src/main.rs`), `examples/` and `benches/` — used by rules that only
+//!   bind library code (D3).
+
+use std::collections::BTreeMap;
+
+/// Scoping and parameters of one rule.
+#[derive(Debug, Clone, Default)]
+pub struct RuleConfig {
+    /// Path prefixes the rule applies to (empty ⇒ applies nowhere).
+    pub include: Vec<String>,
+    /// Path prefixes carved back out of `include`.
+    pub exclude: Vec<String>,
+    /// Skip `#[cfg(test)]` regions, configured test-only files and
+    /// `tests/` directories.
+    pub skip_tests: bool,
+    /// Apply to library code only (additionally skip bins, examples and
+    /// benches).
+    pub library_only: bool,
+    /// H1: struct names that must carry `#[must_use]` at their declaration.
+    pub structs: Vec<String>,
+    /// H1: type names whose by-value `pub fn` returns must be `#[must_use]`
+    /// (satisfied either on the fn or by a `#[must_use]` struct
+    /// declaration).
+    pub types: Vec<String>,
+}
+
+/// The parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Directories `--workspace` walks, relative to the root.
+    pub roots: Vec<String>,
+    /// Path prefixes excluded from the walk entirely (fixtures, vendored
+    /// stubs, build output).
+    pub exclude: Vec<String>,
+    /// Files whose whole content is compiled only under `#[cfg(test)]`
+    /// (declared `#[cfg(test)] mod …;` from their parent module).
+    pub test_files: Vec<String>,
+    /// Per-rule scoping, keyed by rule id.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Config {
+    /// The scoping of `rule`, or an empty (applies-nowhere) default.
+    pub fn rule(&self, id: &str) -> RuleConfig {
+        self.rules.get(id).cloned().unwrap_or_default()
+    }
+
+    /// Parse the TOML subset of `lint.toml`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the first offending line.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut config = Config::default();
+        let mut section: Vec<String> = Vec::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((lineno, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.split('.').map(|s| s.trim().to_string()).collect();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("lint.toml:{}: expected `key = value`", lineno + 1));
+            };
+            let key = key.trim().to_string();
+            let mut value = value.trim().to_string();
+            // Multiline arrays: keep consuming lines until the bracket
+            // closes (string values in lint.toml never contain brackets).
+            while value.starts_with('[') && !value.ends_with(']') {
+                let Some((_, cont)) = lines.next() else {
+                    return Err(format!("lint.toml:{}: unterminated array", lineno + 1));
+                };
+                value.push(' ');
+                value.push_str(strip_comment(cont).trim());
+            }
+            let parsed = Value::parse(&value)
+                .map_err(|e| format!("lint.toml:{}: {} (key `{}`)", lineno + 1, e, key))?;
+            config.set(&section, &key, parsed, lineno + 1)?;
+        }
+        Ok(config)
+    }
+
+    fn set(
+        &mut self,
+        section: &[String],
+        key: &str,
+        value: Value,
+        lineno: usize,
+    ) -> Result<(), String> {
+        let unexpected = |what: &str| Err(format!("lint.toml:{lineno}: unexpected {what} `{key}`"));
+        match section {
+            [s] if s == "workspace" => match (key, value) {
+                ("roots", Value::Strings(v)) => self.roots = v,
+                ("exclude", Value::Strings(v)) => self.exclude = v,
+                ("test_files", Value::Strings(v)) => self.test_files = v,
+                _ => return unexpected("workspace key"),
+            },
+            [s, id] if s == "rules" => {
+                let rule = self.rules.entry(id.clone()).or_default();
+                match (key, value) {
+                    ("include", Value::Strings(v)) => rule.include = v,
+                    ("exclude", Value::Strings(v)) => rule.exclude = v,
+                    ("skip_tests", Value::Bool(b)) => rule.skip_tests = b,
+                    ("library_only", Value::Bool(b)) => rule.library_only = b,
+                    ("structs", Value::Strings(v)) => rule.structs = v,
+                    ("types", Value::Strings(v)) => rule.types = v,
+                    _ => return unexpected("rule key"),
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "lint.toml:{lineno}: unknown section [{}]",
+                    section.join(".")
+                ))
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A parsed TOML-subset value.
+enum Value {
+    Bool(bool),
+    Strings(Vec<String>),
+}
+
+impl Value {
+    fn parse(text: &str) -> Result<Value, String> {
+        match text {
+            "true" => return Ok(Value::Bool(true)),
+            "false" => return Ok(Value::Bool(false)),
+            _ => {}
+        }
+        if let Some(inner) = text.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+            let mut items = Vec::new();
+            for item in inner.split(',') {
+                let item = item.trim();
+                if item.is_empty() {
+                    continue; // trailing comma
+                }
+                items.push(parse_string(item)?);
+            }
+            return Ok(Value::Strings(items));
+        }
+        // A bare string value is a one-element list: every string-valued
+        // key in lint.toml is list-shaped.
+        Ok(Value::Strings(vec![parse_string(text)?]))
+    }
+}
+
+fn parse_string(text: &str) -> Result<String, String> {
+    text.strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a quoted string, got `{text}`"))
+}
+
+/// Strip a `#` comment, respecting (simple, escape-free) quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_bools() {
+        let toml = r##"
+# top comment
+[workspace]
+roots = ["crates", "src"]
+exclude = ["vendor"]   # inline comment
+test_files = [
+    "crates/serve/src/simulator_tests.rs",
+    "crates/serve/src/prefix_props.rs",
+]
+
+[rules.D1]
+include = ["crates/serve", "crates/core"]
+skip_tests = false
+
+[rules.H1]
+include = ["crates/core/src"]
+skip_tests = true
+structs = ["ServingReport"]
+types = ["ServingReport", "DistributionStats"]
+"##;
+        let config = Config::parse(toml).unwrap();
+        assert_eq!(config.roots, vec!["crates", "src"]);
+        assert_eq!(config.test_files.len(), 2);
+        let d1 = config.rule("D1");
+        assert_eq!(d1.include, vec!["crates/serve", "crates/core"]);
+        assert!(!d1.skip_tests);
+        let h1 = config.rule("H1");
+        assert!(h1.skip_tests);
+        assert_eq!(h1.structs, vec!["ServingReport"]);
+        assert_eq!(h1.types.len(), 2);
+        // Unknown rule: applies nowhere.
+        assert!(config.rule("Z9").include.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Config::parse("[workspace]\nroots").is_err());
+        assert!(Config::parse("[bogus]\nkey = true").is_err());
+        assert!(Config::parse("[workspace]\nroots = [\"a\"").is_err());
+        assert!(Config::parse("[rules.D1]\ninclude = [unquoted]").is_err());
+        assert!(Config::parse("[workspace]\nwhatever = true").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let config = Config::parse("[workspace]\nroots = [\"a#b\"]").unwrap();
+        assert_eq!(config.roots, vec!["a#b"]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Diagnostics: what a rule found, where, and how it is rendered — both the
+//! human `path:line:col` form and the machine-readable `--json` form CI
+//! uploads as an artifact.
+
+use std::fmt;
+
+/// How a diagnostic affects the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the run (exit code 1) unless suppressed.
+    Deny,
+    /// Reported but never fails the run.
+    Warn,
+}
+
+impl Severity {
+    /// Stable lower-case name used in output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// One finding at one source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule id (`D1`, `S2`, … or `SUP` for a malformed suppression).
+    pub rule: &'static str,
+    /// Whether the finding fails the run.
+    pub severity: Severity,
+    /// Workspace-relative `/`-separated path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (in characters).
+    pub column: usize,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// The mandatory reason of the suppression that silenced this
+    /// diagnostic; `None` while it is active.
+    pub suppressed_reason: Option<String>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {} [{}]: {}",
+            self.path,
+            self.line,
+            self.column,
+            self.severity.name(),
+            self.rule,
+            self.message
+        )?;
+        if !self.snippet.is_empty() {
+            write!(f, "\n    | {}", self.snippet)?;
+        }
+        Ok(())
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn diagnostic_json(d: &Diagnostic, indent: &str) -> String {
+    let mut fields = vec![
+        format!("\"rule\": \"{}\"", escape_json(d.rule)),
+        format!("\"severity\": \"{}\"", d.severity.name()),
+        format!("\"path\": \"{}\"", escape_json(&d.path)),
+        format!("\"line\": {}", d.line),
+        format!("\"column\": {}", d.column),
+        format!("\"message\": \"{}\"", escape_json(&d.message)),
+        format!("\"snippet\": \"{}\"", escape_json(&d.snippet)),
+    ];
+    if let Some(reason) = &d.suppressed_reason {
+        fields.push(format!("\"reason\": \"{}\"", escape_json(reason)));
+    }
+    let inner = fields
+        .iter()
+        .map(|f| format!("{indent}  {f}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("{indent}{{\n{inner}\n{indent}}}")
+}
+
+/// Render the full `--json` report: active diagnostics (those that fail the
+/// run), suppressed ones (with their mandatory reasons) and the file count.
+pub fn render_json(
+    active: &[Diagnostic],
+    suppressed: &[Diagnostic],
+    checked_files: usize,
+) -> String {
+    let list = |diags: &[Diagnostic]| -> String {
+        if diags.is_empty() {
+            "[]".to_string()
+        } else {
+            let items = diags
+                .iter()
+                .map(|d| diagnostic_json(d, "    "))
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!("[\n{items}\n  ]")
+        }
+    };
+    format!(
+        "{{\n  \"tool\": \"hermes-lint\",\n  \"checked_files\": {},\n  \"active_count\": {},\n  \
+         \"suppressed_count\": {},\n  \"diagnostics\": {},\n  \"suppressed\": {}\n}}\n",
+        checked_files,
+        active.len(),
+        suppressed.len(),
+        list(active),
+        list(suppressed)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            rule: "D1",
+            severity: Severity::Deny,
+            path: "crates/serve/src/simulator.rs".to_string(),
+            line: 218,
+            column: 9,
+            message: "HashMap iteration order is nondeterministic".to_string(),
+            snippet: "let mut leaders: HashMap<&[u64], usize> = HashMap::new();".to_string(),
+            suppressed_reason: None,
+        }
+    }
+
+    #[test]
+    fn display_is_grep_friendly() {
+        let text = diag().to_string();
+        assert!(text.starts_with("crates/serve/src/simulator.rs:218:9: deny [D1]:"));
+        assert!(text.contains("| let mut leaders"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes() {
+        assert_eq!(escape_json(r#"a "b" \c"#), r#"a \"b\" \\c"#);
+        assert_eq!(escape_json("x\ny\t\u{1}"), "x\\ny\\t\\u0001");
+    }
+
+    #[test]
+    fn json_report_carries_counts_and_reasons() {
+        let mut suppressed = diag();
+        suppressed.suppressed_reason = Some("shadow model only".to_string());
+        let json = render_json(&[diag()], &[suppressed], 42);
+        assert!(json.contains("\"checked_files\": 42"));
+        assert!(json.contains("\"active_count\": 1"));
+        assert!(json.contains("\"suppressed_count\": 1"));
+        assert!(json.contains("\"reason\": \"shadow model only\""));
+        // Exactly two rendered diagnostics.
+        assert_eq!(json.matches("\"rule\": \"D1\"").count(), 2);
+    }
+}

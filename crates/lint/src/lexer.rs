@@ -1,0 +1,509 @@
+//! A hand-rolled, lossless Rust lexer.
+//!
+//! The linter cannot use `syn`/`proc-macro2`/`dylint` (crates.io is
+//! unreachable in this build environment), so rules are written against this
+//! token stream instead of an AST. The lexer is:
+//!
+//! - **Lossless**: every byte of the input belongs to exactly one token, so
+//!   concatenating the token texts reproduces the source byte-for-byte (the
+//!   `lexer_props` proptest pins this). Line/column mapping for diagnostics
+//!   falls out of the spans.
+//! - **Total**: it never panics, on any input — unterminated strings,
+//!   comments and stray quotes degrade to tokens that run to end of input or
+//!   to single-byte [`TokenKind::Unknown`] tokens.
+//! - **Faithful on the hard cases** that would otherwise produce false
+//!   positives: nested block comments, raw strings (`r"…"`, `r#"…"#`, any
+//!   hash depth), byte/raw-byte strings, raw identifiers (`r#match`), and
+//!   the lifetime-vs-char-literal ambiguity (`'a` vs `'a'` vs `'static`).
+//!
+//! Rules only ever match [`TokenKind::Ident`], [`TokenKind::Punct`] and
+//! literal kinds, so occurrences of e.g. `HashMap` inside strings, comments
+//! or raw strings can never trip a rule.
+
+/// The lexical class of one source span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Horizontal/vertical whitespace (including newlines).
+    Whitespace,
+    /// `// …` up to (not including) the newline.
+    LineComment,
+    /// `/* … */`, nesting tracked; unterminated runs to end of input.
+    BlockComment,
+    /// Identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// Character literal `'x'`, `'\n'`, `'\u{1F600}'`; byte literal `b'x'`.
+    Char,
+    /// String literal `"…"` (escapes honoured); byte string `b"…"`.
+    Str,
+    /// Raw (byte) string literal `r"…"`, `r#"…"#`, `br#"…"#`.
+    RawStr,
+    /// Integer or float literal, including suffixes (`1_000u64`, `0.5e-3`).
+    Number,
+    /// A single punctuation byte (`.`, `:`, `<`, `#`, …).
+    Punct,
+    /// Anything that fits no other class (stray quote, control byte, …).
+    Unknown,
+}
+
+/// One token: a lexical class plus the byte span it covers in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// The scanning cursor: a byte position into `src` with char-level peeking.
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if pred(c) {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Lex `src` into a complete, contiguous token stream.
+///
+/// The returned spans tile the input exactly: the first token starts at 0,
+/// each token starts where the previous one ended, and the last token ends
+/// at `src.len()` (an empty input produces an empty stream). Never panics.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut cur = Cursor { src, pos: 0 };
+    while let Some(c) = cur.peek() {
+        let start = cur.pos;
+        let kind = scan_token(&mut cur, c);
+        debug_assert!(cur.pos > start, "lexer must always make progress");
+        tokens.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+        });
+    }
+    tokens
+}
+
+/// Scan one token starting at `c`; the cursor is advanced past it.
+fn scan_token(cur: &mut Cursor<'_>, c: char) -> TokenKind {
+    if c.is_whitespace() {
+        cur.eat_while(char::is_whitespace);
+        return TokenKind::Whitespace;
+    }
+    if c == '/' {
+        match cur.peek_at(1) {
+            Some('/') => {
+                cur.eat_while(|c| c != '\n');
+                return TokenKind::LineComment;
+            }
+            Some('*') => {
+                scan_block_comment(cur);
+                return TokenKind::BlockComment;
+            }
+            _ => {
+                cur.bump();
+                return TokenKind::Punct;
+            }
+        }
+    }
+    // Raw strings / raw identifiers / byte literals share prefix letters
+    // with plain identifiers, so they are resolved before the ident path.
+    if c == 'r' || c == 'b' {
+        if let Some(kind) = scan_prefixed_literal(cur) {
+            return kind;
+        }
+    }
+    if is_ident_start(c) {
+        cur.eat_while(is_ident_continue);
+        return TokenKind::Ident;
+    }
+    if c.is_ascii_digit() {
+        scan_number(cur);
+        return TokenKind::Number;
+    }
+    match c {
+        '\'' => scan_quote(cur),
+        '"' => {
+            scan_string(cur);
+            TokenKind::Str
+        }
+        _ => {
+            cur.bump();
+            if c.is_ascii_punctuation() {
+                TokenKind::Punct
+            } else {
+                TokenKind::Unknown
+            }
+        }
+    }
+}
+
+/// `/* … */` with nesting; unterminated comments run to end of input.
+fn scan_block_comment(cur: &mut Cursor<'_>) {
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some('/'), Some('*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some('*'), Some('/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break,
+        }
+    }
+}
+
+/// Literals introduced by `r` / `b` / `br` prefixes, plus raw identifiers.
+/// Returns `None` when the prefix letter is just the start of an ordinary
+/// identifier (`radius`, `bytes`, …) and the ident path should take over.
+fn scan_prefixed_literal(cur: &mut Cursor<'_>) -> Option<TokenKind> {
+    let c = cur.peek()?;
+    // b'…' byte char, b"…" byte string, br"…" / br#"…"# raw byte string.
+    if c == 'b' {
+        match cur.peek_at(1) {
+            Some('\'') => {
+                cur.bump(); // 'b'
+                scan_char_literal(cur);
+                return Some(TokenKind::Char);
+            }
+            Some('"') => {
+                cur.bump();
+                scan_string(cur);
+                return Some(TokenKind::Str);
+            }
+            Some('r') => {
+                if let Some(hashes) = raw_string_hashes(cur, 2) {
+                    cur.bump(); // 'b'
+                    cur.bump(); // 'r'
+                    scan_raw_string(cur, hashes);
+                    return Some(TokenKind::RawStr);
+                }
+                return None;
+            }
+            _ => return None,
+        }
+    }
+    // r"…" / r#"…"# raw string, or r#ident raw identifier.
+    if c == 'r' {
+        if let Some(hashes) = raw_string_hashes(cur, 1) {
+            cur.bump(); // 'r'
+            scan_raw_string(cur, hashes);
+            return Some(TokenKind::RawStr);
+        }
+        if cur.peek_at(1) == Some('#') && cur.peek_at(2).is_some_and(is_ident_start) {
+            cur.bump(); // 'r'
+            cur.bump(); // '#'
+            cur.eat_while(is_ident_continue);
+            return Some(TokenKind::Ident);
+        }
+    }
+    None
+}
+
+/// If the chars at offset `from` onward read `#…#"` (zero or more hashes then
+/// a quote), the count of hashes — i.e. this *is* a raw string opener.
+fn raw_string_hashes(cur: &Cursor<'_>, from: usize) -> Option<usize> {
+    let mut n = 0;
+    loop {
+        match cur.peek_at(from + n) {
+            Some('#') => n += 1,
+            Some('"') => return Some(n),
+            _ => return None,
+        }
+    }
+}
+
+/// Body of a raw string after the `r`/`br` prefix: `#…#"` then content until
+/// `"` followed by the same number of hashes. Unterminated runs to EOF.
+fn scan_raw_string(cur: &mut Cursor<'_>, hashes: usize) {
+    for _ in 0..hashes {
+        cur.bump(); // '#'
+    }
+    cur.bump(); // opening '"'
+    while let Some(c) = cur.bump() {
+        if c == '"' {
+            let mut matched = 0;
+            while matched < hashes && cur.peek() == Some('#') {
+                cur.bump();
+                matched += 1;
+            }
+            if matched == hashes {
+                return;
+            }
+        }
+    }
+}
+
+/// `"…"` with `\` escapes; unterminated runs to EOF.
+fn scan_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening '"'
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Disambiguate a leading `'`: lifetime/label (`'a`, `'static`) vs char
+/// literal (`'a'`, `'\n'`, `'🦀'`). A bare quote that is neither degrades to
+/// [`TokenKind::Unknown`].
+fn scan_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    match cur.peek_at(1) {
+        // Escape sequence: unambiguously a char literal.
+        Some('\\') => {
+            scan_char_literal(cur);
+            TokenKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'x'` is a char literal; `'x` followed by anything else is a
+            // lifetime (or label). `'static'`-style longer idents cannot be
+            // char literals, but scanning the ident first handles both.
+            if cur.peek_at(2) == Some('\'') {
+                scan_char_literal(cur);
+                TokenKind::Char
+            } else {
+                cur.bump(); // '\''
+                cur.eat_while(is_ident_continue);
+                TokenKind::Lifetime
+            }
+        }
+        // `'1'`, `'['`, `' '` … any single non-ident char closed by a quote.
+        Some(c) if c != '\'' && cur.peek_at(2) == Some('\'') => {
+            scan_char_literal(cur);
+            TokenKind::Char
+        }
+        _ => {
+            cur.bump();
+            TokenKind::Unknown
+        }
+    }
+}
+
+/// `'…'` / `b'…'` body starting at the opening quote, honouring `\` escapes;
+/// unterminated runs to EOF.
+fn scan_char_literal(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening '\''
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '\'' => return,
+            _ => {}
+        }
+    }
+}
+
+/// A numeric literal: `0x`/`0o`/`0b` radixes, `_` separators, type suffixes
+/// (`1u64`), floats with fraction and signed exponents (`1.5e-3`). `1.max()`
+/// and `0..n` are *not* floats — the dot only joins when a digit follows.
+fn scan_number(cur: &mut Cursor<'_>) {
+    cur.eat_while(is_ident_continue); // digits, radix letters, suffix, `_`
+                                      // Optional fraction: only when followed by a digit (so `0..5` and
+                                      // `1.max(2)` keep their dots as separate punct tokens).
+    if cur.peek() == Some('.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump(); // '.'
+        cur.eat_while(is_ident_continue);
+    }
+    // Optional signed exponent: `1e+3`, `2.5E-7` stop the ident scan at the
+    // sign, which belongs to the literal when preceded by e/E.
+    if matches!(cur.peek(), Some('+') | Some('-')) {
+        let prev = cur.src[..cur.pos].chars().next_back();
+        if matches!(prev, Some('e') | Some('E')) {
+            cur.bump();
+            cur.eat_while(is_ident_continue);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    fn significant(src: &str) -> Vec<(TokenKind, &str)> {
+        kinds(src)
+            .into_iter()
+            .filter(|(k, _)| {
+                !matches!(
+                    k,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spans_tile_the_source() {
+        let src = "fn main() { let x = 'a'; /* c /* nested */ */ \"s\" }";
+        let tokens = lex(src);
+        let mut pos = 0;
+        for t in &tokens {
+            assert_eq!(t.start, pos);
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len());
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert_eq!(
+            significant("<'a, 'static> 'b' '\\n' 'x"),
+            vec![
+                (TokenKind::Punct, "<"),
+                (TokenKind::Lifetime, "'a"),
+                (TokenKind::Punct, ","),
+                (TokenKind::Lifetime, "'static"),
+                (TokenKind::Punct, ">"),
+                (TokenKind::Char, "'b'"),
+                (TokenKind::Char, "'\\n'"),
+                (TokenKind::Lifetime, "'x"),
+            ]
+        );
+        // Digit char literal and a loop label before a for-loop.
+        assert_eq!(
+            significant("'1' 'outer: for"),
+            vec![
+                (TokenKind::Char, "'1'"),
+                (TokenKind::Lifetime, "'outer"),
+                (TokenKind::Punct, ":"),
+                (TokenKind::Ident, "for"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let src = r####"r"plain" r#"one "deep""# r##"two "# deep"## b"bytes" br#"raw bytes"#"####;
+        let sig = significant(src);
+        assert_eq!(
+            sig.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![
+                TokenKind::RawStr,
+                TokenKind::RawStr,
+                TokenKind::RawStr,
+                TokenKind::Str,
+                TokenKind::RawStr,
+            ]
+        );
+        // A rule scanning idents must not see HashMap inside a raw string.
+        let src = r##"let ok = r"HashMap::new()";"##;
+        assert!(significant(src)
+            .iter()
+            .all(|(k, text)| *k != TokenKind::Ident || !text.contains("HashMap")));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        assert_eq!(
+            significant("r#type r#match radius"),
+            vec![
+                (TokenKind::Ident, "r#type"),
+                (TokenKind::Ident, "r#match"),
+                (TokenKind::Ident, "radius"),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let src = "/* a /* b /* c */ */ still comment */ ident";
+        assert_eq!(significant(src), vec![(TokenKind::Ident, "ident")]);
+        // Unterminated: degrades to one comment to EOF, no panic.
+        assert_eq!(significant("/* open /* deeper */"), vec![]);
+    }
+
+    #[test]
+    fn numbers_keep_dots_and_exponents_straight() {
+        assert_eq!(
+            significant("0.5 1_000u64 0xFFu8 1e-3 2.5E+7 0..5 1.max(2)"),
+            vec![
+                (TokenKind::Number, "0.5"),
+                (TokenKind::Number, "1_000u64"),
+                (TokenKind::Number, "0xFFu8"),
+                (TokenKind::Number, "1e-3"),
+                (TokenKind::Number, "2.5E+7"),
+                (TokenKind::Number, "0"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Punct, "."),
+                (TokenKind::Number, "5"),
+                (TokenKind::Number, "1"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Ident, "max"),
+                (TokenKind::Punct, "("),
+                (TokenKind::Number, "2"),
+                (TokenKind::Punct, ")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        for src in ["'", "\"", "r#", "r#\"", "b'", "/*", "\\", "'''", "''"] {
+            let tokens = lex(src);
+            assert_eq!(tokens.last().map_or(0, |t| t.end), src.len(), "{src:?}");
+        }
+    }
+}

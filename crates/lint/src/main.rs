@@ -1,0 +1,165 @@
+//! The `hermes-lint` command-line front end.
+//!
+//! ```text
+//! hermes-lint --workspace [--json] [--root DIR] [--config FILE]
+//! hermes-lint PATH…       [--json] [--root DIR] [--config FILE]
+//! hermes-lint --list-rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 active deny diagnostics, 2 usage/config error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hermes_lint::config::Config;
+use hermes_lint::{diagnostics, relative_path, rules, walk_workspace, SourceFile};
+
+struct Args {
+    workspace: bool,
+    json: bool,
+    list_rules: bool,
+    root: PathBuf,
+    config_path: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        json: false,
+        list_rules: false,
+        root: PathBuf::from("."),
+        config_path: None,
+        paths: Vec::new(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--json" => args.json = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                args.root = PathBuf::from(
+                    iter.next()
+                        .ok_or_else(|| "--root needs a directory".to_string())?,
+                );
+            }
+            "--config" => {
+                args.config_path = Some(PathBuf::from(
+                    iter.next()
+                        .ok_or_else(|| "--config needs a file".to_string())?,
+                ));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "hermes-lint: workspace determinism & safety lints\n\n\
+                     usage: hermes-lint (--workspace | PATH…) [--json] [--root DIR] \
+                     [--config FILE]\n       hermes-lint --list-rules\n\n\
+                     Suppress with `// hermes-lint: allow(ID, reason = \"…\")` (reason \
+                     mandatory).\nScoping lives in lint.toml at the workspace root."
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}` (try --help)"));
+            }
+            path => args.paths.push(PathBuf::from(path)),
+        }
+    }
+    if !args.list_rules && !args.workspace && args.paths.is_empty() {
+        return Err("nothing to lint: pass --workspace or explicit paths (try --help)".to_string());
+    }
+    Ok(args)
+}
+
+fn list_rules() {
+    println!("hermes-lint rules (suppress with `// hermes-lint: allow(ID, reason = \"…\")`):\n");
+    for rule in rules::all() {
+        println!(
+            "  {:4} [{}] {}",
+            rule.id,
+            rule.severity.name(),
+            rule.summary
+        );
+        println!("       {}\n", rule.rationale);
+    }
+    println!(
+        "  SUP  [deny] malformed suppression (missing mandatory reason or unparseable \
+         allow-list)"
+    );
+}
+
+fn load_config(args: &Args) -> Result<Config, String> {
+    let path = args
+        .config_path
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint.toml"));
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Config::parse(&text),
+        Err(e) if args.workspace || args.config_path.is_some() => {
+            Err(format!("cannot read {}: {e}", path.display()))
+        }
+        // Explicit-path mode without a config: empty scoping (only SUP
+        // diagnostics can fire), still useful for suppression hygiene.
+        Err(_) => Ok(Config::default()),
+    }
+}
+
+fn load_files(args: &Args, config: &Config) -> Result<Vec<SourceFile>, String> {
+    let paths: Vec<PathBuf> = if args.workspace {
+        walk_workspace(&args.root, config)?
+    } else {
+        args.paths.clone()
+    };
+    let mut files = Vec::new();
+    for path in paths {
+        let bytes =
+            std::fs::read(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let rel = relative_path(&args.root, &path);
+        files.push(SourceFile::new(rel, src, config));
+    }
+    Ok(files)
+}
+
+fn real_main() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    if args.list_rules {
+        list_rules();
+        return Ok(ExitCode::SUCCESS);
+    }
+    let config = load_config(&args)?;
+    let files = load_files(&args, &config)?;
+    let report = hermes_lint::run(&files, &config);
+    if args.json {
+        print!(
+            "{}",
+            diagnostics::render_json(&report.active, &report.suppressed, report.checked_files)
+        );
+    } else {
+        for diag in &report.active {
+            println!("{diag}");
+        }
+        println!(
+            "hermes-lint: {} file(s) checked, {} active diagnostic(s), {} suppressed",
+            report.checked_files,
+            report.active.len(),
+            report.suppressed.len()
+        );
+    }
+    Ok(if report.failed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("hermes-lint: error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

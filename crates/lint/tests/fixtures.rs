@@ -1,0 +1,88 @@
+//! End-to-end run over the seeded-violation fixtures in `tests/fixtures/`:
+//! one file per rule plus a clean file and a suppression demo, linted with
+//! the fixtures-local `lint.toml`. Per-rule diagnostic counts are pinned so
+//! a rule regression in either direction — a rule that stops firing, or one
+//! that starts over-firing — fails loudly. CI runs the same directory
+//! through the `hermes-lint` binary as a second, process-level check.
+
+use std::path::Path;
+
+use hermes_lint::config::Config;
+use hermes_lint::{relative_path, run, walk_workspace, LintReport, SourceFile};
+
+fn lint_fixtures() -> LintReport {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let text = std::fs::read_to_string(root.join("lint.toml")).expect("fixtures lint.toml");
+    let config = Config::parse(&text).expect("fixtures lint.toml parses");
+    let paths = walk_workspace(&root, &config).expect("fixture walk");
+    let files: Vec<SourceFile> = paths
+        .iter()
+        .map(|p| {
+            let src = std::fs::read_to_string(p).expect("fixture file");
+            SourceFile::new(relative_path(&root, p), src, &config)
+        })
+        .collect();
+    assert_eq!(files.len(), 8, "one fixture per rule + clean + sup");
+    run(&files, &config)
+}
+
+fn count(report: &LintReport, rule: &str, file: &str) -> usize {
+    report
+        .active
+        .iter()
+        .filter(|d| d.rule == rule && d.path == file)
+        .count()
+}
+
+#[test]
+fn each_rule_fires_on_its_seeded_fixture() {
+    let report = lint_fixtures();
+    assert_eq!(count(&report, "D1", "d1.rs"), 4);
+    assert_eq!(count(&report, "D2", "d2.rs"), 4);
+    assert_eq!(count(&report, "D3", "d3.rs"), 3);
+    assert_eq!(count(&report, "S1", "s1.rs"), 3);
+    assert_eq!(count(&report, "S2", "s2.rs"), 2);
+    assert_eq!(count(&report, "H1", "h1.rs"), 2);
+    assert!(report.failed());
+}
+
+#[test]
+fn the_clean_fixture_is_clean() {
+    let report = lint_fixtures();
+    assert!(
+        !report.active.iter().any(|d| d.path == "clean.rs"),
+        "clean.rs must produce no diagnostics"
+    );
+    assert!(!report.suppressed.iter().any(|d| d.path == "clean.rs"));
+}
+
+#[test]
+fn suppressions_silence_only_with_a_reason() {
+    let report = lint_fixtures();
+    // The reasoned allow on the `use` line silences exactly one D1.
+    let suppressed: Vec<_> = report
+        .suppressed
+        .iter()
+        .filter(|d| d.path == "sup.rs")
+        .collect();
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].rule, "D1");
+    assert!(suppressed[0]
+        .suppressed_reason
+        .as_deref()
+        .is_some_and(|r| r.contains("reasoned suppression")));
+    // The reasonless allow silences nothing and is itself a SUP diagnostic.
+    assert_eq!(count(&report, "SUP", "sup.rs"), 1);
+    assert_eq!(count(&report, "D1", "sup.rs"), 2);
+}
+
+#[test]
+fn total_diagnostic_count_is_pinned() {
+    // The headline regression number: any rule or fixture change must
+    // consciously update it (CI re-derives the same number through the
+    // binary's --json output).
+    let report = lint_fixtures();
+    assert_eq!(report.active.len(), 21);
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.checked_files, 8);
+}

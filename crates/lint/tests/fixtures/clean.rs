@@ -1,0 +1,38 @@
+//! Clean seed: every rule's trigger appears only in comments, strings, or
+//! rule-approved form. Expected: zero diagnostics. Keys in a `HashMap`
+//! would iterate nondeterministically; mentioning HashMap, Instant::now(),
+//! x.unwrap() or panic! in this doc comment must not trip anything.
+
+use std::collections::BTreeMap;
+
+#[must_use]
+pub struct CleanReport {
+    pub entries: BTreeMap<u32, u64>,
+}
+
+pub fn build(raw: &[(u32, u64)]) -> CleanReport {
+    let mut entries = BTreeMap::new();
+    for &(k, v) in raw {
+        entries.insert(k, v);
+    }
+    CleanReport { entries }
+}
+
+pub fn describe() -> &'static str {
+    // Strings never trip rules either: the lexer knows this is data.
+    "HashMap::new() Instant::now() x.unwrap() panic! tokens as u64 sum::<f64>()"
+}
+
+/// An explicit left-to-right fold, the S2-approved accumulation shape.
+pub fn total(values: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for v in values {
+        acc += v;
+    }
+    acc
+}
+
+/// Checked widening, the S1-approved cast shape.
+pub fn widen(x: u32) -> u64 {
+    u64::from(x)
+}

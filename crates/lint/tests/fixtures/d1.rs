@@ -1,0 +1,10 @@
+//! D1 seed: hash-ordered containers in deterministic code.
+//! Expected: 4 diagnostics (three `HashMap` mentions, one `HashSet`).
+
+use std::collections::HashMap;
+
+pub fn count() -> usize {
+    let map: HashMap<u32, u32> = HashMap::new();
+    let set = std::collections::HashSet::<u8>::new();
+    map.len() + set.len()
+}

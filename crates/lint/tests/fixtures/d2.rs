@@ -1,0 +1,10 @@
+//! D2 seed: wall-clock reads outside bench code.
+//! Expected: 4 diagnostics (two `Instant` mentions, two `SystemTime`).
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

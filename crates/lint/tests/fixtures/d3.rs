@@ -1,0 +1,20 @@
+//! D3 seed: panics in library code.
+//! Expected: 3 diagnostics (`unwrap`, `expect`, `panic!`); the `unwrap` in
+//! the `#[cfg(test)]` module is exempt under `skip_tests`.
+
+pub fn first_plus_last(v: &[u32]) -> u32 {
+    let head = v.first().unwrap();
+    let tail = v.last().expect("non-empty");
+    if head > tail {
+        panic!("unsorted");
+    }
+    *head + *tail
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,11 @@
+//! H1 seed: a report type missing `#[must_use]`.
+//! Expected: 2 diagnostics (the bare struct declaration, and the `pub fn`
+//! returning it without the struct or the fn carrying the attribute).
+
+pub struct FixtureReport {
+    pub total: u64,
+}
+
+pub fn build() -> FixtureReport {
+    FixtureReport { total: 0 }
+}

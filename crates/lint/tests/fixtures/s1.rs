@@ -1,0 +1,10 @@
+//! S1 seed: `as` numeric casts in accounting code.
+//! Expected: 3 diagnostics (one `as u64`, two `as f64`).
+
+pub fn blocks(tokens: usize) -> u64 {
+    tokens as u64
+}
+
+pub fn ratio(used: u64, cap: u64) -> f64 {
+    used as f64 / cap as f64
+}

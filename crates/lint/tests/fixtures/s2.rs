@@ -1,0 +1,10 @@
+//! S2 seed: float accumulation outside the ordered-fold helpers.
+//! Expected: 2 diagnostics (a `.sum::<f64>()` and a float-seeded `.fold`).
+
+pub fn total(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>()
+}
+
+pub fn total_fold(values: &[f64]) -> f64 {
+    values.iter().fold(0.0, |acc, v| acc + v)
+}

@@ -1,0 +1,11 @@
+//! Suppression seed.
+//! Expected: 1 suppressed D1 (the reasoned allow on the `use` line), 1 SUP
+//! diagnostic for the reasonless allow, and 2 active D1 diagnostics — the
+//! reasonless allow silences nothing.
+
+use std::collections::HashMap; // hermes-lint: allow(D1, reason = "fixture: demonstrates a reasoned suppression")
+
+// hermes-lint: allow(D1)
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}

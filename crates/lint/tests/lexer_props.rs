@@ -1,0 +1,62 @@
+//! Property tests of the hand-rolled lexer: totality (never panics) and
+//! lossless span tiling, on arbitrary bytes and on strings drawn from an
+//! alphabet of Rust-lexing hazards (quotes, hash fences, comment openers,
+//! escapes, multibyte characters).
+
+use proptest::prelude::*;
+
+use hermes_lint::lexer::lex;
+
+/// The tiling invariant: tokens cover `src` exactly — in order, non-empty,
+/// no gaps, no overlaps — so concatenating their texts reproduces the
+/// source byte-for-byte.
+fn assert_tiles(src: &str) {
+    let tokens = lex(src);
+    let mut cursor = 0usize;
+    let mut rebuilt = String::new();
+    for t in &tokens {
+        assert_eq!(
+            t.start, cursor,
+            "gap or overlap at byte {cursor} in {src:?}"
+        );
+        assert!(t.end > t.start, "empty token at byte {cursor} in {src:?}");
+        rebuilt.push_str(t.text(src));
+        cursor = t.end;
+    }
+    assert_eq!(cursor, src.len(), "tokens stop short in {src:?}");
+    assert_eq!(rebuilt, src);
+}
+
+/// Characters that drive the lexer's hard paths: string/char/lifetime
+/// quoting, raw-string hash fences, comment openers and closers, numeric
+/// shapes, escapes, and multibyte code points (span arithmetic is in bytes,
+/// so these catch any char-boundary slip).
+const HAZARDS: &[char] = &[
+    '"', '\'', '#', 'r', 'b', '\\', '/', '*', '\n', '{', '}', '(', ')', '<', '>', '.', ':', '!',
+    '=', '_', ' ', '0', '9', 'x', 'e', 'a', '€', 'λ',
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_tiles_arbitrary_bytes(raw in prop::collection::vec(0u32..256, 0..200)) {
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        // Lossy decoding maps invalid sequences to U+FFFD; the lexer sees
+        // every possible valid string shape, including control bytes.
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_tiles(&src);
+    }
+
+    #[test]
+    fn lexer_tiles_hazard_soup(picks in prop::collection::vec(0usize..28, 0..120)) {
+        let src: String = picks.iter().map(|&i| HAZARDS[i]).collect();
+        assert_tiles(&src);
+    }
+}
+
+#[test]
+fn hazard_alphabet_matches_strategy_bound() {
+    // The `0usize..28` range above must stay in lockstep with the table.
+    assert_eq!(HAZARDS.len(), 28);
+}

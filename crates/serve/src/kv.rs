@@ -17,6 +17,8 @@
 //! ([`DEFAULT_BLOCK_TOKENS`](crate::DEFAULT_BLOCK_TOKENS)), the common
 //! vLLM-style choice.
 
+use hermes_core::cast::{u64_from_usize, usize_from_u64};
+
 /// A paged KV-cache allocator over a bounded (or unbounded) pool of
 /// fixed-size blocks, with one page table per request slot.
 ///
@@ -104,7 +106,7 @@ impl KvPool {
     /// Blocks needed to hold a context of `tokens` tokens:
     /// `ceil(tokens / block_tokens)`.
     pub fn blocks_for_tokens(&self, tokens: usize) -> u64 {
-        (tokens.div_ceil(self.block_tokens)) as u64
+        u64_from_usize(tokens.div_ceil(self.block_tokens))
     }
 
     /// Whether `extra` more blocks fit under the pool capacity.
@@ -117,7 +119,7 @@ impl KvPool {
 
     /// Blocks currently held by request slot `idx`.
     pub fn held(&self, idx: usize) -> u64 {
-        self.tables[idx].len() as u64
+        u64_from_usize(self.tables[idx].len())
     }
 
     /// Allocate `blocks` blocks to slot `idx`, reusing freed blocks first.
@@ -147,7 +149,7 @@ impl KvPool {
     /// Release every block slot `idx` holds back to the free list and
     /// return how many were freed.
     pub fn release(&mut self, idx: usize) -> u64 {
-        let freed = self.tables[idx].len() as u64;
+        let freed = u64_from_usize(self.tables[idx].len());
         // Drain in reverse so re-allocation hands back the same ids in the
         // same order (LIFO free list).
         while let Some(block) = self.tables[idx].pop() {
@@ -166,7 +168,7 @@ impl KvPool {
     /// must have checked [`KvPool::fits`].
     pub fn acquire_blocks(&mut self, blocks: u64) -> Vec<u64> {
         debug_assert!(self.fits(blocks), "allocation past pool capacity");
-        let mut ids = Vec::with_capacity(blocks as usize);
+        let mut ids = Vec::with_capacity(usize_from_u64(blocks));
         for _ in 0..blocks {
             let block = self.free.pop().unwrap_or_else(|| {
                 let minted = self.next_block;
@@ -183,7 +185,7 @@ impl KvPool {
     /// Return blocks previously taken with [`KvPool::acquire_blocks`] to
     /// the free list.
     pub fn surrender_blocks(&mut self, ids: &[u64]) {
-        self.used_blocks -= ids.len() as u64;
+        self.used_blocks -= u64_from_usize(ids.len());
         // Reverse for the same LIFO-stability reason as `release`.
         for &block in ids.iter().rev() {
             self.free.push(block);

@@ -201,7 +201,7 @@ pub mod replica;
 pub mod request;
 pub mod scheduler;
 pub mod simulator;
-pub(crate) mod tallies;
+pub mod tallies;
 
 pub use arrival::sample_arrival_times;
 pub use cluster::{

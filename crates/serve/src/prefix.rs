@@ -32,6 +32,8 @@
 
 use std::collections::BTreeMap;
 
+use hermes_core::cast::u64_from_usize;
+
 /// A pinned root-to-node path in the cache; held while a request that
 /// matched (or inserted) cached content is in flight.
 pub(crate) type PrefixLease = usize;
@@ -197,7 +199,7 @@ impl PrefixCache {
             .iter()
             .enumerate()
             .filter(|(id, n)| *id != 0 && n.live && n.refs == 0 && !on_path(*id))
-            .map(|(_, n)| n.block_ids.len() as u64)
+            .map(|(_, n)| u64_from_usize(n.block_ids.len()))
             .sum();
         PrefixPlan {
             matched: i,
@@ -213,7 +215,7 @@ impl PrefixCache {
     pub(crate) fn acquire(&mut self, tokens: &[u64]) -> (PrefixLease, usize) {
         debug_assert!(tokens.len().is_multiple_of(self.block_tokens));
         self.stats.lookups += 1;
-        let now = self.stats.lookups as u64;
+        let now = u64_from_usize(self.stats.lookups);
         let mut cur = 0usize;
         let mut i = 0usize;
         while i < tokens.len() {
@@ -287,6 +289,7 @@ impl PrefixCache {
         let head_id = self.alloc_node(head);
         let parent = self.nodes[node].parent;
         let first = self.nodes[head_id].tokens[0];
+        // hermes-lint: allow(D3, reason = "split is only called on an existing child edge, so the parent's entry for `first` is a structural invariant")
         *self.nodes[parent].children.get_mut(&first).unwrap() = head_id;
         self.nodes[node].parent = head_id;
         self.nodes[node].tokens = tail_tokens;
@@ -302,14 +305,15 @@ impl PrefixCache {
     pub(crate) fn insert(&mut self, lease: PrefixLease, suffix: &[u64], block_ids: Vec<u64>) {
         debug_assert!(!suffix.is_empty());
         debug_assert!(suffix.len() == block_ids.len() * self.block_tokens);
+        // hermes-lint: allow(D3, reason = "lease liveness is a caller contract; inserting on a released lease is a scheduler bug worth a loud crash")
         let parent = self.leases[lease].expect("insert on a released lease");
         debug_assert!(
             !self.nodes[parent].children.contains_key(&suffix[0]),
             "insert collides with an existing edge (can_insert was false)"
         );
-        self.resident_blocks += block_ids.len() as u64;
-        self.resident_tokens += suffix.len() as u64;
-        let now = self.stats.lookups as u64;
+        self.resident_blocks += u64_from_usize(block_ids.len());
+        self.resident_tokens += u64_from_usize(suffix.len());
+        let now = u64_from_usize(self.stats.lookups);
         let node = self.alloc_node(Node {
             parent,
             tokens: suffix.to_vec(),
@@ -329,6 +333,7 @@ impl PrefixCache {
 
     /// Unpin `lease`'s path. The nodes stay resident until evicted.
     pub(crate) fn release(&mut self, lease: PrefixLease) {
+        // hermes-lint: allow(D3, reason = "double release of a lease is a scheduler bug worth a loud crash")
         let mut node = self.leases[lease].take().expect("double release");
         self.free_leases.push(lease);
         loop {
@@ -345,7 +350,7 @@ impl PrefixCache {
     /// Returns the freed block ids for the caller to surrender to the pool.
     pub(crate) fn evict_for(&mut self, shortfall: u64) -> Vec<u64> {
         let mut freed = Vec::new();
-        while (freed.len() as u64) < shortfall {
+        while u64_from_usize(freed.len()) < shortfall {
             let Some(victim) = self
                 .nodes
                 .iter()
@@ -361,9 +366,9 @@ impl PrefixCache {
             self.nodes[parent].children.remove(&first);
             let node = &mut self.nodes[victim];
             node.live = false;
-            self.resident_blocks -= node.block_ids.len() as u64;
-            self.resident_tokens -= node.tokens.len() as u64;
-            self.stats.evicted_blocks += node.block_ids.len() as u64;
+            self.resident_blocks -= u64_from_usize(node.block_ids.len());
+            self.resident_tokens -= u64_from_usize(node.tokens.len());
+            self.stats.evicted_blocks += u64_from_usize(node.block_ids.len());
             freed.append(&mut node.block_ids);
             node.tokens.clear();
             node.children.clear();

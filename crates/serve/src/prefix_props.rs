@@ -19,7 +19,7 @@
 //! - leased (pinned) prefixes survive any eviction pressure;
 //! - the whole op sequence is deterministic.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 
@@ -75,18 +75,18 @@ struct Shadow {
     block_tokens: usize,
     /// All block-aligned root paths currently resident, one entry per
     /// resident block.
-    paths: HashSet<Vec<u64>>,
+    paths: BTreeSet<Vec<u64>>,
     /// Every full run ever inserted — the candidate set used to resync
     /// `paths` after an eviction (eviction only ever removes content).
-    ever_inserted: HashSet<Vec<u64>>,
+    ever_inserted: BTreeSet<Vec<u64>>,
 }
 
 impl Shadow {
     fn new(block_tokens: usize) -> Self {
         Shadow {
             block_tokens,
-            paths: HashSet::new(),
-            ever_inserted: HashSet::new(),
+            paths: BTreeSet::new(),
+            ever_inserted: BTreeSet::new(),
         }
     }
 
@@ -149,8 +149,8 @@ fn exercise(block_tokens: usize, ops: &[Op]) -> (u64, u64, usize, usize, usize, 
     let mut shadow = Shadow::new(block_tokens);
     // Outstanding leases with the block-aligned prefix each one pinned.
     let mut leases: Vec<(usize, Vec<u64>)> = Vec::new();
-    let mut resident_ids: HashSet<u64> = HashSet::new();
-    let mut freed_ids: HashSet<u64> = HashSet::new();
+    let mut resident_ids: BTreeSet<u64> = BTreeSet::new();
+    let mut freed_ids: BTreeSet<u64> = BTreeSet::new();
     let mut next_id: u64 = 0;
 
     for op in ops {

@@ -148,6 +148,7 @@ impl ReplicaSim {
         if self.cache.is_some() {
             self.cache = Some(PrefixCache::new(
                 self.paged_block_tokens
+                    // hermes-lint: allow(D3, reason = "validate_prefix_cache rejected any cache mode without paged accounting")
                     .expect("prefix cache validated to require paged accounting"),
             ));
         }

@@ -215,8 +215,8 @@ pub(crate) fn primary_rank(scheduling: SchedulingPolicy, request: &ServingReques
 pub(crate) fn request_ranks(scheduling: SchedulingPolicy, requests: &[ServingRequest]) -> Vec<f64> {
     match scheduling {
         SchedulingPolicy::PrefixAffinity => {
-            let mut leaders: std::collections::HashMap<&[u64], usize> =
-                std::collections::HashMap::new();
+            let mut leaders: std::collections::BTreeMap<&[u64], usize> =
+                std::collections::BTreeMap::new();
             requests
                 .iter()
                 .enumerate()

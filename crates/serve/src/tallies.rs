@@ -1,13 +1,19 @@
 //! Raw per-run tallies and the report folder: the bridge between a
-//! simulation loop's accumulators and the aggregate
-//! [`ServingReport`](hermes_core::ServingReport).
+//! simulation loop's accumulators and the aggregate [`ServingReport`].
 //!
-//! Both simulator loops — the event-heap [`ReplicaSim`](crate::replica) core
-//! behind [`simulate`](crate::simulator::simulate) and the feature-gated
+//! Both simulator loops — the event-heap replica core behind
+//! [`simulate`](crate::simulator::simulate) and the feature-gated
 //! sort-based reference oracle — accumulate the same raw tallies and fold
-//! them through [`build_report`], so the two paths cannot drift in how
-//! metrics are derived from identical records.
+//! them through the crate-private `build_report`, so the two paths cannot
+//! drift in how metrics are derived from identical records.
+//!
+//! The module also owns the **ordered float folds** ([`ordered_sum`],
+//! [`ordered_mean`]) that lint rule S2 requires for float accumulation in
+//! report folding: float addition is non-associative, so every accumulation
+//! must commit to one explicit order (left-to-right over the given slice) to
+//! keep reports byte-identical across runs and refactors.
 
+use hermes_core::cast::{f64_from_u64, f64_from_usize, u64_from_usize};
 use hermes_core::{
     ClassReport, DistributionStats, KvPoolReport, LatencyBreakdown, PrefixCacheReport,
     ServingReport, SessionSpec, SwapReport,
@@ -62,8 +68,37 @@ pub(crate) struct SwapTallies {
 /// is empty, e.g. all-at-once).
 pub(crate) fn empirical_rps(times: &[f64]) -> f64 {
     match (times.first(), times.last()) {
-        (Some(&first), Some(&last)) if last > first => (times.len() - 1) as f64 / (last - first),
+        (Some(&first), Some(&last)) if last > first => {
+            f64_from_usize(times.len() - 1) / (last - first)
+        }
         _ => 0.0,
+    }
+}
+
+/// Sum float samples with an explicit left-to-right fold over the slice.
+///
+/// This is the shared accumulation primitive lint rule S2 points at: float
+/// addition is non-associative, so report folding must commit to exactly one
+/// evaluation order. A slice's order is deterministic, and the sequential
+/// left fold here is the one order every caller gets — a refactor to a tree
+/// or parallel reduction would round differently and break byte-identical
+/// report serialization.
+#[must_use]
+pub fn ordered_sum(values: &[f64]) -> f64 {
+    let mut acc = 0.0_f64;
+    for v in values {
+        acc += v;
+    }
+    acc
+}
+
+/// Mean of float samples via [`ordered_sum`]; 0.0 for an empty slice.
+#[must_use]
+pub fn ordered_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        ordered_sum(values) / f64_from_usize(values.len())
     }
 }
 
@@ -119,7 +154,7 @@ pub(crate) fn build_report(
         tpot: DistributionStats::from_samples(&tpots),
         e2e: DistributionStats::from_samples(&e2es),
         dimm_imbalance: if imbalance_samples > 0 {
-            imbalance_sum / imbalance_samples as f64
+            imbalance_sum / f64_from_usize(imbalance_samples)
         } else {
             1.0
         },
@@ -127,13 +162,18 @@ pub(crate) fn build_report(
         per_class: fold_class_reports(records),
         kv: kv.map(|t| {
             let mean_blocks = if t.steps > 0 {
-                t.block_steps as f64 / t.steps as f64
+                f64_from_u64(t.block_steps) / f64_from_u64(t.steps)
             } else {
                 0.0
             };
             let ratio_of = |blocks: f64| {
-                t.capacity_blocks
-                    .map(|cap| if cap > 0 { blocks / cap as f64 } else { 0.0 })
+                t.capacity_blocks.map(|cap| {
+                    if cap > 0 {
+                        blocks / f64_from_u64(cap)
+                    } else {
+                        0.0
+                    }
+                })
             };
             KvPoolReport {
                 block_tokens: t.block_tokens,
@@ -142,9 +182,10 @@ pub(crate) fn build_report(
                 peak_blocks: t.peak_blocks,
                 mean_blocks,
                 utilization: ratio_of(mean_blocks),
-                peak_utilization: ratio_of(t.peak_blocks as f64),
+                peak_utilization: ratio_of(f64_from_u64(t.peak_blocks)),
                 fragmentation: if t.block_steps > 0 {
-                    1.0 - t.used_token_steps as f64 / (t.block_steps * t.block_tokens as u64) as f64
+                    1.0 - f64_from_u64(t.used_token_steps)
+                        / f64_from_u64(t.block_steps * u64_from_usize(t.block_tokens))
                 } else {
                     0.0
                 },
@@ -172,7 +213,7 @@ pub(crate) fn build_report(
                 lookups: t.stats.lookups,
                 hits: t.stats.hits,
                 hit_rate: if t.stats.lookups > 0 {
-                    t.stats.hits as f64 / t.stats.lookups as f64
+                    f64_from_usize(t.stats.hits) / f64_from_usize(t.stats.lookups)
                 } else {
                     0.0
                 },
@@ -223,4 +264,40 @@ fn fold_class_reports(records: &[RequestRecord]) -> Vec<ClassReport> {
             }
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_sum_is_the_sequential_left_fold() {
+        // With a large intermediate, left-to-right and right-to-left round
+        // differently — the helper must match the sequential left fold
+        // bitwise.
+        let values = [0.1, 0.2, 1e16, 0.3, 0.4];
+        let mut acc = 0.0_f64;
+        for v in &values {
+            acc += v;
+        }
+        assert_eq!(ordered_sum(&values).to_bits(), acc.to_bits());
+        // And therefore equals the std left fold over the same slice.
+        assert_eq!(
+            ordered_sum(&values).to_bits(),
+            values.iter().copied().fold(0.0_f64, |a, b| a + b).to_bits()
+        );
+    }
+
+    #[test]
+    fn ordered_mean_handles_empty() {
+        assert_eq!(ordered_mean(&[]), 0.0);
+        assert_eq!(ordered_mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn empirical_rps_spans_first_to_last() {
+        assert_eq!(empirical_rps(&[]), 0.0);
+        assert_eq!(empirical_rps(&[1.0]), 0.0);
+        assert!((empirical_rps(&[0.0, 1.0, 2.0]) - 1.0).abs() < 1e-12);
+    }
 }
